@@ -1,0 +1,259 @@
+//! ASCII AIGER (`.aag`) serialisation.
+//!
+//! Only the combinational subset is supported (no latches), which is all the
+//! EPFL arithmetic benchmarks use. The format is the classic
+//! `aag M I L O A` header followed by input, output and and-gate lines.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::ParseAagError;
+use crate::{Aig, Lit};
+
+impl Aig {
+    /// Serialises the AIG to an ASCII AIGER (`.aag`) stream.
+    ///
+    /// Note that a `&mut` reference can be passed as the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O failure from the writer.
+    pub fn write_aag<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let m = self.num_nodes() - 1;
+        writeln!(
+            w,
+            "aag {} {} 0 {} {}",
+            m,
+            self.num_pis(),
+            self.num_pos(),
+            self.num_ands()
+        )?;
+        for i in 0..self.num_pis() {
+            writeln!(w, "{}", self.pi(i).raw())?;
+        }
+        for po in self.pos() {
+            writeln!(w, "{}", po.raw())?;
+        }
+        for var in self.ands() {
+            writeln!(
+                w,
+                "{} {} {}",
+                Lit::from_var(var, false).raw(),
+                self.fanin0(var).raw(),
+                self.fanin1(var).raw()
+            )?;
+        }
+        if !self.name().is_empty() {
+            writeln!(w, "c")?;
+            writeln!(w, "{}", self.name())?;
+        }
+        Ok(())
+    }
+
+    /// Parses an ASCII AIGER (`.aag`) stream into an AIG.
+    ///
+    /// The gates are restrashed on the way in, so the parsed AIG may have
+    /// fewer gates than the file if the file contained structural duplicates.
+    /// A `&mut` reference can be passed as the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseAagError`] describing the first syntactic or
+    /// structural problem found.
+    pub fn read_aag<R: Read>(r: R) -> Result<Aig, ParseAagError> {
+        let reader = BufReader::new(r);
+        let mut lines = reader.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| ParseAagError::BadHeader(String::from("<empty stream>")))?;
+        let header = header?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() != 6 || fields[0] != "aag" {
+            return Err(ParseAagError::BadHeader(header));
+        }
+        let parse = |s: &str| -> Result<usize, ParseAagError> {
+            s.parse()
+                .map_err(|_| ParseAagError::BadHeader(header.clone()))
+        };
+        let (_m, i, l, o, a) = (
+            parse(fields[1])?,
+            parse(fields[2])?,
+            parse(fields[3])?,
+            parse(fields[4])?,
+            parse(fields[5])?,
+        );
+        if l != 0 {
+            return Err(ParseAagError::LatchesUnsupported);
+        }
+
+        let mut aig = Aig::new(i);
+        // Map from file variable index to our literal.
+        let mut map: Vec<Option<Lit>> = vec![None; 1 + i + a];
+        map[0] = Some(Lit::FALSE);
+
+        let next_line = |lines: &mut dyn Iterator<Item = (usize, std::io::Result<String>)>|
+         -> Result<(usize, String), ParseAagError> {
+            let (n, line) = lines.next().ok_or(ParseAagError::BadLine {
+                line_number: 0,
+                message: String::from("unexpected end of file"),
+            })?;
+            Ok((n + 1, line?))
+        };
+
+        let mut input_vars = Vec::with_capacity(i);
+        for k in 0..i {
+            let (n, line) = next_line(&mut lines)?;
+            let raw: u32 = line.trim().parse().map_err(|_| ParseAagError::BadLine {
+                line_number: n,
+                message: format!("bad input literal {line:?}"),
+            })?;
+            let var = (raw >> 1) as usize;
+            if raw & 1 == 1 || var == 0 || var >= map.len() {
+                return Err(ParseAagError::BadLine {
+                    line_number: n,
+                    message: format!("invalid input literal {raw}"),
+                });
+            }
+            map[var] = Some(aig.pi(k));
+            input_vars.push(var);
+        }
+
+        let mut output_raws = Vec::with_capacity(o);
+        for _ in 0..o {
+            let (n, line) = next_line(&mut lines)?;
+            let raw: u32 = line.trim().parse().map_err(|_| ParseAagError::BadLine {
+                line_number: n,
+                message: format!("bad output literal {line:?}"),
+            })?;
+            output_raws.push(raw);
+        }
+
+        for _ in 0..a {
+            let (n, line) = next_line(&mut lines)?;
+            let mut parts = line.split_whitespace();
+            let mut field = || -> Result<u32, ParseAagError> {
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseAagError::BadLine {
+                        line_number: n,
+                        message: format!("bad and-gate line {line:?}"),
+                    })
+            };
+            let (lhs, rhs0, rhs1) = (field()?, field()?, field()?);
+            if lhs & 1 == 1 {
+                return Err(ParseAagError::BadLine {
+                    line_number: n,
+                    message: format!("and-gate output literal {lhs} is complemented"),
+                });
+            }
+            let lv = (lhs >> 1) as usize;
+            if lv >= map.len() || map[lv].is_some() {
+                return Err(ParseAagError::BadLine {
+                    line_number: n,
+                    message: format!("and-gate redefines variable {lv}"),
+                });
+            }
+            let fan = |raw: u32| -> Result<Lit, ParseAagError> {
+                let v = (raw >> 1) as usize;
+                let base = map
+                    .get(v)
+                    .copied()
+                    .flatten()
+                    .ok_or(ParseAagError::NotTopological { gate_literal: lhs })?;
+                Ok(base.xor_complement(raw & 1 == 1))
+            };
+            let (f0, f1) = (fan(rhs0)?, fan(rhs1)?);
+            map[lv] = Some(aig.and(f0, f1));
+        }
+
+        for raw in output_raws {
+            let v = (raw >> 1) as usize;
+            let base = map
+                .get(v)
+                .copied()
+                .flatten()
+                .ok_or(ParseAagError::UndefinedLiteral(raw))?;
+            aig.add_po(base.xor_complement(raw & 1 == 1));
+        }
+
+        // Optional comment section: first comment line becomes the name.
+        let mut saw_comment_marker = false;
+        for (_, line) in lines {
+            let line = line?;
+            if saw_comment_marker {
+                aig.set_name(line.trim().to_string());
+                break;
+            }
+            if line.trim() == "c" {
+                saw_comment_marker = true;
+            }
+        }
+        Ok(aig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> Aig {
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        let ab = aig.and(a, b);
+        let f = aig.mux(c, ab, !a);
+        aig.add_po(f);
+        aig.add_po(!ab);
+        aig.set_name("sample");
+        aig
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let aig = sample_aig();
+        let mut buf = Vec::new();
+        aig.write_aag(&mut buf).expect("write to vec cannot fail");
+        let back = Aig::read_aag(buf.as_slice()).expect("round trip parses");
+        assert_eq!(back.num_pis(), aig.num_pis());
+        assert_eq!(back.num_pos(), aig.num_pos());
+        assert_eq!(back.name(), "sample");
+        assert_eq!(back.simulate_exhaustive(), aig.simulate_exhaustive());
+        back.check().expect("parsed AIG is valid");
+    }
+
+    #[test]
+    fn parses_reference_example() {
+        // The canonical and-gate example from the AIGER docs: o = a & b.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let aig = Aig::read_aag(text.as_bytes()).expect("valid aag");
+        assert_eq!(aig.num_pis(), 2);
+        assert_eq!(aig.num_ands(), 1);
+        assert_eq!(aig.simulate_exhaustive()[0][0], 0b1000);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(
+            Aig::read_aag(text.as_bytes()),
+            Err(ParseAagError::LatchesUnsupported)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            Aig::read_aag("not an aag".as_bytes()),
+            Err(ParseAagError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        // Gate 6 uses literal 8 which is defined later.
+        let text = "aag 4 2 0 1 2\n2\n4\n6\n6 8 2\n8 2 4\n";
+        assert!(matches!(
+            Aig::read_aag(text.as_bytes()),
+            Err(ParseAagError::NotTopological { .. })
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for AIG construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when parsing an ASCII AIGER (`.aag`) stream fails.
+#[derive(Debug)]
+pub enum ParseAagError {
+    /// Underlying reader failure.
+    Io(std::io::Error),
+    /// The header line was missing or malformed.
+    BadHeader(String),
+    /// A body line (input, latch, output, and-gate) was malformed.
+    BadLine { line_number: usize, message: String },
+    /// The file declares latches, which combinational AIGs do not support.
+    LatchesUnsupported,
+    /// A literal referenced a node that was never defined.
+    UndefinedLiteral(u32),
+    /// The AND gates were not in topological order.
+    NotTopological { gate_literal: u32 },
+}
+
+impl fmt::Display for ParseAagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAagError::Io(e) => write!(f, "i/o failure while reading aag: {e}"),
+            ParseAagError::BadHeader(h) => write!(f, "malformed aag header: {h:?}"),
+            ParseAagError::BadLine {
+                line_number,
+                message,
+            } => write!(f, "malformed aag line {line_number}: {message}"),
+            ParseAagError::LatchesUnsupported => {
+                write!(f, "latches are not supported by combinational AIGs")
+            }
+            ParseAagError::UndefinedLiteral(l) => {
+                write!(f, "literal {l} references an undefined node")
+            }
+            ParseAagError::NotTopological { gate_literal } => {
+                write!(f, "and-gate {gate_literal} appears before its fanins")
+            }
+        }
+    }
+}
+
+impl Error for ParseAagError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseAagError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseAagError {
+    fn from(e: std::io::Error) -> Self {
+        ParseAagError::Io(e)
+    }
+}
+
+/// Error raised when an AIG fails a structural invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckAigError {
+    /// A node's fanin points at a node with a greater or equal index.
+    NotTopological { node: usize, fanin: usize },
+    /// A primary output references a node beyond the node table.
+    DanglingOutput { output: usize, var: usize },
+    /// Two live AND nodes share the same (ordered) fanin pair.
+    DuplicateAnd { first: usize, second: usize },
+}
+
+impl fmt::Display for CheckAigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckAigError::NotTopological { node, fanin } => {
+                write!(f, "node {node} has non-topological fanin {fanin}")
+            }
+            CheckAigError::DanglingOutput { output, var } => {
+                write!(f, "output {output} references undefined node {var}")
+            }
+            CheckAigError::DuplicateAnd { first, second } => {
+                write!(f, "nodes {first} and {second} are structurally identical")
+            }
+        }
+    }
+}
+
+impl Error for CheckAigError {}

@@ -1,0 +1,94 @@
+//! Property-based tests for the AIG substrate: every random AIG must satisfy
+//! the structural invariants, survive an AIGER round trip unchanged, and be
+//! functionally invariant under cleanup.
+
+use boils_aig::{random_aig, Aig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_aigs_satisfy_invariants(
+        seed in 0u64..10_000,
+        pis in 1usize..10,
+        gates in 0usize..200,
+        pos in 1usize..5,
+    ) {
+        let aig = random_aig(seed, pis, gates, pos);
+        prop_assert!(aig.check().is_ok());
+        prop_assert_eq!(aig.num_pis(), pis);
+        prop_assert_eq!(aig.num_pos(), pos);
+    }
+
+    #[test]
+    fn cleanup_preserves_function(
+        seed in 0u64..10_000,
+        pis in 1usize..9,
+        gates in 0usize..150,
+    ) {
+        let aig = random_aig(seed, pis, gates, 3);
+        let clean = aig.cleanup();
+        prop_assert!(clean.check().is_ok());
+        prop_assert!(clean.num_ands() <= aig.num_ands());
+        prop_assert_eq!(clean.simulate_exhaustive(), aig.simulate_exhaustive());
+    }
+
+    #[test]
+    fn aiger_round_trip_preserves_function(
+        seed in 0u64..10_000,
+        pis in 1usize..9,
+        gates in 0usize..150,
+    ) {
+        let aig = random_aig(seed, pis, gates, 2);
+        let mut buf = Vec::new();
+        aig.write_aag(&mut buf).expect("in-memory write");
+        let back = Aig::read_aag(buf.as_slice()).expect("parse back");
+        prop_assert!(back.check().is_ok());
+        prop_assert_eq!(back.simulate_exhaustive(), aig.simulate_exhaustive());
+    }
+
+    #[test]
+    fn word_simulation_matches_exhaustive(
+        seed in 0u64..10_000,
+        gates in 0usize..120,
+    ) {
+        // 6 inputs → the 64 exhaustive patterns fit exactly in one u64 word,
+        // so simulate() with the canonical masks must equal the truth table.
+        let aig = random_aig(seed, 6, gates, 2);
+        let pi_words: Vec<u64> =
+            (0..6).map(|i| boils_aig::input_pattern(i, 1)[0]).collect();
+        let words = aig.simulate(&pi_words);
+        let tts = aig.simulate_exhaustive();
+        for (w, tt) in words.iter().zip(&tts) {
+            prop_assert_eq!(*w, tt[0]);
+        }
+    }
+
+    #[test]
+    fn depth_is_monotone_under_cleanup(
+        seed in 0u64..10_000,
+        gates in 0usize..150,
+    ) {
+        let aig = random_aig(seed, 7, gates, 2);
+        // Cleanup never increases depth: it only removes dangling gates.
+        prop_assert!(aig.cleanup().depth() <= aig.depth());
+    }
+
+    #[test]
+    fn mffc_bounded_by_and_count(
+        seed in 0u64..10_000,
+        gates in 1usize..150,
+    ) {
+        let aig = random_aig(seed, 6, gates, 2);
+        let mut refs = aig.fanout_counts();
+        let before = refs.clone();
+        for var in aig.ands() {
+            let m = aig.mffc_size(var, &mut refs);
+            prop_assert!(m >= 1);
+            prop_assert!(m <= aig.num_ands());
+        }
+        // Fanout counts must be fully restored.
+        prop_assert_eq!(refs, before);
+    }
+}

@@ -1,0 +1,197 @@
+//! A genetic algorithm over synthesis sequences, following the shape of the
+//! `geneticalgorithm2` package the paper uses: elitism, tournament
+//! selection, uniform crossover and per-gene mutation.
+
+use boils_core::{EvalRecord, OptimizationResult, QorEvaluator, SequenceSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Genetic-algorithm settings.
+#[derive(Clone, Debug)]
+pub struct GaConfig {
+    /// Population size (clamped to the budget).
+    pub population: usize,
+    /// Number of elites copied unchanged each generation.
+    pub elites: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Probability that an offspring undergoes crossover (else it clones a
+    /// parent).
+    pub crossover_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 20,
+            elites: 2,
+            tournament: 3,
+            mutation_rate: 0.1,
+            crossover_rate: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs the GA until the evaluation budget is exhausted.
+///
+/// ```no_run
+/// use boils_circuits::{Benchmark, CircuitSpec};
+/// use boils_core::{QorEvaluator, SequenceSpace};
+/// use boils_baselines::{genetic_algorithm, GaConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let aig = CircuitSpec::new(Benchmark::Square).build();
+/// let evaluator = QorEvaluator::new(&aig)?;
+/// let result =
+///     genetic_algorithm(&evaluator, SequenceSpace::paper(), 100, &GaConfig::default());
+/// println!("best {:.4}", result.best_qor);
+/// # Ok(())
+/// # }
+/// ```
+pub fn genetic_algorithm(
+    evaluator: &QorEvaluator,
+    space: SequenceSpace,
+    budget: usize,
+    config: &GaConfig,
+) -> OptimizationResult {
+    assert!(budget >= 2, "budget too small for a population");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pop_size = config.population.clamp(2, budget);
+    let mut history: Vec<EvalRecord> = Vec::with_capacity(budget);
+
+    // Initial population via Latin hypercube.
+    let mut population: Vec<(Vec<u8>, f64)> = Vec::with_capacity(pop_size);
+    for tokens in space.latin_hypercube(pop_size, &mut rng) {
+        if history.len() >= budget {
+            break;
+        }
+        let point = evaluator.evaluate_tokens(&tokens);
+        history.push(EvalRecord {
+            tokens: tokens.clone(),
+            point,
+        });
+        population.push((tokens, point.qor));
+    }
+
+    while history.len() < budget {
+        population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite QoR"));
+        let mut next: Vec<(Vec<u8>, f64)> = population
+            .iter()
+            .take(config.elites.min(population.len()))
+            .cloned()
+            .collect();
+        while next.len() < pop_size && history.len() < budget {
+            let p1 = tournament(&population, config.tournament, &mut rng);
+            let child = if rng.gen_bool(config.crossover_rate) {
+                let p2 = tournament(&population, config.tournament, &mut rng);
+                uniform_crossover(&population[p1].0, &population[p2].0, &mut rng)
+            } else {
+                population[p1].0.clone()
+            };
+            let mutated = mutate(&space, &child, config.mutation_rate, &mut rng);
+            let point = evaluator.evaluate_tokens(&mutated);
+            history.push(EvalRecord {
+                tokens: mutated.clone(),
+                point,
+            });
+            next.push((mutated, point.qor));
+        }
+        population = next;
+    }
+    OptimizationResult::from_history(&space, history)
+}
+
+fn tournament<R: Rng>(population: &[(Vec<u8>, f64)], k: usize, rng: &mut R) -> usize {
+    let mut best = rng.gen_range(0..population.len());
+    for _ in 1..k.max(1) {
+        let cand = rng.gen_range(0..population.len());
+        if population[cand].1 < population[best].1 {
+            best = cand;
+        }
+    }
+    best
+}
+
+fn uniform_crossover<R: Rng>(a: &[u8], b: &[u8], rng: &mut R) -> Vec<u8> {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+        .collect()
+}
+
+fn mutate<R: Rng>(space: &SequenceSpace, tokens: &[u8], rate: f64, rng: &mut R) -> Vec<u8> {
+    tokens
+        .iter()
+        .map(|&t| {
+            if rng.gen_bool(rate) {
+                rng.gen_range(0..space.alphabet()) as u8
+            } else {
+                t
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    #[test]
+    fn ga_spends_exactly_the_budget() {
+        let e = QorEvaluator::new(&random_aig(41, 8, 300, 3)).expect("ok");
+        let r = genetic_algorithm(
+            &e,
+            SequenceSpace::new(5, 11),
+            30,
+            &GaConfig {
+                population: 8,
+                seed: 1,
+                ..GaConfig::default()
+            },
+        );
+        assert_eq!(r.num_evaluations(), 30);
+    }
+
+    #[test]
+    fn ga_improves_over_its_initial_population() {
+        let e = QorEvaluator::new(&random_aig(43, 8, 400, 3)).expect("ok");
+        let r = genetic_algorithm(
+            &e,
+            SequenceSpace::new(6, 11),
+            40,
+            &GaConfig {
+                population: 10,
+                seed: 2,
+                ..GaConfig::default()
+            },
+        );
+        let initial_best = r.history[..10]
+            .iter()
+            .map(|h| h.point.qor)
+            .fold(f64::INFINITY, f64::min);
+        assert!(r.best_qor <= initial_best);
+    }
+
+    #[test]
+    fn crossover_and_mutation_stay_in_space() {
+        let space = SequenceSpace::new(10, 11);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        for _ in 0..50 {
+            let child = uniform_crossover(&a, &b, &mut rng);
+            assert!(child
+                .iter()
+                .zip(a.iter().zip(&b))
+                .all(|(&c, (&x, &y))| c == x || c == y));
+            let m = mutate(&space, &child, 0.5, &mut rng);
+            assert!(m.iter().all(|&t| (t as usize) < space.alphabet()));
+        }
+    }
+}

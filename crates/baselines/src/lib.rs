@@ -1,0 +1,24 @@
+//! # boils-baselines — the paper's comparison methods
+//!
+//! Every optimiser BOiLS is compared against in Section IV:
+//!
+//! * [`random_search`] — Latin-hypercube random search (pymoo-style),
+//!   the paper's "valuable baseline".
+//! * [`genetic_algorithm`] — elitist GA with tournament selection, uniform
+//!   crossover and per-gene mutation (`geneticalgorithm2`-style).
+//! * [`greedy`] — the immediate-improvement sequence constructor.
+//! * [`reinforcement_learning`] — DRiLLS-style A2C/PPO and a Graph-RL-style
+//!   feature variant (see `DESIGN.md` for the substitution notes).
+//!
+//! All baselines consume the same [`QorEvaluator`](boils_core::QorEvaluator)
+//! and emit the same [`OptimizationResult`](boils_core::OptimizationResult)
+//! trace as BOiLS itself, so the experiment harness treats every method
+//! uniformly.
+
+mod ga;
+mod rl;
+mod simple;
+
+pub use crate::ga::{genetic_algorithm, GaConfig};
+pub use crate::rl::{reinforcement_learning, RlAlgorithm, RlConfig, RlFeatures};
+pub use crate::simple::{greedy, random_search};

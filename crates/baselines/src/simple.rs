@@ -1,0 +1,126 @@
+//! The non-learning baselines: random search (Latin hypercube, as pymoo's
+//! sampler in the paper) and the greedy constructor.
+
+use boils_core::{EvalRecord, OptimizationResult, QorEvaluator, SequenceSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random search over `Alg^K` with Latin-hypercube stratification.
+///
+/// The paper found RS to be "a valuable baseline" that DRL barely beats —
+/// a finding our harness reproduces.
+///
+/// ```no_run
+/// use boils_circuits::{Benchmark, CircuitSpec};
+/// use boils_core::{QorEvaluator, SequenceSpace};
+/// use boils_baselines::random_search;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let aig = CircuitSpec::new(Benchmark::Adder).build();
+/// let evaluator = QorEvaluator::new(&aig)?;
+/// let result = random_search(&evaluator, SequenceSpace::paper(), 50, 0);
+/// println!("best {:.4}", result.best_qor);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_search(
+    evaluator: &QorEvaluator,
+    space: SequenceSpace,
+    budget: usize,
+    seed: u64,
+) -> OptimizationResult {
+    assert!(budget >= 1, "need at least one evaluation");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = Vec::with_capacity(budget);
+    for tokens in space.latin_hypercube(budget, &mut rng) {
+        let point = evaluator.evaluate_tokens(&tokens);
+        history.push(EvalRecord { tokens, point });
+    }
+    OptimizationResult::from_history(&space, history)
+}
+
+/// The greedy constructor: grows one sequence by appending, at each
+/// position, the transform with the best immediate QoR, until the sequence
+/// reaches length `K` or the evaluation budget runs out.
+pub fn greedy(
+    evaluator: &QorEvaluator,
+    space: SequenceSpace,
+    budget: usize,
+) -> OptimizationResult {
+    assert!(budget >= space.alphabet(), "budget below one greedy step");
+    let mut history = Vec::new();
+    let mut prefix: Vec<u8> = Vec::new();
+    'grow: for _pos in 0..space.length() {
+        let mut best: Option<(f64, u8)> = None;
+        for action in 0..space.alphabet() as u8 {
+            if history.len() >= budget {
+                break 'grow;
+            }
+            let mut cand = prefix.clone();
+            cand.push(action);
+            // Pad to full length with the identity of "stop here" — the
+            // evaluator scores the prefix as-is (shorter sequences are
+            // legal flows).
+            let point = evaluator.evaluate_tokens(&cand);
+            history.push(EvalRecord {
+                tokens: cand,
+                point,
+            });
+            if best.is_none_or(|(q, _)| point.qor < q) {
+                best = Some((point.qor, action));
+            }
+        }
+        match best {
+            Some((_, action)) => prefix.push(action),
+            None => break,
+        }
+    }
+    OptimizationResult::from_history(&space, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    fn evaluator() -> QorEvaluator {
+        QorEvaluator::new(&random_aig(31, 8, 300, 3)).expect("ok")
+    }
+
+    #[test]
+    fn random_search_spends_exactly_the_budget() {
+        let e = evaluator();
+        let r = random_search(&e, SequenceSpace::new(5, 11), 12, 3);
+        assert_eq!(r.num_evaluations(), 12);
+    }
+
+    #[test]
+    fn random_search_is_seeded() {
+        let e1 = evaluator();
+        let e2 = evaluator();
+        let a = random_search(&e1, SequenceSpace::new(5, 11), 8, 9);
+        let b = random_search(&e2, SequenceSpace::new(5, 11), 8, 9);
+        assert_eq!(a.best_tokens, b.best_tokens);
+    }
+
+    #[test]
+    fn greedy_builds_incrementally() {
+        let e = evaluator();
+        let space = SequenceSpace::new(3, 11);
+        let r = greedy(&e, space, 33);
+        assert_eq!(r.num_evaluations(), 33); // 3 positions × 11 actions
+        // Greedy's best is at least as good as its first-step best.
+        let first_step_best = r.history[..11]
+            .iter()
+            .map(|h| h.point.qor)
+            .fold(f64::INFINITY, f64::min);
+        assert!(r.best_qor <= first_step_best);
+    }
+
+    #[test]
+    fn greedy_respects_budget_cutoff() {
+        let e = evaluator();
+        let r = greedy(&e, SequenceSpace::new(20, 11), 25);
+        assert_eq!(r.num_evaluations(), 25);
+    }
+}

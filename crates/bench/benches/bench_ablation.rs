@@ -1,0 +1,39 @@
+//! Benchmark of the ablation pipeline: BOiLS with and without its trust
+//! region on a small instance (the cost driver of the ablation binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_core::{Boils, BoilsConfig, QorEvaluator, SequenceSpace};
+use boils_gp::TrainConfig;
+
+fn bench_ablation_pipeline(c: &mut Criterion) {
+    let aig = CircuitSpec::new(Benchmark::BarrelShifter).build();
+    let evaluator = QorEvaluator::new(&aig).expect("ok");
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, tr) in [("with_trust_region", true), ("without_trust_region", false)] {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                let mut boils = Boils::new(BoilsConfig {
+                    max_evaluations: 8,
+                    initial_samples: 4,
+                    space: SequenceSpace::new(5, 11),
+                    use_trust_region: tr,
+                    train: TrainConfig {
+                        steps: 4,
+                        ..TrainConfig::default()
+                    },
+                    seed: 0,
+                    ..BoilsConfig::default()
+                });
+                black_box(boils.run(&evaluator).expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_pipeline);
+criterion_main!(benches);

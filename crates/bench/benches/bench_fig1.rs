@@ -1,0 +1,30 @@
+//! Benchmark of the Figure 1 pipeline: sample-efficiency aggregation over a
+//! miniature sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use boils_bench::figures::sample_efficiency;
+use boils_bench::{Method, Sweep, SweepConfig};
+use boils_circuits::Benchmark;
+
+fn bench_fig1_pipeline(c: &mut Criterion) {
+    // Run the mini sweep once; benchmark the aggregation (the part unique
+    // to Figure 1 relative to the shared sweep).
+    let cfg = SweepConfig {
+        budget: 6,
+        others_multiplier: 2,
+        seeds: 1,
+        sequence_length: 5,
+        circuits: vec![Benchmark::BarrelShifter],
+        methods: vec![Method::Rs, Method::Greedy, Method::Boils],
+        bits: None,
+    };
+    let sweep = Sweep::run(&cfg);
+    c.bench_function("fig1_sample_efficiency_report", |bencher| {
+        bencher.iter(|| black_box(sample_efficiency(&sweep, cfg.budget)))
+    });
+}
+
+criterion_group!(benches, bench_fig1_pipeline);
+criterion_main!(benches);

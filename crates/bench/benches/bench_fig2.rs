@@ -1,0 +1,18 @@
+//! Benchmark of the Figure 2 pipeline: GP prior/posterior sample series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use boils_bench::figures::gp_figure;
+
+fn bench_fig2_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("gp_prior_posterior_csv", |bencher| {
+        bencher.iter(|| black_box(gp_figure(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_pipeline);
+criterion_main!(benches);

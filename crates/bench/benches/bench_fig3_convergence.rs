@@ -1,0 +1,28 @@
+//! Benchmark of the Figure 3 (middle row) pipeline: convergence-curve
+//! extraction from a miniature sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use boils_bench::figures::convergence_csv;
+use boils_bench::{Method, Sweep, SweepConfig};
+use boils_circuits::Benchmark;
+
+fn bench_convergence_pipeline(c: &mut Criterion) {
+    let cfg = SweepConfig {
+        budget: 8,
+        others_multiplier: 2,
+        seeds: 2,
+        sequence_length: 5,
+        circuits: vec![Benchmark::BarrelShifter],
+        methods: vec![Method::Rs, Method::Ga, Method::Boils],
+        bits: None,
+    };
+    let sweep = Sweep::run(&cfg);
+    c.bench_function("fig3_convergence_csv", |bencher| {
+        bencher.iter(|| black_box(convergence_csv(&sweep, Benchmark::BarrelShifter)))
+    });
+}
+
+criterion_group!(benches, bench_convergence_pipeline);
+criterion_main!(benches);

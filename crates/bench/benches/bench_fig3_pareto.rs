@@ -1,0 +1,28 @@
+//! Benchmark of the Figure 3 (bottom row) pipeline: Pareto-front analysis
+//! of per-seed best solutions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use boils_bench::figures::pareto_report;
+use boils_bench::{Method, Sweep, SweepConfig};
+use boils_circuits::Benchmark;
+
+fn bench_pareto_pipeline(c: &mut Criterion) {
+    let cfg = SweepConfig {
+        budget: 8,
+        others_multiplier: 2,
+        seeds: 2,
+        sequence_length: 5,
+        circuits: vec![Benchmark::BarrelShifter],
+        methods: vec![Method::Rs, Method::Sbo, Method::Boils],
+        bits: None,
+    };
+    let sweep = Sweep::run(&cfg);
+    c.bench_function("fig3_pareto_report", |bencher| {
+        bencher.iter(|| black_box(pareto_report(&sweep, Benchmark::BarrelShifter, cfg.budget)))
+    });
+}
+
+criterion_group!(benches, bench_pareto_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmark of the Figure 3 (top row) pipeline: a miniature sweep over one
+//! circuit with two methods, formatted as the QoR table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use boils_bench::figures::qor_table;
+use boils_bench::{Method, Sweep, SweepConfig};
+use boils_circuits::Benchmark;
+
+fn bench_qor_table_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_top");
+    group.sample_size(10);
+    group.bench_function("mini_sweep_plus_table", |bencher| {
+        bencher.iter(|| {
+            let cfg = SweepConfig {
+                budget: 6,
+                others_multiplier: 2,
+                seeds: 1,
+                sequence_length: 5,
+                circuits: vec![Benchmark::BarrelShifter],
+                methods: vec![Method::Rs, Method::Boils],
+                bits: None,
+            };
+            let sweep = Sweep::run(&cfg);
+            black_box(qor_table(&sweep, cfg.budget))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qor_table_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's **Figure 2**: samples from a squared-exponential
+//! GP prior and from the posterior after conditioning on data, as CSV.
+//!
+//! ```text
+//! cargo run -p boils-bench --bin fig2_gp --release -- [--seed 0]
+//! ```
+
+use boils_bench::cli;
+use boils_bench::figures::gp_figure;
+
+fn main() {
+    let seed: u64 = cli::arg_value("--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(0);
+    println!("== Figure 2: GP prior and posterior samples (SE kernel) ==");
+    println!("{}", gp_figure(seed));
+}

@@ -1,0 +1,36 @@
+//! Regenerates the paper's Figure 3 **middle row**: convergence curves
+//! (running-best QoR improvement vs tested sequences) per circuit, as CSV
+//! series ready for plotting.
+//!
+//! ```text
+//! cargo run -p boils-bench --bin fig3_convergence --release -- \
+//!     [--circuits hyp,div,log2,multiplier] [--from results/raw.csv]
+//! ```
+
+use boils_bench::cli;
+use boils_bench::figures::convergence_csv;
+use boils_circuits::Benchmark;
+
+fn main() {
+    let cfg = cli::sweep_config_from_args();
+    let sweep = cli::sweep_from_args();
+    // The paper plots the four largest circuits by default.
+    let default_circuits = [
+        Benchmark::Hypotenuse,
+        Benchmark::Divisor,
+        Benchmark::Log2,
+        Benchmark::Multiplier,
+    ];
+    let circuits: Vec<Benchmark> = if cli::arg_value("--circuits").is_some() {
+        cfg.circuits.clone()
+    } else {
+        default_circuits
+            .into_iter()
+            .filter(|c| sweep.runs.iter().any(|r| r.circuit == *c))
+            .collect()
+    };
+    for c in circuits {
+        println!("\n== Figure 3 (middle): convergence on {} ==", c.name());
+        println!("{}", convergence_csv(&sweep, c));
+    }
+}

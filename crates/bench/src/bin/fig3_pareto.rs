@@ -1,0 +1,35 @@
+//! Regenerates the paper's Figure 3 **bottom row**: the (area, delay)
+//! profiles of each method's best per-seed solutions and their
+//! Pareto-front membership.
+//!
+//! ```text
+//! cargo run -p boils-bench --bin fig3_pareto --release -- \
+//!     [--circuits hyp,div,log2,multiplier] [--from results/raw.csv]
+//! ```
+
+use boils_bench::cli;
+use boils_bench::figures::pareto_report;
+use boils_circuits::Benchmark;
+
+fn main() {
+    let cfg = cli::sweep_config_from_args();
+    let budget = cfg.budget;
+    let sweep = cli::sweep_from_args();
+    let default_circuits = [
+        Benchmark::Hypotenuse,
+        Benchmark::Divisor,
+        Benchmark::Log2,
+        Benchmark::Multiplier,
+    ];
+    let circuits: Vec<Benchmark> = if cli::arg_value("--circuits").is_some() {
+        cfg.circuits.clone()
+    } else {
+        default_circuits
+            .into_iter()
+            .filter(|c| sweep.runs.iter().any(|r| r.circuit == *c))
+            .collect()
+    };
+    for c in circuits {
+        println!("{}", pareto_report(&sweep, c, budget));
+    }
+}

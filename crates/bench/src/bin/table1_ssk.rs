@@ -1,0 +1,13 @@
+//! Regenerates the paper's **Table I**: the SSK contribution `c_u(seq)` of
+//! three sub-sequences to three synthesis sequences.
+//!
+//! ```text
+//! cargo run -p boils-bench --bin table1_ssk --release
+//! ```
+
+use boils_bench::figures::ssk_table;
+
+fn main() {
+    println!("== Table I: sub-sequence contributions c_u(seq) ==\n");
+    println!("{}", ssk_table());
+}

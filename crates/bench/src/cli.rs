@@ -1,0 +1,81 @@
+//! Minimal flag parsing shared by the experiment binaries (no external
+//! dependency needed for `--flag value` pairs).
+
+use boils_circuits::Benchmark;
+
+use crate::method::Method;
+use crate::suite::SweepConfig;
+
+/// Returns the value following `--name`, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--name` flag is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Builds a sweep config from the common command-line flags:
+/// `--budget N --seeds N --multiplier N --k N --bits N --circuits a,b
+/// --methods rs,boils --paper`.
+pub fn sweep_config_from_args() -> SweepConfig {
+    let mut cfg = if arg_flag("--paper") {
+        SweepConfig::paper()
+    } else {
+        SweepConfig::default()
+    };
+    if let Some(v) = arg_value("--budget") {
+        cfg.budget = v.parse().expect("--budget takes an integer");
+    }
+    if let Some(v) = arg_value("--seeds") {
+        cfg.seeds = v.parse().expect("--seeds takes an integer");
+    }
+    if let Some(v) = arg_value("--multiplier") {
+        cfg.others_multiplier = v.parse().expect("--multiplier takes an integer");
+    }
+    if let Some(v) = arg_value("--k") {
+        cfg.sequence_length = v.parse().expect("--k takes an integer");
+    }
+    if let Some(v) = arg_value("--bits") {
+        cfg.bits = Some(v.parse().expect("--bits takes an integer"));
+    }
+    if let Some(v) = arg_value("--circuits") {
+        cfg.circuits = v
+            .split(',')
+            .map(|name| {
+                Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.name() == name)
+                    .unwrap_or_else(|| panic!("unknown circuit {name:?}"))
+            })
+            .collect();
+    }
+    if let Some(v) = arg_value("--methods") {
+        cfg.methods = v
+            .split(',')
+            .map(|id| Method::from_id(id).unwrap_or_else(|| panic!("unknown method {id:?}")))
+            .collect();
+    }
+    cfg
+}
+
+/// Loads a sweep from `--from <csv>` or runs one with the flag-derived
+/// config, saving to `--out <csv>` when requested.
+pub fn sweep_from_args() -> crate::suite::Sweep {
+    if let Some(path) = arg_value("--from") {
+        return crate::suite::Sweep::load(std::path::Path::new(&path))
+            .expect("failed to load sweep CSV");
+    }
+    let cfg = sweep_config_from_args();
+    let sweep = crate::suite::Sweep::run(&cfg);
+    if let Some(path) = arg_value("--out") {
+        sweep
+            .save(std::path::Path::new(&path))
+            .expect("failed to save sweep CSV");
+    }
+    sweep
+}

@@ -1,0 +1,207 @@
+//! A uniform interface over every optimiser in the paper's comparison.
+
+use boils_baselines::{
+    genetic_algorithm, greedy, random_search, reinforcement_learning, GaConfig, RlAlgorithm,
+    RlConfig, RlFeatures,
+};
+use boils_core::{
+    Boils, BoilsConfig, OptimizationResult, QorEvaluator, Sbo, SboConfig, SequenceSpace,
+};
+use boils_gp::TrainConfig;
+
+/// Every method of the paper's evaluation (Figure 3 top row columns).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// DRiLLS with PPO updates.
+    DrillsPpo,
+    /// DRiLLS with A2C updates.
+    DrillsA2c,
+    /// Graph-feature RL.
+    GraphRl,
+    /// Genetic algorithm.
+    Ga,
+    /// Random search.
+    Rs,
+    /// Greedy constructor.
+    Greedy,
+    /// Standard Bayesian optimisation.
+    Sbo,
+    /// The paper's contribution.
+    Boils,
+}
+
+impl Method {
+    /// All methods in the paper's column order.
+    pub const ALL: [Method; 8] = [
+        Method::DrillsPpo,
+        Method::DrillsA2c,
+        Method::GraphRl,
+        Method::Ga,
+        Method::Rs,
+        Method::Greedy,
+        Method::Sbo,
+        Method::Boils,
+    ];
+
+    /// The paper's column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::DrillsPpo => "DRiLLS (PPO)",
+            Method::DrillsA2c => "DRiLLS (A2C)",
+            Method::GraphRl => "Graph-RL",
+            Method::Ga => "GA",
+            Method::Rs => "RS",
+            Method::Greedy => "Greedy",
+            Method::Sbo => "SBO",
+            Method::Boils => "BOiLS",
+        }
+    }
+
+    /// A file-system friendly identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Method::DrillsPpo => "ppo",
+            Method::DrillsA2c => "a2c",
+            Method::GraphRl => "graphrl",
+            Method::Ga => "ga",
+            Method::Rs => "rs",
+            Method::Greedy => "greedy",
+            Method::Sbo => "sbo",
+            Method::Boils => "boils",
+        }
+    }
+
+    /// Parses an identifier (as printed by [`Method::id`]).
+    pub fn from_id(id: &str) -> Option<Method> {
+        Method::ALL.into_iter().find(|m| m.id() == id)
+    }
+
+    /// Whether this is one of the two sample-efficient BO methods (run at
+    /// the smaller budget in the paper's protocol).
+    pub fn is_bayesian(self) -> bool {
+        matches!(self, Method::Sbo | Method::Boils)
+    }
+
+    /// Runs the method against an evaluator.
+    ///
+    /// Budgets are spent as whole black-box evaluations; every method uses
+    /// the same [`QorEvaluator`] and produces the same trace format.
+    pub fn run(
+        self,
+        evaluator: &QorEvaluator,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+    ) -> OptimizationResult {
+        match self {
+            Method::Rs => random_search(evaluator, space, budget, seed),
+            Method::Greedy => greedy(evaluator, space, budget),
+            Method::Ga => genetic_algorithm(
+                evaluator,
+                space,
+                budget,
+                &GaConfig {
+                    seed,
+                    ..GaConfig::default()
+                },
+            ),
+            Method::DrillsPpo => reinforcement_learning(
+                evaluator,
+                space,
+                budget,
+                &RlConfig {
+                    algorithm: RlAlgorithm::Ppo,
+                    features: RlFeatures::Stats,
+                    seed,
+                    ..RlConfig::default()
+                },
+            ),
+            Method::DrillsA2c => reinforcement_learning(
+                evaluator,
+                space,
+                budget,
+                &RlConfig {
+                    algorithm: RlAlgorithm::A2c,
+                    features: RlFeatures::Stats,
+                    seed,
+                    ..RlConfig::default()
+                },
+            ),
+            Method::GraphRl => reinforcement_learning(
+                evaluator,
+                space,
+                budget,
+                &RlConfig {
+                    algorithm: RlAlgorithm::A2c,
+                    features: RlFeatures::Graph,
+                    seed,
+                    ..RlConfig::default()
+                },
+            ),
+            Method::Sbo => {
+                let mut sbo = Sbo::new(SboConfig {
+                    max_evaluations: budget,
+                    initial_samples: initial_design(budget),
+                    space,
+                    seed,
+                    train: TrainConfig {
+                        steps: 10,
+                        ..TrainConfig::default()
+                    },
+                    ..SboConfig::default()
+                });
+                sbo.run(evaluator).expect("SBO run failed")
+            }
+            Method::Boils => {
+                let mut boils = Boils::new(BoilsConfig {
+                    max_evaluations: budget,
+                    initial_samples: initial_design(budget),
+                    space,
+                    seed,
+                    train: TrainConfig {
+                        steps: 10,
+                        ..TrainConfig::default()
+                    },
+                    ..BoilsConfig::default()
+                });
+                boils.run(evaluator).expect("BOiLS run failed")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Initial design size: 20% of the budget, at least 4.
+fn initial_design(budget: usize) -> usize {
+    (budget / 5).clamp(4, budget.saturating_sub(1).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    #[test]
+    fn ids_round_trip() {
+        for m in Method::ALL {
+            assert_eq!(Method::from_id(m.id()), Some(m));
+        }
+        assert_eq!(Method::from_id("nope"), None);
+    }
+
+    #[test]
+    fn every_method_respects_the_budget() {
+        let evaluator = QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
+        let space = SequenceSpace::new(4, 11);
+        for m in Method::ALL {
+            let budget = if m == Method::Greedy { 22 } else { 12 };
+            let r = m.run(&evaluator, space, budget, 0);
+            assert_eq!(r.num_evaluations(), budget, "{m}");
+        }
+    }
+}

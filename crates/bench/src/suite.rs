@@ -1,0 +1,347 @@
+//! The experiment sweep: runs every method on every circuit across seeds,
+//! mirroring the paper's protocol (BO methods at budget `N`, all other
+//! methods at `3N` so sample-efficiency curves extend beyond the BO
+//! horizon), and persists raw traces as CSV.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_core::{QorEvaluator, SequenceSpace};
+
+use crate::method::Method;
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Evaluation budget for the BO methods (paper: 200).
+    pub budget: usize,
+    /// Budget multiplier for non-BO methods (paper: 5, up to 1000).
+    pub others_multiplier: usize,
+    /// Number of random seeds (paper: 5).
+    pub seeds: usize,
+    /// Sequence length K (paper: 20).
+    pub sequence_length: usize,
+    /// Circuits included.
+    pub circuits: Vec<Benchmark>,
+    /// Methods included.
+    pub methods: Vec<Method>,
+    /// Optional bit-width override applied to every circuit (None = each
+    /// benchmark's scaled default).
+    pub bits: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            budget: 25,
+            others_multiplier: 3,
+            seeds: 2,
+            sequence_length: 20,
+            circuits: Benchmark::ALL.to_vec(),
+            methods: Method::ALL.to_vec(),
+            bits: None,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The paper-scale protocol (hours of compute; see `EXPERIMENTS.md`).
+    pub fn paper() -> SweepConfig {
+        SweepConfig {
+            budget: 200,
+            others_multiplier: 5,
+            seeds: 5,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Budget for one method under this protocol.
+    pub fn budget_for(&self, method: Method) -> usize {
+        if method.is_bayesian() {
+            self.budget
+        } else {
+            self.budget * self.others_multiplier
+        }
+    }
+}
+
+/// One optimisation run's trace.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The benchmark circuit.
+    pub circuit: Benchmark,
+    /// The optimiser.
+    pub method: Method,
+    /// The seed index (0-based).
+    pub seed: u64,
+    /// Per-evaluation `(qor, area, delay)` in evaluation order.
+    pub trace: Vec<(f64, usize, u32)>,
+}
+
+impl RunRecord {
+    /// Best (minimum) QoR within the first `budget` evaluations.
+    pub fn best_qor_at(&self, budget: usize) -> f64 {
+        self.trace
+            .iter()
+            .take(budget)
+            .map(|&(q, _, _)| q)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `(area, delay)` of the best point within the first `budget` evals.
+    pub fn best_point_at(&self, budget: usize) -> (usize, u32) {
+        self.trace
+            .iter()
+            .take(budget)
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .map(|&(_, a, d)| (a, d))
+            .expect("non-empty trace")
+    }
+
+    /// The running-best QoR curve.
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.trace
+            .iter()
+            .map(|&(q, _, _)| {
+                best = best.min(q);
+                best
+            })
+            .collect()
+    }
+
+    /// First evaluation (1-based) reaching `target` QoR, if any.
+    pub fn evals_to_reach(&self, target: f64) -> Option<usize> {
+        self.best_so_far()
+            .iter()
+            .position(|&q| q <= target)
+            .map(|i| i + 1)
+    }
+}
+
+/// A full sweep result.
+#[derive(Clone, Debug, Default)]
+pub struct Sweep {
+    /// All runs.
+    pub runs: Vec<RunRecord>,
+}
+
+impl Sweep {
+    /// Runs the sweep, printing one progress line per run to stderr.
+    pub fn run(config: &SweepConfig) -> Sweep {
+        let mut runs = Vec::new();
+        let space = SequenceSpace::new(config.sequence_length, 11);
+        for &circuit in &config.circuits {
+            let mut spec = CircuitSpec::new(circuit);
+            if let Some(bits) = config.bits {
+                spec = spec.bits(suitable_bits(circuit, bits));
+            }
+            let aig = spec.build();
+            let evaluator = QorEvaluator::new(&aig).expect("benchmark circuits are non-trivial");
+            for &method in &config.methods {
+                let budget = config.budget_for(method);
+                for seed in 0..config.seeds as u64 {
+                    let t0 = std::time::Instant::now();
+                    let result = method.run(&evaluator, space, budget, seed);
+                    let trace: Vec<(f64, usize, u32)> = result
+                        .history
+                        .iter()
+                        .map(|r| (r.point.qor, r.point.area, r.point.delay))
+                        .collect();
+                    eprintln!(
+                        "[sweep] {:<10} {:<12} seed {}  best {:.4}  ({:.1}s)",
+                        circuit.name(),
+                        method.id(),
+                        seed,
+                        result.best_qor,
+                        t0.elapsed().as_secs_f64()
+                    );
+                    runs.push(RunRecord {
+                        circuit,
+                        method,
+                        seed,
+                        trace,
+                    });
+                }
+            }
+        }
+        Sweep { runs }
+    }
+
+    /// Runs of one circuit/method pair.
+    pub fn select(&self, circuit: Benchmark, method: Method) -> Vec<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|r| r.circuit == circuit && r.method == method)
+            .collect()
+    }
+
+    /// Mean best QoR at `budget` over seeds; `None` if no runs exist.
+    pub fn mean_best_qor(&self, circuit: Benchmark, method: Method, budget: usize) -> Option<f64> {
+        let runs = self.select(circuit, method);
+        if runs.is_empty() {
+            return None;
+        }
+        Some(runs.iter().map(|r| r.best_qor_at(budget)).sum::<f64>() / runs.len() as f64)
+    }
+
+    /// Serialises the sweep as CSV (`circuit,method,seed,eval,qor,area,delay`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("circuit,method,seed,eval,qor,area,delay\n");
+        for run in &self.runs {
+            for (i, &(q, a, d)) in run.trace.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{},{},{},{},{:.6},{},{}",
+                    run.circuit.name(),
+                    run.method.id(),
+                    run.seed,
+                    i + 1,
+                    q,
+                    a,
+                    d
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+        out
+    }
+
+    /// Parses the CSV produced by [`Sweep::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Sweep, String> {
+        let mut runs: Vec<RunRecord> = Vec::new();
+        for (n, line) in text.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 7 {
+                return Err(format!("line {}: expected 7 fields", n + 1));
+            }
+            let circuit = Benchmark::ALL
+                .into_iter()
+                .find(|b| b.name() == fields[0])
+                .ok_or_else(|| format!("line {}: unknown circuit {}", n + 1, fields[0]))?;
+            let method = Method::from_id(fields[1])
+                .ok_or_else(|| format!("line {}: unknown method {}", n + 1, fields[1]))?;
+            let parse_err = |f: &str| format!("line {}: bad number {f:?}", n + 1);
+            let seed: u64 = fields[2].parse().map_err(|_| parse_err(fields[2]))?;
+            let qor: f64 = fields[4].parse().map_err(|_| parse_err(fields[4]))?;
+            let area: usize = fields[5].parse().map_err(|_| parse_err(fields[5]))?;
+            let delay: u32 = fields[6].parse().map_err(|_| parse_err(fields[6]))?;
+            match runs.last_mut() {
+                Some(last) if last.circuit == circuit && last.method == method && last.seed == seed => {
+                    last.trace.push((qor, area, delay));
+                }
+                _ => runs.push(RunRecord {
+                    circuit,
+                    method,
+                    seed,
+                    trace: vec![(qor, area, delay)],
+                }),
+            }
+        }
+        Ok(Sweep { runs })
+    }
+
+    /// Writes the sweep CSV to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Loads a sweep CSV from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and parse errors.
+    pub fn load(path: &Path) -> Result<Sweep, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Sweep::from_csv(&text)
+    }
+}
+
+/// Clamps a width override to each benchmark's structural constraints.
+fn suitable_bits(benchmark: Benchmark, bits: usize) -> usize {
+    match benchmark {
+        Benchmark::BarrelShifter => bits.next_power_of_two().max(4),
+        Benchmark::SquareRoot => (bits + bits % 2).max(4),
+        Benchmark::Sine | Benchmark::Log2 => bits.max(4),
+        _ => bits.max(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips() {
+        let sweep = Sweep {
+            runs: vec![
+                RunRecord {
+                    circuit: Benchmark::Adder,
+                    method: Method::Rs,
+                    seed: 0,
+                    trace: vec![(2.0, 50, 16), (1.9, 47, 16)],
+                },
+                RunRecord {
+                    circuit: Benchmark::Adder,
+                    method: Method::Boils,
+                    seed: 1,
+                    trace: vec![(1.8, 45, 15)],
+                },
+            ],
+        };
+        let csv = sweep.to_csv();
+        let back = Sweep::from_csv(&csv).expect("round trip");
+        assert_eq!(back.runs.len(), 2);
+        assert_eq!(back.runs[0].trace.len(), 2);
+        assert_eq!(back.runs[1].method, Method::Boils);
+        assert!((back.runs[0].trace[1].0 - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_metrics() {
+        let run = RunRecord {
+            circuit: Benchmark::Max,
+            method: Method::Ga,
+            seed: 0,
+            trace: vec![(2.0, 10, 5), (1.5, 8, 4), (1.7, 9, 4), (1.2, 7, 3)],
+        };
+        assert_eq!(run.best_qor_at(2), 1.5);
+        assert_eq!(run.best_qor_at(10), 1.2);
+        assert_eq!(run.best_point_at(4), (7, 3));
+        assert_eq!(run.best_so_far(), vec![2.0, 1.5, 1.5, 1.2]);
+        assert_eq!(run.evals_to_reach(1.5), Some(2));
+        assert_eq!(run.evals_to_reach(0.5), None);
+    }
+
+    #[test]
+    fn budget_protocol_matches_paper_shape() {
+        let cfg = SweepConfig::default();
+        assert_eq!(cfg.budget_for(Method::Boils), cfg.budget);
+        assert_eq!(cfg.budget_for(Method::Sbo), cfg.budget);
+        assert_eq!(cfg.budget_for(Method::Rs), cfg.budget * cfg.others_multiplier);
+        let paper = SweepConfig::paper();
+        assert_eq!(paper.budget, 200);
+        assert_eq!(paper.budget_for(Method::Ga), 1000);
+    }
+
+    #[test]
+    fn malformed_csv_is_reported() {
+        assert!(Sweep::from_csv("header\nbad,line\n").is_err());
+        assert!(Sweep::from_csv("header\nadder,rs,0,1,notanumber,1,1\n").is_err());
+    }
+}

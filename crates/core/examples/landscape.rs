@@ -1,0 +1,41 @@
+//! Probes the QoR landscape: the distribution of random-sequence QoR and a
+//! few hand-crafted flows, relative to the resyn2 reference (QoR = 2).
+
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_core::{QorEvaluator, SequenceSpace};
+use boils_synth::Transform::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = SequenceSpace::paper();
+    for b in [Benchmark::Adder, Benchmark::Multiplier, Benchmark::Log2, Benchmark::Max] {
+        let aig = CircuitSpec::new(b).build();
+        let evaluator = QorEvaluator::new(&aig)?;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut qors: Vec<f64> = (0..30)
+            .map(|_| evaluator.evaluate_tokens(&space.sample(&mut rng)).qor)
+            .collect();
+        qors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Hand-crafted reducer-heavy flows (resub/fraig are not in resyn2).
+        let crafted = [
+            vec![Balance, Resub, Rewrite, Resub, Balance, Refactor, Resub, Fraig, Rewrite, Balance],
+            vec![Resub, ResubZ, Fraig, Rewrite, RewriteZ, Refactor, Resub, Balance, Fraig, Rewrite],
+            vec![Fraig, Resub, Balance, Rewrite, Resub, RefactorZ, Resub, Rewrite, Balance, Resub],
+        ];
+        let crafted_best = crafted
+            .iter()
+            .map(|s| evaluator.evaluate(s).qor)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{:<11} random: min {:.3} med {:.3} max {:.3} | crafted best {:.3} (improvement {:+.2}%)",
+            b.name(),
+            qors[0],
+            qors[15],
+            qors[29],
+            crafted_best,
+            (2.0 - crafted_best) / 2.0 * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Per-transform wall-clock profile on one benchmark, to target
+//! optimisation work where it matters.
+
+use std::time::Instant;
+
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_synth::Transform;
+
+fn main() {
+    for b in [Benchmark::Multiplier, Benchmark::Log2] {
+        let aig = CircuitSpec::new(b).build();
+        println!("== {} ({} ands)", b.name(), aig.num_ands());
+        for t in Transform::ALL {
+            let t0 = Instant::now();
+            let out = t.apply(&aig);
+            println!(
+                "  {:<12} {:>6.1} ms   ({} -> {} ands)",
+                t.abc_name(),
+                t0.elapsed().as_secs_f64() * 1e3,
+                aig.num_ands(),
+                out.num_ands()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Measures the wall-clock cost of one QoR evaluation (a 20-op sequence +
+//! mapping) per benchmark — the number that sizes the experiment harness.
+
+use std::time::Instant;
+
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_core::{QorEvaluator, SequenceSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = SequenceSpace::paper();
+    let mut rng = StdRng::seed_from_u64(0);
+    println!("{:<12} {:>8} {:>12} {:>10}", "circuit", "ands", "ref(luts/lev)", "ms/eval");
+    for b in Benchmark::ALL {
+        let aig = CircuitSpec::new(b).build();
+        let evaluator = QorEvaluator::new(&aig)?;
+        let t0 = Instant::now();
+        let trials = 3;
+        for _ in 0..trials {
+            let seq = space.sample(&mut rng);
+            evaluator.evaluate_tokens(&seq);
+        }
+        let per_eval = t0.elapsed().as_millis() as f64 / trials as f64;
+        let r = evaluator.reference();
+        println!(
+            "{:<12} {:>8} {:>8}/{:<4} {:>10.1}",
+            b.name(),
+            aig.num_ands(),
+            r.luts,
+            r.levels,
+            per_eval
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,478 @@
+//! BOiLS — Algorithm 2 of the paper: a Gaussian process with the
+//! sub-sequence string kernel models `−QoR(seq)`, and expected improvement
+//! is maximised by local search inside an adaptive Hamming trust region
+//! centred on the incumbent.
+
+use boils_gp::{expected_improvement, Gp, Kernel, NotPositiveDefiniteError, SskKernel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::qor::QorEvaluator;
+use crate::result::{EvalRecord, OptimizationResult};
+use crate::space::SequenceSpace;
+
+/// The acquisition function used in line 8 of Algorithm 2.
+///
+/// The paper adopts expected improvement "although other options are
+/// possible" (Section III-A2); UCB is provided as one of those options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Acquisition {
+    /// Expected improvement over the incumbent (the paper's choice).
+    ExpectedImprovement,
+    /// Upper confidence bound `μ + β·σ`.
+    UpperConfidenceBound {
+        /// The exploration coefficient β.
+        beta: f64,
+    },
+}
+
+/// Configuration of the BOiLS optimiser.
+///
+/// The defaults mirror the paper's setting (`K = 20`, 11 actions,
+/// `Nmax = 200`, trust region with the 3-success / 20-failure schedule).
+#[derive(Clone, Debug)]
+pub struct BoilsConfig {
+    /// Total black-box evaluation budget `Nmax` (including initial samples).
+    pub max_evaluations: usize,
+    /// Initial Latin-hypercube design size `Ninit`.
+    pub initial_samples: usize,
+    /// The sequence space `Alg^K`.
+    pub space: SequenceSpace,
+    /// Maximum SSK sub-sequence order ℓ.
+    pub ssk_order: usize,
+    /// Whether the SSK is normalised (ablation knob).
+    pub normalize_kernel: bool,
+    /// Whether the trust region is active (ablation knob: `false` recovers
+    /// unconstrained local search).
+    pub use_trust_region: bool,
+    /// Consecutive improvements before the radius grows (paper: 3).
+    pub success_tolerance: usize,
+    /// Consecutive non-improvements before the radius shrinks (paper: 20).
+    pub fail_tolerance: usize,
+    /// Random restarts of the acquisition local search.
+    pub acq_restarts: usize,
+    /// Maximum hill-climbing steps per restart.
+    pub acq_steps: usize,
+    /// Random Hamming-1 neighbours examined per step.
+    pub acq_neighbors: usize,
+    /// Hyperparameters are retrained every this many iterations.
+    pub retrain_every: usize,
+    /// Projected-Adam settings for kernel training (paper Eq. 4).
+    pub train: TrainConfig,
+    /// GP observation noise.
+    pub noise: f64,
+    /// The acquisition function (paper: expected improvement).
+    pub acquisition: Acquisition,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BoilsConfig {
+    fn default() -> Self {
+        BoilsConfig {
+            max_evaluations: 200,
+            initial_samples: 20,
+            space: SequenceSpace::paper(),
+            ssk_order: 4,
+            normalize_kernel: true,
+            use_trust_region: true,
+            success_tolerance: 3,
+            fail_tolerance: 20,
+            acq_restarts: 3,
+            acq_steps: 10,
+            acq_neighbors: 30,
+            retrain_every: 5,
+            train: TrainConfig {
+                steps: 15,
+                ..TrainConfig::default()
+            },
+            noise: 1e-4,
+            acquisition: Acquisition::ExpectedImprovement,
+            seed: 0,
+        }
+    }
+}
+
+/// Error from a BOiLS run.
+#[derive(Debug)]
+pub enum RunBoilsError {
+    /// The evaluation budget cannot even cover the initial design.
+    BudgetTooSmall {
+        /// Configured budget.
+        budget: usize,
+        /// Configured initial design size.
+        initial: usize,
+    },
+    /// The GP surrogate could not be fitted.
+    SurrogateFit(NotPositiveDefiniteError),
+}
+
+impl std::fmt::Display for RunBoilsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunBoilsError::BudgetTooSmall { budget, initial } => write!(
+                f,
+                "evaluation budget {budget} is smaller than the initial design {initial}"
+            ),
+            RunBoilsError::SurrogateFit(e) => write!(f, "failed to fit the GP surrogate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunBoilsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunBoilsError::SurrogateFit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NotPositiveDefiniteError> for RunBoilsError {
+    fn from(e: NotPositiveDefiniteError) -> Self {
+        RunBoilsError::SurrogateFit(e)
+    }
+}
+
+/// The BOiLS optimiser (paper Algorithm 2).
+///
+/// ```no_run
+/// use boils_circuits::{Benchmark, CircuitSpec};
+/// use boils_core::{Boils, BoilsConfig, QorEvaluator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let aig = CircuitSpec::new(Benchmark::Adder).build();
+/// let evaluator = QorEvaluator::new(&aig)?;
+/// let mut boils = Boils::new(BoilsConfig {
+///     max_evaluations: 40,
+///     initial_samples: 10,
+///     seed: 1,
+///     ..BoilsConfig::default()
+/// });
+/// let result = boils.run(&evaluator)?;
+/// println!(
+///     "best QoR {:.4} ({:+.2}%) via {}",
+///     result.best_qor,
+///     result.best_point.improvement_percent(),
+///     result.best_sequence
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Boils {
+    config: BoilsConfig,
+}
+
+impl Boils {
+    /// Creates the optimiser.
+    pub fn new(config: BoilsConfig) -> Boils {
+        Boils { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BoilsConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 2 against an evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the budget is smaller than the initial design or if the GP
+    /// cannot be fitted.
+    pub fn run(&mut self, evaluator: &QorEvaluator) -> Result<OptimizationResult, RunBoilsError> {
+        let cfg = &self.config;
+        if cfg.max_evaluations < cfg.initial_samples.max(2) {
+            return Err(RunBoilsError::BudgetTooSmall {
+                budget: cfg.max_evaluations,
+                initial: cfg.initial_samples,
+            });
+        }
+        let space = cfg.space;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut history: Vec<EvalRecord> = Vec::with_capacity(cfg.max_evaluations);
+
+        // -- Initial design (line 3): Latin hypercube over categories.
+        for tokens in space.latin_hypercube(cfg.initial_samples, &mut rng) {
+            if history.len() >= cfg.max_evaluations {
+                break;
+            }
+            if history.iter().any(|r| r.tokens == tokens) {
+                continue;
+            }
+            let point = evaluator.evaluate_tokens(&tokens);
+            history.push(EvalRecord { tokens, point });
+        }
+
+        // -- Trust-region state (line 4): radius starts at K.
+        let mut radius = space.length();
+        let mut successes = 0usize;
+        let mut failures = 0usize;
+        // The TR centre is the best point since the last restart; the global
+        // best is tracked through `history`.
+        let mut center = best_of(&history).clone();
+        // Kernel decays carried across iterations, retrained periodically.
+        let mut decays = (0.8, 0.5);
+
+        // -- Optimisation loop (lines 6-11).
+        while history.len() < cfg.max_evaluations {
+            let xs: Vec<Vec<u8>> = history.iter().map(|r| r.tokens.clone()).collect();
+            let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
+            let kernel = {
+                let k = SskKernel::new(cfg.ssk_order).with_decays(decays.0, decays.1);
+                if cfg.normalize_kernel {
+                    k
+                } else {
+                    k.without_normalization()
+                }
+            };
+            let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1));
+            let gp = if retrain {
+                Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
+            } else {
+                Gp::fit(kernel, xs, ys, cfg.noise)?
+            };
+            let params = Kernel::<[u8]>::params(gp.kernel());
+            decays = (params[0], params[1]);
+            let incumbent = history
+                .iter()
+                .map(|r| -r.point.qor)
+                .fold(f64::NEG_INFINITY, f64::max);
+
+            // -- Acquisition maximisation (line 8).
+            let tr = if cfg.use_trust_region {
+                Some((center.tokens.as_slice(), radius))
+            } else {
+                None
+            };
+            let acquisition = cfg.acquisition;
+            let ei = |tokens: &Vec<u8>| {
+                let (mean, var) = gp.predict(tokens);
+                match acquisition {
+                    Acquisition::ExpectedImprovement => {
+                        expected_improvement(mean, var, incumbent)
+                    }
+                    Acquisition::UpperConfidenceBound { beta } => {
+                        mean + beta * var.max(0.0).sqrt()
+                    }
+                }
+            };
+            let mut candidate = hill_climb(
+                &space,
+                tr,
+                &ei,
+                cfg.acq_restarts,
+                cfg.acq_steps,
+                cfg.acq_neighbors,
+                &mut rng,
+            );
+            // Never waste budget on an already-evaluated sequence.
+            let mut guard = 0;
+            while evaluator.is_cached(&candidate) && guard < 32 {
+                candidate = match tr {
+                    Some((c, r)) => space.sample_in_ball(c, r.max(1), &mut rng),
+                    None => space.sample(&mut rng),
+                };
+                guard += 1;
+            }
+
+            // -- Evaluate and update data (line 9).
+            let point = evaluator.evaluate_tokens(&candidate);
+            let improved = point.qor < center.point.qor;
+            history.push(EvalRecord {
+                tokens: candidate,
+                point,
+            });
+
+            // -- Trust-region schedule (line 10).
+            if improved {
+                center = history.last().expect("just pushed").clone();
+                successes += 1;
+                failures = 0;
+                if successes >= cfg.success_tolerance {
+                    radius = (radius + 1).min(space.length());
+                    successes = 0;
+                }
+            } else {
+                successes = 0;
+                failures += 1;
+                if failures >= cfg.fail_tolerance {
+                    radius = radius.saturating_sub(1);
+                    failures = 0;
+                }
+            }
+            if radius == 0 {
+                // Restart: fresh region around a random point (evaluated,
+                // so it counts against the budget).
+                radius = space.length();
+                successes = 0;
+                failures = 0;
+                if history.len() < cfg.max_evaluations {
+                    let tokens = space.sample(&mut rng);
+                    if !evaluator.is_cached(&tokens) {
+                        let point = evaluator.evaluate_tokens(&tokens);
+                        history.push(EvalRecord {
+                            tokens: tokens.clone(),
+                            point,
+                        });
+                        center = history.last().expect("just pushed").clone();
+                    }
+                }
+            }
+        }
+        Ok(OptimizationResult::from_history(&space, history))
+    }
+}
+
+fn best_of(history: &[EvalRecord]) -> &EvalRecord {
+    history
+        .iter()
+        .min_by(|a, b| {
+            a.point
+                .qor
+                .partial_cmp(&b.point.qor)
+                .expect("finite QoR")
+        })
+        .expect("non-empty history")
+}
+
+/// First-improvement hill climbing on an acquisition function, optionally
+/// restricted to a Hamming ball. Shared by BOiLS and SBO.
+pub(crate) fn hill_climb<R: Rng>(
+    space: &SequenceSpace,
+    trust_region: Option<(&[u8], usize)>,
+    acquisition: &dyn Fn(&Vec<u8>) -> f64,
+    restarts: usize,
+    steps: usize,
+    neighbors: usize,
+    rng: &mut R,
+) -> Vec<u8> {
+    let mut best: Option<(f64, Vec<u8>)> = None;
+    for _ in 0..restarts.max(1) {
+        let mut current = match trust_region {
+            Some((center, radius)) => space.sample_in_ball(center, radius.max(1), rng),
+            None => space.sample(rng),
+        };
+        let mut current_value = acquisition(&current);
+        for _ in 0..steps {
+            let mut improved = false;
+            for _ in 0..neighbors {
+                let cand = space.random_neighbor(&current, rng);
+                if let Some((center, radius)) = trust_region {
+                    if space.hamming(center, &cand) > radius {
+                        continue;
+                    }
+                }
+                let v = acquisition(&cand);
+                if v > current_value {
+                    current = cand;
+                    current_value = v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if best.as_ref().is_none_or(|(v, _)| current_value > *v) {
+            best = Some((current_value, current));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    fn small_config(budget: usize) -> BoilsConfig {
+        BoilsConfig {
+            max_evaluations: budget,
+            initial_samples: 6,
+            space: SequenceSpace::new(6, 11),
+            acq_restarts: 2,
+            acq_steps: 4,
+            acq_neighbors: 10,
+            train: TrainConfig {
+                steps: 5,
+                ..TrainConfig::default()
+            },
+            seed: 7,
+            ..BoilsConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_within_budget_and_returns_best() {
+        let aig = random_aig(11, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("non-degenerate");
+        let mut boils = Boils::new(small_config(12));
+        let result = boils.run(&evaluator).expect("run succeeds");
+        assert_eq!(result.num_evaluations(), 12);
+        assert!(result.best_qor <= result.history[0].point.qor);
+        // The best-so-far curve must be monotone non-increasing.
+        let curve = result.best_so_far();
+        assert!(curve.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn rejects_budget_below_initial_design() {
+        let aig = random_aig(13, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("non-degenerate");
+        let mut boils = Boils::new(small_config(3));
+        assert!(matches!(
+            boils.run(&evaluator),
+            Err(RunBoilsError::BudgetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let aig = random_aig(17, 8, 300, 3);
+        let e1 = QorEvaluator::new(&aig).expect("ok");
+        let e2 = QorEvaluator::new(&aig).expect("ok");
+        let r1 = Boils::new(small_config(10)).run(&e1).expect("run");
+        let r2 = Boils::new(small_config(10)).run(&e2).expect("run");
+        assert_eq!(r1.best_tokens, r2.best_tokens);
+        assert_eq!(r1.best_qor, r2.best_qor);
+    }
+
+    #[test]
+    fn ucb_acquisition_runs_within_budget() {
+        let aig = random_aig(19, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("ok");
+        let mut boils = Boils::new(BoilsConfig {
+            acquisition: Acquisition::UpperConfidenceBound { beta: 2.0 },
+            ..small_config(10)
+        });
+        let r = boils.run(&evaluator).expect("run");
+        assert_eq!(r.num_evaluations(), 10);
+    }
+
+    #[test]
+    fn hill_climb_finds_a_planted_optimum() {
+        // Acquisition = number of zeros; optimum is the all-zero sequence.
+        let space = SequenceSpace::new(8, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let acq = |t: &Vec<u8>| t.iter().filter(|&&x| x == 0).count() as f64;
+        let found = hill_climb(&space, None, &acq, 4, 30, 24, &mut rng);
+        assert!(
+            found.iter().filter(|&&x| x == 0).count() >= 7,
+            "hill climbing stalled at {found:?}"
+        );
+    }
+
+    #[test]
+    fn hill_climb_respects_trust_region() {
+        let space = SequenceSpace::new(10, 11);
+        let mut rng = StdRng::seed_from_u64(2);
+        let center = vec![5u8; 10];
+        let acq = |t: &Vec<u8>| t.iter().map(|&x| x as f64).sum();
+        for radius in [1usize, 2, 3] {
+            let found = hill_climb(&space, Some((&center, radius)), &acq, 3, 10, 20, &mut rng);
+            assert!(space.hamming(&center, &found) <= radius);
+        }
+    }
+}

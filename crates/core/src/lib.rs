@@ -1,0 +1,44 @@
+//! # boils-core — Bayesian Optimisation for Logic Synthesis
+//!
+//! The paper's primary contribution: [`Boils`] (Algorithm 2) searches the
+//! combinatorial space of synthesis sequences `Alg^K` with a Gaussian
+//! process surrogate over the sub-sequence string kernel and a
+//! trust-region-constrained expected-improvement maximiser. The crate also
+//! provides the [`QorEvaluator`] implementing the paper's Eq. 1 objective,
+//! the [`SequenceSpace`] abstraction, and the [`Sbo`] standard-BO baseline.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use boils_circuits::{Benchmark, CircuitSpec};
+//! use boils_core::{Boils, BoilsConfig, QorEvaluator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let aig = CircuitSpec::new(Benchmark::Multiplier).build();
+//! let evaluator = QorEvaluator::new(&aig)?;
+//! let mut optimiser = Boils::new(BoilsConfig {
+//!     max_evaluations: 60,
+//!     ..BoilsConfig::default()
+//! });
+//! let result = optimiser.run(&evaluator)?;
+//! println!(
+//!     "{}: QoR {:.4} ({:+.2}% vs resyn2)",
+//!     result.best_sequence,
+//!     result.best_qor,
+//!     result.best_point.improvement_percent()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+mod boils;
+mod qor;
+mod result;
+mod sbo;
+mod space;
+
+pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError};
+pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};
+pub use crate::result::{EvalRecord, OptimizationResult};
+pub use crate::sbo::{one_hot, IsotropicSe, Sbo, SboConfig};
+pub use crate::space::SequenceSpace;

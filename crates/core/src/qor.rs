@@ -1,0 +1,330 @@
+//! The paper's quality-of-results objective (Eq. 1):
+//! `QoR(seq) = Area(seq)/Area(ref) + Delay(seq)/Delay(ref)`, with area =
+//! 6-LUT count and delay = LUT levels after FPGA mapping, normalised by the
+//! `resyn2` reference flow.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+use boils_aig::Aig;
+use boils_mapper::{map_stats, MapStats, MapperConfig};
+use boils_synth::{resyn2, Transform};
+
+/// What the black box optimises — Eq. 1 by default; the paper's conclusion
+/// notes BOiLS "can be utilised with other quantities of interest, e.g.,
+/// area or delay disjointly", which these variants provide.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Objective {
+    /// The paper's Eq. 1: `area/area_ref + delay/delay_ref`.
+    Qor,
+    /// Area only: `2 · area/area_ref` (scaled so `resyn2` still scores 2).
+    Area,
+    /// Delay only: `2 · delay/delay_ref`.
+    Delay,
+    /// Convex combination: `2·(w·area/area_ref + (1−w)·delay/delay_ref)`.
+    Weighted {
+        /// The area weight `w ∈ [0, 1]`.
+        area_weight: f64,
+    },
+}
+
+impl Objective {
+    fn combine(self, area_ratio: f64, delay_ratio: f64) -> f64 {
+        match self {
+            Objective::Qor => area_ratio + delay_ratio,
+            Objective::Area => 2.0 * area_ratio,
+            Objective::Delay => 2.0 * delay_ratio,
+            Objective::Weighted { area_weight } => {
+                2.0 * (area_weight * area_ratio + (1.0 - area_weight) * delay_ratio)
+            }
+        }
+    }
+}
+
+/// One evaluated point: the QoR value and the raw area/delay behind it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QorPoint {
+    /// The combined objective of Eq. 1 (lower is better; `resyn2` scores 2).
+    pub qor: f64,
+    /// LUT count after mapping.
+    pub area: usize,
+    /// LUT levels after mapping.
+    pub delay: u32,
+}
+
+impl QorPoint {
+    /// Relative improvement over the `resyn2` reference in percent —
+    /// the number reported in the paper's Figure 3 table:
+    /// `(QoR(resyn2) − QoR) / QoR(resyn2) × 100`, with `QoR(resyn2) = 2`.
+    pub fn improvement_percent(&self) -> f64 {
+        (2.0 - self.qor) / 2.0 * 100.0
+    }
+}
+
+/// Error constructing an evaluator: the reference mapping was degenerate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegenerateReferenceError {
+    /// The reference statistics that failed validation.
+    pub reference: MapStats,
+}
+
+impl fmt::Display for DegenerateReferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reference mapping is degenerate ({}): QoR undefined",
+            self.reference
+        )
+    }
+}
+
+impl std::error::Error for DegenerateReferenceError {}
+
+/// Evaluates synthesis sequences on a fixed circuit, with memoisation.
+///
+/// The evaluator owns the original AIG and the `resyn2`-mapped reference
+/// statistics; [`QorEvaluator::evaluate`] applies a sequence to the original
+/// circuit, maps it with `if -K 6` semantics and returns Eq. 1. Results are
+/// cached by sequence, and [`QorEvaluator::num_evaluations`] counts *unique*
+/// black-box evaluations — the sample-complexity measure of the paper.
+///
+/// ```
+/// use boils_circuits::{Benchmark, CircuitSpec};
+/// use boils_core::QorEvaluator;
+/// use boils_synth::Transform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let aig = CircuitSpec::new(Benchmark::BarrelShifter).bits(8).build();
+/// let eval = QorEvaluator::new(&aig)?;
+/// let point = eval.evaluate(&[Transform::Balance, Transform::Rewrite]);
+/// assert!(point.qor > 0.0);
+/// assert_eq!(eval.num_evaluations(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct QorEvaluator {
+    base: Aig,
+    reference: MapStats,
+    mapper_config: MapperConfig,
+    objective: Objective,
+    cache: RefCell<HashMap<Vec<u8>, QorPoint>>,
+    unique_evaluations: std::cell::Cell<usize>,
+}
+
+impl QorEvaluator {
+    /// Builds an evaluator with the default 6-LUT mapper.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reference mapping has zero area or delay (a circuit with
+    /// no logic), which would make Eq. 1 undefined.
+    pub fn new(aig: &Aig) -> Result<QorEvaluator, DegenerateReferenceError> {
+        QorEvaluator::with_mapper(aig, MapperConfig::default())
+    }
+
+    /// Builds an evaluator with a custom mapper configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reference mapping is degenerate (see [`QorEvaluator::new`]).
+    pub fn with_mapper(
+        aig: &Aig,
+        mapper_config: MapperConfig,
+    ) -> Result<QorEvaluator, DegenerateReferenceError> {
+        let reference_aig = resyn2(aig);
+        let reference = map_stats(&reference_aig, &mapper_config);
+        if reference.luts == 0 || reference.levels == 0 {
+            return Err(DegenerateReferenceError { reference });
+        }
+        Ok(QorEvaluator {
+            base: aig.clone(),
+            reference,
+            mapper_config,
+            objective: Objective::Qor,
+            cache: RefCell::new(HashMap::new()),
+            unique_evaluations: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Switches the optimised quantity (clearing the cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Objective::Weighted`] weight is outside `[0, 1]`.
+    pub fn with_objective(mut self, objective: Objective) -> QorEvaluator {
+        if let Objective::Weighted { area_weight } = objective {
+            assert!(
+                (0.0..=1.0).contains(&area_weight),
+                "area weight must be in [0, 1]"
+            );
+        }
+        self.objective = objective;
+        self.reset();
+        self
+    }
+
+    /// The quantity being optimised.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The circuit being optimised.
+    pub fn circuit(&self) -> &Aig {
+        &self.base
+    }
+
+    /// The `resyn2` reference statistics normalising Eq. 1.
+    pub fn reference(&self) -> MapStats {
+        self.reference
+    }
+
+    /// Evaluates a sequence of transforms.
+    pub fn evaluate(&self, sequence: &[Transform]) -> QorPoint {
+        let tokens: Vec<u8> = sequence.iter().map(|t| t.index() as u8).collect();
+        self.evaluate_tokens(&tokens)
+    }
+
+    /// Evaluates a token-encoded sequence (`token = Transform::ALL` index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token is outside `0..11`.
+    pub fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
+        if let Some(&hit) = self.cache.borrow().get(tokens) {
+            return hit;
+        }
+        let mut aig = self.base.clone();
+        for &t in tokens {
+            aig = Transform::from_index(t as usize).apply(&aig);
+        }
+        let stats = map_stats(&aig, &self.mapper_config);
+        let point = QorPoint {
+            qor: self.objective.combine(
+                stats.luts as f64 / self.reference.luts as f64,
+                stats.levels as f64 / self.reference.levels as f64,
+            ),
+            area: stats.luts,
+            delay: stats.levels,
+        };
+        self.cache.borrow_mut().insert(tokens.to_vec(), point);
+        self.unique_evaluations.set(self.unique_evaluations.get() + 1);
+        point
+    }
+
+    /// The number of unique (non-cached) black-box evaluations so far.
+    pub fn num_evaluations(&self) -> usize {
+        self.unique_evaluations.get()
+    }
+
+    /// Whether a token sequence has already been evaluated.
+    pub fn is_cached(&self, tokens: &[u8]) -> bool {
+        self.cache.borrow().contains_key(tokens)
+    }
+
+    /// Forgets all cached evaluations and resets the counter.
+    pub fn reset(&self) {
+        self.cache.borrow_mut().clear();
+        self.unique_evaluations.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    fn evaluator() -> QorEvaluator {
+        let aig = random_aig(3, 8, 400, 4);
+        QorEvaluator::new(&aig).expect("reference is non-degenerate")
+    }
+
+    #[test]
+    fn empty_sequence_scores_the_unoptimised_circuit() {
+        let eval = evaluator();
+        let p = eval.evaluate(&[]);
+        assert!(p.qor > 0.0);
+        assert!(p.area > 0);
+    }
+
+    #[test]
+    fn caching_deduplicates_evaluations() {
+        let eval = evaluator();
+        let seq = [Transform::Balance, Transform::Rewrite];
+        let a = eval.evaluate(&seq);
+        let b = eval.evaluate(&seq);
+        assert_eq!(a, b);
+        assert_eq!(eval.num_evaluations(), 1);
+        eval.evaluate(&[Transform::Balance]);
+        assert_eq!(eval.num_evaluations(), 2);
+        eval.reset();
+        assert_eq!(eval.num_evaluations(), 0);
+    }
+
+    #[test]
+    fn resyn2_like_sequence_approaches_reference_qor() {
+        let eval = evaluator();
+        // The exact resyn2 recipe must reproduce QoR = 2 by construction.
+        let resyn2_seq = [
+            Transform::Balance,
+            Transform::Rewrite,
+            Transform::Refactor,
+            Transform::Balance,
+            Transform::Rewrite,
+            Transform::RewriteZ,
+            Transform::Balance,
+            Transform::RefactorZ,
+            Transform::RewriteZ,
+            Transform::Balance,
+        ];
+        let p = eval.evaluate(&resyn2_seq);
+        assert!((p.qor - 2.0).abs() < 1e-12, "qor {}", p.qor);
+        assert!(p.improvement_percent().abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_percent_matches_definition() {
+        let p = QorPoint {
+            qor: 1.5,
+            area: 10,
+            delay: 3,
+        };
+        assert!((p.improvement_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_objectives_follow_their_metric() {
+        let aig = random_aig(3, 8, 400, 4);
+        let qor_eval = QorEvaluator::new(&aig).expect("ok");
+        let area_eval = QorEvaluator::new(&aig).expect("ok").with_objective(Objective::Area);
+        let delay_eval = QorEvaluator::new(&aig)
+            .expect("ok")
+            .with_objective(Objective::Delay);
+        let seq = [Transform::Resub, Transform::Rewrite];
+        let q = qor_eval.evaluate(&seq);
+        let a = area_eval.evaluate(&seq);
+        let d = delay_eval.evaluate(&seq);
+        // Raw measurements are identical; only the scalarisation differs.
+        assert_eq!((q.area, q.delay), (a.area, a.delay));
+        assert_eq!((q.area, q.delay), (d.area, d.delay));
+        let r = qor_eval.reference();
+        assert!((a.qor - 2.0 * q.area as f64 / r.luts as f64).abs() < 1e-12);
+        assert!((d.qor - 2.0 * q.delay as f64 / r.levels as f64).abs() < 1e-12);
+        // Weighted with w = 0.5 reproduces Eq. 1.
+        let w_eval = QorEvaluator::new(&aig)
+            .expect("ok")
+            .with_objective(Objective::Weighted { area_weight: 0.5 });
+        let w = w_eval.evaluate(&seq);
+        assert!((w.qor - q.qor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_circuit_is_rejected() {
+        // A circuit with no logic at all maps to zero LUTs.
+        let mut aig = Aig::new(2);
+        let a = aig.pi(0);
+        aig.add_po(a);
+        assert!(QorEvaluator::new(&aig).is_err());
+    }
+}

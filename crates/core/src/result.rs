@@ -1,0 +1,117 @@
+//! Optimisation traces shared by BOiLS, SBO and every baseline.
+
+use crate::qor::QorPoint;
+use crate::space::SequenceSpace;
+
+/// One black-box evaluation in an optimisation run.
+#[derive(Clone, Debug)]
+pub struct EvalRecord {
+    /// The evaluated token sequence.
+    pub tokens: Vec<u8>,
+    /// Its quality of results.
+    pub point: QorPoint,
+}
+
+/// The outcome of an optimisation run.
+#[derive(Clone, Debug)]
+pub struct OptimizationResult {
+    /// The best sequence found (token-encoded).
+    pub best_tokens: Vec<u8>,
+    /// Its QoR/area/delay.
+    pub best_point: QorPoint,
+    /// The best sequence rendered with the paper's two-letter codes.
+    pub best_sequence: String,
+    /// The full evaluation trace, in evaluation order.
+    pub history: Vec<EvalRecord>,
+    /// The best QoR value after the optimiser's own run.
+    pub best_qor: f64,
+}
+
+impl OptimizationResult {
+    /// Assembles a result from an evaluation trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty.
+    pub fn from_history(space: &SequenceSpace, history: Vec<EvalRecord>) -> OptimizationResult {
+        assert!(!history.is_empty(), "optimiser produced no evaluations");
+        let best = history
+            .iter()
+            .min_by(|a, b| {
+                a.point
+                    .qor
+                    .partial_cmp(&b.point.qor)
+                    .expect("QoR values are finite")
+            })
+            .expect("non-empty history");
+        OptimizationResult {
+            best_tokens: best.tokens.clone(),
+            best_point: best.point,
+            best_sequence: space.display(&best.tokens),
+            best_qor: best.point.qor,
+            history,
+        }
+    }
+
+    /// The running best QoR after each evaluation (for convergence plots —
+    /// the paper's Figure 3 middle row).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.history
+            .iter()
+            .map(|r| {
+                best = best.min(r.point.qor);
+                best
+            })
+            .collect()
+    }
+
+    /// Number of evaluations this run spent.
+    pub fn num_evaluations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The first evaluation index (1-based) at which the running best QoR
+    /// reached `target` or better; `None` if it never did.
+    pub fn evaluations_to_reach(&self, target: f64) -> Option<usize> {
+        self.best_so_far()
+            .iter()
+            .position(|&q| q <= target)
+            .map(|i| i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tokens: Vec<u8>, qor: f64) -> EvalRecord {
+        EvalRecord {
+            tokens,
+            point: QorPoint {
+                qor,
+                area: 1,
+                delay: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn picks_the_minimum_qor() {
+        let space = SequenceSpace::new(2, 11);
+        let result = OptimizationResult::from_history(
+            &space,
+            vec![
+                record(vec![0, 0], 2.0),
+                record(vec![1, 2], 1.4),
+                record(vec![3, 3], 1.8),
+            ],
+        );
+        assert_eq!(result.best_tokens, vec![1, 2]);
+        assert_eq!(result.best_qor, 1.4);
+        assert_eq!(result.best_so_far(), vec![2.0, 1.4, 1.4]);
+        assert_eq!(result.evaluations_to_reach(1.5), Some(2));
+        assert_eq!(result.evaluations_to_reach(1.0), None);
+        assert_eq!(result.num_evaluations(), 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! The combinatorial search space `Alg^K`: token sequences, sampling
+//! (uniform and Latin hypercube), Hamming geometry and pretty-printing.
+
+use boils_synth::Transform;
+use rand::Rng;
+
+/// The space of synthesis sequences: length-`K` strings over the `n = 11`
+/// transform alphabet (`|Alg^K| = 11^20 ≈ 6.7·10^20` at the paper's K).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SequenceSpace {
+    length: usize,
+    alphabet: usize,
+}
+
+impl SequenceSpace {
+    /// The paper's search space: `K = 20` over all eleven transforms.
+    pub fn paper() -> SequenceSpace {
+        SequenceSpace::new(20, Transform::ALL.len())
+    }
+
+    /// A custom space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0` or `alphabet` is 0 or exceeds the transform
+    /// alphabet (11).
+    pub fn new(length: usize, alphabet: usize) -> SequenceSpace {
+        assert!(length > 0, "sequences must be non-empty");
+        assert!(
+            (1..=Transform::ALL.len()).contains(&alphabet),
+            "alphabet must be 1..=11"
+        );
+        SequenceSpace { length, alphabet }
+    }
+
+    /// Sequence length `K`.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Alphabet size `n`.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Draws one uniform random sequence.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<u8> {
+        (0..self.length)
+            .map(|_| rng.gen_range(0..self.alphabet) as u8)
+            .collect()
+    }
+
+    /// Draws `count` sequences by categorical Latin-hypercube sampling
+    /// (pymoo-style): per position, category counts are balanced across the
+    /// samples before being shuffled independently.
+    pub fn latin_hypercube<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<Vec<u8>> {
+        let mut samples = vec![vec![0u8; self.length]; count];
+        for pos in 0..self.length {
+            // A balanced multiset of categories, then a Fisher–Yates shuffle.
+            let mut column: Vec<u8> = (0..count)
+                .map(|i| ((i * self.alphabet) / count.max(1)) as u8)
+                .collect();
+            for i in (1..column.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                column.swap(i, j);
+            }
+            for (s, &c) in samples.iter_mut().zip(&column) {
+                s[pos] = c;
+            }
+        }
+        samples
+    }
+
+    /// The Hamming distance between two sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming(&self, a: &[u8], b: &[u8]) -> usize {
+        assert_eq!(a.len(), b.len(), "sequences from different spaces");
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    /// Draws a random sequence within Hamming distance `radius` of `center`
+    /// (distance ≥ 1 when `radius ≥ 1`).
+    pub fn sample_in_ball<R: Rng>(&self, center: &[u8], radius: usize, rng: &mut R) -> Vec<u8> {
+        let mut out = center.to_vec();
+        if radius == 0 {
+            return out;
+        }
+        let flips = rng.gen_range(1..=radius.min(self.length));
+        // Choose distinct positions to mutate.
+        let mut positions: Vec<usize> = (0..self.length).collect();
+        for i in 0..flips {
+            let j = rng.gen_range(i..positions.len());
+            positions.swap(i, j);
+        }
+        for &pos in positions.iter().take(flips) {
+            let old = out[pos];
+            let mut new = rng.gen_range(0..self.alphabet.max(2) - 1) as u8;
+            if new >= old {
+                new += 1;
+            }
+            out[pos] = new.min(self.alphabet as u8 - 1);
+        }
+        out
+    }
+
+    /// One uniformly random Hamming-1 neighbour of `seq`.
+    pub fn random_neighbor<R: Rng>(&self, seq: &[u8], rng: &mut R) -> Vec<u8> {
+        let mut out = seq.to_vec();
+        let pos = rng.gen_range(0..self.length);
+        if self.alphabet > 1 {
+            let old = out[pos];
+            let mut new = rng.gen_range(0..self.alphabet - 1) as u8;
+            if new >= old {
+                new += 1;
+            }
+            out[pos] = new;
+        }
+        out
+    }
+
+    /// Decodes tokens into transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token is outside the alphabet.
+    pub fn decode(&self, tokens: &[u8]) -> Vec<Transform> {
+        tokens
+            .iter()
+            .map(|&t| {
+                assert!((t as usize) < self.alphabet, "token out of alphabet");
+                Transform::from_index(t as usize)
+            })
+            .collect()
+    }
+
+    /// Renders a token sequence with the paper's two-letter codes.
+    pub fn display(&self, tokens: &[u8]) -> String {
+        tokens
+            .iter()
+            .map(|&t| Transform::from_index(t as usize).code())
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_space_shape() {
+        let s = SequenceSpace::paper();
+        assert_eq!(s.length(), 20);
+        assert_eq!(s.alphabet(), 11);
+    }
+
+    #[test]
+    fn samples_stay_in_alphabet() {
+        let s = SequenceSpace::new(10, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let seq = s.sample(&mut rng);
+            assert_eq!(seq.len(), 10);
+            assert!(seq.iter().all(|&t| t < 5));
+        }
+    }
+
+    #[test]
+    fn latin_hypercube_balances_categories() {
+        let s = SequenceSpace::new(6, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = s.latin_hypercube(8, &mut rng);
+        assert_eq!(samples.len(), 8);
+        // With 8 samples over 4 categories, each category appears exactly
+        // twice in every position.
+        for pos in 0..6 {
+            let mut counts = [0usize; 4];
+            for sample in &samples {
+                counts[sample[pos] as usize] += 1;
+            }
+            assert_eq!(counts, [2, 2, 2, 2], "position {pos}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ball_sampling_respects_radius() {
+        let s = SequenceSpace::new(12, 11);
+        let mut rng = StdRng::seed_from_u64(2);
+        let center = s.sample(&mut rng);
+        for radius in 1..=12 {
+            for _ in 0..50 {
+                let p = s.sample_in_ball(&center, radius, &mut rng);
+                let d = s.hamming(&center, &p);
+                assert!(d >= 1 && d <= radius, "distance {d} vs radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        let s = SequenceSpace::new(8, 11);
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq = s.sample(&mut rng);
+        for _ in 0..100 {
+            let n = s.random_neighbor(&seq, &mut rng);
+            assert_eq!(s.hamming(&seq, &n), 1);
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_codes() {
+        let s = SequenceSpace::paper();
+        assert_eq!(s.display(&[0, 6, 7]), "Rw;Ba;Fr");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the core optimisation layer: evaluator coherence,
+//! sequence-space geometry and optimiser budget discipline on random AIGs.
+
+use boils_aig::random_aig;
+use boils_core::{Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
+use boils_gp::TrainConfig;
+use boils_synth::Transform;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn evaluator_is_deterministic_and_cached(
+        seed in 0u64..200,
+        tokens in prop::collection::vec(0u8..11, 0..8),
+    ) {
+        let aig = random_aig(seed, 8, 250, 3);
+        let Ok(evaluator) = QorEvaluator::new(&aig) else {
+            // Degenerate random circuits are legitimately rejected.
+            return Ok(());
+        };
+        let a = evaluator.evaluate_tokens(&tokens);
+        let n = evaluator.num_evaluations();
+        let b = evaluator.evaluate_tokens(&tokens);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(evaluator.num_evaluations(), n, "cache miss on repeat");
+        prop_assert!(a.qor > 0.0 && a.qor.is_finite());
+        // Improvement formula is the paper's Eq. 1 rearranged.
+        prop_assert!((a.improvement_percent() - (2.0 - a.qor) / 2.0 * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_space_geometry(
+        len in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let space = SequenceSpace::new(len, 11);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        // Hamming is a metric on fixed-length sequences.
+        prop_assert_eq!(space.hamming(&a, &a), 0);
+        prop_assert_eq!(space.hamming(&a, &b), space.hamming(&b, &a));
+        prop_assert!(space.hamming(&a, &b) <= len);
+        // Decoding round-trips through transform indices.
+        let decoded = space.decode(&a);
+        let re: Vec<u8> = decoded.iter().map(|t| t.index() as u8).collect();
+        prop_assert_eq!(re, a);
+    }
+
+    #[test]
+    fn optimisers_spend_exact_budgets(
+        seed in 0u64..100,
+        budget in 8usize..14,
+    ) {
+        let aig = random_aig(seed + 5000, 8, 300, 3);
+        let Ok(evaluator) = QorEvaluator::new(&aig) else { return Ok(()); };
+        let space = SequenceSpace::new(5, 11);
+        let mut boils = Boils::new(BoilsConfig {
+            max_evaluations: budget,
+            initial_samples: 4,
+            space,
+            acq_restarts: 2,
+            acq_steps: 3,
+            acq_neighbors: 8,
+            train: TrainConfig { steps: 3, ..TrainConfig::default() },
+            seed,
+            ..BoilsConfig::default()
+        });
+        let r = boils.run(&evaluator).expect("run");
+        prop_assert_eq!(r.num_evaluations(), budget);
+        // Best-so-far is monotone non-increasing.
+        let curve = r.best_so_far();
+        prop_assert!(curve.windows(2).all(|w| w[1] <= w[0]));
+
+        let mut sbo = Sbo::new(SboConfig {
+            max_evaluations: budget,
+            initial_samples: 4,
+            space,
+            acq_restarts: 2,
+            acq_steps: 3,
+            acq_neighbors: 8,
+            train: TrainConfig { steps: 3, ..TrainConfig::default() },
+            seed,
+            ..SboConfig::default()
+        });
+        let rs = sbo.run(&evaluator).expect("run");
+        prop_assert_eq!(rs.num_evaluations(), budget);
+    }
+}
+
+#[test]
+fn degenerate_budgets_are_rejected_not_panicking() {
+    // Seed 11 is known to survive resyn2 with a non-degenerate mapping.
+    let aig = random_aig(11, 8, 300, 3);
+    let evaluator = QorEvaluator::new(&aig).expect("ok");
+    let mut boils = Boils::new(BoilsConfig {
+        max_evaluations: 1,
+        initial_samples: 10,
+        ..BoilsConfig::default()
+    });
+    assert!(boils.run(&evaluator).is_err());
+}
+
+#[test]
+fn evaluator_rejects_transform_free_circuits() {
+    // Pure-wire circuits map to zero LUTs → Eq. 1 undefined → error.
+    let mut aig = boils_aig::Aig::new(3);
+    let p = aig.pi(2);
+    aig.add_po(p);
+    assert!(QorEvaluator::new(&aig).is_err());
+}
+
+#[test]
+fn all_transform_tokens_round_trip() {
+    for (i, t) in Transform::ALL.iter().enumerate() {
+        assert_eq!(Transform::from_index(i), *t);
+        assert_eq!(t.index(), i);
+    }
+}

@@ -1,0 +1,101 @@
+//! Acquisition functions: expected improvement (EI) and the Gaussian
+//! special functions it needs.
+
+/// The standard normal probability density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// The standard normal cumulative distribution, via the Abramowitz–Stegun
+/// rational approximation of `erf` (absolute error < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The error function (Abramowitz–Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected improvement for **maximisation**:
+/// `EI(x) = E[max(g(x) − best, 0)]` under `g(x) ~ N(mean, var)`.
+///
+/// Returns 0 when the predictive variance vanishes and the mean does not
+/// beat `best`.
+///
+/// ```
+/// use boils_gp::expected_improvement;
+///
+/// // A point predicted well above the incumbent has high EI …
+/// let promising = expected_improvement(1.0, 0.04, 0.0);
+/// // … a point predicted below it but uncertain still has some.
+/// let uncertain = expected_improvement(-0.5, 1.0, 0.0);
+/// let hopeless = expected_improvement(-0.5, 1e-12, 0.0);
+/// assert!(promising > uncertain);
+/// assert!(uncertain > hopeless);
+/// assert_eq!(hopeless, 0.0);
+/// ```
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let std = var.max(0.0).sqrt();
+    if std < 1e-12 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / std;
+    std * (z * normal_cdf(z) + normal_pdf(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (-1.0, -0.8427008),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-5, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!(normal_cdf(1.0) > normal_cdf(0.5));
+        assert!((normal_cdf(-1.3) + normal_cdf(1.3) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ei_matches_closed_form_reference() {
+        // For mean=0, var=1, best=0: EI = φ(0) = 1/√(2π).
+        let want = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((expected_improvement(0.0, 1.0, 0.0) - want).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ei_increases_with_mean_and_variance() {
+        let base = expected_improvement(0.0, 1.0, 0.5);
+        assert!(expected_improvement(0.5, 1.0, 0.5) > base);
+        assert!(expected_improvement(0.0, 4.0, 0.5) > base);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mean in [-3.0, -1.0, 0.0, 2.0] {
+            for var in [0.0, 0.1, 1.0, 10.0] {
+                assert!(expected_improvement(mean, var, 1.0) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Kernel abstractions and the squared-exponential (SE) kernel with
+//! per-dimension automatic-relevance-determination lengthscales.
+
+/// A positive-definite covariance function over inputs of type `X`.
+///
+/// Hyperparameters are exposed as a flat vector with box bounds so a single
+/// projected-gradient trainer serves every kernel.
+pub trait Kernel<X: ?Sized> {
+    /// Evaluates `k(a, b)`.
+    fn eval(&self, a: &X, b: &X) -> f64;
+
+    /// Current hyperparameter vector.
+    fn params(&self) -> Vec<f64>;
+
+    /// Replaces the hyperparameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the length disagrees with [`Kernel::params`].
+    fn set_params(&mut self, params: &[f64]);
+
+    /// Box bounds, one `(lower, upper)` pair per hyperparameter.
+    fn param_bounds(&self) -> Vec<(f64, f64)>;
+}
+
+/// Owned-vector convenience: any kernel over `[f64]` slices also works on
+/// `Vec<f64>` inputs (as stored by [`crate::Gp`]).
+impl<K: Kernel<[f64]>> Kernel<Vec<f64>> for K {
+    fn eval(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        Kernel::<[f64]>::eval(self, a, b)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        Kernel::<[f64]>::params(self)
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        Kernel::<[f64]>::set_params(self, params)
+    }
+
+    fn param_bounds(&self) -> Vec<(f64, f64)> {
+        Kernel::<[f64]>::param_bounds(self)
+    }
+}
+
+/// The squared-exponential (RBF) kernel with ARD lengthscales:
+/// `k(x, x') = σ² exp(−½ Σ_d (x_d − x'_d)² / ℓ_d²)`.
+///
+/// ```
+/// use boils_gp::{Kernel, SquaredExponential};
+///
+/// let k = SquaredExponential::new(3);
+/// assert!((k.eval(&[0.0, 0.0, 0.0][..], &[0.0, 0.0, 0.0][..]) - 1.0).abs() < 1e-12);
+/// assert!(k.eval(&[0.0, 0.0, 0.0][..], &[9.0, 9.0, 9.0][..]) < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SquaredExponential {
+    lengthscales: Vec<f64>,
+    variance: f64,
+}
+
+impl SquaredExponential {
+    /// A unit-variance kernel with unit lengthscales over `dims` inputs.
+    pub fn new(dims: usize) -> SquaredExponential {
+        SquaredExponential {
+            lengthscales: vec![1.0; dims],
+            variance: 1.0,
+        }
+    }
+
+    /// Overrides the signal variance σ².
+    pub fn with_variance(mut self, variance: f64) -> SquaredExponential {
+        assert!(variance > 0.0);
+        self.variance = variance;
+        self
+    }
+
+    /// The input dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lengthscales.len()
+    }
+}
+
+impl Kernel<[f64]> for SquaredExponential {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), self.lengthscales.len());
+        assert_eq!(b.len(), self.lengthscales.len());
+        let r2: f64 = a
+            .iter()
+            .zip(b)
+            .zip(&self.lengthscales)
+            .map(|((x, y), l)| {
+                let d = (x - y) / l;
+                d * d
+            })
+            .sum();
+        self.variance * (-0.5 * r2).exp()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = self.lengthscales.clone();
+        p.push(self.variance);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.lengthscales.len() + 1);
+        self.lengthscales.copy_from_slice(&params[..params.len() - 1]);
+        self.variance = params[params.len() - 1];
+    }
+
+    fn param_bounds(&self) -> Vec<(f64, f64)> {
+        let mut b = vec![(1e-2, 1e2); self.lengthscales.len()];
+        b.push((1e-4, 1e3)); // variance
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn se_is_symmetric_and_bounded() {
+        let k = SquaredExponential::new(2).with_variance(2.5);
+        let a = [0.3, -1.0];
+        let b = [1.2, 0.5];
+        assert!((k.eval(&a[..], &b[..]) - k.eval(&b[..], &a[..])).abs() < 1e-15);
+        assert!(k.eval(&a[..], &b[..]) <= 2.5);
+        assert!((k.eval(&a[..], &a[..]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lengthscales_control_decay() {
+        let mut k = SquaredExponential::new(1);
+        let near = Kernel::<[f64]>::eval(&k, &[0.0], &[1.0]);
+        Kernel::<[f64]>::set_params(&mut k, &[10.0, 1.0]); // longer → slower decay
+        let far = Kernel::<[f64]>::eval(&k, &[0.0], &[1.0]);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut k = SquaredExponential::new(3);
+        let p = vec![0.5, 2.0, 1.5, 3.0];
+        Kernel::<[f64]>::set_params(&mut k, &p);
+        assert_eq!(Kernel::<[f64]>::params(&k), p);
+        assert_eq!(Kernel::<[f64]>::param_bounds(&k).len(), 4);
+    }
+}

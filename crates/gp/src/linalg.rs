@@ -1,0 +1,316 @@
+//! Minimal dense linear algebra: row-major matrices and Cholesky
+//! factorisation — all the Gaussian process machinery needs.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+///
+/// ```
+/// use boils_gp::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 2);
+/// m[(0, 0)] = 1.0;
+/// m[(1, 1)] = 2.0;
+/// assert_eq!(m[(1, 1)], 2.0);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Matrix-matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Error: the matrix was not positive definite even after jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefiniteError {
+    /// The pivot index where factorisation failed.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefiniteError {}
+
+/// A lower-triangular Cholesky factor `A = L·Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix, adding `jitter` to
+    /// the diagonal (retrying with ×10 jitter up to three times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if factorisation keeps failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn new(a: &Matrix, jitter: f64) -> Result<Cholesky, NotPositiveDefiniteError> {
+        assert_eq!(a.rows(), a.cols(), "cholesky needs a square matrix");
+        let mut eps = jitter;
+        let mut last_err = NotPositiveDefiniteError { pivot: 0 };
+        for _ in 0..4 {
+            match Self::factor(a, eps) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last_err = e;
+                    eps = (eps * 10.0).max(1e-12);
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn factor(a: &Matrix, jitter: f64) -> Result<Cholesky, NotPositiveDefiniteError> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefiniteError { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` by forward/backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_upper(&y)
+    }
+
+    /// Solves `L y = b`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y`.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(y.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I is symmetric positive definite.
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64 * 0.3 - 1.0);
+        let mut a = b.transpose().mul(&b);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::new(&a, 0.0).expect("spd");
+        let rebuilt = c.l().mul(&c.l().transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rebuilt[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts() {
+        let a = spd3();
+        let c = Cholesky::new(&a, 0.0).expect("spd");
+        let b = vec![1.0, -2.0, 0.5];
+        let x = c.solve(&b);
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let c = Cholesky::new(&Matrix::identity(5), 0.0).expect("identity is spd");
+        assert!(c.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = -5.0;
+        assert!(Cholesky::new(&a, 1e-9).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 matrix: singular, but PSD — jitter makes it PD.
+        let a = Matrix::from_fn(3, 3, |_, _| 1.0);
+        assert!(Cholesky::new(&a, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let c = a.mul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        // Row 0 of a = [0,1,2]; col 0 of b = [0,2,4] → 0+2+8 = 10.
+        assert_eq!(c[(0, 0)], 10.0);
+        assert_eq!(a.transpose()[(2, 1)], a[(1, 2)]);
+    }
+}

@@ -1,0 +1,338 @@
+//! The sub-sequence string kernel (SSK) of BOiLS (Section III-B1).
+//!
+//! For sequences `s`, `t` over a finite alphabet, the kernel is
+//! `k(s, t) = Σ_{u ∈ Σ^{≤ℓ}} c_u(s) · c_u(t)`, where the contribution of a
+//! sub-sequence `u` occurring at positions `i₁ < … < i_|u|` is weighted by a
+//! match decay `θ_m^{|u|}` and a gap decay `θ_g^{gap}` with
+//! `gap = i_last − i_first + 1 − |u|` (the number of interior skips).
+//!
+//! Because the gap weight factorises over consecutive matched positions,
+//! the kernel is computable in `O(ℓ·|s|·|t|)` with a two-dimensional
+//! geometric prefix-sum dynamic programme; a brute-force enumeration
+//! cross-checks it in the tests (including the paper's Table I).
+
+use crate::kernel::Kernel;
+
+/// The BOiLS sub-sequence string kernel over token sequences (`[u8]`).
+///
+/// ```
+/// use boils_gp::{Kernel, SskKernel};
+///
+/// let k = SskKernel::new(3).with_decays(0.8, 0.5);
+/// let a = [1u8, 2, 3];
+/// let b = [1u8, 2, 4];
+/// let sim_ab = k.eval(&a[..], &b[..]);
+/// let sim_aa = k.eval(&a[..], &a[..]);
+/// assert!(sim_ab > 0.0 && sim_ab < sim_aa); // normalised: k(a,a) = 1
+/// assert!((sim_aa - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SskKernel {
+    max_subsequence: usize,
+    match_decay: f64,
+    gap_decay: f64,
+    normalize: bool,
+}
+
+impl SskKernel {
+    /// A normalised SSK considering sub-sequences up to length `ell`,
+    /// with decays `θ_m = 0.8`, `θ_g = 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`.
+    pub fn new(ell: usize) -> SskKernel {
+        assert!(ell >= 1, "subsequence order must be at least 1");
+        SskKernel {
+            max_subsequence: ell,
+            match_decay: 0.8,
+            gap_decay: 0.5,
+            normalize: true,
+        }
+    }
+
+    /// Overrides the match and gap decays (both clamped to `[0, 1]` by the
+    /// trainer's projection).
+    pub fn with_decays(mut self, match_decay: f64, gap_decay: f64) -> SskKernel {
+        self.match_decay = match_decay;
+        self.gap_decay = gap_decay;
+        self
+    }
+
+    /// Disables normalisation (`k(s,t)/√(k(s,s)·k(t,t))`).
+    pub fn without_normalization(mut self) -> SskKernel {
+        self.normalize = false;
+        self
+    }
+
+    /// The maximum sub-sequence order ℓ.
+    pub fn max_subsequence(&self) -> usize {
+        self.max_subsequence
+    }
+
+    /// The match decay θ_m.
+    pub fn match_decay(&self) -> f64 {
+        self.match_decay
+    }
+
+    /// The gap decay θ_g.
+    pub fn gap_decay(&self) -> f64 {
+        self.gap_decay
+    }
+
+    /// The un-normalised kernel value.
+    pub fn eval_raw(&self, s: &[u8], t: &[u8]) -> f64 {
+        let (n, m) = (s.len(), t.len());
+        if n == 0 || m == 0 {
+            return 0.0;
+        }
+        let tm2 = self.match_decay * self.match_decay;
+        let g = self.gap_decay;
+        // M[i][j]: matchings of the current order ending exactly at (i, j).
+        // S[i][j]: geometric 2-D prefix sum of M.
+        let mut m_cur = vec![vec![0.0f64; m]; n];
+        let mut total = 0.0;
+        for p in 0..self.max_subsequence {
+            if p == 0 {
+                for i in 0..n {
+                    for j in 0..m {
+                        m_cur[i][j] = if s[i] == t[j] { tm2 } else { 0.0 };
+                    }
+                }
+            } else {
+                // Prefix-sum the previous order, then extend matches.
+                let mut prefix = vec![vec![0.0f64; m]; n];
+                for i in 0..n {
+                    for j in 0..m {
+                        let up = if i > 0 { prefix[i - 1][j] } else { 0.0 };
+                        let left = if j > 0 { prefix[i][j - 1] } else { 0.0 };
+                        let diag = if i > 0 && j > 0 {
+                            prefix[i - 1][j - 1]
+                        } else {
+                            0.0
+                        };
+                        prefix[i][j] = m_cur[i][j] + g * up + g * left - g * g * diag;
+                    }
+                }
+                let mut m_next = vec![vec![0.0f64; m]; n];
+                for i in 1..n {
+                    for j in 1..m {
+                        if s[i] == t[j] {
+                            m_next[i][j] = tm2 * prefix[i - 1][j - 1];
+                        }
+                    }
+                }
+                m_cur = m_next;
+            }
+            total += m_cur.iter().flatten().sum::<f64>();
+        }
+        total
+    }
+
+    /// The contribution `c_u(s)` of sub-sequence `u` to `s` (the quantity
+    /// tabulated in the paper's Table I), computed by direct enumeration of
+    /// matchings.
+    pub fn contribution(&self, u: &[u8], s: &[u8]) -> f64 {
+        if u.is_empty() || u.len() > s.len() {
+            return 0.0;
+        }
+        // Recursive enumeration over the position of each matched token,
+        // carrying the accumulated interior-gap weight.
+        fn rec(u: &[u8], s: &[u8], ui: usize, last: usize, g: f64) -> f64 {
+            if ui == u.len() {
+                return 1.0;
+            }
+            let mut sum = 0.0;
+            // This token can sit anywhere that still leaves room for the
+            // remaining u.len() - ui - 1 tokens.
+            for pos in (last + 1)..=(s.len() - (u.len() - ui - 1)) {
+                if s[pos - 1] == u[ui] {
+                    let gaps = if ui == 0 { 0 } else { pos - last - 1 };
+                    sum += g.powi(gaps as i32) * rec(u, s, ui + 1, pos, g);
+                }
+            }
+            sum
+        }
+        self.match_decay.powi(u.len() as i32) * rec(u, s, 0, 0, self.gap_decay)
+    }
+}
+
+/// Owned-vector convenience for GP storage.
+impl Kernel<Vec<u8>> for SskKernel {
+    fn eval(&self, a: &Vec<u8>, b: &Vec<u8>) -> f64 {
+        Kernel::<[u8]>::eval(self, a, b)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        Kernel::<[u8]>::params(self)
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        Kernel::<[u8]>::set_params(self, params)
+    }
+
+    fn param_bounds(&self) -> Vec<(f64, f64)> {
+        Kernel::<[u8]>::param_bounds(self)
+    }
+}
+
+impl Kernel<[u8]> for SskKernel {
+    fn eval(&self, a: &[u8], b: &[u8]) -> f64 {
+        let raw = self.eval_raw(a, b);
+        if !self.normalize {
+            return raw;
+        }
+        let ka = self.eval_raw(a, a);
+        let kb = self.eval_raw(b, b);
+        if ka <= 0.0 || kb <= 0.0 {
+            return if a == b { 1.0 } else { 0.0 };
+        }
+        raw / (ka * kb).sqrt()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        vec![self.match_decay, self.gap_decay]
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), 2);
+        self.match_decay = params[0];
+        self.gap_decay = params[1];
+    }
+
+    fn param_bounds(&self) -> Vec<(f64, f64)> {
+        // The paper projects θ = (θ_m, θ_g) onto [0, 1]²; we keep a small
+        // positive floor so the kernel never degenerates to all-zeros.
+        vec![(0.01, 1.0), (0.01, 1.0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force `k(s, t)` by enumerating every sub-sequence `u` with
+    /// `|u| ≤ ℓ` over the joint alphabet.
+    fn brute_force(k: &SskKernel, s: &[u8], t: &[u8]) -> f64 {
+        let mut alphabet: Vec<u8> = s.iter().chain(t).copied().collect();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        let mut total = 0.0;
+        let mut stack: Vec<Vec<u8>> = alphabet.iter().map(|&c| vec![c]).collect();
+        while let Some(u) = stack.pop() {
+            total += k.contribution(&u, s) * k.contribution(&u, t);
+            if u.len() < k.max_subsequence {
+                for &c in &alphabet {
+                    let mut v = u.clone();
+                    v.push(c);
+                    stack.push(v);
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (vec![0, 1, 2], vec![0, 1, 2]),
+            (vec![0, 1, 2, 1], vec![1, 0, 2]),
+            (vec![3, 3, 3], vec![3, 3]),
+            (vec![0, 1, 0, 1, 2], vec![2, 1, 0, 1]),
+            (vec![5], vec![5]),
+            (vec![0, 1], vec![2, 3]),
+            (vec![1, 2, 3, 4, 2, 1], vec![4, 3, 2, 1, 2, 3]),
+        ];
+        for ell in 1..=3 {
+            let k = SskKernel::new(ell)
+                .with_decays(0.7, 0.4)
+                .without_normalization();
+            for (s, t) in &cases {
+                let dp = k.eval_raw(s, t);
+                let bf = brute_force(&k, s, t);
+                assert!(
+                    (dp - bf).abs() < 1e-9 * (1.0 + bf.abs()),
+                    "ℓ={ell} s={s:?} t={t:?}: dp={dp} bf={bf}"
+                );
+            }
+        }
+    }
+
+    /// The worked examples of the paper's Table I. Tokens: Rw=0, Rf=1,
+    /// Ds=2, So=3, Bl=4, Fr=5.
+    #[test]
+    fn paper_table_one() {
+        let k = SskKernel::new(5).with_decays(0.9, 0.6);
+        let (tm, tg) = (0.9f64, 0.6f64);
+        let seq1 = [0u8, 1, 2, 3, 2, 4, 0]; // RwRfDsSoDsBlRw
+        let seq2 = [0u8, 1, 2, 5, 3, 4, 0]; // RwRfDsFrSoBlRw
+        let seq3 = [0u8, 1, 2, 5, 4, 3, 4]; // RwRfDsFrBlSoBl
+        let u1 = [0u8, 1, 2, 4, 0]; // RwRfDsBlRw
+        let u2 = [0u8, 1, 2, 5]; // RwRfDsFr
+        let u3 = [0u8, 1]; // RwRf
+
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        // Row 1: RwRfDsSoDsBlRw.
+        assert!(close(k.contribution(&u1, &seq1), 2.0 * tm.powi(5) * tg.powi(2)));
+        assert!(close(k.contribution(&u2, &seq1), 0.0));
+        assert!(close(k.contribution(&u3, &seq1), tm.powi(2)));
+        // Row 2: RwRfDsFrSoBlRw.
+        assert!(close(k.contribution(&u1, &seq2), tm.powi(5) * tg.powi(2)));
+        assert!(close(k.contribution(&u2, &seq2), tm.powi(4)));
+        assert!(close(k.contribution(&u3, &seq2), tm.powi(2)));
+        // Row 3: RwRfDsFrBlSoBl.
+        assert!(close(k.contribution(&u1, &seq3), 0.0));
+        assert!(close(k.contribution(&u2, &seq3), tm.powi(4)));
+        assert!(close(k.contribution(&u3, &seq3), tm.powi(2)));
+    }
+
+    #[test]
+    fn normalised_kernel_is_a_similarity() {
+        let k = SskKernel::new(4);
+        let a = [0u8, 1, 2, 3, 4];
+        let b = [0u8, 1, 2, 4, 3];
+        let c = [5u8, 6, 7, 8, 9];
+        assert!((k.eval(&a[..], &a[..]) - 1.0).abs() < 1e-12);
+        let ab = k.eval(&a[..], &b[..]);
+        let ac = k.eval(&a[..], &c[..]);
+        assert!(ab > ac, "shared prefixes must look more similar");
+        assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        assert_eq!(ac, 0.0, "disjoint alphabets share no sub-sequence");
+    }
+
+    #[test]
+    fn gap_decay_penalises_spread_matches() {
+        let k = SskKernel::new(2)
+            .with_decays(0.9, 0.3)
+            .without_normalization();
+        let tight = [0u8, 1, 9, 9, 9];
+        let spread = [0u8, 9, 9, 9, 1];
+        let probe = [0u8, 1];
+        assert!(k.eval_raw(&probe, &tight) > k.eval_raw(&probe, &spread));
+    }
+
+    #[test]
+    fn kernel_gram_matrix_is_positive_definite() {
+        use crate::linalg::{Cholesky, Matrix};
+        let k = SskKernel::new(3);
+        let seqs: Vec<Vec<u8>> = vec![
+            vec![0, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![0, 0, 1, 1],
+            vec![2, 3, 0, 1],
+            vec![1, 1, 1, 1],
+        ];
+        let gram = Matrix::from_fn(seqs.len(), seqs.len(), |i, j| {
+            k.eval(&seqs[i][..], &seqs[j][..])
+        });
+        assert!(Cholesky::new(&gram, 1e-8).is_ok(), "gram must be PSD");
+    }
+
+    #[test]
+    fn empty_sequences_are_handled() {
+        let k = SskKernel::new(3);
+        assert_eq!(k.eval_raw(&[], &[1, 2]), 0.0);
+        assert_eq!(k.eval(&[][..], &[][..]), 1.0); // identical → similarity 1
+        assert_eq!(k.eval(&[][..], &[1][..]), 0.0);
+    }
+}

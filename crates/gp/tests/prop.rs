@@ -1,0 +1,103 @@
+//! Property tests for the GP stack: Cholesky correctness on random SPD
+//! matrices, SSK kernel axioms, GP posterior consistency, and EI behaviour.
+
+use boils_gp::{
+    expected_improvement, Cholesky, Gp, Kernel, Matrix, SquaredExponential, SskKernel,
+};
+use proptest::prelude::*;
+
+fn spd_from_seed(n: usize, vals: &[f64]) -> Matrix {
+    // A = BᵀB + n·I is SPD for any B.
+    let b = Matrix::from_fn(n, n, |i, j| vals[(i * n + j) % vals.len()]);
+    let mut a = b.transpose().mul(&b);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_solves_random_spd_systems(
+        n in 1usize..8,
+        vals in prop::collection::vec(-2.0f64..2.0, 1..64),
+        rhs in prop::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let a = spd_from_seed(n, &vals);
+        let c = Cholesky::new(&a, 0.0).expect("spd");
+        let b: Vec<f64> = rhs[..n].to_vec();
+        let x = c.solve(&b);
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6, "Ax={u} b={v}");
+        }
+        // log|A| must be finite and consistent with the factor.
+        prop_assert!(c.log_det().is_finite());
+    }
+
+    #[test]
+    fn ssk_is_symmetric_and_cauchy_schwarz(
+        s in prop::collection::vec(0u8..6, 1..10),
+        t in prop::collection::vec(0u8..6, 1..10),
+        ell in 1usize..4,
+    ) {
+        let k = SskKernel::new(ell).with_decays(0.7, 0.45).without_normalization();
+        let kst = k.eval_raw(&s, &t);
+        let kts = k.eval_raw(&t, &s);
+        prop_assert!((kst - kts).abs() < 1e-9, "not symmetric");
+        // Cauchy–Schwarz: k(s,t)² ≤ k(s,s)·k(t,t).
+        let kss = k.eval_raw(&s, &s);
+        let ktt = k.eval_raw(&t, &t);
+        prop_assert!(kst * kst <= kss * ktt + 1e-9);
+        prop_assert!(kss >= 0.0 && ktt >= 0.0);
+    }
+
+    #[test]
+    fn normalised_ssk_is_bounded_by_one(
+        s in prop::collection::vec(0u8..11, 1..12),
+        t in prop::collection::vec(0u8..11, 1..12),
+    ) {
+        let k = SskKernel::new(4);
+        let v = Kernel::<[u8]>::eval(&k, &s, &t);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
+        let same = Kernel::<[u8]>::eval(&k, &s, &s);
+        prop_assert!((same - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gp_interpolates_and_calibrates(
+        ys in prop::collection::vec(-3.0f64..3.0, 3..10),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let gp = Gp::fit(SquaredExponential::new(1), xs.clone(), ys.clone(), 1e-8)
+            .expect("spd");
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x);
+            prop_assert!((mean - y).abs() < 1e-2, "mean {mean} vs {y}");
+            prop_assert!(var >= 0.0);
+        }
+        // Far from data, variance approaches the prior variance — on the
+        // original scale that is the sample variance of the targets.
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var_y = ys.iter().map(|v| (v - mean_y).powi(2)).sum::<f64>() / ys.len() as f64;
+        let (_, far_var) = gp.predict(&vec![1e4]);
+        prop_assert!(
+            far_var > 0.5 * var_y.max(1e-12),
+            "far variance {far_var} vs target variance {var_y}"
+        );
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_monotone_in_mean(
+        mean in -5.0f64..5.0,
+        var in 0.0f64..10.0,
+        best in -5.0f64..5.0,
+    ) {
+        let ei = expected_improvement(mean, var, best);
+        prop_assert!(ei >= 0.0);
+        let ei_better = expected_improvement(mean + 0.5, var, best);
+        prop_assert!(ei_better >= ei - 1e-12, "EI not monotone in mean");
+    }
+}

@@ -1,0 +1,227 @@
+//! Cuts: small sets of nodes whose functions cover a cone of logic.
+
+use boils_aig::Aig;
+
+/// A cut of an AIG node: a set of at most `K` leaf nodes such that every
+/// path from the inputs to the node passes through a leaf.
+///
+/// Leaves are kept sorted; `signature` is a 64-bit Bloom-style summary used
+/// to cheaply pre-filter dominance checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cut {
+    pub(crate) leaves: Vec<u32>,
+    pub(crate) signature: u64,
+    /// Arrival time of the cut (1 + max leaf arrival).
+    pub(crate) delay: u32,
+    /// Heuristic area cost (area flow).
+    pub(crate) area_flow: f64,
+}
+
+impl Cut {
+    /// The trivial cut `{node}`.
+    pub(crate) fn trivial(node: u32, arrival: u32) -> Cut {
+        Cut {
+            leaves: vec![node],
+            signature: sig_of(node),
+            delay: arrival,
+            area_flow: 0.0,
+        }
+    }
+
+    /// The cut's leaf nodes, sorted ascending.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves
+    }
+
+    /// Merges two cuts; `None` if the union exceeds `k` leaves.
+    pub(crate) fn merge(&self, other: &Cut, k: usize) -> Option<Vec<u32>> {
+        let mut out = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            if out.len() == k {
+                return None;
+            }
+            out.push(next);
+        }
+        Some(out)
+    }
+
+    /// Whether `self`'s leaves are a subset of `other`'s (dominance).
+    pub(crate) fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        if self.signature & !other.signature != 0 {
+            return false;
+        }
+        let mut j = 0;
+        for &l in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < l {
+                j += 1;
+            }
+            if j == other.leaves.len() || other.leaves[j] != l {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+pub(crate) fn sig_of(node: u32) -> u64 {
+    1u64 << (node % 64)
+}
+
+pub(crate) fn sig_of_leaves(leaves: &[u32]) -> u64 {
+    leaves.iter().fold(0u64, |acc, &l| acc | sig_of(l))
+}
+
+/// Computes the truth table of the cone rooted at `root` expressed over the
+/// given `leaves` (at most 6, so the table fits one `u64`).
+///
+/// Bit `p` of the result is the root's value when leaf `i` takes bit `i` of
+/// `p`. The `root` may itself be a leaf or a terminal.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() > 6` or if the cone reaches a non-leaf terminal
+/// (which means `leaves` was not a valid cut of `root`).
+pub fn cut_function(aig: &Aig, root: u32, leaves: &[u32]) -> u64 {
+    assert!(leaves.len() <= 6, "cut function limited to 6 leaves");
+    let masks: Vec<u64> = (0..leaves.len())
+        .map(|i| boils_aig::input_pattern(i, 1)[0])
+        .collect();
+    let width = 1usize << leaves.len();
+    let full: u64 = if width == 64 { !0 } else { (1u64 << width) - 1 };
+    // Local DFS evaluation with memoisation on the cone.
+    fn eval(
+        aig: &Aig,
+        node: u32,
+        leaves: &[u32],
+        masks: &[u64],
+        memo: &mut std::collections::HashMap<u32, u64>,
+    ) -> u64 {
+        if let Some(pos) = leaves.iter().position(|&l| l == node) {
+            return masks[pos];
+        }
+        if node == 0 {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        assert!(
+            aig.is_and(node as usize),
+            "cone of root escapes the cut leaves at node {node}"
+        );
+        let f0 = aig.fanin0(node as usize);
+        let f1 = aig.fanin1(node as usize);
+        let mut w0 = eval(aig, f0.var() as u32, leaves, masks, memo);
+        if f0.is_complement() {
+            w0 = !w0;
+        }
+        let mut w1 = eval(aig, f1.var() as u32, leaves, masks, memo);
+        if f1.is_complement() {
+            w1 = !w1;
+        }
+        let v = w0 & w1;
+        memo.insert(node, v);
+        v
+    }
+    let mut memo = std::collections::HashMap::new();
+    eval(aig, root, leaves, &masks, &mut memo) & full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_respects_limit() {
+        let a = Cut {
+            leaves: vec![1, 2, 3],
+            signature: sig_of_leaves(&[1, 2, 3]),
+            delay: 0,
+            area_flow: 0.0,
+        };
+        let b = Cut {
+            leaves: vec![3, 4, 5],
+            signature: sig_of_leaves(&[3, 4, 5]),
+            delay: 0,
+            area_flow: 0.0,
+        };
+        assert_eq!(a.merge(&b, 6), Some(vec![1, 2, 3, 4, 5]));
+        assert_eq!(a.merge(&b, 4), None);
+    }
+
+    #[test]
+    fn dominance_is_subset() {
+        let small = Cut {
+            leaves: vec![1, 3],
+            signature: sig_of_leaves(&[1, 3]),
+            delay: 0,
+            area_flow: 0.0,
+        };
+        let big = Cut {
+            leaves: vec![1, 2, 3],
+            signature: sig_of_leaves(&[1, 2, 3]),
+            delay: 0,
+            area_flow: 0.0,
+        };
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small.clone()));
+    }
+
+    #[test]
+    fn cut_function_of_mux() {
+        let mut aig = Aig::new(3);
+        let (s, t, e) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        let m = aig.mux(s, t, e);
+        aig.add_po(m);
+        let leaves = [s.var() as u32, t.var() as u32, e.var() as u32];
+        // `cut_function` computes the function of the *node*; the mux
+        // literal may be a complemented edge onto it.
+        let node_tt = cut_function(&aig, m.var() as u32, &leaves);
+        let tt = if m.is_complement() { !node_tt & 0xFF } else { node_tt };
+        for p in 0..8u64 {
+            let (sv, tv, ev) = (p & 1, p >> 1 & 1, p >> 2 & 1);
+            let expect = if sv == 1 { tv } else { ev };
+            assert_eq!(tt >> p & 1, expect, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn cut_function_of_leaf_is_identity() {
+        let mut aig = Aig::new(2);
+        let a = aig.pi(0);
+        let b = aig.pi(1);
+        let ab = aig.and(a, b);
+        aig.add_po(ab);
+        let tt = cut_function(&aig, a.var() as u32, &[a.var() as u32, b.var() as u32]);
+        assert_eq!(tt, 0b1010); // projection onto the first leaf
+    }
+}

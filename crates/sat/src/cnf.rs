@@ -1,0 +1,266 @@
+//! Tseitin encoding of AIGs into CNF and incremental node-equivalence
+//! queries — the engine room of SAT sweeping (`fraig`).
+
+use boils_aig::{Aig, Lit as AigLit};
+
+use crate::{Lit, SatResult, Solver, Var};
+
+/// A SAT solver loaded with the Tseitin encoding of one AIG.
+///
+/// Every AIG node gets one CNF variable; AND gates contribute the three
+/// standard Tseitin clauses. The encoding is built once and then supports
+/// any number of incremental [equality queries](AigCnf::prove_equal), which
+/// is how fraiging validates simulation-derived equivalence candidates.
+///
+/// ```
+/// use boils_aig::Aig;
+/// use boils_sat::AigCnf;
+///
+/// let mut aig = Aig::new(2);
+/// let (a, b) = (aig.pi(0), aig.pi(1));
+/// let ab = aig.and(a, b);
+/// let ba = aig.and(b, a); // structurally identical, so same node
+/// aig.add_po(ab);
+///
+/// let mut cnf = AigCnf::new(&aig);
+/// assert_eq!(cnf.prove_equal(ab, ba), Some(true));
+/// assert_eq!(cnf.prove_equal(ab, a), Some(false)); // a=1, b=0 differs
+/// ```
+#[derive(Debug)]
+pub struct AigCnf {
+    solver: Solver,
+    node_var: Vec<Var>,
+    num_pis: usize,
+}
+
+impl AigCnf {
+    /// Encodes `aig` into a fresh solver.
+    pub fn new(aig: &Aig) -> AigCnf {
+        let mut solver = Solver::new();
+        let node_var: Vec<Var> = (0..aig.num_nodes()).map(|_| solver.new_var()).collect();
+        // The constant node is false.
+        solver.add_clause(&[Lit::negative(node_var[0])]);
+        for var in aig.ands() {
+            let v = Lit::positive(node_var[var]);
+            let a = sat_lit(&node_var, aig.fanin0(var));
+            let b = sat_lit(&node_var, aig.fanin1(var));
+            // v ↔ (a ∧ b)
+            solver.add_clause(&[!v, a]);
+            solver.add_clause(&[!v, b]);
+            solver.add_clause(&[v, !a, !b]);
+        }
+        AigCnf {
+            solver,
+            node_var,
+            num_pis: aig.num_pis(),
+        }
+    }
+
+    /// The CNF literal corresponding to an AIG literal.
+    pub fn lit(&self, l: AigLit) -> Lit {
+        sat_lit(&self.node_var, l)
+    }
+
+    /// Grants mutable access to the underlying solver (e.g. to set a
+    /// conflict budget or add side constraints).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Decides whether two AIG literals compute the same function.
+    ///
+    /// Returns `Some(true)` if provably equal, `Some(false)` if a
+    /// distinguishing input exists (retrievable via
+    /// [`AigCnf::counterexample`]), or `None` if the solver's conflict
+    /// budget ran out.
+    pub fn prove_equal(&mut self, a: AigLit, b: AigLit) -> Option<bool> {
+        let sa = self.lit(a);
+        let sb = self.lit(b);
+        // t → (a ⊕ b): asking for SAT under assumption t asks for a witness
+        // where they differ.
+        let t = Lit::positive(self.solver.new_var());
+        self.solver.add_clause(&[!t, sa, sb]);
+        self.solver.add_clause(&[!t, !sa, !sb]);
+        let result = self.solver.solve(&[t]);
+        match result {
+            SatResult::Sat => Some(false),
+            SatResult::Unsat => {
+                // Deactivate the XOR for future queries.
+                self.solver.add_clause(&[!t]);
+                Some(true)
+            }
+            SatResult::Unknown => None,
+        }
+    }
+
+    /// The primary-input assignment of the most recent `Some(false)` answer
+    /// from [`AigCnf::prove_equal`], one bool per PI.
+    pub fn counterexample(&self) -> Vec<bool> {
+        (0..self.num_pis)
+            .map(|i| self.solver.model_value(self.node_var[1 + i]).unwrap_or(false))
+            .collect()
+    }
+}
+
+fn sat_lit(node_var: &[Var], l: AigLit) -> Lit {
+    Lit::new(node_var[l.var()], l.is_complement())
+}
+
+/// Outcome of a combinational equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The two AIGs compute identical functions on all outputs.
+    Equivalent,
+    /// The AIGs differ; the payload is a distinguishing input assignment.
+    NotEquivalent { counterexample: Vec<bool> },
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+/// Checks combinational equivalence of two AIGs with a shared-input miter.
+///
+/// Both AIGs must have the same number of inputs and outputs. A fresh solver
+/// encodes both circuits over shared primary-input variables, XORs each
+/// output pair and asserts that at least one pair differs; UNSAT means
+/// equivalent. `conflict_budget` bounds the effort (`None` = unbounded).
+///
+/// # Panics
+///
+/// Panics if the interface arities differ.
+///
+/// ```
+/// use boils_aig::Aig;
+/// use boils_sat::{check_equivalence, EquivResult};
+///
+/// let mut a = Aig::new(2);
+/// let (x, y) = (a.pi(0), a.pi(1));
+/// let f = a.xor(x, y);
+/// a.add_po(f);
+///
+/// // De Morgan spelling of XOR.
+/// let mut b = Aig::new(2);
+/// let (x, y) = (b.pi(0), b.pi(1));
+/// let left = b.and(x, !y);
+/// let right = b.and(!x, y);
+/// let g = b.or(left, right);
+/// b.add_po(g);
+///
+/// assert_eq!(check_equivalence(&a, &b, None), EquivResult::Equivalent);
+/// ```
+pub fn check_equivalence(a: &Aig, b: &Aig, conflict_budget: Option<u64>) -> EquivResult {
+    assert_eq!(a.num_pis(), b.num_pis(), "input arity mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "output arity mismatch");
+    let mut solver = Solver::new();
+    let pis: Vec<Var> = (0..a.num_pis()).map(|_| solver.new_var()).collect();
+    let out_a = encode_shared(&mut solver, a, &pis);
+    let out_b = encode_shared(&mut solver, b, &pis);
+    let mut diffs = Vec::with_capacity(out_a.len());
+    for (&la, &lb) in out_a.iter().zip(&out_b) {
+        let d = Lit::positive(solver.new_var());
+        // d → (la ⊕ lb); one direction suffices for the miter.
+        solver.add_clause(&[!d, la, lb]);
+        solver.add_clause(&[!d, !la, !lb]);
+        diffs.push(d);
+    }
+    solver.add_clause(&diffs);
+    solver.set_conflict_budget(conflict_budget);
+    match solver.solve(&[]) {
+        SatResult::Unsat => EquivResult::Equivalent,
+        SatResult::Sat => EquivResult::NotEquivalent {
+            counterexample: pis
+                .iter()
+                .map(|&v| solver.model_value(v).unwrap_or(false))
+                .collect(),
+        },
+        SatResult::Unknown => EquivResult::Unknown,
+    }
+}
+
+/// Encodes `aig` into `solver` reusing `pis` as the input variables;
+/// returns the output literals.
+fn encode_shared(solver: &mut Solver, aig: &Aig, pis: &[Var]) -> Vec<Lit> {
+    let mut node_var: Vec<Var> = Vec::with_capacity(aig.num_nodes());
+    let const_var = solver.new_var();
+    solver.add_clause(&[Lit::negative(const_var)]);
+    node_var.push(const_var);
+    node_var.extend_from_slice(pis);
+    for var in aig.ands() {
+        let v_new = solver.new_var();
+        let v = Lit::positive(v_new);
+        let a = sat_lit(&node_var, aig.fanin0(var));
+        let b = sat_lit(&node_var, aig.fanin1(var));
+        solver.add_clause(&[!v, a]);
+        solver.add_clause(&[!v, b]);
+        solver.add_clause(&[v, !a, !b]);
+        node_var.push(v_new);
+    }
+    aig.pos().iter().map(|&po| sat_lit(&node_var, po)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    #[test]
+    fn equivalence_of_identical_random_aigs() {
+        let a = random_aig(3, 6, 60, 3);
+        assert_eq!(check_equivalence(&a, &a.clone(), None), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn cleanup_is_equivalent() {
+        let a = random_aig(11, 7, 90, 2);
+        assert_eq!(check_equivalence(&a, &a.cleanup(), None), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn detects_single_output_flip() {
+        let a = random_aig(5, 5, 40, 2);
+        let mut b = a.clone();
+        b.set_po(1, !b.po(1));
+        match check_equivalence(&a, &b, None) {
+            EquivResult::NotEquivalent { counterexample } => {
+                // The counterexample must actually distinguish the circuits.
+                let words: Vec<u64> = counterexample.iter().map(|&x| x as u64).collect();
+                assert_ne!(a.simulate(&words), b.simulate(&words));
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prove_equal_finds_structural_twins() {
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        // (a & b) & c versus a & (b & c): structurally different nodes,
+        // functionally identical.
+        let ab = aig.and(a, b);
+        let abc1 = aig.and(ab, c);
+        let bc = aig.and(b, c);
+        let abc2 = aig.and(a, bc);
+        aig.add_po(abc1);
+        aig.add_po(abc2);
+        let mut cnf = AigCnf::new(&aig);
+        assert_eq!(cnf.prove_equal(abc1, abc2), Some(true));
+        assert_eq!(cnf.prove_equal(abc1, !abc2), Some(false));
+        assert_eq!(cnf.prove_equal(ab, bc), Some(false));
+        let cex = cnf.counterexample();
+        assert_eq!(cex.len(), 3);
+    }
+
+    #[test]
+    fn counterexample_distinguishes_nodes() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.pi(0), aig.pi(1));
+        let and = aig.and(a, b);
+        let or = aig.or(a, b);
+        aig.add_po(and);
+        aig.add_po(or);
+        let mut cnf = AigCnf::new(&aig);
+        assert_eq!(cnf.prove_equal(and, or), Some(false));
+        let cex = cnf.counterexample();
+        // AND and OR differ exactly when inputs differ.
+        assert_ne!(cex[0], cex[1]);
+    }
+}

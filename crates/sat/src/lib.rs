@@ -1,0 +1,32 @@
+//! # boils-sat — CDCL SAT solving for logic synthesis
+//!
+//! A self-contained [CDCL solver](Solver) (two watched literals, first-UIP
+//! learning, VSIDS activity, restarts) plus the AIG glue the synthesis
+//! pipeline needs: [Tseitin encoding](AigCnf) with incremental
+//! node-equivalence queries for SAT sweeping, and a
+//! [miter-based equivalence checker](check_equivalence) used to prove that
+//! every transform in `boils-synth` preserves circuit function.
+//!
+//! ## Example
+//!
+//! ```
+//! use boils_sat::{Lit, SatResult, Solver};
+//!
+//! // (x ∨ y) ∧ (¬x ∨ y) ∧ (¬y ∨ z)
+//! let mut solver = Solver::new();
+//! let (x, y, z) = (solver.new_var(), solver.new_var(), solver.new_var());
+//! solver.add_clause(&[Lit::positive(x), Lit::positive(y)]);
+//! solver.add_clause(&[Lit::negative(x), Lit::positive(y)]);
+//! solver.add_clause(&[Lit::negative(y), Lit::positive(z)]);
+//! assert_eq!(solver.solve(&[]), SatResult::Sat);
+//! assert_eq!(solver.model_value(y), Some(true));
+//! assert_eq!(solver.model_value(z), Some(true));
+//! ```
+
+mod cnf;
+mod lit;
+mod solver;
+
+pub use crate::cnf::{check_equivalence, AigCnf, EquivResult};
+pub use crate::lit::{Lit, Var};
+pub use crate::solver::{SatResult, Solver};

@@ -1,0 +1,115 @@
+//! CNF variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A CNF variable index (0-based).
+pub type Var = u32;
+
+/// A CNF literal: a variable with a sign.
+///
+/// Encoded as `2 * var + sign` where `sign == 1` means negated, mirroring
+/// the DIMACS convention up to the off-by-one.
+///
+/// ```
+/// use boils_sat::Lit;
+///
+/// let x = Lit::positive(4);
+/// assert_eq!(x.var(), 4);
+/// assert!(!x.is_negative());
+/// assert!((!x).is_negative());
+/// assert_eq!(!!x, x);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Lit {
+        Lit(var << 1 | 1)
+    }
+
+    /// Creates a literal with an explicit sign (`true` = negated).
+    #[inline]
+    pub fn new(var: Var, negative: bool) -> Lit {
+        Lit(var << 1 | negative as u32)
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The truth value this literal takes when its variable is `value`.
+    #[inline]
+    pub fn apply(self, value: bool) -> bool {
+        value ^ self.is_negative()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_round_trip() {
+        let l = Lit::new(9, true);
+        assert_eq!(l, Lit::negative(9));
+        assert_eq!(!l, Lit::positive(9));
+        assert_eq!(l.var(), 9);
+        assert_eq!(l.index(), 19);
+    }
+
+    #[test]
+    fn apply_respects_sign() {
+        assert!(Lit::positive(0).apply(true));
+        assert!(!Lit::positive(0).apply(false));
+        assert!(Lit::negative(0).apply(false));
+        assert!(!Lit::negative(0).apply(true));
+    }
+}

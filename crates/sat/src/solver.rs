@@ -1,0 +1,810 @@
+//! A compact CDCL SAT solver in the MiniSat tradition: two watched literals,
+//! first-UIP clause learning, VSIDS-style variable activity, phase saving,
+//! geometric restarts and learnt-clause reduction.
+//!
+//! The solver is deliberately small (no preprocessing, no clause
+//! minimisation) but complete; it is sized for the workloads the synthesis
+//! pipeline produces — miters of a few thousand gates for fraiging and
+//! equivalence checking.
+
+use crate::{Lit, Var};
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    #[inline]
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// The outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found (see [`Solver::model_value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// A CDCL SAT solver.
+///
+/// ```
+/// use boils_sat::{Lit, SatResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let x = solver.new_var();
+/// let y = solver.new_var();
+/// solver.add_clause(&[Lit::positive(x), Lit::positive(y)]);
+/// solver.add_clause(&[Lit::negative(x)]);
+/// assert_eq!(solver.solve(&[]), SatResult::Sat);
+/// assert_eq!(solver.model_value(y), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<u32>>,
+    level: Vec<u32>,
+    qhead: usize,
+    ok: bool,
+    seen: Vec<bool>,
+    conflict_budget: Option<u64>,
+    conflicts: u64,
+    num_learnts: usize,
+}
+
+const HEAP_NONE: usize = usize::MAX;
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            qhead: 0,
+            ok: true,
+            seen: Vec::new(),
+            conflict_budget: None,
+            conflicts: 0,
+            num_learnts: 0,
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt).count()
+    }
+
+    /// Total conflicts encountered across all `solve` calls.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Limits the total number of conflicts future `solve` calls may spend;
+    /// when exceeded, `solve` returns [`SatResult::Unknown`]. `None` removes
+    /// the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget.map(|b| self.conflicts + b);
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(HEAP_NONE);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver detected the formula to be trivially
+    /// unsatisfiable (conflicting unit clauses); once that happens every
+    /// subsequent `solve` returns [`SatResult::Unsat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was never created.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // Adding clauses invalidates any in-progress search state; return to
+        // the root level first (this also discards a previous model).
+        self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        // Normalise: sort, dedup, drop false lits, detect tautology/sat.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut out = Vec::with_capacity(c.len());
+        for &l in &c {
+            assert!((l.var() as usize) < self.num_vars(), "unknown variable");
+            if c.contains(&!l) && !l.is_negative() {
+                return true; // tautology: x ∨ ¬x
+            }
+            match self.value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        let (w0, w1) = (lits[0], lits[1]);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.watches[(!w0).index()].push(Watcher {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[(!w1).index()].push(Watcher {
+            clause: idx,
+            blocker: w0,
+        });
+        idx
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        match self.assign[l.var() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.apply(true)),
+            LBool::False => LBool::from_bool(l.apply(false)),
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = LBool::from_bool(!l.is_negative());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching !p must be inspected now that p is true.
+            let mut i = 0;
+            let widx = p.index();
+            'watchers: while i < self.watches[widx].len() {
+                let Watcher { clause, blocker } = self.watches[widx][i];
+                if self.value(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                // Make sure the false literal is at position 1.
+                {
+                    let c = &mut self.clauses[clause as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[clause as usize].lits[0];
+                if first != blocker && self.value(first) == LBool::True {
+                    self.watches[widx][i] = Watcher {
+                        clause,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[clause as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[clause as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        let c = &mut self.clauses[clause as usize];
+                        c.lits.swap(1, k);
+                        self.watches[widx].swap_remove(i);
+                        self.watches[(!lk).index()].push(Watcher {
+                            clause,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.value(first) == LBool::False {
+                    self.qhead = self.trail.len();
+                    return Some(clause);
+                }
+                self.unchecked_enqueue(first, Some(clause));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            let c = conflict as usize;
+            if self.clauses[c].learnt {
+                self.bump_clause(c);
+            }
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..self.clauses[c].lits.len() {
+                let q = self.clauses[c].lits[k];
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            conflict = self.reason[pl.var() as usize].expect("resolved literal has a reason");
+        }
+
+        // Compute backjump level (second-highest level in the clause).
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i
+            in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+        for l in &learnt {
+            self.seen[l.var() as usize] = false;
+        }
+        (learnt, backjump)
+    }
+
+    fn backtrack(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let lim = self.trail_lim[target_level as usize];
+        for k in (lim..self.trail.len()).rev() {
+            let v = self.trail[k].var();
+            self.assign[v as usize] = LBool::Undef;
+            self.polarity[v as usize] = !self.trail[k].is_negative();
+            self.reason[v as usize] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // -- VSIDS ------------------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_decrease(v);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, c: usize) {
+        self.clauses[c].activity += self.cla_inc;
+        if self.clauses[c].activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    // -- Indexed max-heap over variable activity ---------------------------
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v as usize] != HEAP_NONE {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_decrease(&mut self, v: Var) {
+        let pos = self.heap_pos[v as usize];
+        if pos != HEAP_NONE {
+            self.heap_sift_up(pos);
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i;
+        self.heap_pos[self.heap[j] as usize] = j;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.heap_swap(0, last);
+        self.heap.pop();
+        self.heap_pos[top as usize] = HEAP_NONE;
+        if !self.heap.is_empty() {
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v as usize] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // -- Learnt clause reduction -------------------------------------------
+
+    fn reduce_learnts(&mut self) {
+        // Drop roughly half of the learnt clauses with the lowest activity.
+        // Clauses currently acting as a reason are kept.
+        let mut learnt_idx: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| self.clauses[i as usize].learnt)
+            .collect();
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        let locked: Vec<bool> = (0..self.clauses.len() as u32)
+            .map(|i| self.reason.contains(&Some(i)))
+            .collect();
+        let mut to_remove = vec![false; self.clauses.len()];
+        for &i in learnt_idx.iter().take(learnt_idx.len() / 2) {
+            if !locked[i as usize] && self.clauses[i as usize].lits.len() > 2 {
+                to_remove[i as usize] = true;
+            }
+        }
+        // Rebuild the clause arena, remapping indices.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.clauses.len()];
+        let mut next = 0u32;
+        for (i, rm) in to_remove.iter().enumerate() {
+            if !rm {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let old = std::mem::take(&mut self.clauses);
+        self.num_learnts = 0;
+        for (i, c) in old.into_iter().enumerate() {
+            if !to_remove[i] {
+                if c.learnt {
+                    self.num_learnts += 1;
+                }
+                self.clauses.push(c);
+            }
+        }
+        for w in &mut self.watches {
+            w.retain_mut(|watcher| {
+                let n = remap[watcher.clause as usize];
+                if n == u32::MAX {
+                    false
+                } else {
+                    watcher.clause = n;
+                    true
+                }
+            });
+        }
+        for i in self.reason.iter_mut().flatten() {
+            *i = remap[*i as usize];
+            debug_assert_ne!(*i, u32::MAX);
+        }
+    }
+
+    // -- Main search --------------------------------------------------------
+
+    /// Solves the formula under the given `assumptions`.
+    ///
+    /// Returns [`SatResult::Unknown`] only if a conflict budget was set via
+    /// [`Solver::set_conflict_budget`] and exhausted.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+        let mut max_learnts = (self.num_clauses() / 3).max(1000);
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                // Backjump freely; the decision loop re-places any
+                // assumptions that were rolled back.
+                self.backtrack(backjump);
+                if learnt.len() == 1 {
+                    debug_assert_eq!(self.decision_level(), 0);
+                    match self.value(learnt[0]) {
+                        LBool::False => {
+                            self.ok = false;
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => self.unchecked_enqueue(learnt[0], None),
+                        LBool::True => {}
+                    }
+                } else {
+                    // The learnt clause is asserting after the backjump.
+                    let asserting = learnt[0];
+                    debug_assert_eq!(self.value(asserting), LBool::Undef);
+                    let idx = self.attach_clause(learnt, true);
+                    self.unchecked_enqueue(asserting, Some(idx));
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+                if let Some(budget) = self.conflict_budget {
+                    if self.conflicts >= budget {
+                        self.backtrack(0);
+                        return SatResult::Unknown;
+                    }
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit * 3 / 2;
+                    self.backtrack(self.assumption_level(assumptions));
+                }
+                if self.num_learnts > max_learnts {
+                    self.reduce_learnts();
+                    max_learnts = max_learnts * 11 / 10;
+                }
+                // Place assumptions as pseudo-decisions first.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value(a) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return SatResult::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SatResult::Sat,
+                    Some(v) => {
+                        let lit = Lit::new(v, !self.polarity[v as usize]);
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assumption_level(&self, assumptions: &[Lit]) -> u32 {
+        (assumptions.len() as u32).min(self.decision_level())
+    }
+
+    /// The model value of `v` after a [`SatResult::Sat`] answer; `None` for
+    /// variables the search never assigned (any value satisfies).
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        match self.assign[v as usize] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| Lit::new((x.unsigned_abs() - 1) as Var, x < 0))
+            .collect()
+    }
+
+    fn solver_with(num_vars: usize, clauses: &[Vec<i32>]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(&lits(c));
+        }
+        s
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = solver_with(2, &[vec![1, 2]]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let mut s = solver_with(1, &[vec![1], vec![-1]]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // x1, x1→x2, x2→x3 … forces all true; final clause ¬x5 conflicts.
+        let mut s = solver_with(
+            5,
+            &[
+                vec![1],
+                vec![-1, 2],
+                vec![-2, 3],
+                vec![-3, 4],
+                vec![-4, 5],
+                vec![-5],
+            ],
+        );
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // Variables p(i, j): pigeon i in hole j; i in 0..4, j in 0..3.
+        let var = |i: usize, j: usize| (i * 3 + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..4 {
+            clauses.push((0..3).map(|j| var(i, j)).collect());
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        let mut s = solver_with(12, &clauses);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses = vec![
+            vec![1, 2, -3],
+            vec![-1, 3],
+            vec![-2, 3],
+            vec![1, -2],
+            vec![2, -1, 3],
+        ];
+        let mut s = solver_with(3, &clauses);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for c in &clauses {
+            let sat = c.iter().any(|&x| {
+                let v = (x.unsigned_abs() - 1) as Var;
+                let val = s.model_value(v).unwrap_or(false);
+                if x > 0 {
+                    val
+                } else {
+                    !val
+                }
+            });
+            assert!(sat, "model violates clause {c:?}");
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        // (x ∨ y) with assumption ¬x forces y; assuming ¬x ∧ ¬y is UNSAT.
+        let mut s = solver_with(2, &[vec![1, 2]]);
+        assert_eq!(s.solve(&lits(&[-1])), SatResult::Sat);
+        assert_eq!(s.model_value(1), Some(true));
+        assert_eq!(s.solve(&lits(&[-1, -2])), SatResult::Unsat);
+        // Solver remains usable without assumptions.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // Pigeonhole 7→6 is hard enough to exceed a tiny budget.
+        let var = |i: usize, j: usize| (i * 6 + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..7 {
+            clauses.push((0..6).map(|j| var(i, j)).collect());
+        }
+        for j in 0..6 {
+            for i1 in 0..7 {
+                for i2 in (i1 + 1)..7 {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        let mut s = solver_with(42, &clauses);
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicates_are_harmless() {
+        let mut s = solver_with(2, &[vec![1, -1], vec![2, 2]]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.model_value(1), Some(true));
+    }
+}

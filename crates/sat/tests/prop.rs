@@ -1,0 +1,81 @@
+//! Property tests for the SAT solver: agreement with brute-force enumeration
+//! on random small CNFs, and agreement between the SAT-based equivalence
+//! checker and exhaustive simulation on random AIGs.
+
+use boils_aig::random_aig;
+use boils_sat::{check_equivalence, EquivResult, Lit, SatResult, Solver};
+use proptest::prelude::*;
+
+/// Brute-force satisfiability over `num_vars ≤ 16` variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    for assignment in 0u32..(1 << num_vars) {
+        let ok = clauses.iter().all(|c| {
+            c.iter()
+                .any(|&(v, neg)| ((assignment >> v) & 1 == 1) ^ neg)
+        });
+        if ok {
+            return true;
+        }
+    }
+    clauses.is_empty()
+}
+
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(
+        num_vars in 1usize..10,
+        clauses in prop::collection::vec(clause_strategy(9), 0..40),
+    ) {
+        let clauses: Vec<Vec<(usize, bool)>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|&(v, _)| v < num_vars).collect())
+            .filter(|c: &Vec<(usize, bool)>| !c.is_empty())
+            .collect();
+        let mut solver = Solver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            let lits: Vec<Lit> = c.iter().map(|&(v, neg)| Lit::new(v as u32, neg)).collect();
+            solver.add_clause(&lits);
+        }
+        let expected = brute_force_sat(num_vars, &clauses);
+        let got = solver.solve(&[]);
+        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        if got == SatResult::Sat {
+            // The produced model must satisfy every clause.
+            for c in &clauses {
+                let ok = c.iter().any(|&(v, neg)| {
+                    solver.model_value(v as u32).unwrap_or(false) ^ neg
+                });
+                prop_assert!(ok, "model violates clause {:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_checker_agrees_with_exhaustive_simulation(
+        seed_a in 0u64..500,
+        seed_b in 0u64..500,
+        gates in 5usize..60,
+    ) {
+        let a = random_aig(seed_a, 5, gates, 2);
+        let b = random_aig(seed_b, 5, gates, 2);
+        let sim_equal = a.simulate_exhaustive() == b.simulate_exhaustive();
+        match check_equivalence(&a, &b, None) {
+            EquivResult::Equivalent => prop_assert!(sim_equal),
+            EquivResult::NotEquivalent { counterexample } => {
+                prop_assert!(!sim_equal);
+                let words: Vec<u64> = counterexample.iter().map(|&x| x as u64).collect();
+                prop_assert_ne!(a.simulate(&words), b.simulate(&words));
+            }
+            EquivResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! AND-tree balancing (ABC `balance`): collects maximal multi-input AND
+//! supergates and rebuilds them as depth-minimal trees, combining the
+//! shallowest operands first (Huffman-style on levels).
+
+use boils_aig::{Aig, Lit};
+
+/// Rebalances the AIG to minimise depth without changing any function.
+///
+/// ```
+/// use boils_aig::Aig;
+/// use boils_synth::balance;
+///
+/// // A left-leaning AND chain of depth 7 over 8 inputs …
+/// let mut aig = Aig::new(8);
+/// let mut acc = aig.pi(0);
+/// for i in 1..8 {
+///     let p = aig.pi(i);
+///     acc = aig.and(acc, p);
+/// }
+/// aig.add_po(acc);
+/// assert_eq!(aig.depth(), 7);
+///
+/// // … balances to the optimal depth 3 tree.
+/// let balanced = balance(&aig);
+/// assert_eq!(balanced.depth(), 3);
+/// ```
+pub fn balance(aig: &Aig) -> Aig {
+    let aig = aig.cleanup();
+    let refs = aig.fanout_counts();
+    let mut out = Aig::new(aig.num_pis());
+    out.set_name(aig.name().to_string());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..aig.num_pis() {
+        map[1 + i] = out.pi(i);
+    }
+    // Incremental level tracking for the output AIG.
+    let mut levels: Vec<u32> = vec![0; out.num_nodes()];
+
+    for var in aig.ands() {
+        // Collect this node's AND supergate operands (old-space literals).
+        let mut operands = Vec::new();
+        collect_supergate(&aig, Lit::from_var(var, false), &refs, true, &mut operands);
+        // Map to new-space literals with their levels.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
+            operands
+                .iter()
+                .map(|l| {
+                    let nl = map[l.var()].xor_complement(l.is_complement());
+                    std::cmp::Reverse((levels[nl.var()], nl.raw()))
+                })
+                .collect();
+        // Combine the two shallowest operands until one remains.
+        let result = loop {
+            match heap.len() {
+                0 => break Lit::TRUE,
+                1 => break Lit::from_raw(heap.pop().expect("nonempty").0 .1),
+                _ => {
+                    let a = Lit::from_raw(heap.pop().expect("len>1").0 .1);
+                    let b = Lit::from_raw(heap.pop().expect("len>1").0 .1);
+                    let r = out.and(a, b);
+                    sync_levels(&out, &mut levels);
+                    heap.push(std::cmp::Reverse((levels[r.var()], r.raw())));
+                }
+            }
+        };
+        sync_levels(&out, &mut levels);
+        map[var] = result;
+    }
+    for po in aig.pos() {
+        let lit = map[po.var()].xor_complement(po.is_complement());
+        out.add_po(lit);
+    }
+    out.cleanup()
+}
+
+/// Extends `levels` to cover nodes appended to `out` since the last call.
+fn sync_levels(out: &Aig, levels: &mut Vec<u32>) {
+    while levels.len() < out.num_nodes() {
+        let var = levels.len();
+        let l0 = levels[out.fanin0(var).var()];
+        let l1 = levels[out.fanin1(var).var()];
+        levels.push(1 + l0.max(l1));
+    }
+}
+
+/// Collects the operand literals of the maximal AND tree rooted at `lit`:
+/// recursion continues through non-complemented, single-fanout AND gates.
+fn collect_supergate(aig: &Aig, lit: Lit, refs: &[u32], is_root: bool, out: &mut Vec<Lit>) {
+    let var = lit.var();
+    let expandable = aig.is_and(var)
+        && !lit.is_complement()
+        && (is_root || refs[var] == 1)
+        && out.len() < 64;
+    if !expandable {
+        if !out.contains(&lit) {
+            out.push(lit);
+        }
+        return;
+    }
+    collect_supergate(aig, aig.fanin0(var), refs, false, out);
+    collect_supergate(aig, aig.fanin1(var), refs, false, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    #[test]
+    fn balances_chain_to_log_depth() {
+        let mut aig = Aig::new(16);
+        let mut acc = aig.pi(0);
+        for i in 1..16 {
+            let p = aig.pi(i);
+            acc = aig.and(acc, p);
+        }
+        aig.add_po(acc);
+        let b = balance(&aig);
+        assert_eq!(b.depth(), 4);
+        assert_eq!(b.num_ands(), 15);
+    }
+
+    #[test]
+    fn preserves_function_on_random_aigs() {
+        for seed in 0..15 {
+            let aig = random_aig(seed, 7, 120, 3);
+            let b = balance(&aig);
+            assert_eq!(
+                b.simulate_exhaustive(),
+                aig.simulate_exhaustive(),
+                "seed {seed}"
+            );
+            assert!(b.depth() <= aig.depth(), "seed {seed}: balance raised depth");
+            b.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn or_chains_balance_too() {
+        // OR chains appear as AND chains of complements.
+        let mut aig = Aig::new(12);
+        let mut acc = aig.pi(0);
+        for i in 1..12 {
+            let p = aig.pi(i);
+            acc = aig.or(acc, p);
+        }
+        aig.add_po(acc);
+        let b = balance(&aig);
+        assert!(b.depth() <= 4);
+        assert_eq!(b.simulate_exhaustive(), aig.simulate_exhaustive());
+    }
+
+    #[test]
+    fn idempotent_on_balanced_input() {
+        let mut aig = Aig::new(8);
+        let lits: Vec<Lit> = (0..8).map(|i| aig.pi(i)).collect();
+        let conj = aig.and_many(&lits);
+        aig.add_po(conj);
+        let once = balance(&aig);
+        let twice = balance(&once);
+        assert_eq!(once.num_ands(), twice.num_ands());
+        assert_eq!(once.depth(), twice.depth());
+    }
+}

@@ -1,0 +1,161 @@
+//! DAG-aware cut rewriting (ABC `rewrite` / `rewrite -z`).
+//!
+//! For every AND node, 4-feasible cuts are enumerated, the cut function is
+//! resynthesised from its ISOP factorisation, and the candidate structure is
+//! priced against the existing graph: `gain = (gates the old cone frees) −
+//! (genuinely new gates the candidate adds)`. Replacements with positive
+//! gain (non-negative with `-z`) are committed in one rebuild pass.
+
+use std::collections::HashMap;
+
+use boils_aig::Aig;
+use boils_mapper::cut_function;
+
+use crate::cuts::enumerate_cuts;
+use crate::factor::{tt_to_dsd_template, tt_to_factored_template};
+use crate::rebuild::{count_new_nodes, cut_mffc, rebuild_with, Replacement};
+use crate::tt::Tt;
+
+/// Rewrites 4-input cuts with factored ISOP structures.
+///
+/// With `use_zero_cost = true` (ABC's `rewrite -z`), replacements that
+/// neither grow nor shrink the graph are also committed — useless on their
+/// own but frequently unlocking later optimisations by changing structure.
+///
+/// ```
+/// use boils_aig::Aig;
+/// use boils_synth::rewrite;
+///
+/// // A redundantly built xor-of-xor: rewriting shrinks it.
+/// let mut aig = Aig::new(3);
+/// let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+/// let ab = aig.xor(a, b);
+/// let abc = aig.xor(ab, c);
+/// let dup = aig.and(abc, abc); // strash removes the duplication already
+/// aig.add_po(dup);
+///
+/// let rewritten = rewrite(&aig, false);
+/// assert!(rewritten.num_ands() <= aig.num_ands());
+/// assert_eq!(rewritten.simulate_exhaustive(), aig.simulate_exhaustive());
+/// ```
+pub fn rewrite(aig: &Aig, use_zero_cost: bool) -> Aig {
+    let aig = aig.cleanup();
+    let mut refs = aig.fanout_counts();
+    let cuts = enumerate_cuts(&aig, 4, 8);
+    let mut blocked = vec![false; aig.num_nodes()];
+    let mut replacements: HashMap<usize, Replacement> = HashMap::new();
+    // Two candidate structures per function: ISOP-factored and DSD-peeled.
+    // The cheaper one in context (structural reuse differs!) wins, loosely
+    // mirroring ABC's choice among precomputed NPN structures.
+    let mut cache: HashMap<(usize, u64), [Aig; 2]> = HashMap::new();
+
+    for var in aig.ands() {
+        if blocked[var] {
+            continue;
+        }
+        let mut best: Option<(i64, Replacement, Vec<usize>)> = None;
+        for cut in cuts[var].iter().skip(1) {
+            if cut.len() < 2 || cut.iter().any(|&l| blocked[l]) {
+                continue;
+            }
+            let tt_bits = cut_function(&aig, var as u32, &to_u32(cut));
+            let templates = cache
+                .entry((cut.len(), tt_bits))
+                .or_insert_with(|| {
+                    let tt = Tt::from_u64(cut.len(), tt_bits);
+                    [tt_to_factored_template(&tt), tt_to_dsd_template(&tt)]
+                })
+                .clone();
+            let (saved, dying) = cut_mffc(&aig, var, cut, &mut refs);
+            // Nodes about to die cannot be reused by the new structure.
+            for &d in &dying {
+                blocked[d] = true;
+            }
+            for template in templates {
+                let repl = Replacement {
+                    leaves: cut.clone(),
+                    template,
+                };
+                let added = count_new_nodes(&aig, &repl, &blocked);
+                let gain = saved as i64 - added as i64;
+                if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+                    best = Some((gain, repl, dying.clone()));
+                }
+            }
+            for &d in &dying {
+                blocked[d] = false;
+            }
+        }
+        if let Some((gain, repl, dying)) = best {
+            if gain > 0 || (use_zero_cost && gain == 0) {
+                for d in dying {
+                    blocked[d] = true;
+                }
+                replacements.insert(var, repl);
+            }
+        }
+    }
+    rebuild_with(&aig, &replacements)
+}
+
+fn to_u32(cut: &[usize]) -> Vec<u32> {
+    cut.iter().map(|&l| l as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    #[test]
+    fn preserves_function_on_random_aigs() {
+        for seed in 0..15 {
+            let aig = random_aig(seed + 100, 7, 150, 3);
+            let rw = rewrite(&aig, false);
+            assert_eq!(
+                rw.simulate_exhaustive(),
+                aig.simulate_exhaustive(),
+                "seed {seed}"
+            );
+            rw.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn never_grows_the_graph() {
+        for seed in 0..15 {
+            let aig = random_aig(seed + 300, 8, 200, 3).cleanup();
+            let rw = rewrite(&aig, false);
+            assert!(
+                rw.num_ands() <= aig.num_ands(),
+                "seed {seed}: rewrite grew {} -> {}",
+                aig.num_ands(),
+                rw.num_ands()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_variant_preserves_function_and_size() {
+        for seed in 0..10 {
+            let aig = random_aig(seed + 500, 7, 120, 2).cleanup();
+            let rwz = rewrite(&aig, true);
+            assert_eq!(rwz.simulate_exhaustive(), aig.simulate_exhaustive());
+            assert!(rwz.num_ands() <= aig.num_ands());
+        }
+    }
+
+    #[test]
+    fn shrinks_known_redundancy() {
+        // mux(s, a, a) should collapse toward `a`.
+        let mut aig = Aig::new(2);
+        let (s, a) = (aig.pi(0), aig.pi(1));
+        let sa = aig.and(s, a);
+        let nsa = aig.and(!s, a);
+        let m = aig.or(sa, nsa); // = a
+        aig.add_po(m);
+        let rw = rewrite(&aig, false);
+        assert!(rw.num_ands() < aig.num_ands());
+        assert_eq!(rw.simulate_exhaustive(), aig.simulate_exhaustive());
+    }
+}

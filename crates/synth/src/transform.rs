@@ -1,0 +1,265 @@
+//! The synthesis action alphabet: the eleven ABC transforms the BOiLS paper
+//! searches over, plus the `resyn2` reference flow used to normalise QoR.
+
+use std::fmt;
+use std::str::FromStr;
+
+use boils_aig::Aig;
+
+use crate::balance::balance;
+use crate::fraig::fraig;
+use crate::mapping_balance::{blut_balance, dsd_balance, sop_balance};
+use crate::refactor::refactor;
+use crate::resub::resub;
+use crate::rewrite::rewrite;
+
+/// One primitive synthesis transformation — the paper's alphabet
+/// `Alg = [rewrite, rewrite -z, refactor, refactor -z, resub, resub -z,
+/// balance, fraig, sopb, blut, dsdb]`.
+///
+/// ```
+/// use boils_aig::random_aig;
+/// use boils_synth::Transform;
+///
+/// let aig = random_aig(1, 6, 80, 2);
+/// let smaller = Transform::Rewrite.apply(&aig);
+/// assert!(smaller.num_ands() <= aig.cleanup().num_ands());
+/// assert_eq!(smaller.simulate_exhaustive(), aig.simulate_exhaustive());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Transform {
+    /// 4-cut DAG-aware rewriting (`rewrite`).
+    Rewrite,
+    /// Rewriting accepting zero-gain replacements (`rewrite -z`).
+    RewriteZ,
+    /// Large-cone ISOP refactoring (`refactor`).
+    Refactor,
+    /// Refactoring accepting zero-gain replacements (`refactor -z`).
+    RefactorZ,
+    /// Windowed resubstitution (`resub`).
+    Resub,
+    /// Resubstitution accepting zero-gain replacements (`resub -z`).
+    ResubZ,
+    /// Depth-minimising AND-tree balancing (`balance`).
+    Balance,
+    /// SAT sweeping of functionally equivalent nodes (`fraig`).
+    Fraig,
+    /// SOP balancing through 6-LUT mapping (`sopb`).
+    Sopb,
+    /// Shannon/mux balancing through 6-LUT mapping (`blut`).
+    Blut,
+    /// DSD balancing through 6-LUT mapping (`dsdb`).
+    Dsdb,
+}
+
+impl Transform {
+    /// The full action alphabet, in the paper's order (n = 11).
+    pub const ALL: [Transform; 11] = [
+        Transform::Rewrite,
+        Transform::RewriteZ,
+        Transform::Refactor,
+        Transform::RefactorZ,
+        Transform::Resub,
+        Transform::ResubZ,
+        Transform::Balance,
+        Transform::Fraig,
+        Transform::Sopb,
+        Transform::Blut,
+        Transform::Dsdb,
+    ];
+
+    /// Applies the transform, returning a functionally equivalent AIG.
+    pub fn apply(self, aig: &Aig) -> Aig {
+        match self {
+            Transform::Rewrite => rewrite(aig, false),
+            Transform::RewriteZ => rewrite(aig, true),
+            Transform::Refactor => refactor(aig, false),
+            Transform::RefactorZ => refactor(aig, true),
+            Transform::Resub => resub(aig, false),
+            Transform::ResubZ => resub(aig, true),
+            Transform::Balance => balance(aig),
+            Transform::Fraig => fraig(aig),
+            Transform::Sopb => sop_balance(aig),
+            Transform::Blut => blut_balance(aig),
+            Transform::Dsdb => dsd_balance(aig),
+        }
+    }
+
+    /// The ABC command spelling (`rewrite -z`, `balance`, …).
+    pub fn abc_name(self) -> &'static str {
+        match self {
+            Transform::Rewrite => "rewrite",
+            Transform::RewriteZ => "rewrite -z",
+            Transform::Refactor => "refactor",
+            Transform::RefactorZ => "refactor -z",
+            Transform::Resub => "resub",
+            Transform::ResubZ => "resub -z",
+            Transform::Balance => "balance",
+            Transform::Fraig => "fraig",
+            Transform::Sopb => "sopb",
+            Transform::Blut => "blut",
+            Transform::Dsdb => "dsdb",
+        }
+    }
+
+    /// The two-letter code used by the paper's Table I (`Rw`, `Rf`, …).
+    pub fn code(self) -> &'static str {
+        match self {
+            Transform::Rewrite => "Rw",
+            Transform::RewriteZ => "Rz",
+            Transform::Refactor => "Rf",
+            Transform::RefactorZ => "Fz",
+            Transform::Resub => "Rs",
+            Transform::ResubZ => "Sz",
+            Transform::Balance => "Ba",
+            Transform::Fraig => "Fr",
+            Transform::Sopb => "So",
+            Transform::Blut => "Bl",
+            Transform::Dsdb => "Ds",
+        }
+    }
+
+    /// The index of the transform in [`Transform::ALL`].
+    pub fn index(self) -> usize {
+        Transform::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("transform is in ALL")
+    }
+
+    /// The transform with the given index in [`Transform::ALL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 11`.
+    pub fn from_index(index: usize) -> Transform {
+        Transform::ALL[index]
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abc_name())
+    }
+}
+
+/// Error returned when parsing an unknown transform name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTransformError(String);
+
+impl fmt::Display for ParseTransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown transform name {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTransformError {}
+
+impl FromStr for Transform {
+    type Err = ParseTransformError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        Transform::ALL
+            .iter()
+            .copied()
+            .find(|t| {
+                t.abc_name() == norm
+                    || t.abc_name().replace(" -", "") == norm
+                    || t.code().to_ascii_lowercase() == norm
+            })
+            .ok_or_else(|| ParseTransformError(s.to_string()))
+    }
+}
+
+/// Applies a sequence of transforms left to right.
+///
+/// ```
+/// use boils_aig::random_aig;
+/// use boils_synth::{apply_sequence, Transform};
+///
+/// let aig = random_aig(2, 6, 100, 2);
+/// let out = apply_sequence(&aig, &[Transform::Balance, Transform::Rewrite]);
+/// assert_eq!(out.simulate_exhaustive(), aig.simulate_exhaustive());
+/// ```
+pub fn apply_sequence(aig: &Aig, sequence: &[Transform]) -> Aig {
+    let mut current = aig.clone();
+    for t in sequence {
+        current = t.apply(&current);
+    }
+    current
+}
+
+/// The `resyn2` reference flow (`b; rw; rf; b; rw; rwz; b; rfz; rwz; b`),
+/// the normalising baseline of the paper's QoR definition (Eq. 1).
+pub fn resyn2(aig: &Aig) -> Aig {
+    apply_sequence(
+        aig,
+        &[
+            Transform::Balance,
+            Transform::Rewrite,
+            Transform::Refactor,
+            Transform::Balance,
+            Transform::Rewrite,
+            Transform::RewriteZ,
+            Transform::Balance,
+            Transform::RefactorZ,
+            Transform::RewriteZ,
+            Transform::Balance,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    #[test]
+    fn alphabet_has_eleven_actions() {
+        assert_eq!(Transform::ALL.len(), 11);
+        for (i, t) in Transform::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Transform::from_index(i), *t);
+        }
+    }
+
+    #[test]
+    fn parses_abc_spellings() {
+        assert_eq!("rewrite".parse::<Transform>().unwrap(), Transform::Rewrite);
+        assert_eq!(
+            "rewrite -z".parse::<Transform>().unwrap(),
+            Transform::RewriteZ
+        );
+        assert_eq!("BALANCE".parse::<Transform>().unwrap(), Transform::Balance);
+        assert_eq!("Ds".parse::<Transform>().unwrap(), Transform::Dsdb);
+        assert!("mystery".parse::<Transform>().is_err());
+    }
+
+    #[test]
+    fn every_transform_preserves_function() {
+        let aig = random_aig(31, 6, 100, 3);
+        let expect = aig.simulate_exhaustive();
+        for t in Transform::ALL {
+            let out = t.apply(&aig);
+            assert_eq!(out.simulate_exhaustive(), expect, "{t} broke the circuit");
+            out.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn resyn2_reduces_random_logic() {
+        let aig = random_aig(8, 8, 300, 3).cleanup();
+        let r = resyn2(&aig);
+        assert!(r.num_ands() <= aig.num_ands());
+        assert_eq!(r.simulate_exhaustive(), aig.simulate_exhaustive());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for t in Transform::ALL {
+            let s = t.to_string();
+            assert_eq!(s.parse::<Transform>().unwrap(), t);
+        }
+    }
+}

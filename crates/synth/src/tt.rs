@@ -1,0 +1,469 @@
+//! Multi-word truth tables and the Minato–Morreale irredundant
+//! sum-of-products (ISOP) computation used by refactoring and the
+//! SOP-balancing transforms.
+
+use boils_aig::{input_pattern, Aig};
+
+/// A truth table over `num_vars ≤ 16` variables, packed into 64-bit words.
+///
+/// Bit `p` (of the flattened table) is the function value for the input
+/// minterm with binary encoding `p`, variable 0 being the least significant
+/// bit.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tt {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl Tt {
+    const MAX_VARS: usize = 16;
+
+    /// The constant-false function over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 16`.
+    pub fn zero(num_vars: usize) -> Tt {
+        assert!(num_vars <= Self::MAX_VARS, "truth tables limited to 16 vars");
+        Tt {
+            num_vars,
+            words: vec![0; Self::words_for(num_vars)],
+        }
+    }
+
+    /// The constant-true function over `num_vars` variables.
+    pub fn one(num_vars: usize) -> Tt {
+        let mut t = Tt::zero(num_vars);
+        for w in &mut t.words {
+            *w = !0;
+        }
+        t.mask_off();
+        t
+    }
+
+    /// The projection onto variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(num_vars: usize, var: usize) -> Tt {
+        assert!(var < num_vars);
+        let mut t = Tt::zero(num_vars);
+        t.words = input_pattern(var, Self::words_for(num_vars));
+        t.mask_off();
+        t
+    }
+
+    /// Builds a table from raw words (low 2^num_vars bits significant).
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> Tt {
+        assert_eq!(words.len(), Self::words_for(num_vars));
+        let mut t = Tt { num_vars, words };
+        t.mask_off();
+        t
+    }
+
+    /// Builds a 6-variable-or-fewer table from a single word.
+    pub fn from_u64(num_vars: usize, bits: u64) -> Tt {
+        assert!(num_vars <= 6);
+        let mut t = Tt {
+            num_vars,
+            words: vec![bits],
+        };
+        t.mask_off();
+        t
+    }
+
+    /// The packed bits when `num_vars ≤ 6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table spans more than one word.
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.num_vars <= 6);
+        self.words[0]
+    }
+
+    fn words_for(num_vars: usize) -> usize {
+        (1usize << num_vars).div_ceil(64)
+    }
+
+    fn mask_off(&mut self) {
+        let bits = 1usize << self.num_vars;
+        if bits < 64 {
+            self.words[0] &= (1u64 << bits) - 1;
+        }
+    }
+
+    /// The number of variables of the table.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Whether the function is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the function is constant true.
+    pub fn is_one(&self) -> bool {
+        *self == Tt::one(self.num_vars)
+    }
+
+    /// The value of the function on minterm `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 2^num_vars`.
+    pub fn bit(&self, p: usize) -> bool {
+        assert!(p < 1 << self.num_vars);
+        self.words[p / 64] >> (p % 64) & 1 == 1
+    }
+
+    /// The number of satisfied minterms.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Logical negation.
+    pub fn not(&self) -> Tt {
+        let mut t = Tt {
+            num_vars: self.num_vars,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        t.mask_off();
+        t
+    }
+
+    /// Logical conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn and(&self, other: &Tt) -> Tt {
+        assert_eq!(self.num_vars, other.num_vars);
+        Tt {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Logical disjunction.
+    pub fn or(&self, other: &Tt) -> Tt {
+        assert_eq!(self.num_vars, other.num_vars);
+        Tt {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Exclusive or.
+    pub fn xor(&self, other: &Tt) -> Tt {
+        assert_eq!(self.num_vars, other.num_vars);
+        Tt {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+
+    /// The negative cofactor (fixes `var = 0`).
+    pub fn cofactor0(&self, var: usize) -> Tt {
+        self.cofactor(var, false)
+    }
+
+    /// The positive cofactor (fixes `var = 1`).
+    pub fn cofactor1(&self, var: usize) -> Tt {
+        self.cofactor(var, true)
+    }
+
+    fn cofactor(&self, var: usize, value: bool) -> Tt {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1u32 << var;
+            let keep = input_pattern(var, self.words.len());
+            for (w, k) in out.words.iter_mut().zip(&keep) {
+                let sel = if value { *w & k } else { *w & !k };
+                *w = if value {
+                    sel | (sel >> shift)
+                } else {
+                    sel | (sel << shift)
+                };
+            }
+        } else {
+            let stride = 1usize << (var - 6);
+            let period = stride * 2;
+            for base in (0..out.words.len()).step_by(period) {
+                for i in 0..stride {
+                    let src = if value { base + stride + i } else { base + i };
+                    let v = out.words[src];
+                    out.words[base + i] = v;
+                    out.words[base + stride + i] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the function depends on `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+
+    /// The set of variables the function actually depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+}
+
+/// A product term over up to 32 variables: `pos` collects positive literals,
+/// `neg` complemented ones.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cube {
+    /// Bitmask of variables appearing positively.
+    pub pos: u32,
+    /// Bitmask of variables appearing negated.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The universal cube (empty product, always true).
+    pub const ONE: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Number of literals in the cube.
+    pub fn num_lits(self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// Whether `var` appears (in either polarity).
+    pub fn contains(self, var: usize) -> bool {
+        (self.pos | self.neg) >> var & 1 == 1
+    }
+
+    /// The cube's characteristic function as a truth table.
+    pub fn to_tt(self, num_vars: usize) -> Tt {
+        let mut t = Tt::one(num_vars);
+        for v in 0..num_vars {
+            if self.pos >> v & 1 == 1 {
+                t = t.and(&Tt::var(num_vars, v));
+            }
+            if self.neg >> v & 1 == 1 {
+                t = t.and(&Tt::var(num_vars, v).not());
+            }
+        }
+        t
+    }
+}
+
+/// The function of a sum-of-products cover.
+pub fn cover_function(cover: &[Cube], num_vars: usize) -> Tt {
+    cover
+        .iter()
+        .fold(Tt::zero(num_vars), |acc, c| acc.or(&c.to_tt(num_vars)))
+}
+
+/// Computes an irredundant sum-of-products cover of `f` with the
+/// Minato–Morreale algorithm.
+///
+/// The result `c` satisfies `f = Σ c` and no cube or literal can be removed
+/// without uncovering a minterm.
+pub fn isop(f: &Tt) -> Vec<Cube> {
+    let (cover, _) = isop_rec(f, f, f.num_vars());
+    cover
+}
+
+/// Minato–Morreale on the interval `[lower, upper]`; returns a cover `c`
+/// with `lower ⊆ c ⊆ upper` plus its function.
+fn isop_rec(lower: &Tt, upper: &Tt, top: usize) -> (Vec<Cube>, Tt) {
+    let n = lower.num_vars();
+    if lower.is_zero() {
+        return (Vec::new(), Tt::zero(n));
+    }
+    if upper.is_one() {
+        return (vec![Cube::ONE], Tt::one(n));
+    }
+    // Find the highest variable in the support of either bound.
+    let mut var = None;
+    for v in (0..top).rev() {
+        if lower.depends_on(v) || upper.depends_on(v) {
+            var = Some(v);
+            break;
+        }
+    }
+    let Some(x) = var else {
+        // No support left: lower must be 0 (else upper would be 1).
+        debug_assert!(lower.is_zero());
+        return (Vec::new(), Tt::zero(n));
+    };
+
+    let (l0, l1) = (lower.cofactor0(x), lower.cofactor1(x));
+    let (u0, u1) = (upper.cofactor0(x), upper.cofactor1(x));
+
+    // Minterms that must be covered by cubes containing ¬x / x.
+    let need0 = l0.and(&u1.not());
+    let need1 = l1.and(&u0.not());
+    let (mut c0, f0) = isop_rec(&need0, &u0, x);
+    let (mut c1, f1) = isop_rec(&need1, &u1, x);
+
+    // Remaining minterms go to cubes independent of x.
+    let rest = l0.and(&f0.not()).or(&l1.and(&f1.not()));
+    let u_star = u0.and(&u1);
+    let (c_star, f_star) = isop_rec(&rest, &u_star, x);
+
+    for c in &mut c0 {
+        c.neg |= 1 << x;
+    }
+    for c in &mut c1 {
+        c.pos |= 1 << x;
+    }
+    let mut cover = c0;
+    cover.extend(c1);
+    cover.extend(c_star);
+
+    let xv = Tt::var(n, x);
+    let func = xv
+        .not()
+        .and(&f0)
+        .or(&xv.and(&f1))
+        .or(&f_star);
+    (cover, func)
+}
+
+/// Computes the truth table of the cone rooted at `root` over the given
+/// `leaves` (a valid cut of `root`, at most 16 leaves).
+///
+/// # Panics
+///
+/// Panics if `leaves.len() > 16` or the cone escapes the leaves.
+pub fn cone_function(aig: &Aig, root: usize, leaves: &[usize]) -> Tt {
+    assert!(leaves.len() <= Tt::MAX_VARS);
+    let n = leaves.len();
+    let words = (1usize << n).div_ceil(64);
+    let mut memo: std::collections::HashMap<usize, Tt> = std::collections::HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, Tt::from_words(n, input_pattern(i, words)));
+    }
+    memo.entry(0).or_insert_with(|| Tt::zero(n));
+    fn eval(aig: &Aig, node: usize, memo: &mut std::collections::HashMap<usize, Tt>, n: usize) -> Tt {
+        if let Some(t) = memo.get(&node) {
+            return t.clone();
+        }
+        assert!(aig.is_and(node), "cone escapes cut at node {node}");
+        let (f0, f1) = (aig.fanin0(node), aig.fanin1(node));
+        let mut t0 = eval(aig, f0.var(), memo, n);
+        if f0.is_complement() {
+            t0 = t0.not();
+        }
+        let mut t1 = eval(aig, f1.var(), memo, n);
+        if f1.is_complement() {
+            t1 = t1.not();
+        }
+        let t = t0.and(&t1);
+        memo.insert(node, t.clone());
+        t
+    }
+    eval(aig, root, &mut memo, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        assert!(Tt::zero(3).is_zero());
+        assert!(Tt::one(3).is_one());
+        assert_eq!(Tt::var(3, 0).as_u64(), 0b10101010);
+        assert_eq!(Tt::var(3, 1).as_u64(), 0b11001100);
+        assert_eq!(Tt::var(3, 2).as_u64(), 0b11110000);
+    }
+
+    #[test]
+    fn cofactors_small() {
+        // f = x0 & x1
+        let f = Tt::var(2, 0).and(&Tt::var(2, 1));
+        assert!(f.cofactor0(0).is_zero());
+        assert_eq!(f.cofactor1(0), Tt::var(2, 1));
+        assert!(f.depends_on(0) && f.depends_on(1));
+    }
+
+    #[test]
+    fn cofactors_multiword() {
+        // 8 variables → 4 words; f = x7 & x0.
+        let f = Tt::var(8, 7).and(&Tt::var(8, 0));
+        assert!(f.cofactor0(7).is_zero());
+        assert_eq!(f.cofactor1(7), Tt::var(8, 0));
+        assert_eq!(f.support(), vec![0, 7]);
+    }
+
+    #[test]
+    fn isop_of_xor_has_two_cubes() {
+        let f = Tt::var(2, 0).xor(&Tt::var(2, 1));
+        let cover = isop(&f);
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover_function(&cover, 2), f);
+    }
+
+    #[test]
+    fn isop_covers_exactly() {
+        // Several structured functions, including multi-word ones.
+        let cases: Vec<Tt> = vec![
+            Tt::var(4, 0).and(&Tt::var(4, 1)).or(&Tt::var(4, 2).and(&Tt::var(4, 3))),
+            Tt::var(3, 0).xor(&Tt::var(3, 1)).xor(&Tt::var(3, 2)),
+            Tt::var(7, 6).or(&Tt::var(7, 0).and(&Tt::var(7, 3).not())),
+            Tt::one(2),
+            Tt::zero(5),
+        ];
+        for f in cases {
+            let cover = isop(&f);
+            assert_eq!(cover_function(&cover, f.num_vars()), f, "cover mismatch");
+        }
+    }
+
+    #[test]
+    fn isop_is_irredundant_on_majority() {
+        let n = 3;
+        let f = Tt::var(n, 0).and(&Tt::var(n, 1))
+            .or(&Tt::var(n, 0).and(&Tt::var(n, 2)))
+            .or(&Tt::var(n, 1).and(&Tt::var(n, 2)));
+        let cover = isop(&f);
+        assert_eq!(cover_function(&cover, n), f);
+        // Dropping any cube must uncover a minterm.
+        for skip in 0..cover.len() {
+            let reduced: Vec<Cube> = cover
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, c)| *c)
+                .collect();
+            assert_ne!(cover_function(&reduced, n), f, "cube {skip} is redundant");
+        }
+    }
+
+    #[test]
+    fn cone_function_matches_exhaustive() {
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        let m = aig.maj(a, b, c);
+        aig.add_po(m);
+        let leaves = vec![a.var(), b.var(), c.var()];
+        let tt = cone_function(&aig, m.var(), &leaves);
+        let expect = aig.simulate_exhaustive()[0][0];
+        let got = if m.is_complement() { tt.not() } else { tt };
+        assert_eq!(got.as_u64(), expect);
+    }
+}

@@ -1,0 +1,94 @@
+//! The load-bearing invariant of the whole synthesis substrate: **every
+//! transform preserves circuit function** — checked by exhaustive simulation
+//! on random AIGs, and cross-checked with the SAT-based equivalence engine
+//! (which exercises a completely independent code path).
+
+use boils_aig::random_aig;
+use boils_sat::{check_equivalence, EquivResult};
+use boils_synth::{apply_sequence, resyn2, Transform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_transform_preserves_function_exhaustively(
+        seed in 0u64..2_000,
+        gates in 1usize..150,
+        t_idx in 0usize..11,
+    ) {
+        let aig = random_aig(seed, 7, gates, 3);
+        let t = Transform::from_index(t_idx);
+        let out = t.apply(&aig);
+        prop_assert!(out.check().is_ok());
+        prop_assert_eq!(
+            out.simulate_exhaustive(),
+            aig.simulate_exhaustive(),
+            "{} broke the circuit (seed {})", t, seed
+        );
+    }
+
+    #[test]
+    fn transforms_verified_by_sat_miter(
+        seed in 0u64..2_000,
+        gates in 1usize..120,
+        t_idx in 0usize..11,
+    ) {
+        // Independent verification path: Tseitin + CDCL instead of
+        // simulation. Uses 9 inputs, beyond the cheap exhaustive range.
+        let aig = random_aig(seed, 9, gates, 2);
+        let t = Transform::from_index(t_idx);
+        let out = t.apply(&aig);
+        prop_assert_eq!(
+            check_equivalence(&aig, &out, None),
+            EquivResult::Equivalent,
+            "{} failed SAT equivalence (seed {})", t, seed
+        );
+    }
+
+    #[test]
+    fn random_sequences_preserve_function(
+        seed in 0u64..2_000,
+        gates in 1usize..100,
+        seq in prop::collection::vec(0usize..11, 1..6),
+    ) {
+        let aig = random_aig(seed, 6, gates, 2);
+        let sequence: Vec<Transform> =
+            seq.into_iter().map(Transform::from_index).collect();
+        let out = apply_sequence(&aig, &sequence);
+        prop_assert_eq!(out.simulate_exhaustive(), aig.simulate_exhaustive());
+        prop_assert!(out.check().is_ok());
+    }
+
+    #[test]
+    fn resyn2_preserves_function_and_shrinks(
+        seed in 0u64..2_000,
+        gates in 1usize..150,
+    ) {
+        let aig = random_aig(seed, 7, gates, 3).cleanup();
+        let r = resyn2(&aig);
+        prop_assert_eq!(r.simulate_exhaustive(), aig.simulate_exhaustive());
+        prop_assert!(r.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn reduction_transforms_are_monotone(
+        seed in 0u64..2_000,
+        gates in 1usize..150,
+    ) {
+        // rewrite/refactor/resub/fraig without -z must never grow the AIG.
+        let aig = random_aig(seed, 7, gates, 3).cleanup();
+        for t in [
+            Transform::Rewrite,
+            Transform::Refactor,
+            Transform::Resub,
+            Transform::Fraig,
+        ] {
+            let out = t.apply(&aig);
+            prop_assert!(
+                out.num_ands() <= aig.num_ands(),
+                "{} grew {} -> {} (seed {})", t, aig.num_ands(), out.num_ands(), seed
+            );
+        }
+    }
+}

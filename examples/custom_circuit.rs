@@ -1,0 +1,94 @@
+//! Bring your own circuit: build an AIG by hand (or load an AIGER file),
+//! verify every transform preserves it, then let BOiLS tune a flow for it.
+//!
+//! ```text
+//! cargo run --release --example custom_circuit
+//! ```
+
+use boils::aig::{Aig, Lit};
+use boils::core::{Boils, BoilsConfig, QorEvaluator, SequenceSpace};
+use boils::sat::{check_equivalence, EquivResult};
+use boils::synth::Transform;
+
+/// A 16-bit "population count ≥ 8" voter — a circuit the benchmark suite
+/// does not contain.
+fn majority_voter(bits: usize) -> Aig {
+    let mut aig = Aig::new(bits);
+    // Count ones with a tree of ripple adders over single-bit words.
+    let mut words: Vec<Vec<Lit>> = (0..bits).map(|i| vec![aig.pi(i)]).collect();
+    while words.len() > 1 {
+        let mut next = Vec::new();
+        for pair in words.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0].clone());
+                continue;
+            }
+            let (a, b) = (&pair[0], &pair[1]);
+            let width = a.len().max(b.len()) + 1;
+            let mut carry = Lit::FALSE;
+            let mut sum = Vec::with_capacity(width);
+            for k in 0..width {
+                let x = a.get(k).copied().unwrap_or(Lit::FALSE);
+                let y = b.get(k).copied().unwrap_or(Lit::FALSE);
+                let xy = aig.xor(x, y);
+                let s = aig.xor(xy, carry);
+                carry = aig.maj(x, y, carry);
+                sum.push(s);
+            }
+            next.push(sum);
+        }
+        words = next;
+    }
+    // popcount ≥ bits/2  ⇔ the top bit of the count after adding bits/2…
+    // simpler: compare against the constant via subtraction.
+    let count = &words[0];
+    let threshold = bits / 2;
+    // count ≥ threshold ⇔ count + (2^w - threshold) overflows w bits.
+    let w = count.len();
+    let complement = (1u64 << w) - threshold as u64;
+    let mut carry = Lit::FALSE;
+    let mut overflow = Lit::FALSE;
+    for (k, &c) in count.iter().enumerate() {
+        let t = if complement >> k & 1 == 1 { Lit::TRUE } else { Lit::FALSE };
+        let xy = aig.xor(c, t);
+        let _s = aig.xor(xy, carry);
+        carry = aig.maj(c, t, carry);
+        overflow = carry;
+    }
+    aig.add_po(overflow);
+    aig.set_name("voter16");
+    aig
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let aig = majority_voter(16);
+    println!("custom circuit: {aig}");
+
+    // Sanity: every transform must preserve the function (SAT-checked).
+    for t in Transform::ALL {
+        let out = t.apply(&aig);
+        match check_equivalence(&aig, &out, Some(100_000)) {
+            EquivResult::Equivalent => {}
+            other => panic!("{t} changed the circuit: {other:?}"),
+        }
+    }
+    println!("all 11 transforms verified equivalence-preserving (SAT)");
+
+    // Optimise with a short sequence space to keep the demo fast.
+    let evaluator = QorEvaluator::new(&aig)?;
+    let mut boils = Boils::new(BoilsConfig {
+        max_evaluations: 25,
+        initial_samples: 6,
+        space: SequenceSpace::new(10, 11),
+        seed: 42,
+        ..BoilsConfig::default()
+    });
+    let result = boils.run(&evaluator)?;
+    println!(
+        "BOiLS: QoR {:.4} ({:+.2}%) via {}",
+        result.best_qor,
+        result.best_point.improvement_percent(),
+        result.best_sequence
+    );
+    Ok(())
+}

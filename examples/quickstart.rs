@@ -1,0 +1,43 @@
+//! Quickstart: optimise a synthesis flow for one benchmark circuit with
+//! BOiLS and print what the optimiser found.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use boils::circuits::{Benchmark, CircuitSpec};
+use boils::core::{Boils, BoilsConfig, QorEvaluator};
+use boils::mapper::{map_stats, MapperConfig};
+use boils::synth::resyn2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A circuit: the barrel shifter at its default scaled width.
+    let aig = CircuitSpec::new(Benchmark::BarrelShifter).build();
+    println!("circuit      : {aig}");
+
+    // 2. The reference point the paper normalises against: resyn2 + if -K 6.
+    let reference = map_stats(&resyn2(&aig), &MapperConfig::default());
+    println!("resyn2 ref   : {reference}");
+
+    // 3. Run BOiLS with a small budget (the paper uses 200 evaluations).
+    let evaluator = QorEvaluator::new(&aig)?;
+    let mut optimiser = Boils::new(BoilsConfig {
+        max_evaluations: 30,
+        initial_samples: 8,
+        seed: 0,
+        ..BoilsConfig::default()
+    });
+    let result = optimiser.run(&evaluator)?;
+
+    // 4. Report in the paper's terms.
+    println!("best sequence: {}", result.best_sequence);
+    println!(
+        "best QoR     : {:.4}  (area {} LUTs, delay {} levels)",
+        result.best_qor, result.best_point.area, result.best_point.delay
+    );
+    println!(
+        "improvement  : {:+.2}% vs resyn2 (Eq. 1 of the paper)",
+        result.best_point.improvement_percent()
+    );
+    Ok(())
+}

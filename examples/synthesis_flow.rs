@@ -1,0 +1,41 @@
+//! A tour of the synthesis substrate itself: apply the classic `resyn2`
+//! recipe step by step to a multiplier, watch the AIG statistics move, and
+//! map the result onto 6-LUTs — everything ABC would do for the paper's
+//! reference point, in pure Rust.
+//!
+//! ```text
+//! cargo run --release --example synthesis_flow
+//! ```
+
+use boils::circuits::{Benchmark, CircuitSpec};
+use boils::mapper::{map_aig, MapperConfig};
+use boils::synth::Transform;
+
+fn main() {
+    let mut aig = CircuitSpec::new(Benchmark::Log2).build();
+    println!("{:<14} {:>7} {:>6}", "step", "ands", "depth");
+    println!("{:<14} {:>7} {:>6}", "initial", aig.num_ands(), aig.depth());
+
+    // resyn2 = b; rw; rf; b; rw; rwz; b; rfz; rwz; b
+    let flow = [
+        Transform::Balance,
+        Transform::Rewrite,
+        Transform::Refactor,
+        Transform::Balance,
+        Transform::Rewrite,
+        Transform::RewriteZ,
+        Transform::Balance,
+        Transform::RefactorZ,
+        Transform::RewriteZ,
+        Transform::Balance,
+    ];
+    for t in flow {
+        aig = t.apply(&aig);
+        println!("{:<14} {:>7} {:>6}", t.abc_name(), aig.num_ands(), aig.depth());
+    }
+
+    let mapping = map_aig(&aig, &MapperConfig::default());
+    println!("\nFPGA mapping (if -K 6): {} LUTs, {} levels", mapping.area, mapping.delay);
+    let widest = mapping.luts.iter().map(|l| l.leaves.len()).max().unwrap_or(0);
+    println!("widest LUT uses {widest} inputs");
+}

@@ -1,0 +1,46 @@
+//! # BOiLS — Bayesian Optimisation for Logic Synthesis
+//!
+//! A from-scratch Rust reproduction of *BOiLS: Bayesian Optimisation for
+//! Logic Synthesis* (Grosnit et al., DATE 2022, [arXiv:2111.06178]), together
+//! with every substrate the paper depends on: an And-Inverter Graph library,
+//! a CDCL SAT solver, the eleven ABC-style synthesis transforms used as the
+//! paper's action alphabet, a priority-cut FPGA 6-LUT mapper, generators for
+//! the ten EPFL arithmetic benchmark circuits, and a Gaussian-process library
+//! with the sub-sequence string kernel (SSK).
+//!
+//! This umbrella crate re-exports the workspace's public API. Depend on the
+//! individual crates (`boils-core`, `boils-aig`, …) if you need a subset.
+//!
+//! ## Quickstart
+//!
+//! Optimise a synthesis flow for a 16-bit multiplier with BOiLS:
+//!
+//! ```
+//! use boils::circuits::{Benchmark, CircuitSpec};
+//! use boils::core::{Boils, BoilsConfig, QorEvaluator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let aig = CircuitSpec::new(Benchmark::Multiplier).bits(4).build();
+//! let evaluator = QorEvaluator::new(&aig)?;
+//! let mut boils = Boils::new(BoilsConfig {
+//!     max_evaluations: 6,
+//!     initial_samples: 4,
+//!     seed: 7,
+//!     ..BoilsConfig::default()
+//! });
+//! let result = boils.run(&evaluator)?;
+//! println!("best QoR {:.4} via {}", result.best_qor, result.best_sequence);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [arXiv:2111.06178]: https://arxiv.org/abs/2111.06178
+
+pub use boils_aig as aig;
+pub use boils_baselines as baselines;
+pub use boils_circuits as circuits;
+pub use boils_core as core;
+pub use boils_gp as gp;
+pub use boils_mapper as mapper;
+pub use boils_sat as sat;
+pub use boils_synth as synth;

@@ -1,0 +1,255 @@
+//! `boils` — command-line front end to the BOiLS reproduction.
+//!
+//! ```text
+//! boils generate --circuit multiplier --bits 8 --output mult.aag
+//! boils stats    --input mult.aag
+//! boils synth    --input mult.aag --ops "balance;rewrite;fraig" --output opt.aag
+//! boils map      --input opt.aag [--lut-size 6]
+//! boils check    --golden mult.aag --revised opt.aag
+//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0]
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use boils::aig::Aig;
+use boils::baselines::{genetic_algorithm, greedy, random_search, GaConfig};
+use boils::circuits::{Benchmark, CircuitSpec};
+use boils::core::{Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
+use boils::mapper::{map_stats, MapperConfig};
+use boils::sat::{check_equivalence, EquivResult};
+use boils::synth::{apply_sequence, Transform};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let command = args.get(1).map(String::as_str).unwrap_or("help");
+    match command {
+        "generate" => generate(),
+        "stats" => stats(),
+        "synth" => synth(),
+        "map" => map_cmd(),
+        "check" => check(),
+        "optimize" => optimize(),
+        _ => {
+            print_help();
+            Ok(())
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "boils — Bayesian optimisation for logic synthesis (DATE 2022 reproduction)\n\n\
+         USAGE:\n  boils <command> [flags]\n\n\
+         COMMANDS:\n\
+         \x20 generate  --circuit <name> [--bits N] --output <file.aag|.aig>\n\
+         \x20 stats     --input <file>\n\
+         \x20 synth     --input <file> --ops \"balance;rewrite;...\" [--output <file>] [--verilog <file.v>]\n\
+         \x20 map       --input <file> [--lut-size K]\n\
+         \x20 check     --golden <file> --revised <file>\n\
+         \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
+         \x20           [--method boils|sbo|ga|rs|greedy] [--budget N] [--k N] [--seed N]\n\n\
+         Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
+    );
+}
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn required(name: &str) -> Result<String, String> {
+    flag(name).ok_or_else(|| format!("missing required flag {name}"))
+}
+
+fn load_aig(path: &str) -> Result<Aig, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    if path.ends_with(".aag") {
+        Aig::read_aag(reader).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Aig::read_aig_binary(reader).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn save_aig(aig: &Aig, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    if path.ends_with(".aag") {
+        aig.write_aag(&mut writer).map_err(|e| format!("{path}: {e}"))
+    } else {
+        aig.write_aig_binary(&mut writer)
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn circuit_from_flags() -> Result<Aig, String> {
+    if let Some(path) = flag("--input") {
+        return load_aig(&path);
+    }
+    let name = required("--circuit")?;
+    let benchmark = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown circuit {name:?}"))?;
+    let mut spec = CircuitSpec::new(benchmark);
+    if let Some(bits) = flag("--bits") {
+        let bits: usize = bits.parse().map_err(|_| "--bits takes an integer")?;
+        spec = spec.bits(bits);
+    }
+    Ok(spec.build())
+}
+
+fn generate() -> Result<(), String> {
+    let aig = circuit_from_flags()?;
+    let output = required("--output")?;
+    save_aig(&aig, &output)?;
+    println!("wrote {aig} to {output}");
+    Ok(())
+}
+
+fn stats() -> Result<(), String> {
+    let aig = circuit_from_flags()?;
+    println!("{aig}");
+    let mapping = map_stats(&aig, &MapperConfig::default());
+    println!("if -K 6: {mapping}");
+    Ok(())
+}
+
+fn parse_ops(spec: &str) -> Result<Vec<Transform>, String> {
+    spec.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<Transform>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn synth() -> Result<(), String> {
+    let aig = circuit_from_flags()?;
+    let ops = parse_ops(&required("--ops")?)?;
+    let before = map_stats(&aig, &MapperConfig::default());
+    let out = apply_sequence(&aig, &ops);
+    let after = map_stats(&out, &MapperConfig::default());
+    println!("before: {aig}");
+    println!("        {before}");
+    println!("after : {out}");
+    println!("        {after}");
+    if let Some(path) = flag("--output") {
+        save_aig(&out, &path)?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag("--verilog") {
+        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        out.write_verilog(BufWriter::new(file), "boils_out")
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn map_cmd() -> Result<(), String> {
+    let aig = circuit_from_flags()?;
+    let k: usize = flag("--lut-size")
+        .map(|v| v.parse().map_err(|_| "--lut-size takes an integer"))
+        .transpose()?
+        .unwrap_or(6);
+    let stats = map_stats(&aig, &MapperConfig::with_lut_size(k));
+    println!("{aig}");
+    println!("if -K {k}: {stats}");
+    Ok(())
+}
+
+fn check() -> Result<(), String> {
+    let golden = load_aig(&required("--golden")?)?;
+    let revised = load_aig(&required("--revised")?)?;
+    if golden.num_pis() != revised.num_pis() || golden.num_pos() != revised.num_pos() {
+        return Err(format!(
+            "interface mismatch: {}/{} inputs, {}/{} outputs",
+            golden.num_pis(),
+            revised.num_pis(),
+            golden.num_pos(),
+            revised.num_pos()
+        ));
+    }
+    match check_equivalence(&golden, &revised, Some(5_000_000)) {
+        EquivResult::Equivalent => {
+            println!("EQUIVALENT");
+            Ok(())
+        }
+        EquivResult::NotEquivalent { counterexample } => {
+            let bits: String = counterexample.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            Err(format!("NOT equivalent; counterexample inputs = {bits}"))
+        }
+        EquivResult::Unknown => Err(String::from("undecided within the conflict budget")),
+    }
+}
+
+fn optimize() -> Result<(), String> {
+    let aig = circuit_from_flags()?;
+    let budget: usize = flag("--budget")
+        .map(|v| v.parse().map_err(|_| "--budget takes an integer"))
+        .transpose()?
+        .unwrap_or(40);
+    let k: usize = flag("--k")
+        .map(|v| v.parse().map_err(|_| "--k takes an integer"))
+        .transpose()?
+        .unwrap_or(20);
+    let seed: u64 = flag("--seed")
+        .map(|v| v.parse().map_err(|_| "--seed takes an integer"))
+        .transpose()?
+        .unwrap_or(0);
+    let method = flag("--method").unwrap_or_else(|| String::from("boils"));
+    let space = SequenceSpace::new(k, 11);
+    let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
+    println!("{aig}");
+    println!("reference (resyn2 + if -K 6): {}", evaluator.reference());
+    let init = (budget / 5).clamp(4, budget.saturating_sub(1).max(1));
+    let result = match method.as_str() {
+        "boils" => Boils::new(BoilsConfig {
+            max_evaluations: budget,
+            initial_samples: init,
+            space,
+            seed,
+            ..BoilsConfig::default()
+        })
+        .run(&evaluator)
+        .map_err(|e| e.to_string())?,
+        "sbo" => Sbo::new(SboConfig {
+            max_evaluations: budget,
+            initial_samples: init,
+            space,
+            seed,
+            ..SboConfig::default()
+        })
+        .run(&evaluator)
+        .map_err(|e| e.to_string())?,
+        "ga" => genetic_algorithm(&evaluator, space, budget, &GaConfig { seed, ..GaConfig::default() }),
+        "rs" => random_search(&evaluator, space, budget, seed),
+        "greedy" => greedy(&evaluator, space, budget),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    println!("method        : {method}");
+    println!("evaluations   : {}", result.num_evaluations());
+    println!("best sequence : {}", result.best_sequence);
+    println!(
+        "best QoR      : {:.4}  (area {} LUTs, delay {} levels, {:+.2}% vs resyn2)",
+        result.best_qor,
+        result.best_point.area,
+        result.best_point.delay,
+        result.best_point.improvement_percent()
+    );
+    Ok(())
+}

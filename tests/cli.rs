@@ -1,0 +1,105 @@
+//! Integration tests for the `boils` command-line tool, driving the real
+//! binary end to end through temp files.
+
+use std::process::Command;
+
+fn boils() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_boils"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("boils-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+#[test]
+fn generate_stats_synth_check_round_trip() {
+    let aag = tmp("rt.aag");
+    let opt = tmp("rt_opt.aig");
+
+    let out = boils()
+        .args(["generate", "--circuit", "square", "--bits", "5", "--output"])
+        .arg(&aag)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = boils().args(["stats", "--input"]).arg(&aag).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("square_5"), "stats output: {text}");
+    assert!(text.contains("if -K 6"));
+
+    let out = boils()
+        .args(["synth", "--input"])
+        .arg(&aag)
+        .args(["--ops", "balance;rewrite;resub", "--output"])
+        .arg(&opt)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = boils()
+        .args(["check", "--golden"])
+        .arg(&aag)
+        .arg("--revised")
+        .arg(&opt)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+}
+
+#[test]
+fn check_detects_inequivalence() {
+    let a = tmp("neq_a.aag");
+    let b = tmp("neq_b.aag");
+    for (path, circuit) in [(&a, "adder"), (&b, "square")] {
+        let out = boils()
+            .args(["generate", "--circuit", circuit, "--bits", "4", "--output"])
+            .arg(path)
+            .output()
+            .expect("spawn");
+        assert!(out.status.success());
+    }
+    // adder(4) and square(4) even have the same PI count (8) — but they
+    // differ in PO count, so `check` must fail cleanly either way.
+    let out = boils()
+        .args(["check", "--golden"])
+        .arg(&a)
+        .arg("--revised")
+        .arg(&b)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn optimize_runs_a_small_budget() {
+    let out = boils()
+        .args([
+            "optimize", "--circuit", "bar", "--bits", "8", "--budget", "12", "--k", "6",
+            "--method", "rs",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best QoR"), "output: {text}");
+    assert!(text.contains("evaluations   : 12"));
+}
+
+#[test]
+fn unknown_flags_and_circuits_fail_gracefully() {
+    let out = boils()
+        .args(["generate", "--circuit", "mystery", "--output", "/tmp/x.aag"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown circuit"));
+
+    let out = boils().args(["help"]).output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
