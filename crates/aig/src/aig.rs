@@ -350,10 +350,7 @@ impl Aig {
     /// of every output is unchanged.
     pub fn cleanup(&self) -> Aig {
         let mut reachable = vec![false; self.nodes.len()];
-        reachable[0] = true;
-        for var in 1..=self.num_pis {
-            reachable[var] = true;
-        }
+        reachable[..=self.num_pis].fill(true);
         // Mark transitive fanin of each PO. Arena order lets us do a single
         // reverse pass instead of an explicit DFS.
         let mut on_path = vec![false; self.nodes.len()];
@@ -428,10 +425,14 @@ impl Aig {
             let n = self.nodes[var];
             let (m0, m1) = (mask(n.fanin0), mask(n.fanin1));
             let (v0, v1) = (n.fanin0.var(), n.fanin1.var());
-            for w in 0..words_per_node {
-                let w0 = table[v0][w] ^ m0;
-                let w1 = table[v1][w] ^ m1;
-                table[var][w] = w0 & w1;
+            // Fanins precede `var` in arena order, so the split borrows the
+            // target row mutably and the fanin rows immutably.
+            let (sources, targets) = table.split_at_mut(var);
+            for (dst, (&w0, &w1)) in targets[0]
+                .iter_mut()
+                .zip(sources[v0].iter().zip(&sources[v1]))
+            {
+                *dst = (w0 ^ m0) & (w1 ^ m1);
             }
         }
         table
@@ -446,12 +447,13 @@ impl Aig {
     ///
     /// Panics if `num_pis > 20` (the table would exceed a million bits).
     pub fn simulate_exhaustive(&self) -> Vec<Vec<u64>> {
-        assert!(self.num_pis <= 20, "exhaustive simulation limited to 20 inputs");
+        assert!(
+            self.num_pis <= 20,
+            "exhaustive simulation limited to 20 inputs"
+        );
         let bits = 1usize << self.num_pis;
         let words = bits.div_ceil(64);
-        let pi_words: Vec<Vec<u64>> = (0..self.num_pis)
-            .map(|i| input_pattern(i, words))
-            .collect();
+        let pi_words: Vec<Vec<u64>> = (0..self.num_pis).map(|i| input_pattern(i, words)).collect();
         let table = self.simulate_nodes(&pi_words, words);
         self.pos
             .iter()
@@ -571,7 +573,9 @@ impl Aig {
                 in_cone[self.nodes[var].fanin1.var()] = true;
             }
         }
-        (0..self.nodes.len()).filter(|&v| in_cone[v] && v != 0).collect()
+        (0..self.nodes.len())
+            .filter(|&v| in_cone[v] && v != 0)
+            .collect()
     }
 }
 
@@ -638,7 +642,11 @@ impl fmt::Display for Aig {
         write!(
             f,
             "{}: i/o = {}/{}, and = {}, lev = {}",
-            if self.name.is_empty() { "aig" } else { &self.name },
+            if self.name.is_empty() {
+                "aig"
+            } else {
+                &self.name
+            },
             self.num_pis,
             self.pos.len(),
             self.num_ands(),
@@ -701,9 +709,7 @@ mod tests {
         let mut aig = Aig::new(7);
         let lits: Vec<Lit> = (0..7).map(|i| aig.pi(i)).collect();
         let conj = aig.and_many(&lits);
-        let parity = lits[1..]
-            .iter()
-            .fold(lits[0], |acc, &l| aig.xor(acc, l));
+        let parity = lits[1..].iter().fold(lits[0], |acc, &l| aig.xor(acc, l));
         aig.add_po(conj);
         aig.add_po(parity);
         let tts = aig.simulate_exhaustive();
@@ -741,7 +747,10 @@ mod tests {
         assert_eq!(aig.num_ands(), 2);
         let clean = aig.cleanup();
         assert_eq!(clean.num_ands(), 1);
-        assert_eq!(clean.simulate(&[0b1100, 0b1010]), aig.simulate(&[0b1100, 0b1010]));
+        assert_eq!(
+            clean.simulate(&[0b1100, 0b1010]),
+            aig.simulate(&[0b1100, 0b1010])
+        );
         clean.check().expect("clean AIG must be valid");
     }
 

@@ -141,13 +141,21 @@ impl Aig {
         for var in self.ands() {
             writeln!(out, "  n{var} [shape=circle,label=\"∧\"];").expect("string write");
             for f in [self.fanin0(var), self.fanin1(var)] {
-                let style = if f.is_complement() { " [style=dashed]" } else { "" };
+                let style = if f.is_complement() {
+                    " [style=dashed]"
+                } else {
+                    ""
+                };
                 writeln!(out, "  n{} -> n{}{};", f.var(), var, style).expect("string write");
             }
         }
         for (k, po) in self.pos().iter().enumerate() {
             writeln!(out, "  o{k} [shape=invtriangle,label=\"o{k}\"];").expect("string write");
-            let style = if po.is_complement() { " [style=dashed]" } else { "" };
+            let style = if po.is_complement() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             writeln!(out, "  n{} -> o{k}{};", po.var(), style).expect("string write");
         }
         out.push_str("}\n");

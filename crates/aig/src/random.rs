@@ -66,9 +66,7 @@ mod tests {
         let b = random_aig(2, 5, 40, 2);
         // Either the structure or the function differs with overwhelming
         // probability; check the cheap structural signal first.
-        assert!(
-            a.num_ands() != b.num_ands() || a.simulate_exhaustive() != b.simulate_exhaustive()
-        );
+        assert!(a.num_ands() != b.num_ands() || a.simulate_exhaustive() != b.simulate_exhaustive());
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! A genetic algorithm over synthesis sequences, following the shape of the
 //! `geneticalgorithm2` package the paper uses: elitism, tournament
 //! selection, uniform crossover and per-gene mutation.
+//!
+//! Each generation's offspring are bred serially (preserving the RNG
+//! stream) and then scored as one parallel batch through the shared
+//! [`BatchEvaluator`], so the evolution trajectory is identical at any
+//! thread count.
 
-use boils_core::{EvalRecord, OptimizationResult, QorEvaluator, SequenceSpace};
+use boils_core::{
+    BatchEvaluator, EvalRecord, OptimizationResult, SequenceObjective, SequenceSpace,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,6 +27,8 @@ pub struct GaConfig {
     /// Probability that an offspring undergoes crossover (else it clones a
     /// parent).
     pub crossover_rate: f64,
+    /// Worker threads for scoring each generation's population.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -32,6 +41,7 @@ impl Default for GaConfig {
             tournament: 3,
             mutation_rate: 0.1,
             crossover_rate: 0.9,
+            threads: 1,
             seed: 0,
         }
     }
@@ -53,24 +63,24 @@ impl Default for GaConfig {
 /// # Ok(())
 /// # }
 /// ```
-pub fn genetic_algorithm(
-    evaluator: &QorEvaluator,
+pub fn genetic_algorithm<O: SequenceObjective>(
+    objective: &O,
     space: SequenceSpace,
     budget: usize,
     config: &GaConfig,
 ) -> OptimizationResult {
     assert!(budget >= 2, "budget too small for a population");
+    let engine = BatchEvaluator::new(config.threads);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let pop_size = config.population.clamp(2, budget);
     let mut history: Vec<EvalRecord> = Vec::with_capacity(budget);
 
-    // Initial population via Latin hypercube.
+    // Initial population via Latin hypercube, scored as one batch.
+    let mut seeds: Vec<Vec<u8>> = space.latin_hypercube(pop_size, &mut rng);
+    seeds.truncate(budget);
+    let points = engine.evaluate(objective, &seeds);
     let mut population: Vec<(Vec<u8>, f64)> = Vec::with_capacity(pop_size);
-    for tokens in space.latin_hypercube(pop_size, &mut rng) {
-        if history.len() >= budget {
-            break;
-        }
-        let point = evaluator.evaluate_tokens(&tokens);
+    for (tokens, point) in seeds.into_iter().zip(points) {
         history.push(EvalRecord {
             tokens: tokens.clone(),
             point,
@@ -85,7 +95,18 @@ pub fn genetic_algorithm(
             .take(config.elites.min(population.len()))
             .cloned()
             .collect();
-        while next.len() < pop_size && history.len() < budget {
+        // Breed the whole generation first (serial RNG), then score it as
+        // one parallel batch.
+        let brood = pop_size
+            .saturating_sub(next.len())
+            .min(budget - history.len());
+        if brood == 0 {
+            // Degenerate configs (elites ≥ population) would otherwise
+            // spin without spending budget.
+            break;
+        }
+        let mut offspring: Vec<Vec<u8>> = Vec::with_capacity(brood);
+        for _ in 0..brood {
             let p1 = tournament(&population, config.tournament, &mut rng);
             let child = if rng.gen_bool(config.crossover_rate) {
                 let p2 = tournament(&population, config.tournament, &mut rng);
@@ -93,8 +114,10 @@ pub fn genetic_algorithm(
             } else {
                 population[p1].0.clone()
             };
-            let mutated = mutate(&space, &child, config.mutation_rate, &mut rng);
-            let point = evaluator.evaluate_tokens(&mutated);
+            offspring.push(mutate(&space, &child, config.mutation_rate, &mut rng));
+        }
+        let points = engine.evaluate(objective, &offspring);
+        for (mutated, point) in offspring.into_iter().zip(points) {
             history.push(EvalRecord {
                 tokens: mutated.clone(),
                 point,
@@ -141,6 +164,7 @@ fn mutate<R: Rng>(space: &SequenceSpace, tokens: &[u8], rate: f64, rng: &mut R) 
 mod tests {
     use super::*;
     use boils_aig::random_aig;
+    use boils_core::QorEvaluator;
 
     #[test]
     fn ga_spends_exactly_the_budget() {

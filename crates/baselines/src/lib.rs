@@ -10,8 +10,11 @@
 //! * [`reinforcement_learning`] — DRiLLS-style A2C/PPO and a Graph-RL-style
 //!   feature variant (see `DESIGN.md` for the substitution notes).
 //!
-//! All baselines consume the same [`QorEvaluator`](boils_core::QorEvaluator)
-//! and emit the same [`OptimizationResult`](boils_core::OptimizationResult)
+//! All baselines consume the same
+//! [`SequenceObjective`](boils_core::SequenceObjective) (typically a
+//! [`QorEvaluator`](boils_core::QorEvaluator)), spend their budgets through
+//! the shared [`BatchEvaluator`](boils_core::BatchEvaluator) engine, and
+//! emit the same [`OptimizationResult`](boils_core::OptimizationResult)
 //! trace as BOiLS itself, so the experiment harness treats every method
 //! uniformly.
 
@@ -20,5 +23,5 @@ mod rl;
 mod simple;
 
 pub use crate::ga::{genetic_algorithm, GaConfig};
-pub use crate::rl::{reinforcement_learning, RlAlgorithm, RlConfig, RlFeatures};
+pub use crate::rl::{reinforcement_learning, RlAlgorithm, RlConfig, RlFeatures, RolloutCircuit};
 pub use crate::simple::{greedy, random_search};

@@ -10,7 +10,7 @@
 //! substitution; see `DESIGN.md`.
 
 use boils_aig::Aig;
-use boils_core::{EvalRecord, OptimizationResult, QorEvaluator, SequenceSpace};
+use boils_core::{EvalRecord, OptimizationResult, SequenceObjective, SequenceSpace};
 use boils_synth::Transform;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,7 +70,26 @@ impl Default for RlConfig {
     }
 }
 
+/// Objectives an RL policy can roll out on: featurisation observes the
+/// evolving AIG between actions, which the plain black-box interface
+/// deliberately hides.
+pub trait RolloutCircuit {
+    /// The circuit a policy episode starts from.
+    fn rollout_circuit(&self) -> &Aig;
+}
+
+impl RolloutCircuit for boils_core::QorEvaluator {
+    fn rollout_circuit(&self) -> &Aig {
+        self.circuit()
+    }
+}
+
 /// Runs the RL baseline for `budget` episodes (one tested sequence each).
+///
+/// Episodes are inherently sequential — each policy update feeds the next
+/// rollout — so this method evaluates through [`SequenceObjective`]
+/// directly (a degenerate batch); its sample-inefficiency relative to the
+/// batched methods is part of the paper's point.
 ///
 /// ```no_run
 /// use boils_circuits::{Benchmark, CircuitSpec};
@@ -86,15 +105,15 @@ impl Default for RlConfig {
 /// # Ok(())
 /// # }
 /// ```
-pub fn reinforcement_learning(
-    evaluator: &QorEvaluator,
+pub fn reinforcement_learning<O: SequenceObjective + RolloutCircuit>(
+    objective: &O,
     space: SequenceSpace,
     budget: usize,
     config: &RlConfig,
 ) -> OptimizationResult {
     assert!(budget >= 1);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let base = evaluator.circuit().cleanup();
+    let base = objective.rollout_circuit().cleanup();
     let norm = (base.num_ands().max(1) as f64, base.depth().max(1) as f64);
     let dim = feature_dim(config.features, space.alphabet());
     let actions = space.alphabet();
@@ -112,7 +131,15 @@ pub fn reinforcement_learning(
         let mut rewards: Vec<f64> = Vec::with_capacity(space.length());
         let mut proxy = proxy_cost(&aig, norm);
         for pos in 0..space.length() {
-            let phi = featurise(config.features, &aig, norm, pos, space.length(), &tokens, actions);
+            let phi = featurise(
+                config.features,
+                &aig,
+                norm,
+                pos,
+                space.length(),
+                &tokens,
+                actions,
+            );
             let pi = softmax(&w, &phi);
             let action = sample_categorical(&pi, &mut rng);
             tokens.push(action as u8);
@@ -124,7 +151,7 @@ pub fn reinforcement_learning(
             probs.push(pi);
         }
         // --- Official evaluation (one tested sequence).
-        let point = evaluator.evaluate_tokens(&tokens);
+        let point = objective.evaluate_tokens(&tokens);
         history.push(EvalRecord {
             tokens: tokens.clone(),
             point,
@@ -154,10 +181,8 @@ pub fn reinforcement_learning(
         // --- Actor update.
         match config.algorithm {
             RlAlgorithm::A2c => {
-                for ((phi, pi), (&action, adv)) in feats
-                    .iter()
-                    .zip(&probs)
-                    .zip(tokens.iter().zip(&advantages))
+                for ((phi, pi), (&action, adv)) in
+                    feats.iter().zip(&probs).zip(tokens.iter().zip(&advantages))
                 {
                     policy_gradient_step(
                         &mut w,
@@ -171,10 +196,8 @@ pub fn reinforcement_learning(
             }
             RlAlgorithm::Ppo => {
                 for _ in 0..config.ppo_epochs {
-                    for ((phi, pi_old), (&action, adv)) in feats
-                        .iter()
-                        .zip(&probs)
-                        .zip(tokens.iter().zip(&advantages))
+                    for ((phi, pi_old), (&action, adv)) in
+                        feats.iter().zip(&probs).zip(tokens.iter().zip(&advantages))
                     {
                         let pi_new = softmax(&w, phi);
                         let a = action as usize;
@@ -188,7 +211,14 @@ pub fn reinforcement_learning(
                         };
                         if active {
                             let scale = *adv * ratio;
-                            policy_gradient_step(&mut w, phi, &pi_new, a, scale, config.learning_rate);
+                            policy_gradient_step(
+                                &mut w,
+                                phi,
+                                &pi_new,
+                                a,
+                                scale,
+                                config.learning_rate,
+                            );
                         }
                     }
                 }
@@ -318,6 +348,7 @@ fn policy_gradient_step(
 mod tests {
     use super::*;
     use boils_aig::random_aig;
+    use boils_core::QorEvaluator;
 
     #[test]
     fn softmax_is_a_distribution() {

@@ -1,7 +1,12 @@
 //! The non-learning baselines: random search (Latin hypercube, as pymoo's
-//! sampler in the paper) and the greedy constructor.
+//! sampler in the paper) and the greedy constructor. Both spend their
+//! budget through the shared [`BatchEvaluator`] engine, so candidate
+//! batches (the whole design for RS, one position's action sweep for
+//! greedy) evaluate in parallel without changing the search trajectory.
 
-use boils_core::{EvalRecord, OptimizationResult, QorEvaluator, SequenceSpace};
+use boils_core::{
+    BatchEvaluator, EvalRecord, OptimizationResult, SequenceObjective, SequenceSpace,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,57 +23,79 @@ use rand::SeedableRng;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let aig = CircuitSpec::new(Benchmark::Adder).build();
 /// let evaluator = QorEvaluator::new(&aig)?;
-/// let result = random_search(&evaluator, SequenceSpace::paper(), 50, 0);
+/// let result = random_search(&evaluator, SequenceSpace::paper(), 50, 0, 4);
 /// println!("best {:.4}", result.best_qor);
 /// # Ok(())
 /// # }
 /// ```
-pub fn random_search(
-    evaluator: &QorEvaluator,
+pub fn random_search<O: SequenceObjective>(
+    objective: &O,
     space: SequenceSpace,
     budget: usize,
     seed: u64,
+    threads: usize,
 ) -> OptimizationResult {
     assert!(budget >= 1, "need at least one evaluation");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut history = Vec::with_capacity(budget);
-    for tokens in space.latin_hypercube(budget, &mut rng) {
-        let point = evaluator.evaluate_tokens(&tokens);
-        history.push(EvalRecord { tokens, point });
-    }
+    let samples = space.latin_hypercube(budget, &mut rng);
+    // The whole design is one independent batch — random search is the
+    // embarrassingly parallel end of the method spectrum.
+    let points = BatchEvaluator::new(threads).evaluate(objective, &samples);
+    let history = samples
+        .into_iter()
+        .zip(points)
+        .map(|(tokens, point)| EvalRecord { tokens, point })
+        .collect();
     OptimizationResult::from_history(&space, history)
 }
 
 /// The greedy constructor: grows one sequence by appending, at each
 /// position, the transform with the best immediate QoR, until the sequence
 /// reaches length `K` or the evaluation budget runs out.
-pub fn greedy(
-    evaluator: &QorEvaluator,
+///
+/// Each position's action sweep (11 candidate extensions) is evaluated as
+/// one parallel batch; ties break toward the lowest action index, exactly
+/// as the serial sweep did.
+pub fn greedy<O: SequenceObjective>(
+    objective: &O,
     space: SequenceSpace,
     budget: usize,
+    threads: usize,
 ) -> OptimizationResult {
     assert!(budget >= space.alphabet(), "budget below one greedy step");
-    let mut history = Vec::new();
+    let engine = BatchEvaluator::new(threads);
+    let mut history: Vec<EvalRecord> = Vec::new();
     let mut prefix: Vec<u8> = Vec::new();
-    'grow: for _pos in 0..space.length() {
+    for _pos in 0..space.length() {
+        let remaining = budget - history.len();
+        if remaining == 0 {
+            break;
+        }
+        let candidates: Vec<Vec<u8>> = (0..space.alphabet() as u8)
+            .take(remaining)
+            .map(|action| {
+                let mut cand = prefix.clone();
+                cand.push(action);
+                cand
+            })
+            .collect();
+        let truncated = candidates.len() < space.alphabet();
+        let points = engine.evaluate(objective, &candidates);
         let mut best: Option<(f64, u8)> = None;
-        for action in 0..space.alphabet() as u8 {
-            if history.len() >= budget {
-                break 'grow;
+        for (cand, point) in candidates.into_iter().zip(points) {
+            let action = *cand.last().expect("non-empty candidate");
+            if best.is_none_or(|(q, _)| point.qor < q) {
+                best = Some((point.qor, action));
             }
-            let mut cand = prefix.clone();
-            cand.push(action);
-            // Pad to full length with the identity of "stop here" — the
-            // evaluator scores the prefix as-is (shorter sequences are
-            // legal flows).
-            let point = evaluator.evaluate_tokens(&cand);
             history.push(EvalRecord {
                 tokens: cand,
                 point,
             });
-            if best.is_none_or(|(q, _)| point.qor < q) {
-                best = Some((point.qor, action));
-            }
+        }
+        if truncated {
+            // Budget ran out mid-sweep: the partial comparison is not a
+            // fair greedy step, so stop without extending (as before).
+            break;
         }
         match best {
             Some((_, action)) => prefix.push(action),
@@ -82,6 +109,7 @@ pub fn greedy(
 mod tests {
     use super::*;
     use boils_aig::random_aig;
+    use boils_core::QorEvaluator;
 
     fn evaluator() -> QorEvaluator {
         QorEvaluator::new(&random_aig(31, 8, 300, 3)).expect("ok")
@@ -90,7 +118,7 @@ mod tests {
     #[test]
     fn random_search_spends_exactly_the_budget() {
         let e = evaluator();
-        let r = random_search(&e, SequenceSpace::new(5, 11), 12, 3);
+        let r = random_search(&e, SequenceSpace::new(5, 11), 12, 3, 1);
         assert_eq!(r.num_evaluations(), 12);
     }
 
@@ -98,18 +126,33 @@ mod tests {
     fn random_search_is_seeded() {
         let e1 = evaluator();
         let e2 = evaluator();
-        let a = random_search(&e1, SequenceSpace::new(5, 11), 8, 9);
-        let b = random_search(&e2, SequenceSpace::new(5, 11), 8, 9);
+        let a = random_search(&e1, SequenceSpace::new(5, 11), 8, 9, 1);
+        let b = random_search(&e2, SequenceSpace::new(5, 11), 8, 9, 1);
         assert_eq!(a.best_tokens, b.best_tokens);
+    }
+
+    #[test]
+    fn random_search_is_thread_count_invariant() {
+        let e1 = evaluator();
+        let e2 = evaluator();
+        let serial = random_search(&e1, SequenceSpace::new(5, 11), 16, 5, 1);
+        let parallel = random_search(&e2, SequenceSpace::new(5, 11), 16, 5, 8);
+        assert_eq!(serial.best_tokens, parallel.best_tokens);
+        assert_eq!(serial.best_qor, parallel.best_qor);
+        assert_eq!(e1.num_evaluations(), e2.num_evaluations());
+        for (a, b) in serial.history.iter().zip(&parallel.history) {
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.point, b.point);
+        }
     }
 
     #[test]
     fn greedy_builds_incrementally() {
         let e = evaluator();
         let space = SequenceSpace::new(3, 11);
-        let r = greedy(&e, space, 33);
+        let r = greedy(&e, space, 33, 1);
         assert_eq!(r.num_evaluations(), 33); // 3 positions × 11 actions
-        // Greedy's best is at least as good as its first-step best.
+                                             // Greedy's best is at least as good as its first-step best.
         let first_step_best = r.history[..11]
             .iter()
             .map(|h| h.point.qor)
@@ -120,7 +163,19 @@ mod tests {
     #[test]
     fn greedy_respects_budget_cutoff() {
         let e = evaluator();
-        let r = greedy(&e, SequenceSpace::new(20, 11), 25);
+        let r = greedy(&e, SequenceSpace::new(20, 11), 25, 1);
         assert_eq!(r.num_evaluations(), 25);
+    }
+
+    #[test]
+    fn greedy_is_thread_count_invariant() {
+        let e1 = evaluator();
+        let e2 = evaluator();
+        let space = SequenceSpace::new(4, 11);
+        let serial = greedy(&e1, space, 44, 1);
+        let parallel = greedy(&e2, space, 44, 8);
+        assert_eq!(serial.best_tokens, parallel.best_tokens);
+        assert_eq!(serial.best_qor, parallel.best_qor);
+        assert_eq!(e1.num_evaluations(), e2.num_evaluations());
     }
 }

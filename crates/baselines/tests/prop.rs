@@ -22,12 +22,15 @@ proptest! {
         let Ok(evaluator) = QorEvaluator::new(&aig) else { return Ok(()); };
         let space = SequenceSpace::new(len, 11);
 
+        // Thread counts vary per method on purpose: budgets and traces are
+        // engine-parallelism invariant.
         let results = [
-            random_search(&evaluator, space, budget, seed),
-            greedy(&evaluator, space, budget),
+            random_search(&evaluator, space, budget, seed, 1 + (seed as usize % 4)),
+            greedy(&evaluator, space, budget, 2),
             genetic_algorithm(&evaluator, space, budget, &GaConfig {
                 population: 6,
                 seed,
+                threads: 3,
                 ..GaConfig::default()
             }),
             reinforcement_learning(&evaluator, space, budget, &RlConfig {

@@ -17,6 +17,7 @@ fn bench_pareto_pipeline(c: &mut Criterion) {
         circuits: vec![Benchmark::BarrelShifter],
         methods: vec![Method::Rs, Method::Sbo, Method::Boils],
         bits: None,
+        threads: 1,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig3_pareto_report", |bencher| {

@@ -21,6 +21,7 @@ fn bench_qor_table_pipeline(c: &mut Criterion) {
                 circuits: vec![Benchmark::BarrelShifter],
                 methods: vec![Method::Rs, Method::Boils],
                 bits: None,
+                threads: 1,
             };
             let sweep = Sweep::run(&cfg);
             black_box(qor_table(&sweep, cfg.budget))

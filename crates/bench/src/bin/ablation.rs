@@ -7,7 +7,7 @@
 //!     [--budget 25] [--seeds 2] [--circuits adder,max] [--k 20]
 //! ```
 
-use boils_bench::cli;
+use boils_bench::cli::{self, BenchArgs};
 use boils_bench::figures::improvement_percent;
 use boils_circuits::{Benchmark, CircuitSpec};
 use boils_core::{Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
@@ -33,11 +33,12 @@ fn base_config(budget: usize, init: usize, space: SequenceSpace, seed: u64) -> B
 }
 
 fn main() {
-    let cfg = cli::sweep_config_from_args();
+    let args = BenchArgs::from_env();
+    let cfg = cli::sweep_config_from(&args);
     let budget = cfg.budget;
     let init = (budget / 5).clamp(4, budget - 1);
     let space = SequenceSpace::new(cfg.sequence_length, 11);
-    let circuits = if cli::arg_value("--circuits").is_some() {
+    let circuits = if args.value("--circuits").is_some() {
         cfg.circuits.clone()
     } else {
         vec![Benchmark::Adder, Benchmark::Max]
@@ -91,7 +92,9 @@ fn main() {
             let evaluator = QorEvaluator::new(&aig).expect("non-degenerate");
             let mut sum = 0.0;
             for seed in 0..cfg.seeds as u64 {
-                let mut boils = Boils::new((v.make)(budget, init, space, seed));
+                let mut config = (v.make)(budget, init, space, seed);
+                config.threads = cfg.threads;
+                let mut boils = Boils::new(config);
                 let r = boils.run(&evaluator).expect("run");
                 sum += improvement_percent(r.best_qor);
             }
@@ -111,6 +114,7 @@ fn main() {
                 initial_samples: init,
                 space,
                 seed,
+                threads: cfg.threads,
                 train: TrainConfig {
                     steps: 10,
                     ..TrainConfig::default()

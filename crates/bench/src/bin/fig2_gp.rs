@@ -5,13 +5,11 @@
 //! cargo run -p boils-bench --bin fig2_gp --release -- [--seed 0]
 //! ```
 
-use boils_bench::cli;
+use boils_bench::cli::BenchArgs;
 use boils_bench::figures::gp_figure;
 
 fn main() {
-    let seed: u64 = cli::arg_value("--seed")
-        .map(|v| v.parse().expect("--seed takes an integer"))
-        .unwrap_or(0);
+    let seed: u64 = BenchArgs::from_env().parse("--seed").unwrap_or(0);
     println!("== Figure 2: GP prior and posterior samples (SE kernel) ==");
     println!("{}", gp_figure(seed));
 }

@@ -7,13 +7,14 @@
 //!     [--circuits hyp,div,log2,multiplier] [--from results/raw.csv]
 //! ```
 
-use boils_bench::cli;
+use boils_bench::cli::{self, BenchArgs};
 use boils_bench::figures::convergence_csv;
 use boils_circuits::Benchmark;
 
 fn main() {
-    let cfg = cli::sweep_config_from_args();
-    let sweep = cli::sweep_from_args();
+    let args = BenchArgs::from_env();
+    let cfg = cli::sweep_config_from(&args);
+    let sweep = cli::sweep_from(&args);
     // The paper plots the four largest circuits by default.
     let default_circuits = [
         Benchmark::Hypotenuse,
@@ -21,7 +22,7 @@ fn main() {
         Benchmark::Log2,
         Benchmark::Multiplier,
     ];
-    let circuits: Vec<Benchmark> = if cli::arg_value("--circuits").is_some() {
+    let circuits: Vec<Benchmark> = if args.value("--circuits").is_some() {
         cfg.circuits.clone()
     } else {
         default_circuits

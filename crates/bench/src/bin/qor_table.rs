@@ -7,13 +7,14 @@
 //!     [--circuits adder,bar] [--methods rs,boils] [--out results/raw.csv]
 //! ```
 
-use boils_bench::cli;
+use boils_bench::cli::{self, BenchArgs};
 use boils_bench::figures::qor_table;
 
 fn main() {
-    let cfg = cli::sweep_config_from_args();
+    let args = BenchArgs::from_env();
+    let cfg = cli::sweep_config_from(&args);
     let budget = cfg.budget;
-    let sweep = cli::sweep_from_args();
+    let sweep = cli::sweep_from(&args);
     println!("\n== Figure 3 (top): QoR improvement % at N = {budget} ==\n");
     println!("{}", qor_table(&sweep, budget));
 }

@@ -1,49 +1,100 @@
 //! Minimal flag parsing shared by the experiment binaries (no external
-//! dependency needed for `--flag value` pairs).
+//! dependency needed). The command line is collected once per call into a
+//! parsed view supporting both `--flag value` and `--flag=value`.
 
 use boils_circuits::Benchmark;
 
 use crate::method::Method;
 use crate::suite::SweepConfig;
 
-/// Returns the value following `--name`, if present.
-pub fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+/// A parsed command line: `--flag value` / `--flag=value` pairs and bare
+/// boolean flags.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    entries: Vec<(String, Option<String>)>,
 }
 
-/// Whether a bare `--name` flag is present.
-pub fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
+impl BenchArgs {
+    /// Parses the process's own command line.
+    pub fn from_env() -> BenchArgs {
+        BenchArgs::from_list(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    pub fn from_list(args: impl IntoIterator<Item = String>) -> BenchArgs {
+        let mut entries: Vec<(String, Option<String>)> = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                if let Some((name, value)) = flag.split_once('=') {
+                    entries.push((format!("--{name}"), Some(value.to_string())));
+                } else {
+                    // `--flag value` when the next token is not itself a
+                    // flag; bare boolean otherwise.
+                    let value = match iter.peek() {
+                        Some(next) if !next.starts_with("--") => iter.next(),
+                        _ => None,
+                    };
+                    entries.push((arg, value));
+                }
+            } else {
+                entries.push((arg, None));
+            }
+        }
+        BenchArgs { entries }
+    }
+
+    /// The value of `--name`, if present with a value.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(flag, _)| flag == name)
+            .and_then(|(_, value)| value.as_deref())
+    }
+
+    /// Whether `--name` is present at all (with or without a value).
+    pub fn flag(&self, name: &str) -> bool {
+        self.entries.iter().any(|(flag, _)| flag == name)
+    }
+
+    /// Parses the value of `--name`, panicking with a usage message on
+    /// malformed input (binaries are developer tools; panics are fine).
+    pub fn parse<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.value(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} takes a {}", std::any::type_name::<T>()))
+        })
+    }
 }
 
-/// Builds a sweep config from the common command-line flags:
-/// `--budget N --seeds N --multiplier N --k N --bits N --circuits a,b
-/// --methods rs,boils --paper`.
-pub fn sweep_config_from_args() -> SweepConfig {
-    let mut cfg = if arg_flag("--paper") {
+/// Builds a sweep config from a parsed argument view, reading the common
+/// flags `--budget N --seeds N --multiplier N --k N --bits N --threads N
+/// --circuits a,b --methods rs,boils --paper`.
+pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
+    let mut cfg = if args.flag("--paper") {
         SweepConfig::paper()
     } else {
         SweepConfig::default()
     };
-    if let Some(v) = arg_value("--budget") {
-        cfg.budget = v.parse().expect("--budget takes an integer");
+    if let Some(v) = args.parse("--budget") {
+        cfg.budget = v;
     }
-    if let Some(v) = arg_value("--seeds") {
-        cfg.seeds = v.parse().expect("--seeds takes an integer");
+    if let Some(v) = args.parse("--seeds") {
+        cfg.seeds = v;
     }
-    if let Some(v) = arg_value("--multiplier") {
-        cfg.others_multiplier = v.parse().expect("--multiplier takes an integer");
+    if let Some(v) = args.parse("--multiplier") {
+        cfg.others_multiplier = v;
     }
-    if let Some(v) = arg_value("--k") {
-        cfg.sequence_length = v.parse().expect("--k takes an integer");
+    if let Some(v) = args.parse("--k") {
+        cfg.sequence_length = v;
     }
-    if let Some(v) = arg_value("--bits") {
-        cfg.bits = Some(v.parse().expect("--bits takes an integer"));
+    if let Some(v) = args.parse("--bits") {
+        cfg.bits = Some(v);
     }
-    if let Some(v) = arg_value("--circuits") {
+    if let Some(v) = args.parse("--threads") {
+        cfg.threads = v;
+    }
+    if let Some(v) = args.value("--circuits") {
         cfg.circuits = v
             .split(',')
             .map(|name| {
@@ -54,7 +105,7 @@ pub fn sweep_config_from_args() -> SweepConfig {
             })
             .collect();
     }
-    if let Some(v) = arg_value("--methods") {
+    if let Some(v) = args.value("--methods") {
         cfg.methods = v
             .split(',')
             .map(|id| Method::from_id(id).unwrap_or_else(|| panic!("unknown method {id:?}")))
@@ -65,17 +116,70 @@ pub fn sweep_config_from_args() -> SweepConfig {
 
 /// Loads a sweep from `--from <csv>` or runs one with the flag-derived
 /// config, saving to `--out <csv>` when requested.
-pub fn sweep_from_args() -> crate::suite::Sweep {
-    if let Some(path) = arg_value("--from") {
-        return crate::suite::Sweep::load(std::path::Path::new(&path))
+pub fn sweep_from(args: &BenchArgs) -> crate::suite::Sweep {
+    if let Some(path) = args.value("--from") {
+        return crate::suite::Sweep::load(std::path::Path::new(path))
             .expect("failed to load sweep CSV");
     }
-    let cfg = sweep_config_from_args();
+    let cfg = sweep_config_from(args);
     let sweep = crate::suite::Sweep::run(&cfg);
-    if let Some(path) = arg_value("--out") {
+    if let Some(path) = args.value("--out") {
         sweep
-            .save(std::path::Path::new(&path))
+            .save(std::path::Path::new(path))
             .expect("failed to save sweep CSV");
     }
     sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> BenchArgs {
+        BenchArgs::from_list(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn space_and_equals_forms_parse_identically() {
+        let a = args(&["--budget", "50", "--paper"]);
+        let b = args(&["--budget=50", "--paper"]);
+        assert_eq!(a.value("--budget"), Some("50"));
+        assert_eq!(b.value("--budget"), Some("50"));
+        assert!(a.flag("--paper") && b.flag("--paper"));
+        assert!(!a.flag("--missing"));
+        assert_eq!(a.value("--missing"), None);
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_the_next_flag() {
+        let a = args(&["--paper", "--budget", "9"]);
+        assert!(a.flag("--paper"));
+        assert_eq!(a.parse::<usize>("--budget"), Some(9));
+    }
+
+    #[test]
+    fn sweep_config_reads_all_common_flags() {
+        let a = args(&[
+            "--budget=12",
+            "--seeds=3",
+            "--multiplier=2",
+            "--k=6",
+            "--threads=4",
+            "--methods",
+            "rs,boils",
+        ]);
+        let cfg = sweep_config_from(&a);
+        assert_eq!(cfg.budget, 12);
+        assert_eq!(cfg.seeds, 3);
+        assert_eq!(cfg.others_multiplier, 2);
+        assert_eq!(cfg.sequence_length, 6);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.methods, vec![Method::Rs, Method::Boils]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--budget takes a")]
+    fn malformed_numbers_panic_with_the_flag_name() {
+        args(&["--budget", "lots"]).parse::<usize>("--budget");
+    }
 }

@@ -109,7 +109,8 @@ pub fn sample_efficiency(sweep: &Sweep, budget: usize) -> String {
         .into_iter()
         .filter(|m| sweep.runs.iter().any(|r| r.method == *m))
         .collect();
-    let mut out = String::from("| Method       | avg evals to 97.5% of BOiLS | avg improvement % |\n");
+    let mut out =
+        String::from("| Method       | avg evals to 97.5% of BOiLS | avg improvement % |\n");
     out.push_str("|--------------|-----------------------------|-------------------|\n");
     for &m in &methods {
         let mut evals = 0.0;
@@ -202,16 +203,15 @@ pub fn pareto_report(sweep: &Sweep, circuit: Benchmark, budget: usize) -> String
     let on_front: Vec<bool> = points
         .iter()
         .map(|&(_, _, a, d)| {
-            !points.iter().any(|&(_, _, a2, d2)| {
-                (a2 <= a && d2 < d) || (a2 < a && d2 <= d)
-            })
+            !points
+                .iter()
+                .any(|&(_, _, a2, d2)| (a2 <= a && d2 < d) || (a2 < a && d2 <= d))
         })
         .collect();
     let mut out = format!("# {} — best solutions at N={budget}\n", circuit.name());
     out.push_str("method,seed,area,delay,pareto\n");
     for (p, f) in points.iter().zip(&on_front) {
-        writeln!(out, "{},{},{},{},{}", p.0.id(), p.1, p.2, p.3, *f as u8)
-            .expect("string write");
+        writeln!(out, "{},{},{},{},{}", p.0.id(), p.1, p.2, p.3, *f as u8).expect("string write");
     }
     out.push_str("\n# Pareto membership\n");
     for m in Method::ALL {
@@ -252,8 +252,13 @@ pub fn gp_figure(seed: u64) -> String {
     // Posterior after observing a noiseless sine at five points.
     let train_x: Vec<Vec<f64>> = [0.3, 1.2, 2.2, 3.4, 4.4].iter().map(|&x| vec![x]).collect();
     let train_y: Vec<f64> = train_x.iter().map(|x| (1.8 * x[0]).sin()).collect();
-    let gp = Gp::fit(SquaredExponential::new(1), train_x.clone(), train_y.clone(), 1e-6)
-        .expect("spd");
+    let gp = Gp::fit(
+        SquaredExponential::new(1),
+        train_x.clone(),
+        train_y.clone(),
+        1e-6,
+    )
+    .expect("spd");
     let posts: Vec<Vec<f64>> = (0..3)
         .map(|_| gp.sample_posterior(&grid, &mut rng).expect("psd posterior"))
         .collect();

@@ -13,10 +13,10 @@
 //! | `ablation` | design-choice ablations (ours) |
 //!
 //! All sweep-based binaries accept `--budget`, `--seeds`, `--multiplier`,
-//! `--k`, `--bits`, `--circuits`, `--methods`, `--paper`, and can persist /
-//! reuse raw traces with `--out file.csv` / `--from file.csv`. Defaults are
-//! scaled down so the full suite runs in minutes; `--paper` restores the
-//! paper's protocol (200/1000 evaluations, 5 seeds).
+//! `--k`, `--bits`, `--threads`, `--circuits`, `--methods`, `--paper`, and
+//! can persist / reuse raw traces with `--out file.csv` / `--from file.csv`.
+//! Defaults are scaled down so the full suite runs in minutes; `--paper`
+//! restores the paper's protocol (200/1000 evaluations, 5 seeds).
 
 pub mod cli;
 pub mod figures;

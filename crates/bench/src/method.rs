@@ -2,10 +2,10 @@
 
 use boils_baselines::{
     genetic_algorithm, greedy, random_search, reinforcement_learning, GaConfig, RlAlgorithm,
-    RlConfig, RlFeatures,
+    RlConfig, RlFeatures, RolloutCircuit,
 };
 use boils_core::{
-    Boils, BoilsConfig, OptimizationResult, QorEvaluator, Sbo, SboConfig, SequenceSpace,
+    Boils, BoilsConfig, OptimizationResult, Sbo, SboConfig, SequenceObjective, SequenceSpace,
 };
 use boils_gp::TrainConfig;
 
@@ -82,31 +82,46 @@ impl Method {
         matches!(self, Method::Sbo | Method::Boils)
     }
 
-    /// Runs the method against an evaluator.
-    ///
-    /// Budgets are spent as whole black-box evaluations; every method uses
-    /// the same [`QorEvaluator`] and produces the same trace format.
-    pub fn run(
+    /// Runs the method against an objective with a single worker thread.
+    pub fn run<O: SequenceObjective + RolloutCircuit>(
         self,
-        evaluator: &QorEvaluator,
+        objective: &O,
         space: SequenceSpace,
         budget: usize,
         seed: u64,
     ) -> OptimizationResult {
+        self.run_threaded(objective, space, budget, seed, 1)
+    }
+
+    /// Runs the method against an objective, spending black-box
+    /// evaluations through the shared engine with `threads` workers.
+    ///
+    /// Budgets are spent as whole black-box evaluations; every method uses
+    /// the same [`SequenceObjective`] and produces the same trace format,
+    /// and each trajectory is thread-count invariant.
+    pub fn run_threaded<O: SequenceObjective + RolloutCircuit>(
+        self,
+        objective: &O,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+        threads: usize,
+    ) -> OptimizationResult {
         match self {
-            Method::Rs => random_search(evaluator, space, budget, seed),
-            Method::Greedy => greedy(evaluator, space, budget),
+            Method::Rs => random_search(objective, space, budget, seed, threads),
+            Method::Greedy => greedy(objective, space, budget, threads),
             Method::Ga => genetic_algorithm(
-                evaluator,
+                objective,
                 space,
                 budget,
                 &GaConfig {
                     seed,
+                    threads,
                     ..GaConfig::default()
                 },
             ),
             Method::DrillsPpo => reinforcement_learning(
-                evaluator,
+                objective,
                 space,
                 budget,
                 &RlConfig {
@@ -117,7 +132,7 @@ impl Method {
                 },
             ),
             Method::DrillsA2c => reinforcement_learning(
-                evaluator,
+                objective,
                 space,
                 budget,
                 &RlConfig {
@@ -128,7 +143,7 @@ impl Method {
                 },
             ),
             Method::GraphRl => reinforcement_learning(
-                evaluator,
+                objective,
                 space,
                 budget,
                 &RlConfig {
@@ -144,13 +159,14 @@ impl Method {
                     initial_samples: initial_design(budget),
                     space,
                     seed,
+                    threads,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
                     },
                     ..SboConfig::default()
                 });
-                sbo.run(evaluator).expect("SBO run failed")
+                sbo.run(objective).expect("SBO run failed")
             }
             Method::Boils => {
                 let mut boils = Boils::new(BoilsConfig {
@@ -158,13 +174,14 @@ impl Method {
                     initial_samples: initial_design(budget),
                     space,
                     seed,
+                    threads,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
                     },
                     ..BoilsConfig::default()
                 });
-                boils.run(evaluator).expect("BOiLS run failed")
+                boils.run(objective).expect("BOiLS run failed")
             }
         }
     }
@@ -196,12 +213,32 @@ mod tests {
 
     #[test]
     fn every_method_respects_the_budget() {
-        let evaluator = QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
+        let evaluator = boils_core::QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
         let space = SequenceSpace::new(4, 11);
         for m in Method::ALL {
             let budget = if m == Method::Greedy { 22 } else { 12 };
             let r = m.run(&evaluator, space, budget, 0);
             assert_eq!(r.num_evaluations(), budget, "{m}");
+        }
+    }
+
+    #[test]
+    fn every_method_is_thread_count_invariant() {
+        let aig = random_aig(61, 8, 250, 3);
+        let space = SequenceSpace::new(4, 11);
+        for m in Method::ALL {
+            let budget = if m == Method::Greedy { 22 } else { 12 };
+            let serial = boils_core::QorEvaluator::new(&aig).expect("ok");
+            let parallel = boils_core::QorEvaluator::new(&aig).expect("ok");
+            let a = m.run_threaded(&serial, space, budget, 1, 1);
+            let b = m.run_threaded(&parallel, space, budget, 1, 8);
+            assert_eq!(a.best_tokens, b.best_tokens, "{m}");
+            assert_eq!(a.best_qor, b.best_qor, "{m}");
+            assert_eq!(
+                serial.num_evaluations(),
+                parallel.num_evaluations(),
+                "{m}: unique-evaluation accounting drifted with threads"
+            );
         }
     }
 }

@@ -29,6 +29,9 @@ pub struct SweepConfig {
     /// Optional bit-width override applied to every circuit (None = each
     /// benchmark's scaled default).
     pub bits: Option<usize>,
+    /// Worker threads for batched evaluations inside each run (traces are
+    /// thread-count invariant; this only changes wall-clock time).
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -41,6 +44,7 @@ impl Default for SweepConfig {
             circuits: Benchmark::ALL.to_vec(),
             methods: Method::ALL.to_vec(),
             bits: None,
+            threads: 1,
         }
     }
 }
@@ -138,12 +142,16 @@ impl Sweep {
                 spec = spec.bits(suitable_bits(circuit, bits));
             }
             let aig = spec.build();
+            // One evaluator per circuit: its sharded memo cache is shared
+            // across every method and seed on that circuit, so a sequence
+            // synthesised once is never recomputed by a later method.
             let evaluator = QorEvaluator::new(&aig).expect("benchmark circuits are non-trivial");
             for &method in &config.methods {
                 let budget = config.budget_for(method);
                 for seed in 0..config.seeds as u64 {
                     let t0 = std::time::Instant::now();
-                    let result = method.run(&evaluator, space, budget, seed);
+                    let result =
+                        method.run_threaded(&evaluator, space, budget, seed, config.threads);
                     let trace: Vec<(f64, usize, u32)> = result
                         .history
                         .iter()
@@ -235,7 +243,9 @@ impl Sweep {
             let area: usize = fields[5].parse().map_err(|_| parse_err(fields[5]))?;
             let delay: u32 = fields[6].parse().map_err(|_| parse_err(fields[6]))?;
             match runs.last_mut() {
-                Some(last) if last.circuit == circuit && last.method == method && last.seed == seed => {
+                Some(last)
+                    if last.circuit == circuit && last.method == method && last.seed == seed =>
+                {
                     last.trace.push((qor, area, delay));
                 }
                 _ => runs.push(RunRecord {
@@ -333,7 +343,10 @@ mod tests {
         let cfg = SweepConfig::default();
         assert_eq!(cfg.budget_for(Method::Boils), cfg.budget);
         assert_eq!(cfg.budget_for(Method::Sbo), cfg.budget);
-        assert_eq!(cfg.budget_for(Method::Rs), cfg.budget * cfg.others_multiplier);
+        assert_eq!(
+            cfg.budget_for(Method::Rs),
+            cfg.budget * cfg.others_multiplier
+        );
         let paper = SweepConfig::paper();
         assert_eq!(paper.budget, 200);
         assert_eq!(paper.budget_for(Method::Ga), 1000);

@@ -5,7 +5,10 @@
 use boils_circuits::{Benchmark, CircuitSpec};
 
 fn main() {
-    println!("{:<12} {:>6} {:>6} {:>6} {:>6}", "circuit", "pis", "pos", "ands", "lev");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6}",
+        "circuit", "pis", "pos", "ands", "lev"
+    );
     for b in Benchmark::ALL {
         let aig = CircuitSpec::new(b).build();
         println!(

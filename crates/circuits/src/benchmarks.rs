@@ -379,7 +379,7 @@ fn gen_log2(n: usize) -> Aig {
     let mut m = mantissa;
     for _ in 0..frac_bits {
         let sq = mul(&mut aig, &m, &m); // 2n bits, value m² with 2(n-1) frac bits
-        // Renormalise to n+1 bits with n-1 fraction bits.
+                                        // Renormalise to n+1 bits with n-1 fraction bits.
         let top: Word = sq[(n - 1)..(2 * n)].to_vec();
         let bit = top[n]; // ≥ 2.0
         frac.push(bit);
@@ -662,9 +662,8 @@ mod tests {
             let r = from_bits(&out[n..2 * n]);
             let (mq, mr) = model::div(a, b, n);
             assert_eq!((q, r), (mq, mr), "div({a},{b})");
-            if b != 0 {
-                assert_eq!(q, a / b, "true quotient");
-                assert_eq!(r, a % b, "true remainder");
+            if let (Some(tq), Some(tr)) = (a.checked_div(b), a.checked_rem(b)) {
+                assert_eq!((q, r), (tq, tr), "true quotient/remainder");
             }
         }
     }
@@ -746,7 +745,11 @@ mod tests {
         let fb = log2_frac_bits(n);
         let mut rng = StdRng::seed_from_u64(8);
         for trial in 0..40 {
-            let x = if trial == 0 { 1 } else { rand_val(&mut rng, n).max(1) };
+            let x = if trial == 0 {
+                1
+            } else {
+                rand_val(&mut rng, n).max(1)
+            };
             let out = run(&aig, &to_bits(x, n));
             let int_part = from_bits(&out[0..ib]);
             let frac = from_bits(&out[ib..ib + fb]);
@@ -764,10 +767,7 @@ mod tests {
             let (i, f) = model::log2(x, n);
             let approx = i as f64 + f as f64 / f64::powi(2.0, fb as i32);
             let real = (x as f64).log2();
-            assert!(
-                (approx - real).abs() < 0.3,
-                "log2({x}): {approx} vs {real}"
-            );
+            assert!((approx - real).abs() < 0.3, "log2({x}): {approx} vs {real}");
         }
     }
 

@@ -89,10 +89,7 @@ pub fn less_than(aig: &mut Aig, a: &Word, b: &Word) -> Lit {
 /// Panics if the word widths differ.
 pub fn mux_word(aig: &mut Aig, sel: Lit, t: &Word, e: &Word) -> Word {
     assert_eq!(t.len(), e.len(), "mux width mismatch");
-    t.iter()
-        .zip(e)
-        .map(|(&x, &y)| aig.mux(sel, x, y))
-        .collect()
+    t.iter().zip(e).map(|(&x, &y)| aig.mux(sel, x, y)).collect()
 }
 
 /// Left-rotates a word by a fixed amount (wiring only).
@@ -156,10 +153,7 @@ mod tests {
                 words[offset + i] = (value >> i & 1) * !0u64;
             }
         }
-        aig.simulate(&words)
-            .iter()
-            .map(|w| w & 1)
-            .collect()
+        aig.simulate(&words).iter().map(|w| w & 1).collect()
     }
 
     fn word_out(bits: &[u64]) -> u64 {

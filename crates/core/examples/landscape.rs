@@ -9,7 +9,12 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = SequenceSpace::paper();
-    for b in [Benchmark::Adder, Benchmark::Multiplier, Benchmark::Log2, Benchmark::Max] {
+    for b in [
+        Benchmark::Adder,
+        Benchmark::Multiplier,
+        Benchmark::Log2,
+        Benchmark::Max,
+    ] {
         let aig = CircuitSpec::new(b).build();
         let evaluator = QorEvaluator::new(&aig)?;
         let mut rng = StdRng::seed_from_u64(1);
@@ -19,9 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         qors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         // Hand-crafted reducer-heavy flows (resub/fraig are not in resyn2).
         let crafted = [
-            vec![Balance, Resub, Rewrite, Resub, Balance, Refactor, Resub, Fraig, Rewrite, Balance],
-            vec![Resub, ResubZ, Fraig, Rewrite, RewriteZ, Refactor, Resub, Balance, Fraig, Rewrite],
-            vec![Fraig, Resub, Balance, Rewrite, Resub, RefactorZ, Resub, Rewrite, Balance, Resub],
+            vec![
+                Balance, Resub, Rewrite, Resub, Balance, Refactor, Resub, Fraig, Rewrite, Balance,
+            ],
+            vec![
+                Resub, ResubZ, Fraig, Rewrite, RewriteZ, Refactor, Resub, Balance, Fraig, Rewrite,
+            ],
+            vec![
+                Fraig, Resub, Balance, Rewrite, Resub, RefactorZ, Resub, Rewrite, Balance, Resub,
+            ],
         ];
         let crafted_best = crafted
             .iter()

@@ -11,7 +11,10 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = SequenceSpace::paper();
     let mut rng = StdRng::seed_from_u64(0);
-    println!("{:<12} {:>8} {:>12} {:>10}", "circuit", "ands", "ref(luts/lev)", "ms/eval");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10}",
+        "circuit", "ands", "ref(luts/lev)", "ms/eval"
+    );
     for b in Benchmark::ALL {
         let aig = CircuitSpec::new(b).build();
         let evaluator = QorEvaluator::new(&aig)?;

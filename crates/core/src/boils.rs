@@ -3,11 +3,13 @@
 //! is maximised by local search inside an adaptive Hamming trust region
 //! centred on the incumbent.
 
-use boils_gp::{expected_improvement, Gp, Kernel, NotPositiveDefiniteError, SskKernel, TrainConfig};
+use boils_gp::{
+    expected_improvement, Gp, Kernel, NotPositiveDefiniteError, SskKernel, TrainConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::qor::QorEvaluator;
+use crate::eval::{BatchEvaluator, SequenceObjective};
 use crate::result::{EvalRecord, OptimizationResult};
 use crate::space::SequenceSpace;
 
@@ -63,6 +65,11 @@ pub struct BoilsConfig {
     pub noise: f64,
     /// The acquisition function (paper: expected improvement).
     pub acquisition: Acquisition,
+    /// Worker threads for batched black-box evaluations (the initial
+    /// design). The search trajectory is thread-count invariant: the same
+    /// seed yields the same best sequence and evaluation count at any
+    /// setting.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -88,6 +95,7 @@ impl Default for BoilsConfig {
             },
             noise: 1e-4,
             acquisition: Acquisition::ExpectedImprovement,
+            threads: 1,
             seed: 0,
         }
     }
@@ -175,13 +183,17 @@ impl Boils {
         &self.config
     }
 
-    /// Runs Algorithm 2 against an evaluator.
+    /// Runs Algorithm 2 against any [`SequenceObjective`] (typically a
+    /// [`QorEvaluator`](crate::QorEvaluator)).
     ///
     /// # Errors
     ///
     /// Fails if the budget is smaller than the initial design or if the GP
     /// cannot be fitted.
-    pub fn run(&mut self, evaluator: &QorEvaluator) -> Result<OptimizationResult, RunBoilsError> {
+    pub fn run<O: SequenceObjective>(
+        &mut self,
+        objective: &O,
+    ) -> Result<OptimizationResult, RunBoilsError> {
         let cfg = &self.config;
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
             return Err(RunBoilsError::BudgetTooSmall {
@@ -190,18 +202,24 @@ impl Boils {
             });
         }
         let space = cfg.space;
+        let engine = BatchEvaluator::new(cfg.threads);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history: Vec<EvalRecord> = Vec::with_capacity(cfg.max_evaluations);
 
-        // -- Initial design (line 3): Latin hypercube over categories.
+        // -- Initial design (line 3): Latin hypercube over categories,
+        // deduplicated, then evaluated as one parallel batch.
+        let mut initial: Vec<Vec<u8>> = Vec::with_capacity(cfg.initial_samples);
         for tokens in space.latin_hypercube(cfg.initial_samples, &mut rng) {
-            if history.len() >= cfg.max_evaluations {
+            if initial.len() >= cfg.max_evaluations {
                 break;
             }
-            if history.iter().any(|r| r.tokens == tokens) {
+            if initial.contains(&tokens) {
                 continue;
             }
-            let point = evaluator.evaluate_tokens(&tokens);
+            initial.push(tokens);
+        }
+        let points = engine.evaluate(objective, &initial);
+        for (tokens, point) in initial.into_iter().zip(points) {
             history.push(EvalRecord { tokens, point });
         }
 
@@ -250,12 +268,8 @@ impl Boils {
             let ei = |tokens: &Vec<u8>| {
                 let (mean, var) = gp.predict(tokens);
                 match acquisition {
-                    Acquisition::ExpectedImprovement => {
-                        expected_improvement(mean, var, incumbent)
-                    }
-                    Acquisition::UpperConfidenceBound { beta } => {
-                        mean + beta * var.max(0.0).sqrt()
-                    }
+                    Acquisition::ExpectedImprovement => expected_improvement(mean, var, incumbent),
+                    Acquisition::UpperConfidenceBound { beta } => mean + beta * var.max(0.0).sqrt(),
                 }
             };
             let mut candidate = hill_climb(
@@ -269,7 +283,7 @@ impl Boils {
             );
             // Never waste budget on an already-evaluated sequence.
             let mut guard = 0;
-            while evaluator.is_cached(&candidate) && guard < 32 {
+            while objective.is_cached(&candidate) && guard < 32 {
                 candidate = match tr {
                     Some((c, r)) => space.sample_in_ball(c, r.max(1), &mut rng),
                     None => space.sample(&mut rng),
@@ -277,8 +291,9 @@ impl Boils {
                 guard += 1;
             }
 
-            // -- Evaluate and update data (line 9).
-            let point = evaluator.evaluate_tokens(&candidate);
+            // -- Evaluate and update data (line 9): the acquisition batch
+            // (size 1 here; larger once q-EI lands) goes through the engine.
+            let point = engine.evaluate(objective, std::slice::from_ref(&candidate))[0];
             let improved = point.qor < center.point.qor;
             history.push(EvalRecord {
                 tokens: candidate,
@@ -310,8 +325,8 @@ impl Boils {
                 failures = 0;
                 if history.len() < cfg.max_evaluations {
                     let tokens = space.sample(&mut rng);
-                    if !evaluator.is_cached(&tokens) {
-                        let point = evaluator.evaluate_tokens(&tokens);
+                    if !objective.is_cached(&tokens) {
+                        let point = objective.evaluate_tokens(&tokens);
                         history.push(EvalRecord {
                             tokens: tokens.clone(),
                             point,
@@ -328,12 +343,7 @@ impl Boils {
 fn best_of(history: &[EvalRecord]) -> &EvalRecord {
     history
         .iter()
-        .min_by(|a, b| {
-            a.point
-                .qor
-                .partial_cmp(&b.point.qor)
-                .expect("finite QoR")
-        })
+        .min_by(|a, b| a.point.qor.partial_cmp(&b.point.qor).expect("finite QoR"))
         .expect("non-empty history")
 }
 
@@ -385,6 +395,7 @@ pub(crate) fn hill_climb<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qor::QorEvaluator;
     use boils_aig::random_aig;
 
     fn small_config(budget: usize) -> BoilsConfig {

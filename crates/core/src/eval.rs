@@ -1,0 +1,432 @@
+//! The unified evaluation engine shared by every optimiser.
+//!
+//! The paper's bottleneck — and the cost model every compared method
+//! optimises around — is the black-box QoR evaluation: apply a synthesis
+//! sequence, map to 6-LUTs, score Eq. 1. This module concentrates that hot
+//! path behind three pieces:
+//!
+//! * [`SequenceObjective`] — the trait every optimiser evaluates through
+//!   (`tokens → QorPoint`), implemented by
+//!   [`QorEvaluator`](crate::QorEvaluator) and by test doubles.
+//! * [`ShardedCache`] — a thread-safe memo table (`RwLock`-sharded hash
+//!   map) replacing the old single-threaded `RefCell` cache, with hit
+//!   accounting.
+//! * [`BatchEvaluator`] — evaluates a batch of candidate sequences across
+//!   `std::thread::scope` workers with deterministic results: outputs are
+//!   returned in input order, within-batch duplicates are computed once,
+//!   and the unique-evaluation count (the paper's sample-efficiency
+//!   x-axis) is independent of the thread count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+use crate::qor::QorPoint;
+
+/// A black-box objective over token-encoded synthesis sequences.
+///
+/// `Sync` is part of the contract: [`BatchEvaluator`] shares one objective
+/// across scoped worker threads, so implementations must use thread-safe
+/// interior mutability (see [`ShardedCache`]).
+pub trait SequenceObjective: Sync {
+    /// Evaluates one token sequence, memoising the result.
+    fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint;
+
+    /// Returns the memoised result for a sequence, if present, without
+    /// evaluating. Counts as a cache hit when it returns `Some`.
+    fn lookup(&self, tokens: &[u8]) -> Option<QorPoint>;
+
+    /// Whether a sequence has already been evaluated (no hit accounting).
+    fn is_cached(&self, tokens: &[u8]) -> bool;
+
+    /// The number of unique (non-memoised) evaluations so far — the
+    /// sample-complexity measure reported in the paper's figures.
+    fn num_evaluations(&self) -> usize;
+}
+
+/// Number of lock shards. A small power of two: contention is light (a QoR
+/// evaluation takes orders of magnitude longer than a cache probe), so this
+/// mostly exists to keep writers from serialising on one lock.
+const SHARD_COUNT: usize = 16;
+
+/// A thread-safe memoisation table for sequence evaluations.
+///
+/// Keys are token sequences; the map is split into [`SHARD_COUNT`] shards,
+/// each behind its own `RwLock`, selected by a deterministic FNV-1a hash of
+/// the key (deliberately not the per-instance-seeded std hasher, so shard
+/// assignment — and therefore lock interleaving — is reproducible).
+#[derive(Debug, Default)]
+pub struct ShardedCache {
+    shards: [RwLock<HashMap<Vec<u8>, QorPoint>>; SHARD_COUNT],
+    hits: AtomicUsize,
+}
+
+impl ShardedCache {
+    /// An empty cache.
+    pub fn new() -> ShardedCache {
+        ShardedCache::default()
+    }
+
+    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Vec<u8>, QorPoint>> {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // FNV's low bits are weak on short keys; avalanche before taking
+        // the low-bit shard index (SplitMix64 finaliser).
+        hash = (hash ^ (hash >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        hash = (hash ^ (hash >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        hash ^= hash >> 31;
+        &self.shards[(hash as usize) % SHARD_COUNT]
+    }
+
+    /// Returns the memoised point for `key`, recording a hit on success.
+    pub fn get(&self, key: &[u8]) -> Option<QorPoint> {
+        let hit = self
+            .shard(key)
+            .read()
+            .expect("cache lock")
+            .get(key)
+            .copied();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Whether `key` is memoised, without touching hit accounting.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.shard(key)
+            .read()
+            .expect("cache lock")
+            .contains_key(key)
+    }
+
+    /// Inserts a result, returning `true` if the key was newly memoised.
+    ///
+    /// When two workers race on the same key the first insert wins; the
+    /// value is a pure function of the key, so the loser's result is
+    /// identical and is simply dropped.
+    pub fn insert(&self, key: Vec<u8>, value: QorPoint) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.shard(&key).write().expect("cache lock").entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(value);
+                true
+            }
+        }
+    }
+
+    /// Number of memoised sequences.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of [`ShardedCache::get`] calls that found a memoised result.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Forgets every memoised result and resets hit accounting.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache lock").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Evaluates batches of candidate sequences in parallel.
+///
+/// The engine guarantees, for any thread count:
+///
+/// * **Deterministic ordering** — results come back in input order.
+/// * **Deduplicated work** — within-batch duplicates and already-memoised
+///   sequences are never recomputed, so the objective's unique-evaluation
+///   count advances exactly as a serial evaluation loop would.
+/// * **Pure parallelism** — worker threads only ever call
+///   [`SequenceObjective::evaluate_tokens`], whose result is a pure
+///   function of the tokens; thread scheduling cannot change any value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchEvaluator {
+    threads: usize,
+}
+
+impl BatchEvaluator {
+    /// An engine fanning work across `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> BatchEvaluator {
+        BatchEvaluator {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded engine (the default everywhere).
+    pub fn serial() -> BatchEvaluator {
+        BatchEvaluator::new(1)
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    pub fn available_parallelism() -> BatchEvaluator {
+        BatchEvaluator::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates every sequence in `batch`, returning points in input
+    /// order. See the type-level guarantees.
+    pub fn evaluate<O: SequenceObjective + ?Sized>(
+        &self,
+        objective: &O,
+        batch: &[Vec<u8>],
+    ) -> Vec<QorPoint> {
+        // Map each batch position onto its first occurrence so duplicate
+        // candidates are computed once (exactly what a serial loop's cache
+        // would do, minus the redundant probes).
+        let mut first_occurrence: HashMap<&[u8], usize> = HashMap::with_capacity(batch.len());
+        let mut unique: Vec<&[u8]> = Vec::with_capacity(batch.len());
+        let unique_of: Vec<usize> = batch
+            .iter()
+            .map(|tokens| {
+                *first_occurrence
+                    .entry(tokens.as_slice())
+                    .or_insert_with(|| {
+                        unique.push(tokens.as_slice());
+                        unique.len() - 1
+                    })
+            })
+            .collect();
+
+        // Resolve memoised sequences up front; only the rest is work.
+        let mut points: Vec<Option<QorPoint>> = unique
+            .iter()
+            .map(|tokens| objective.lookup(tokens))
+            .collect();
+        let pending: Vec<usize> = (0..unique.len()).filter(|&i| points[i].is_none()).collect();
+
+        let workers = self.threads.min(pending.len());
+        if workers <= 1 {
+            for &i in &pending {
+                points[i] = Some(objective.evaluate_tokens(unique[i]));
+            }
+        } else {
+            // Contiguous chunks, one scoped worker per chunk. Each worker
+            // returns (unique index, point) pairs; joining in spawn order
+            // keeps the merge deterministic (not that it matters for
+            // values — evaluation is pure — but it keeps accounting and
+            // instrumentation reproducible too).
+            let chunk_len = pending.len().div_ceil(workers);
+            let unique = &unique;
+            let computed: Vec<(usize, QorPoint)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .chunks(chunk_len)
+                    .map(|ids| {
+                        scope.spawn(move || {
+                            ids.iter()
+                                .map(|&i| (i, objective.evaluate_tokens(unique[i])))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect()
+            });
+            for (i, point) in computed {
+                points[i] = Some(point);
+            }
+        }
+
+        unique_of
+            .iter()
+            .map(|&u| points[u].expect("every unique sequence resolved"))
+            .collect()
+    }
+}
+
+impl Default for BatchEvaluator {
+    fn default() -> Self {
+        BatchEvaluator::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake objective: "QoR" is a pure hash of the tokens.
+    /// Tracks evaluation counts through the same sharded cache the real
+    /// evaluator uses, so these tests exercise the production accounting.
+    #[derive(Debug, Default)]
+    struct FakeObjective {
+        cache: ShardedCache,
+        unique: AtomicUsize,
+    }
+
+    fn fake_point(tokens: &[u8]) -> QorPoint {
+        let sum: usize = tokens.iter().map(|&t| t as usize + 1).sum();
+        QorPoint {
+            qor: 1.0 + sum as f64 * 0.01,
+            area: sum,
+            delay: tokens.len() as u32,
+        }
+    }
+
+    impl SequenceObjective for FakeObjective {
+        fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
+            if let Some(hit) = self.cache.get(tokens) {
+                return hit;
+            }
+            let point = fake_point(tokens);
+            if self.cache.insert(tokens.to_vec(), point) {
+                self.unique.fetch_add(1, Ordering::Relaxed);
+            }
+            point
+        }
+
+        fn lookup(&self, tokens: &[u8]) -> Option<QorPoint> {
+            self.cache.get(tokens)
+        }
+
+        fn is_cached(&self, tokens: &[u8]) -> bool {
+            self.cache.contains(tokens)
+        }
+
+        fn num_evaluations(&self) -> usize {
+            self.unique.load(Ordering::Relaxed)
+        }
+    }
+
+    fn batch_of(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| vec![(i % 11) as u8, (i / 11) as u8, 3])
+            .collect()
+    }
+
+    #[test]
+    fn results_are_in_input_order_for_any_thread_count() {
+        let expected: Vec<QorPoint> = batch_of(40).iter().map(|t| fake_point(t)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let objective = FakeObjective::default();
+            let got = BatchEvaluator::new(threads).evaluate(&objective, &batch_of(40));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn unique_count_is_thread_count_invariant() {
+        // 30 entries, only 10 distinct.
+        let batch: Vec<Vec<u8>> = (0..30).map(|i| vec![(i % 10) as u8]).collect();
+        for threads in [1, 4, 16] {
+            let objective = FakeObjective::default();
+            BatchEvaluator::new(threads).evaluate(&objective, &batch);
+            assert_eq!(objective.num_evaluations(), 10, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn memoised_sequences_are_not_recomputed() {
+        let objective = FakeObjective::default();
+        let engine = BatchEvaluator::new(4);
+        engine.evaluate(&objective, &batch_of(12));
+        assert_eq!(objective.num_evaluations(), 12);
+        // Re-evaluating the same batch costs zero new evaluations …
+        let again = engine.evaluate(&objective, &batch_of(12));
+        assert_eq!(objective.num_evaluations(), 12);
+        assert_eq!(
+            again,
+            batch_of(12)
+                .iter()
+                .map(|t| fake_point(t))
+                .collect::<Vec<_>>()
+        );
+        // … and resolves every unique sequence via a counted cache hit.
+        assert!(objective.cache.hits() >= 12);
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_are_computed_once() {
+        let objective = FakeObjective::default();
+        let batch = vec![vec![1u8, 2], vec![1u8, 2], vec![3u8], vec![1u8, 2]];
+        let points = BatchEvaluator::new(8).evaluate(&objective, &batch);
+        assert_eq!(objective.num_evaluations(), 2);
+        assert_eq!(points[0], points[1]);
+        assert_eq!(points[1], points[3]);
+        assert_ne!(points[0], points[2]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let objective = FakeObjective::default();
+        let points = BatchEvaluator::new(8).evaluate(&objective, &[]);
+        assert!(points.is_empty());
+        assert_eq!(objective.num_evaluations(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_counts_hits_and_clears() {
+        let cache = ShardedCache::new();
+        let p = fake_point(&[1, 2, 3]);
+        assert!(cache.get(&[1, 2, 3]).is_none());
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.insert(vec![1, 2, 3], p));
+        assert!(
+            !cache.insert(vec![1, 2, 3], p),
+            "double insert must report stale"
+        );
+        assert_eq!(cache.get(&[1, 2, 3]), Some(p));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys_across_shards() {
+        let cache = ShardedCache::new();
+        for i in 0..200u8 {
+            cache.insert(vec![i, i.wrapping_mul(7)], fake_point(&[i]));
+        }
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.read().expect("lock").is_empty())
+            .count();
+        assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads_are_safe() {
+        let cache = ShardedCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50u8 {
+                        // Overlapping key ranges force insert races.
+                        cache.insert(vec![i / 2, t % 2], fake_point(&[i, t]));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 50);
+    }
+}

@@ -5,7 +5,10 @@
 //! process surrogate over the sub-sequence string kernel and a
 //! trust-region-constrained expected-improvement maximiser. The crate also
 //! provides the [`QorEvaluator`] implementing the paper's Eq. 1 objective,
-//! the [`SequenceSpace`] abstraction, and the [`Sbo`] standard-BO baseline.
+//! the [`SequenceSpace`] abstraction, the [`Sbo`] standard-BO baseline, and
+//! the shared parallel evaluation engine ([`SequenceObjective`] /
+//! [`BatchEvaluator`] / [`ShardedCache`]) that every optimiser — here and
+//! in `boils-baselines` / `boils-bench` — spends its budget through.
 //!
 //! ## Example
 //!
@@ -32,12 +35,14 @@
 //! ```
 
 mod boils;
+pub mod eval;
 mod qor;
 mod result;
 mod sbo;
 mod space;
 
 pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError};
+pub use crate::eval::{BatchEvaluator, SequenceObjective, ShardedCache};
 pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};
 pub use crate::result::{EvalRecord, OptimizationResult};
 pub use crate::sbo::{one_hot, IsotropicSe, Sbo, SboConfig};

@@ -3,13 +3,14 @@
 //! 6-LUT count and delay = LUT levels after FPGA mapping, normalised by the
 //! `resyn2` reference flow.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use boils_aig::Aig;
 use boils_mapper::{map_stats, MapStats, MapperConfig};
 use boils_synth::{resyn2, Transform};
+
+use crate::eval::{SequenceObjective, ShardedCache};
 
 /// What the black box optimises — Eq. 1 by default; the paper's conclusion
 /// notes BOiLS "can be utilised with other quantities of interest, e.g.,
@@ -89,6 +90,11 @@ impl std::error::Error for DegenerateReferenceError {}
 /// cached by sequence, and [`QorEvaluator::num_evaluations`] counts *unique*
 /// black-box evaluations — the sample-complexity measure of the paper.
 ///
+/// The cache is a thread-safe [`ShardedCache`], so one evaluator can be
+/// shared across the [`BatchEvaluator`](crate::BatchEvaluator)'s worker
+/// threads; this is the [`SequenceObjective`] implementation every
+/// optimiser in the workspace evaluates through.
+///
 /// ```
 /// use boils_circuits::{Benchmark, CircuitSpec};
 /// use boils_core::QorEvaluator;
@@ -109,8 +115,8 @@ pub struct QorEvaluator {
     reference: MapStats,
     mapper_config: MapperConfig,
     objective: Objective,
-    cache: RefCell<HashMap<Vec<u8>, QorPoint>>,
-    unique_evaluations: std::cell::Cell<usize>,
+    cache: ShardedCache,
+    unique_evaluations: AtomicUsize,
 }
 
 impl QorEvaluator {
@@ -143,8 +149,8 @@ impl QorEvaluator {
             reference,
             mapper_config,
             objective: Objective::Qor,
-            cache: RefCell::new(HashMap::new()),
-            unique_evaluations: std::cell::Cell::new(0),
+            cache: ShardedCache::new(),
+            unique_evaluations: AtomicUsize::new(0),
         })
     }
 
@@ -192,41 +198,75 @@ impl QorEvaluator {
     ///
     /// Panics if a token is outside `0..11`.
     pub fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
-        if let Some(&hit) = self.cache.borrow().get(tokens) {
+        if let Some(hit) = self.cache.get(tokens) {
             return hit;
         }
+        let point = self.compute(tokens);
+        // The value is a pure function of the tokens, so a concurrent
+        // duplicate computation is harmless — but only the thread whose
+        // insert lands first may bump the unique-evaluation count, keeping
+        // the paper's sample-efficiency accounting exact under any
+        // interleaving.
+        if self.cache.insert(tokens.to_vec(), point) {
+            self.unique_evaluations.fetch_add(1, Ordering::Relaxed);
+        }
+        point
+    }
+
+    /// Applies the sequence and maps the result — the uncached hot path.
+    fn compute(&self, tokens: &[u8]) -> QorPoint {
         let mut aig = self.base.clone();
         for &t in tokens {
             aig = Transform::from_index(t as usize).apply(&aig);
         }
         let stats = map_stats(&aig, &self.mapper_config);
-        let point = QorPoint {
+        QorPoint {
             qor: self.objective.combine(
                 stats.luts as f64 / self.reference.luts as f64,
                 stats.levels as f64 / self.reference.levels as f64,
             ),
             area: stats.luts,
             delay: stats.levels,
-        };
-        self.cache.borrow_mut().insert(tokens.to_vec(), point);
-        self.unique_evaluations.set(self.unique_evaluations.get() + 1);
-        point
+        }
     }
 
     /// The number of unique (non-cached) black-box evaluations so far.
     pub fn num_evaluations(&self) -> usize {
-        self.unique_evaluations.get()
+        self.unique_evaluations.load(Ordering::Relaxed)
+    }
+
+    /// The number of cache hits served so far (memoised lookups).
+    pub fn cache_hits(&self) -> usize {
+        self.cache.hits()
     }
 
     /// Whether a token sequence has already been evaluated.
     pub fn is_cached(&self, tokens: &[u8]) -> bool {
-        self.cache.borrow().contains_key(tokens)
+        self.cache.contains(tokens)
     }
 
-    /// Forgets all cached evaluations and resets the counter.
+    /// Forgets all cached evaluations and resets the counters.
     pub fn reset(&self) {
-        self.cache.borrow_mut().clear();
-        self.unique_evaluations.set(0);
+        self.cache.clear();
+        self.unique_evaluations.store(0, Ordering::Relaxed);
+    }
+}
+
+impl SequenceObjective for QorEvaluator {
+    fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
+        QorEvaluator::evaluate_tokens(self, tokens)
+    }
+
+    fn lookup(&self, tokens: &[u8]) -> Option<QorPoint> {
+        self.cache.get(tokens)
+    }
+
+    fn is_cached(&self, tokens: &[u8]) -> bool {
+        QorEvaluator::is_cached(self, tokens)
+    }
+
+    fn num_evaluations(&self) -> usize {
+        QorEvaluator::num_evaluations(self)
     }
 }
 
@@ -297,7 +337,9 @@ mod tests {
     fn disjoint_objectives_follow_their_metric() {
         let aig = random_aig(3, 8, 400, 4);
         let qor_eval = QorEvaluator::new(&aig).expect("ok");
-        let area_eval = QorEvaluator::new(&aig).expect("ok").with_objective(Objective::Area);
+        let area_eval = QorEvaluator::new(&aig)
+            .expect("ok")
+            .with_objective(Objective::Area);
         let delay_eval = QorEvaluator::new(&aig)
             .expect("ok")
             .with_objective(Objective::Delay);

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::boils::hill_climb;
-use crate::qor::QorEvaluator;
+use crate::eval::{BatchEvaluator, SequenceObjective};
 use crate::result::{EvalRecord, OptimizationResult};
 use crate::space::SequenceSpace;
 
@@ -33,6 +33,9 @@ pub struct SboConfig {
     pub train: TrainConfig,
     /// GP observation noise.
     pub noise: f64,
+    /// Worker threads for batched black-box evaluations; the search
+    /// trajectory is thread-count invariant.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -52,6 +55,7 @@ impl Default for SboConfig {
                 ..TrainConfig::default()
             },
             noise: 1e-4,
+            threads: 1,
             seed: 0,
         }
     }
@@ -75,13 +79,16 @@ impl Sbo {
         Sbo { config }
     }
 
-    /// Runs standard BO against an evaluator.
+    /// Runs standard BO against any [`SequenceObjective`].
     ///
     /// # Errors
     ///
     /// Fails if the GP cannot be fitted or the budget is below the initial
     /// design size.
-    pub fn run(&mut self, evaluator: &QorEvaluator) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
+    pub fn run<O: SequenceObjective>(
+        &mut self,
+        objective: &O,
+    ) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
         let cfg = &self.config;
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
             return Err(crate::boils::RunBoilsError::BudgetTooSmall {
@@ -90,16 +97,21 @@ impl Sbo {
             });
         }
         let space = cfg.space;
+        let engine = BatchEvaluator::new(cfg.threads);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history: Vec<EvalRecord> = Vec::with_capacity(cfg.max_evaluations);
+        let mut initial: Vec<Vec<u8>> = Vec::with_capacity(cfg.initial_samples);
         for tokens in space.latin_hypercube(cfg.initial_samples, &mut rng) {
-            if history.len() >= cfg.max_evaluations {
+            if initial.len() >= cfg.max_evaluations {
                 break;
             }
-            if history.iter().any(|r| r.tokens == tokens) {
+            if initial.contains(&tokens) {
                 continue;
             }
-            let point = evaluator.evaluate_tokens(&tokens);
+            initial.push(tokens);
+        }
+        let points = engine.evaluate(objective, &initial);
+        for (tokens, point) in initial.into_iter().zip(points) {
             history.push(EvalRecord { tokens, point });
         }
 
@@ -140,11 +152,11 @@ impl Sbo {
                 &mut rng,
             );
             let mut guard = 0;
-            while evaluator.is_cached(&candidate) && guard < 32 {
+            while objective.is_cached(&candidate) && guard < 32 {
                 candidate = space.sample(&mut rng);
                 guard += 1;
             }
-            let point = evaluator.evaluate_tokens(&candidate);
+            let point = engine.evaluate(objective, std::slice::from_ref(&candidate))[0];
             history.push(EvalRecord {
                 tokens: candidate,
                 point,
@@ -209,8 +221,9 @@ pub fn one_hot(tokens: &[u8], alphabet: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use boils_aig::random_aig;
+    use crate::qor::QorEvaluator;
     use crate::space::SequenceSpace;
+    use boils_aig::random_aig;
 
     #[test]
     fn one_hot_embedding_shape() {

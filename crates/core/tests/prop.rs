@@ -2,7 +2,7 @@
 //! sequence-space geometry and optimiser budget discipline on random AIGs.
 
 use boils_aig::random_aig;
-use boils_core::{Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
+use boils_core::{BatchEvaluator, Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
 use boils_gp::TrainConfig;
 use boils_synth::Transform;
 use proptest::prelude::*;
@@ -89,6 +89,24 @@ proptest! {
         });
         let rs = sbo.run(&evaluator).expect("run");
         prop_assert_eq!(rs.num_evaluations(), budget);
+    }
+
+    #[test]
+    fn batch_evaluator_agrees_with_pointwise_evaluation(
+        seed in 0u64..100,
+        batch in prop::collection::vec(prop::collection::vec(0u8..11, 0..6), 1..12),
+        threads in 1usize..9,
+    ) {
+        let aig = random_aig(seed + 20_000, 8, 250, 3);
+        let Ok(batched) = QorEvaluator::new(&aig) else { return Ok(()); };
+        let pointwise = QorEvaluator::new(&aig).expect("same circuit");
+        let points = BatchEvaluator::new(threads).evaluate(&batched, &batch);
+        prop_assert_eq!(points.len(), batch.len());
+        for (tokens, point) in batch.iter().zip(&points) {
+            prop_assert_eq!(*point, pointwise.evaluate_tokens(tokens), "{:?}", tokens);
+        }
+        // Unique-evaluation accounting matches a serial evaluation loop.
+        prop_assert_eq!(batched.num_evaluations(), pointwise.num_evaluations());
     }
 }
 

@@ -78,7 +78,12 @@ where
     /// # Panics
     ///
     /// Panics if `x` and `y` lengths differ or the data set is empty.
-    pub fn fit(kernel: K, x: Vec<X>, y: Vec<f64>, noise: f64) -> Result<Gp<K, X>, NotPositiveDefiniteError> {
+    pub fn fit(
+        kernel: K,
+        x: Vec<X>,
+        y: Vec<f64>,
+        noise: f64,
+    ) -> Result<Gp<K, X>, NotPositiveDefiniteError> {
         assert_eq!(x.len(), y.len(), "inputs and targets must pair up");
         assert!(!x.is_empty(), "cannot fit a GP to no data");
         let y_mean = y.iter().sum::<f64>() / y.len() as f64;
@@ -189,7 +194,13 @@ where
     /// standardised targets, up to the constant term).
     pub fn nlml(&self) -> f64 {
         0.5 * self.chol.log_det()
-            + 0.5 * self.y.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>()
+            + 0.5
+                * self
+                    .y
+                    .iter()
+                    .zip(&self.alpha)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
     }
 
     /// The fitted kernel.
@@ -303,8 +314,8 @@ mod tests {
     #[test]
     fn interpolates_training_points() {
         let (xs, ys) = toy_data();
-        let gp = Gp::fit(SquaredExponential::new(1), xs.clone(), ys.clone(), 1e-8)
-            .expect("spd gram");
+        let gp =
+            Gp::fit(SquaredExponential::new(1), xs.clone(), ys.clone(), 1e-8).expect("spd gram");
         for (x, y) in xs.iter().zip(&ys) {
             let (mean, var) = gp.predict(x);
             assert!((mean - y).abs() < 1e-3, "mean {mean} vs {y}");
@@ -387,8 +398,7 @@ mod tests {
     #[test]
     fn posterior_samples_concentrate_at_data() {
         let (xs, ys) = toy_data();
-        let gp = Gp::fit(SquaredExponential::new(1), xs.clone(), ys.clone(), 1e-8)
-            .expect("spd");
+        let gp = Gp::fit(SquaredExponential::new(1), xs.clone(), ys.clone(), 1e-8).expect("spd");
         let mut rng = StdRng::seed_from_u64(3);
         let sample = gp.sample_posterior(&xs, &mut rng).expect("psd cov");
         for (s, y) in sample.iter().zip(&ys) {

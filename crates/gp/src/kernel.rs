@@ -105,7 +105,8 @@ impl Kernel<[f64]> for SquaredExponential {
 
     fn set_params(&mut self, params: &[f64]) {
         assert_eq!(params.len(), self.lengthscales.len() + 1);
-        self.lengthscales.copy_from_slice(&params[..params.len() - 1]);
+        self.lengthscales
+            .copy_from_slice(&params[..params.len() - 1]);
         self.variance = params[params.len() - 1];
     }
 

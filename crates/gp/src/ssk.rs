@@ -273,7 +273,10 @@ mod tests {
 
         let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
         // Row 1: RwRfDsSoDsBlRw.
-        assert!(close(k.contribution(&u1, &seq1), 2.0 * tm.powi(5) * tg.powi(2)));
+        assert!(close(
+            k.contribution(&u1, &seq1),
+            2.0 * tm.powi(5) * tg.powi(2)
+        ));
         assert!(close(k.contribution(&u2, &seq1), 0.0));
         assert!(close(k.contribution(&u3, &seq1), tm.powi(2)));
         // Row 2: RwRfDsFrSoBlRw.

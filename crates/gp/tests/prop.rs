@@ -1,9 +1,7 @@
 //! Property tests for the GP stack: Cholesky correctness on random SPD
 //! matrices, SSK kernel axioms, GP posterior consistency, and EI behaviour.
 
-use boils_gp::{
-    expected_improvement, Cholesky, Gp, Kernel, Matrix, SquaredExponential, SskKernel,
-};
+use boils_gp::{expected_improvement, Cholesky, Gp, Kernel, Matrix, SquaredExponential, SskKernel};
 use proptest::prelude::*;
 
 fn spd_from_seed(n: usize, vals: &[f64]) -> Matrix {

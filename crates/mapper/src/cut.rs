@@ -206,7 +206,11 @@ mod tests {
         // `cut_function` computes the function of the *node*; the mux
         // literal may be a complemented edge onto it.
         let node_tt = cut_function(&aig, m.var() as u32, &leaves);
-        let tt = if m.is_complement() { !node_tt & 0xFF } else { node_tt };
+        let tt = if m.is_complement() {
+            !node_tt & 0xFF
+        } else {
+            node_tt
+        };
         for p in 0..8u64 {
             let (sv, tv, ev) = (p & 1, p >> 1 & 1, p >> 2 & 1);
             let expect = if sv == 1 { tv } else { ev };

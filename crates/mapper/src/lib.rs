@@ -28,4 +28,4 @@ mod cut;
 mod mapper;
 
 pub use crate::cut::{cut_function, Cut};
-pub use crate::mapper::{map_aig, map_stats, MapStats, MappedLut, Mapping, MapperConfig};
+pub use crate::mapper::{map_aig, map_stats, MapStats, MappedLut, MapperConfig, Mapping};

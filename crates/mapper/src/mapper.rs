@@ -164,8 +164,8 @@ impl<'a> Mapper<'a> {
             delay: 0,
             area_flow: 0.0,
         }];
-        for var in 1..=aig.num_pis() {
-            cuts[var] = vec![Cut::trivial(var as u32, 0)];
+        for (var, cut) in cuts.iter_mut().enumerate().take(aig.num_pis() + 1).skip(1) {
+            *cut = vec![Cut::trivial(var as u32, 0)];
         }
         Mapper {
             aig,
@@ -334,7 +334,11 @@ impl<'a> Mapper<'a> {
     }
 
     fn score(&self, leaves: Vec<u32>) -> Cut {
-        let delay = 1 + leaves.iter().map(|&l| self.arrival[l as usize]).max().unwrap_or(0);
+        let delay = 1 + leaves
+            .iter()
+            .map(|&l| self.arrival[l as usize])
+            .max()
+            .unwrap_or(0);
         let area_flow = 1.0
             + leaves
                 .iter()

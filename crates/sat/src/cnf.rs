@@ -97,7 +97,11 @@ impl AigCnf {
     /// from [`AigCnf::prove_equal`], one bool per PI.
     pub fn counterexample(&self) -> Vec<bool> {
         (0..self.num_pis)
-            .map(|i| self.solver.model_value(self.node_var[1 + i]).unwrap_or(false))
+            .map(|i| {
+                self.solver
+                    .model_value(self.node_var[1 + i])
+                    .unwrap_or(false)
+            })
             .collect()
     }
 }
@@ -205,13 +209,19 @@ mod tests {
     #[test]
     fn equivalence_of_identical_random_aigs() {
         let a = random_aig(3, 6, 60, 3);
-        assert_eq!(check_equivalence(&a, &a.clone(), None), EquivResult::Equivalent);
+        assert_eq!(
+            check_equivalence(&a, &a.clone(), None),
+            EquivResult::Equivalent
+        );
     }
 
     #[test]
     fn cleanup_is_equivalent() {
         let a = random_aig(11, 7, 90, 2);
-        assert_eq!(check_equivalence(&a, &a.cleanup(), None), EquivResult::Equivalent);
+        assert_eq!(
+            check_equivalence(&a, &a.cleanup(), None),
+            EquivResult::Equivalent
+        );
     }
 
     #[test]

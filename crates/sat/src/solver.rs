@@ -358,10 +358,8 @@ impl Solver {
             0
         } else {
             let mut max_i = 1;
-            for i
-            in 2..learnt.len() {
-                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
-                {
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
                     max_i = i;
                 }
             }

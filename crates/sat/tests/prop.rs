@@ -9,10 +9,9 @@ use proptest::prelude::*;
 /// Brute-force satisfiability over `num_vars ≤ 16` variables.
 fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
     for assignment in 0u32..(1 << num_vars) {
-        let ok = clauses.iter().all(|c| {
-            c.iter()
-                .any(|&(v, neg)| ((assignment >> v) & 1 == 1) ^ neg)
-        });
+        let ok = clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, neg)| ((assignment >> v) & 1 == 1) ^ neg));
         if ok {
             return true;
         }

@@ -41,14 +41,13 @@ pub fn balance(aig: &Aig) -> Aig {
         let mut operands = Vec::new();
         collect_supergate(&aig, Lit::from_var(var, false), &refs, true, &mut operands);
         // Map to new-space literals with their levels.
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
-            operands
-                .iter()
-                .map(|l| {
-                    let nl = map[l.var()].xor_complement(l.is_complement());
-                    std::cmp::Reverse((levels[nl.var()], nl.raw()))
-                })
-                .collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> = operands
+            .iter()
+            .map(|l| {
+                let nl = map[l.var()].xor_complement(l.is_complement());
+                std::cmp::Reverse((levels[nl.var()], nl.raw()))
+            })
+            .collect();
         // Combine the two shallowest operands until one remains.
         let result = loop {
             match heap.len() {
@@ -87,10 +86,8 @@ fn sync_levels(out: &Aig, levels: &mut Vec<u32>) {
 /// recursion continues through non-complemented, single-fanout AND gates.
 fn collect_supergate(aig: &Aig, lit: Lit, refs: &[u32], is_root: bool, out: &mut Vec<Lit>) {
     let var = lit.var();
-    let expandable = aig.is_and(var)
-        && !lit.is_complement()
-        && (is_root || refs[var] == 1)
-        && out.len() < 64;
+    let expandable =
+        aig.is_and(var) && !lit.is_complement() && (is_root || refs[var] == 1) && out.len() < 64;
     if !expandable {
         if !out.contains(&lit) {
             out.push(lit);
@@ -130,7 +127,10 @@ mod tests {
                 aig.simulate_exhaustive(),
                 "seed {seed}"
             );
-            assert!(b.depth() <= aig.depth(), "seed {seed}: balance raised depth");
+            assert!(
+                b.depth() <= aig.depth(),
+                "seed {seed}: balance raised depth"
+            );
             b.check().unwrap();
         }
     }

@@ -8,8 +8,8 @@ use boils_aig::Aig;
 /// sorted ascending; the trivial cut `{node}` is always the first entry).
 pub(crate) fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Vec<usize>>> {
     let mut cuts: Vec<Vec<Vec<usize>>> = vec![Vec::new(); aig.num_nodes()];
-    for var in 1..=aig.num_pis() {
-        cuts[var] = vec![vec![var]];
+    for (var, cut) in cuts.iter_mut().enumerate().take(aig.num_pis() + 1).skip(1) {
+        *cut = vec![vec![var]];
     }
     cuts[0] = vec![vec![]];
     for var in aig.ands() {

@@ -73,7 +73,11 @@ fn factor_cover(aig: &mut Aig, cover: &[Cube]) -> Lit {
             let mut quotient = Vec::new();
             let mut remainder = Vec::new();
             for &c in cover {
-                let has = if neg { c.neg & bit != 0 } else { c.pos & bit != 0 };
+                let has = if neg {
+                    c.neg & bit != 0
+                } else {
+                    c.pos & bit != 0
+                };
                 if has {
                     let mut q = c;
                     if neg {
@@ -141,9 +145,7 @@ fn shannon_rec(aig: &mut Aig, f: &Tt) -> Lit {
     let x = support
         .iter()
         .copied()
-        .min_by_key(|&v| {
-            f.cofactor0(v).support().len() + f.cofactor1(v).support().len()
-        })
+        .min_by_key(|&v| f.cofactor0(v).support().len() + f.cofactor1(v).support().len())
         .expect("non-trivial function has support");
     let f0 = shannon_rec(aig, &f.cofactor0(x));
     let f1 = shannon_rec(aig, &f.cofactor1(x));
@@ -202,9 +204,7 @@ fn dsd_rec(aig: &mut Aig, f: &Tt) -> Lit {
     let x = support
         .iter()
         .copied()
-        .min_by_key(|&v| {
-            f.cofactor0(v).support().len() + f.cofactor1(v).support().len()
-        })
+        .min_by_key(|&v| f.cofactor0(v).support().len() + f.cofactor1(v).support().len())
         .expect("non-trivial function has support");
     let f0 = dsd_rec(aig, &f.cofactor0(x));
     let f1 = dsd_rec(aig, &f.cofactor1(x));
@@ -252,7 +252,8 @@ mod tests {
             Tt::var(4, 2).not(),
             Tt::var(3, 0).xor(&Tt::var(3, 1)).xor(&Tt::var(3, 2)),
             // majority
-            Tt::var(3, 0).and(&Tt::var(3, 1))
+            Tt::var(3, 0)
+                .and(&Tt::var(3, 1))
                 .or(&Tt::var(3, 0).and(&Tt::var(3, 2)))
                 .or(&Tt::var(3, 1).and(&Tt::var(3, 2))),
             // random-ish 5-var function
@@ -298,9 +299,7 @@ mod tests {
     #[test]
     fn dsd_exploits_decomposable_structure() {
         // f = x0 ⊕ (x1 ∨ (x2 ∧ x3)) is fully peelable: DSD needs few gates.
-        let f = Tt::var(4, 0).xor(
-            &Tt::var(4, 1).or(&Tt::var(4, 2).and(&Tt::var(4, 3))),
-        );
+        let f = Tt::var(4, 0).xor(&Tt::var(4, 1).or(&Tt::var(4, 2).and(&Tt::var(4, 3))));
         let t = tt_to_dsd_template(&f);
         assert_eq!(template_function(&t), f);
         assert!(t.num_ands() <= 6, "expected compact DSD structure");
@@ -309,7 +308,8 @@ mod tests {
     #[test]
     fn factoring_beats_two_level_on_shared_literals() {
         // f = x0x1 + x0x2 + x0x3: factoring shares x0.
-        let f = Tt::var(4, 0).and(&Tt::var(4, 1))
+        let f = Tt::var(4, 0)
+            .and(&Tt::var(4, 1))
             .or(&Tt::var(4, 0).and(&Tt::var(4, 2)))
             .or(&Tt::var(4, 0).and(&Tt::var(4, 3)));
         let fac = tt_to_factored_template(&f);

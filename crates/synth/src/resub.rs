@@ -61,14 +61,16 @@ pub fn resub(aig: &Aig, use_zero_cost: bool) -> Aig {
         // Forward closure: nodes expressible over the leaves, with their
         // window-local truth tables. Restricted to indices below `var` so
         // divisors never look forward (keeps the rebuild topological).
-        let min_leaf = (*leaves.iter().min().expect("nonempty leaves"))
-            .max(var.saturating_sub(MAX_SPAN));
+        let min_leaf =
+            (*leaves.iter().min().expect("nonempty leaves")).max(var.saturating_sub(MAX_SPAN));
         let mut local: HashMap<usize, Tt> = HashMap::new();
         local.insert(0, Tt::zero(n));
         for (i, &l) in leaves.iter().enumerate() {
             local.insert(l, Tt::var(n, i));
         }
         let mut divisors: Vec<usize> = Vec::new();
+        // `cand` is a node id walked in arena order, not a slice index.
+        #[allow(clippy::needless_range_loop)]
         for cand in (min_leaf + 1)..=var {
             if !aig.is_and(cand) {
                 continue;
@@ -77,8 +79,16 @@ pub fn resub(aig: &Aig, use_zero_cost: bool) -> Aig {
             let (Some(t0), Some(t1)) = (local.get(&f0.var()), local.get(&f1.var())) else {
                 continue;
             };
-            let a = if f0.is_complement() { t0.not() } else { t0.clone() };
-            let b = if f1.is_complement() { t1.not() } else { t1.clone() };
+            let a = if f0.is_complement() {
+                t0.not()
+            } else {
+                t0.clone()
+            };
+            let b = if f1.is_complement() {
+                t1.not()
+            } else {
+                t1.clone()
+            };
             let t = a.and(&b);
             local.insert(cand, t);
             if cand != var && !blocked[cand] && divisors.len() < MAX_DIVISORS {
@@ -151,8 +161,16 @@ fn find_resub(
     for i in 0..pool.len() {
         for j in (i + 1)..pool.len() {
             for (ci, cj) in [(false, false), (false, true), (true, false), (true, true)] {
-                let a = if ci { pool[i].1.not() } else { pool[i].1.clone() };
-                let b = if cj { pool[j].1.not() } else { pool[j].1.clone() };
+                let a = if ci {
+                    pool[i].1.not()
+                } else {
+                    pool[i].1.clone()
+                };
+                let b = if cj {
+                    pool[j].1.not()
+                } else {
+                    pool[j].1.clone()
+                };
                 if a.and(&b) == *target {
                     let repl = divisor_replacement(
                         aig,

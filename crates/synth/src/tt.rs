@@ -24,7 +24,10 @@ impl Tt {
     ///
     /// Panics if `num_vars > 16`.
     pub fn zero(num_vars: usize) -> Tt {
-        assert!(num_vars <= Self::MAX_VARS, "truth tables limited to 16 vars");
+        assert!(
+            num_vars <= Self::MAX_VARS,
+            "truth tables limited to 16 vars"
+        );
         Tt {
             num_vars,
             words: vec![0; Self::words_for(num_vars)],
@@ -335,11 +338,7 @@ fn isop_rec(lower: &Tt, upper: &Tt, top: usize) -> (Vec<Cube>, Tt) {
     cover.extend(c_star);
 
     let xv = Tt::var(n, x);
-    let func = xv
-        .not()
-        .and(&f0)
-        .or(&xv.and(&f1))
-        .or(&f_star);
+    let func = xv.not().and(&f0).or(&xv.and(&f1)).or(&f_star);
     (cover, func)
 }
 
@@ -358,17 +357,17 @@ pub fn cone_function(aig: &Aig, root: usize, leaves: &[usize]) -> Tt {
         memo.insert(l, Tt::from_words(n, input_pattern(i, words)));
     }
     memo.entry(0).or_insert_with(|| Tt::zero(n));
-    fn eval(aig: &Aig, node: usize, memo: &mut std::collections::HashMap<usize, Tt>, n: usize) -> Tt {
+    fn eval(aig: &Aig, node: usize, memo: &mut std::collections::HashMap<usize, Tt>) -> Tt {
         if let Some(t) = memo.get(&node) {
             return t.clone();
         }
         assert!(aig.is_and(node), "cone escapes cut at node {node}");
         let (f0, f1) = (aig.fanin0(node), aig.fanin1(node));
-        let mut t0 = eval(aig, f0.var(), memo, n);
+        let mut t0 = eval(aig, f0.var(), memo);
         if f0.is_complement() {
             t0 = t0.not();
         }
-        let mut t1 = eval(aig, f1.var(), memo, n);
+        let mut t1 = eval(aig, f1.var(), memo);
         if f1.is_complement() {
             t1 = t1.not();
         }
@@ -376,7 +375,7 @@ pub fn cone_function(aig: &Aig, root: usize, leaves: &[usize]) -> Tt {
         memo.insert(node, t.clone());
         t
     }
-    eval(aig, root, &mut memo, n)
+    eval(aig, root, &mut memo)
 }
 
 #[cfg(test)]
@@ -422,7 +421,9 @@ mod tests {
     fn isop_covers_exactly() {
         // Several structured functions, including multi-word ones.
         let cases: Vec<Tt> = vec![
-            Tt::var(4, 0).and(&Tt::var(4, 1)).or(&Tt::var(4, 2).and(&Tt::var(4, 3))),
+            Tt::var(4, 0)
+                .and(&Tt::var(4, 1))
+                .or(&Tt::var(4, 2).and(&Tt::var(4, 3))),
             Tt::var(3, 0).xor(&Tt::var(3, 1)).xor(&Tt::var(3, 2)),
             Tt::var(7, 6).or(&Tt::var(7, 0).and(&Tt::var(7, 3).not())),
             Tt::one(2),
@@ -437,7 +438,8 @@ mod tests {
     #[test]
     fn isop_is_irredundant_on_majority() {
         let n = 3;
-        let f = Tt::var(n, 0).and(&Tt::var(n, 1))
+        let f = Tt::var(n, 0)
+            .and(&Tt::var(n, 1))
             .or(&Tt::var(n, 0).and(&Tt::var(n, 2)))
             .or(&Tt::var(n, 1).and(&Tt::var(n, 2)));
         let cover = isop(&f);

@@ -15,9 +15,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evaluator = QorEvaluator::new(&aig)?;
     let space = SequenceSpace::paper();
     let budget = 25;
+    // All methods share the evaluator's memo cache AND the parallel batch
+    // engine; the search trajectories are identical at any thread count.
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
     println!("circuit {aig}");
-    println!("budget  {budget} evaluations per method\n");
-    println!("{:<10} {:>9} {:>12} {:>7} {:>7}", "method", "best QoR", "improvement", "area", "delay");
+    println!("budget  {budget} evaluations per method, {threads} evaluation threads\n");
+    println!(
+        "{:<10} {:>9} {:>12} {:>7} {:>7}",
+        "method", "best QoR", "improvement", "area", "delay"
+    );
 
     let report = |name: &str, result: &boils::core::OptimizationResult| {
         println!(
@@ -30,19 +36,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     };
 
-    let rs = random_search(&evaluator, space, budget, 0);
+    let rs = random_search(&evaluator, space, budget, 0, threads);
     report("RS", &rs);
 
-    let gr = greedy(&evaluator, space, budget);
+    let gr = greedy(&evaluator, space, budget, threads);
     report("Greedy", &gr);
 
-    let ga = genetic_algorithm(&evaluator, space, budget, &GaConfig::default());
+    let ga = genetic_algorithm(
+        &evaluator,
+        space,
+        budget,
+        &GaConfig {
+            threads,
+            ..GaConfig::default()
+        },
+    );
     report("GA", &ga);
 
     let mut sbo = Sbo::new(SboConfig {
         max_evaluations: budget,
         initial_samples: 6,
         space,
+        threads,
         ..SboConfig::default()
     });
     report("SBO", &sbo.run(&evaluator)?);
@@ -51,14 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_evaluations: budget,
         initial_samples: 6,
         space,
+        threads,
         ..BoilsConfig::default()
     });
     report("BOiLS", &boils.run(&evaluator)?);
 
     println!(
-        "\n(unique black-box evaluations across all methods: {} — caching \
-         deduplicates repeats)",
-        evaluator.num_evaluations()
+        "\n(unique black-box evaluations across all methods: {}, served {} \
+         cache hits — the shared memo cache deduplicates repeats)",
+        evaluator.num_evaluations(),
+        evaluator.cache_hits()
     );
     Ok(())
 }

@@ -49,7 +49,11 @@ fn majority_voter(bits: usize) -> Aig {
     let mut carry = Lit::FALSE;
     let mut overflow = Lit::FALSE;
     for (k, &c) in count.iter().enumerate() {
-        let t = if complement >> k & 1 == 1 { Lit::TRUE } else { Lit::FALSE };
+        let t = if complement >> k & 1 == 1 {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        };
         let xy = aig.xor(c, t);
         let _s = aig.xor(xy, carry);
         carry = aig.maj(c, t, carry);

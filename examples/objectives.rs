@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("QoR (Eq. 1)", Objective::Qor),
         ("area only", Objective::Area),
         ("delay only", Objective::Delay),
-        ("75% area / 25% delay", Objective::Weighted { area_weight: 0.75 }),
+        (
+            "75% area / 25% delay",
+            Objective::Weighted { area_weight: 0.75 },
+        ),
     ] {
         let evaluator = QorEvaluator::new(&aig)?.with_objective(objective);
         let mut boils = Boils::new(BoilsConfig {

@@ -31,11 +31,24 @@ fn main() {
     ];
     for t in flow {
         aig = t.apply(&aig);
-        println!("{:<14} {:>7} {:>6}", t.abc_name(), aig.num_ands(), aig.depth());
+        println!(
+            "{:<14} {:>7} {:>6}",
+            t.abc_name(),
+            aig.num_ands(),
+            aig.depth()
+        );
     }
 
     let mapping = map_aig(&aig, &MapperConfig::default());
-    println!("\nFPGA mapping (if -K 6): {} LUTs, {} levels", mapping.area, mapping.delay);
-    let widest = mapping.luts.iter().map(|l| l.leaves.len()).max().unwrap_or(0);
+    println!(
+        "\nFPGA mapping (if -K 6): {} LUTs, {} levels",
+        mapping.area, mapping.delay
+    );
+    let widest = mapping
+        .luts
+        .iter()
+        .map(|l| l.leaves.len())
+        .max()
+        .unwrap_or(0);
     println!("widest LUT uses {widest} inputs");
 }

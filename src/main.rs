@@ -6,23 +6,85 @@
 //! boils synth    --input mult.aag --ops "balance;rewrite;fraig" --output opt.aag
 //! boils map      --input opt.aag [--lut-size 6]
 //! boils check    --golden mult.aag --revised opt.aag
-//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0]
+//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8]
 //! ```
+//!
+//! Flags may be written `--flag value` or `--flag=value`.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use boils::aig::Aig;
-use boils::baselines::{genetic_algorithm, greedy, random_search, GaConfig};
+use boils::baselines::{
+    genetic_algorithm, greedy, random_search, reinforcement_learning, GaConfig, RlAlgorithm,
+    RlConfig, RlFeatures,
+};
 use boils::circuits::{Benchmark, CircuitSpec};
 use boils::core::{Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
 use boils::mapper::{map_stats, MapperConfig};
 use boils::sat::{check_equivalence, EquivResult};
 use boils::synth::{apply_sequence, Transform};
 
+/// The command line, parsed exactly once: a subcommand plus `--flag value`
+/// / `--flag=value` pairs.
+struct Args {
+    command: String,
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    fn from_env() -> Result<Args, String> {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    fn from_iter(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut iter = args.into_iter();
+        let command = iter.next().unwrap_or_else(|| String::from("help"));
+        let mut values = HashMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(flag) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            let (name, value) = match flag.split_once('=') {
+                Some((name, value)) => (name.to_string(), value.to_string()),
+                None => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{flag} is missing its value"))?;
+                    (flag.to_string(), value)
+                }
+            };
+            if values.insert(name.clone(), value).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Args { command, values })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parses `--name`, falling back to `default` when absent.
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} takes a value like its default; got {v:?}")),
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    match run() {
+    match Args::from_env().and_then(|args| run(&args)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
@@ -31,16 +93,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().collect();
-    let command = args.get(1).map(String::as_str).unwrap_or("help");
-    match command {
-        "generate" => generate(),
-        "stats" => stats(),
-        "synth" => synth(),
-        "map" => map_cmd(),
-        "check" => check(),
-        "optimize" => optimize(),
+fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "stats" => stats(args),
+        "synth" => synth(args),
+        "map" => map_cmd(args),
+        "check" => check(args),
+        "optimize" => optimize(args),
         _ => {
             print_help();
             Ok(())
@@ -51,7 +111,7 @@ fn run() -> Result<(), String> {
 fn print_help() {
     println!(
         "boils — Bayesian optimisation for logic synthesis (DATE 2022 reproduction)\n\n\
-         USAGE:\n  boils <command> [flags]\n\n\
+         USAGE:\n  boils <command> [flags]   (--flag value or --flag=value)\n\n\
          COMMANDS:\n\
          \x20 generate  --circuit <name> [--bits N] --output <file.aag|.aig>\n\
          \x20 stats     --input <file>\n\
@@ -59,20 +119,10 @@ fn print_help() {
          \x20 map       --input <file> [--lut-size K]\n\
          \x20 check     --golden <file> --revised <file>\n\
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
-         \x20           [--method boils|sbo|ga|rs|greedy] [--budget N] [--k N] [--seed N]\n\n\
+         \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
+         \x20           [--threads N]\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
-}
-
-fn flag(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn required(name: &str) -> Result<String, String> {
-    flag(name).ok_or_else(|| format!("missing required flag {name}"))
 }
 
 fn load_aig(path: &str) -> Result<Aig, String> {
@@ -89,40 +139,41 @@ fn save_aig(aig: &Aig, path: &str) -> Result<(), String> {
     let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     let mut writer = BufWriter::new(file);
     if path.ends_with(".aag") {
-        aig.write_aag(&mut writer).map_err(|e| format!("{path}: {e}"))
+        aig.write_aag(&mut writer)
+            .map_err(|e| format!("{path}: {e}"))
     } else {
         aig.write_aig_binary(&mut writer)
             .map_err(|e| format!("{path}: {e}"))
     }
 }
 
-fn circuit_from_flags() -> Result<Aig, String> {
-    if let Some(path) = flag("--input") {
-        return load_aig(&path);
+fn circuit_from_flags(args: &Args) -> Result<Aig, String> {
+    if let Some(path) = args.get("input") {
+        return load_aig(path);
     }
-    let name = required("--circuit")?;
+    let name = args.required("circuit")?;
     let benchmark = Benchmark::ALL
         .into_iter()
         .find(|b| b.name() == name)
         .ok_or_else(|| format!("unknown circuit {name:?}"))?;
     let mut spec = CircuitSpec::new(benchmark);
-    if let Some(bits) = flag("--bits") {
+    if let Some(bits) = args.get("bits") {
         let bits: usize = bits.parse().map_err(|_| "--bits takes an integer")?;
         spec = spec.bits(bits);
     }
     Ok(spec.build())
 }
 
-fn generate() -> Result<(), String> {
-    let aig = circuit_from_flags()?;
-    let output = required("--output")?;
-    save_aig(&aig, &output)?;
+fn generate(args: &Args) -> Result<(), String> {
+    let aig = circuit_from_flags(args)?;
+    let output = args.required("output")?;
+    save_aig(&aig, output)?;
     println!("wrote {aig} to {output}");
     Ok(())
 }
 
-fn stats() -> Result<(), String> {
-    let aig = circuit_from_flags()?;
+fn stats(args: &Args) -> Result<(), String> {
+    let aig = circuit_from_flags(args)?;
     println!("{aig}");
     let mapping = map_stats(&aig, &MapperConfig::default());
     println!("if -K 6: {mapping}");
@@ -137,9 +188,9 @@ fn parse_ops(spec: &str) -> Result<Vec<Transform>, String> {
         .collect()
 }
 
-fn synth() -> Result<(), String> {
-    let aig = circuit_from_flags()?;
-    let ops = parse_ops(&required("--ops")?)?;
+fn synth(args: &Args) -> Result<(), String> {
+    let aig = circuit_from_flags(args)?;
+    let ops = parse_ops(args.required("ops")?)?;
     let before = map_stats(&aig, &MapperConfig::default());
     let out = apply_sequence(&aig, &ops);
     let after = map_stats(&out, &MapperConfig::default());
@@ -147,12 +198,12 @@ fn synth() -> Result<(), String> {
     println!("        {before}");
     println!("after : {out}");
     println!("        {after}");
-    if let Some(path) = flag("--output") {
-        save_aig(&out, &path)?;
+    if let Some(path) = args.get("output") {
+        save_aig(&out, path)?;
         println!("wrote {path}");
     }
-    if let Some(path) = flag("--verilog") {
-        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    if let Some(path) = args.get("verilog") {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         out.write_verilog(BufWriter::new(file), "boils_out")
             .map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
@@ -160,21 +211,18 @@ fn synth() -> Result<(), String> {
     Ok(())
 }
 
-fn map_cmd() -> Result<(), String> {
-    let aig = circuit_from_flags()?;
-    let k: usize = flag("--lut-size")
-        .map(|v| v.parse().map_err(|_| "--lut-size takes an integer"))
-        .transpose()?
-        .unwrap_or(6);
+fn map_cmd(args: &Args) -> Result<(), String> {
+    let aig = circuit_from_flags(args)?;
+    let k: usize = args.parse_or("lut-size", 6)?;
     let stats = map_stats(&aig, &MapperConfig::with_lut_size(k));
     println!("{aig}");
     println!("if -K {k}: {stats}");
     Ok(())
 }
 
-fn check() -> Result<(), String> {
-    let golden = load_aig(&required("--golden")?)?;
-    let revised = load_aig(&required("--revised")?)?;
+fn check(args: &Args) -> Result<(), String> {
+    let golden = load_aig(args.required("golden")?)?;
+    let revised = load_aig(args.required("revised")?)?;
     if golden.num_pis() != revised.num_pis() || golden.num_pos() != revised.num_pos() {
         return Err(format!(
             "interface mismatch: {}/{} inputs, {}/{} outputs",
@@ -190,38 +238,34 @@ fn check() -> Result<(), String> {
             Ok(())
         }
         EquivResult::NotEquivalent { counterexample } => {
-            let bits: String = counterexample.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            let bits: String = counterexample
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
             Err(format!("NOT equivalent; counterexample inputs = {bits}"))
         }
         EquivResult::Unknown => Err(String::from("undecided within the conflict budget")),
     }
 }
 
-fn optimize() -> Result<(), String> {
-    let aig = circuit_from_flags()?;
-    let budget: usize = flag("--budget")
-        .map(|v| v.parse().map_err(|_| "--budget takes an integer"))
-        .transpose()?
-        .unwrap_or(40);
-    let k: usize = flag("--k")
-        .map(|v| v.parse().map_err(|_| "--k takes an integer"))
-        .transpose()?
-        .unwrap_or(20);
-    let seed: u64 = flag("--seed")
-        .map(|v| v.parse().map_err(|_| "--seed takes an integer"))
-        .transpose()?
-        .unwrap_or(0);
-    let method = flag("--method").unwrap_or_else(|| String::from("boils"));
+fn optimize(args: &Args) -> Result<(), String> {
+    let aig = circuit_from_flags(args)?;
+    let budget: usize = args.parse_or("budget", 40)?;
+    let k: usize = args.parse_or("k", 20)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    let method = args.get("method").unwrap_or("boils");
     let space = SequenceSpace::new(k, 11);
     let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
     println!("{aig}");
     println!("reference (resyn2 + if -K 6): {}", evaluator.reference());
     let init = (budget / 5).clamp(4, budget.saturating_sub(1).max(1));
-    let result = match method.as_str() {
+    let result = match method {
         "boils" => Boils::new(BoilsConfig {
             max_evaluations: budget,
             initial_samples: init,
             space,
+            threads,
             seed,
             ..BoilsConfig::default()
         })
@@ -231,18 +275,45 @@ fn optimize() -> Result<(), String> {
             max_evaluations: budget,
             initial_samples: init,
             space,
+            threads,
             seed,
             ..SboConfig::default()
         })
         .run(&evaluator)
         .map_err(|e| e.to_string())?,
-        "ga" => genetic_algorithm(&evaluator, space, budget, &GaConfig { seed, ..GaConfig::default() }),
-        "rs" => random_search(&evaluator, space, budget, seed),
-        "greedy" => greedy(&evaluator, space, budget),
+        "ga" => genetic_algorithm(
+            &evaluator,
+            space,
+            budget,
+            &GaConfig {
+                seed,
+                threads,
+                ..GaConfig::default()
+            },
+        ),
+        "rs" => random_search(&evaluator, space, budget, seed, threads),
+        "greedy" => greedy(&evaluator, space, budget, threads),
+        "rl" => reinforcement_learning(
+            &evaluator,
+            space,
+            budget,
+            &RlConfig {
+                algorithm: RlAlgorithm::A2c,
+                features: RlFeatures::Stats,
+                seed,
+                ..RlConfig::default()
+            },
+        ),
         other => return Err(format!("unknown method {other:?}")),
     };
     println!("method        : {method}");
+    println!("threads       : {threads}");
     println!("evaluations   : {}", result.num_evaluations());
+    println!(
+        "unique/cached : {} unique, {} cache hits",
+        evaluator.num_evaluations(),
+        evaluator.cache_hits()
+    );
     println!("best sequence : {}", result.best_sequence);
     println!(
         "best QoR      : {:.4}  (area {} LUTs, delay {} levels, {:+.2}% vs resyn2)",

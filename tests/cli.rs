@@ -23,9 +23,17 @@ fn generate_stats_synth_check_round_trip() {
         .arg(&aag)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let out = boils().args(["stats", "--input"]).arg(&aag).output().expect("spawn");
+    let out = boils()
+        .args(["stats", "--input"])
+        .arg(&aag)
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("square_5"), "stats output: {text}");
@@ -38,7 +46,11 @@ fn generate_stats_synth_check_round_trip() {
         .arg(&opt)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = boils()
         .args(["check", "--golden"])
@@ -47,7 +59,11 @@ fn generate_stats_synth_check_round_trip() {
         .arg(&opt)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
 }
 
@@ -79,12 +95,25 @@ fn check_detects_inequivalence() {
 fn optimize_runs_a_small_budget() {
     let out = boils()
         .args([
-            "optimize", "--circuit", "bar", "--bits", "8", "--budget", "12", "--k", "6",
-            "--method", "rs",
+            "optimize",
+            "--circuit",
+            "bar",
+            "--bits",
+            "8",
+            "--budget",
+            "12",
+            "--k",
+            "6",
+            "--method",
+            "rs",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best QoR"), "output: {text}");
     assert!(text.contains("evaluations   : 12"));

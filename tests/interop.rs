@@ -39,13 +39,31 @@ fn optimisers_are_deterministic_across_processes() {
         QorEvaluator::new(&aig).expect("ok"),
         QorEvaluator::new(&aig).expect("ok"),
     );
-    let a = random_search(&e1, space, 10, 3);
-    let b = random_search(&e2, space, 10, 3);
+    // Different thread counts on purpose: the trajectory must not depend
+    // on the evaluation engine's parallelism.
+    let a = random_search(&e1, space, 10, 3, 1);
+    let b = random_search(&e2, space, 10, 3, 4);
     assert_eq!(a.best_tokens, b.best_tokens);
     assert_eq!(a.best_qor, b.best_qor);
 
-    let g1 = genetic_algorithm(&e1, space, 16, &GaConfig { seed: 9, ..GaConfig::default() });
-    let g2 = genetic_algorithm(&e2, space, 16, &GaConfig { seed: 9, ..GaConfig::default() });
+    let g1 = genetic_algorithm(
+        &e1,
+        space,
+        16,
+        &GaConfig {
+            seed: 9,
+            ..GaConfig::default()
+        },
+    );
+    let g2 = genetic_algorithm(
+        &e2,
+        space,
+        16,
+        &GaConfig {
+            seed: 9,
+            ..GaConfig::default()
+        },
+    );
     assert_eq!(g1.best_tokens, g2.best_tokens);
 }
 
@@ -54,9 +72,11 @@ fn shared_evaluator_caches_across_methods() {
     let aig = CircuitSpec::new(Benchmark::Square).bits(5).build();
     let evaluator = QorEvaluator::new(&aig).expect("ok");
     let space = SequenceSpace::new(6, 11);
-    let _ = random_search(&evaluator, space, 10, 0);
+    let _ = random_search(&evaluator, space, 10, 0, 1);
     let unique_after_rs = evaluator.num_evaluations();
+    let hits_after_rs = evaluator.cache_hits();
     // Replaying the same method hits the cache for every sequence.
-    let _ = random_search(&evaluator, space, 10, 0);
+    let _ = random_search(&evaluator, space, 10, 0, 1);
     assert_eq!(evaluator.num_evaluations(), unique_after_rs);
+    assert!(evaluator.cache_hits() >= hits_after_rs + 10);
 }

@@ -84,7 +84,7 @@ fn boils_is_competitive_with_random_search_at_equal_budget() {
     let evaluator = QorEvaluator::new(&aig).expect("ok");
     let space = SequenceSpace::new(10, 11);
     let budget = 18;
-    let rs = random_search(&evaluator, space, budget, 1);
+    let rs = random_search(&evaluator, space, budget, 1, 1);
     let mut boils = Boils::new(BoilsConfig {
         max_evaluations: budget,
         initial_samples: 6,
@@ -124,5 +124,8 @@ fn improvement_reporting_matches_paper_scale() {
         Transform::Balance,
     ];
     let p = evaluator.evaluate(&resyn2_like);
-    assert!(p.improvement_percent().abs() < 1e-9, "resyn2 is the zero point");
+    assert!(
+        p.improvement_percent().abs() < 1e-9,
+        "resyn2 is the zero point"
+    );
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace's
+//! benchmarks use: [`Criterion`], `bench_function`, `bench_with_input`,
+//! `benchmark_group`, [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so this crate replaces
+//! the registry dependency via a workspace path. It measures a fixed number
+//! of timed iterations after a short warm-up and reports the median
+//! per-iteration wall time — no statistics, plots or baselines, but enough
+//! to compare hot paths between commits by eye.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (upstream default is 100; this
+/// stand-in keeps runs quick since it does no outlier rejection anyway).
+const DEFAULT_SAMPLES: usize = 12;
+
+/// A named benchmark id (`BenchmarkId::new("name", parameter)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The per-benchmark timing driver passed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, filled by [`Bencher::iter`].
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also forces lazy initialisation).
+        black_box(routine());
+        // Calibrate the per-sample iteration count to ~1ms, capped so very
+        // slow routines still take one iteration per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut medians: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            medians.push(start.elapsed() / iters as u32);
+        }
+        medians.sort();
+        self.last_median = Some(medians[medians.len() / 2]);
+    }
+}
+
+/// A group of related benchmarks (subset of criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    /// The parent's sample count before the group overrode it; restored on
+    /// drop so an override never leaks past the group's scope.
+    saved_samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// Ends the group (restoration itself happens on drop, as in upstream
+    /// criterion, so a group dropped without `finish()` behaves the same).
+    pub fn finish(&mut self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.samples = self.saved_samples;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        // `cargo test` runs harness-less bench binaries too; skip the timed
+        // loop there (criterion proper does the same under `--test`).
+        if std::env::args().any(|a| a == "--test") {
+            println!("{name:<40} skipped (test mode)");
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_median: None,
+        };
+        f(&mut bencher);
+        match bencher.last_median {
+            Some(median) => println!("{name:<40} median {median:>12.3?}/iter"),
+            None => println!("{name:<40} no measurement recorded"),
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.run_named(&name, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run_named(&name, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let saved_samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            saved_samples,
+        }
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_median() {
+        let mut c = Criterion { samples: 3 };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_scale_sample_size_and_restore_it() {
+        let mut c = Criterion { samples: 7 };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        assert_eq!(c.samples, 7, "finish() restores the prior count");
+        {
+            let mut g = c.benchmark_group("g2");
+            g.sample_size(3);
+            // Dropped without finish(): the override must still not leak.
+        }
+        assert_eq!(c.samples, 7, "drop restores the prior count");
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("fit", 25);
+        assert_eq!(id.name, "fit/25");
+    }
+}
