@@ -1,0 +1,273 @@
+//! Performance report for the incremental hot-path engine: measures QoR
+//! evaluation throughput (prefix cache on/off), end-to-end optimiser
+//! wall-clock (greedy sweep and a default-config BOiLS run, with and
+//! without the incremental machinery), and GP fit latency (from-scratch
+//! vs incremental extension), then writes `BENCH_eval.json`.
+//!
+//! This is the repo's perf trajectory: every entry also re-checks that the
+//! accelerated and baseline paths produce bit-identical results, so a
+//! speedup can never come from changing the search.
+//!
+//! ```text
+//! perf_report [--out BENCH_eval.json] [--smoke] [--threads N]
+//! ```
+//!
+//! `--smoke` shrinks every workload for CI; the committed numbers come
+//! from a full run.
+
+use std::time::Instant;
+
+use boils_baselines::greedy;
+use boils_bench::cli::BenchArgs;
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_core::{Boils, BoilsConfig, QorEvaluator, SequenceSpace};
+use boils_gp::{Gp, SskKernel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let smoke = args.flag("--smoke");
+    let out = args.value("--out").unwrap_or("BENCH_eval.json").to_string();
+    let threads = args
+        .parse("--threads")
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+        .max(1);
+
+    let circuit = Benchmark::Adder;
+    let aig = CircuitSpec::new(circuit).build();
+    eprintln!(
+        "perf_report: circuit {} ({} ANDs), {} threads, smoke={}",
+        circuit,
+        aig.num_ands(),
+        threads,
+        smoke
+    );
+
+    let mut sections: Vec<String> = Vec::new();
+    sections.push(format!(
+        "  \"config\": {{\"circuit\": \"{}\", \"bits\": {}, \"threads\": {}, \"smoke\": {}}}",
+        circuit,
+        CircuitSpec::new(circuit).num_bits(),
+        threads,
+        smoke
+    ));
+
+    sections.push(eval_throughput(&aig, threads, smoke));
+    sections.push(greedy_section(&aig, smoke));
+    sections.push(boils_section(&aig, smoke));
+    sections.push(gp_fit_section(smoke));
+
+    let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("perf_report: wrote {out}");
+}
+
+/// Throughput of batched QoR evaluation on trust-region-style candidates
+/// (a shared centre with Hamming-ball perturbations — the optimisers'
+/// actual workload), prefix cache on vs off, serial vs parallel.
+fn eval_throughput(aig: &boils_aig::Aig, threads: usize, smoke: bool) -> String {
+    let seq_len = if smoke { 8 } else { 20 };
+    let count = if smoke { 24 } else { 96 };
+    let space = SequenceSpace::new(seq_len, 11);
+    let mut rng = StdRng::seed_from_u64(42);
+    let center = space.sample(&mut rng);
+    let batch: Vec<Vec<u8>> = (0..count)
+        .map(|i| {
+            if i % 4 == 0 {
+                space.sample(&mut rng)
+            } else {
+                space.sample_in_ball(&center, 1 + rng.gen_range(0..4usize), &mut rng)
+            }
+        })
+        .collect();
+
+    let thread_settings: Vec<usize> = if threads > 1 {
+        vec![1, threads]
+    } else {
+        vec![1]
+    };
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<boils_core::QorPoint>> = None;
+    for &prefix_cache in &[false, true] {
+        for &t in &thread_settings {
+            let evaluator = QorEvaluator::new(aig).expect("non-degenerate reference");
+            let evaluator = if prefix_cache {
+                evaluator
+            } else {
+                evaluator.without_prefix_cache()
+            };
+            let engine = boils_core::BatchEvaluator::new(t);
+            let start = Instant::now();
+            let points = engine.evaluate(&evaluator, &batch);
+            let seconds = start.elapsed().as_secs_f64();
+            match &reference {
+                Some(r) => assert_eq!(r, &points, "prefix cache or threads changed values"),
+                None => reference = Some(points),
+            }
+            let stats = evaluator.prefix_stats();
+            rows.push(format!(
+                "    {{\"seq_len\": {}, \"threads\": {}, \"prefix_cache\": {}, \"evals\": {}, \
+                 \"seconds\": {:.6}, \"evals_per_sec\": {:.2}, \"passes_applied\": {}, \
+                 \"passes_saved\": {}}}",
+                seq_len,
+                t,
+                prefix_cache,
+                count,
+                seconds,
+                count as f64 / seconds,
+                stats.passes_applied,
+                stats.passes_saved
+            ));
+            eprintln!(
+                "  eval throughput: cache={prefix_cache} threads={t}: {:.2} evals/s",
+                count as f64 / seconds
+            );
+        }
+    }
+    format!("  \"eval_throughput\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+/// The greedy per-position action sweep: the prefix cache's best case —
+/// every candidate extends an already-evaluated prefix by one pass.
+fn greedy_section(aig: &boils_aig::Aig, smoke: bool) -> String {
+    let k = if smoke { 6 } else { 20 };
+    let space = SequenceSpace::new(k, 11);
+    let budget = k * space.alphabet();
+
+    let cached_eval = QorEvaluator::new(aig).expect("ok");
+    let start = Instant::now();
+    let cached_run = greedy(&cached_eval, space, budget, 1);
+    let cached_seconds = start.elapsed().as_secs_f64();
+
+    let uncached_eval = QorEvaluator::new(aig).expect("ok").without_prefix_cache();
+    let start = Instant::now();
+    let uncached_run = greedy(&uncached_eval, space, budget, 1);
+    let uncached_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(cached_run.best_tokens, uncached_run.best_tokens);
+    assert_eq!(cached_run.best_qor, uncached_run.best_qor);
+    let stats = cached_eval.prefix_stats();
+    let speedup = uncached_seconds / cached_seconds;
+    eprintln!(
+        "  greedy sweep (K={k}, budget {budget}): {cached_seconds:.3}s cached vs \
+         {uncached_seconds:.3}s uncached — {speedup:.2}x"
+    );
+    format!(
+        "  \"greedy\": {{\"k\": {}, \"budget\": {}, \"cached_seconds\": {:.6}, \
+         \"uncached_seconds\": {:.6}, \"speedup\": {:.3}, \"passes_applied\": {}, \
+         \"passes_saved\": {}, \"bit_identical\": true}}",
+        k,
+        budget,
+        cached_seconds,
+        uncached_seconds,
+        speedup,
+        stats.passes_applied,
+        stats.passes_saved
+    )
+}
+
+/// A default-config BOiLS run with the full incremental engine (prefix
+/// cache + incremental SSK Gram/Cholesky updates) against the
+/// from-scratch baseline.
+fn boils_section(aig: &boils_aig::Aig, smoke: bool) -> String {
+    let config = |incremental: bool| BoilsConfig {
+        max_evaluations: if smoke { 30 } else { 200 },
+        initial_samples: if smoke { 10 } else { 20 },
+        space: if smoke {
+            SequenceSpace::new(8, 11)
+        } else {
+            SequenceSpace::paper()
+        },
+        incremental_surrogate: incremental,
+        seed: 7,
+        ..BoilsConfig::default()
+    };
+
+    let fast_eval = QorEvaluator::new(aig).expect("ok");
+    let start = Instant::now();
+    let fast = Boils::new(config(true)).run(&fast_eval).expect("run");
+    let optimised_seconds = start.elapsed().as_secs_f64();
+
+    let slow_eval = QorEvaluator::new(aig).expect("ok").without_prefix_cache();
+    let start = Instant::now();
+    let slow = Boils::new(config(false)).run(&slow_eval).expect("run");
+    let baseline_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        fast.best_tokens, slow.best_tokens,
+        "speedup changed the search"
+    );
+    assert_eq!(fast.best_qor, slow.best_qor);
+    let speedup = baseline_seconds / optimised_seconds;
+    let stats = fast_eval.prefix_stats();
+    eprintln!(
+        "  BOiLS default run: {optimised_seconds:.3}s optimised vs {baseline_seconds:.3}s \
+         baseline — {speedup:.2}x"
+    );
+    format!(
+        "  \"boils_default\": {{\"budget\": {}, \"k\": {}, \"optimised_seconds\": {:.6}, \
+         \"baseline_seconds\": {:.6}, \"speedup\": {:.3}, \"passes_applied\": {}, \
+         \"passes_saved\": {}, \"bit_identical\": true}}",
+        config(true).max_evaluations,
+        config(true).space.length(),
+        optimised_seconds,
+        baseline_seconds,
+        speedup,
+        stats.passes_applied,
+        stats.passes_saved
+    )
+}
+
+/// GP fit latency on SSK Grams over random sequences: from-scratch
+/// refitting (what every non-retrain BO iteration used to do) vs the
+/// incremental one-observation extension.
+fn gp_fit_section(smoke: bool) -> String {
+    let sizes: &[usize] = if smoke { &[20, 40] } else { &[50, 100, 200] };
+    let space = SequenceSpace::new(20, 11);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let xs: Vec<Vec<u8>> = (0..n).map(|_| space.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let start = Instant::now();
+        let scratch = Gp::fit(SskKernel::new(4), xs.clone(), ys.clone(), 1e-4).expect("spd");
+        let fit_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let base = Gp::fit(
+            SskKernel::new(4),
+            xs[..n - 1].to_vec(),
+            ys[..n - 1].to_vec(),
+            1e-4,
+        )
+        .expect("spd");
+        let start = Instant::now();
+        let extended = base
+            .extend(xs[n - 1].clone(), ys[n - 1])
+            .expect("extension succeeds");
+        let extend_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let probe = space.sample(&mut rng);
+        let (m_a, v_a) = scratch.predict(&probe);
+        let (m_b, v_b) = extended.predict(&probe);
+        assert!(
+            (m_a - m_b).abs() < 1e-10 && (v_a - v_b).abs() < 1e-10,
+            "incremental GP diverged from refit"
+        );
+
+        eprintln!("  GP fit n={n}: {fit_ms:.2}ms from scratch vs {extend_ms:.2}ms extension");
+        rows.push(format!(
+            "    {{\"n\": {}, \"fit_ms\": {:.4}, \"extend_ms\": {:.4}, \"speedup\": {:.2}}}",
+            n,
+            fit_ms,
+            extend_ms,
+            fit_ms / extend_ms
+        ));
+    }
+    format!("  \"gp_fit\": [\n{}\n  ]", rows.join(",\n"))
+}

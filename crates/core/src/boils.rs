@@ -59,6 +59,15 @@ pub struct BoilsConfig {
     pub acq_neighbors: usize,
     /// Hyperparameters are retrained every this many iterations.
     pub retrain_every: usize,
+    /// Between hyperparameter retrains, extend the previous GP by the new
+    /// observations in `O(n²)` ([`Gp::extend`]) instead of refitting from
+    /// scratch in `O(n³)`, with per-sequence self-similarities cached
+    /// across the Gram fill and prediction. `false` restores the seed's
+    /// from-scratch surrogate (full refit every iteration, normalisation
+    /// constants recomputed inside every pair evaluation) as a
+    /// benchmarking baseline. The search trajectory is bit-identical
+    /// either way.
+    pub incremental_surrogate: bool,
     /// Projected-Adam settings for kernel training (paper Eq. 4).
     pub train: TrainConfig,
     /// GP observation noise.
@@ -89,6 +98,7 @@ impl Default for BoilsConfig {
             acq_steps: 10,
             acq_neighbors: 30,
             retrain_every: 5,
+            incremental_surrogate: true,
             train: TrainConfig {
                 steps: 15,
                 ..TrainConfig::default()
@@ -232,25 +242,57 @@ impl Boils {
         let mut center = best_of(&history).clone();
         // Kernel decays carried across iterations, retrained periodically.
         let mut decays = (0.8, 0.5);
+        // The surrogate carried between iterations: `(gp, fitted)` where
+        // `fitted` is the history length the GP covers. On non-retrain
+        // iterations the kernel hyperparameters are unchanged, so the GP
+        // is extended by the new observations in O(n²) instead of
+        // refitting from scratch — and the training vectors are no longer
+        // cloned from the whole history every loop.
+        let mut surrogate: Option<(Gp<SskKernel, Vec<u8>>, usize)> = None;
 
         // -- Optimisation loop (lines 6-11).
         while history.len() < cfg.max_evaluations {
-            let xs: Vec<Vec<u8>> = history.iter().map(|r| r.tokens.clone()).collect();
-            let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
-            let kernel = {
-                let k = SskKernel::new(cfg.ssk_order).with_decays(decays.0, decays.1);
-                if cfg.normalize_kernel {
-                    k
-                } else {
-                    k.without_normalization()
+            let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1));
+            let carried = if cfg.incremental_surrogate && !retrain {
+                surrogate.take()
+            } else {
+                None
+            };
+            let gp = match carried {
+                Some((mut gp, fitted)) => {
+                    for record in &history[fitted..] {
+                        gp = gp.extend(record.tokens.clone(), -record.point.qor)?;
+                    }
+                    gp
+                }
+                None => {
+                    let xs: Vec<Vec<u8>> = history.iter().map(|r| r.tokens.clone()).collect();
+                    let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
+                    let kernel = {
+                        let k = SskKernel::new(cfg.ssk_order).with_decays(decays.0, decays.1);
+                        let k = if cfg.normalize_kernel {
+                            k
+                        } else {
+                            k.without_normalization()
+                        };
+                        if cfg.incremental_surrogate {
+                            k
+                        } else {
+                            // Benchmarking baseline: reproduce the seed's
+                            // cost model (self-similarities recomputed
+                            // inside every pair evaluation). Bit-identical
+                            // values either way.
+                            k.without_info_caching()
+                        }
+                    };
+                    if retrain {
+                        Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
+                    } else {
+                        Gp::fit(kernel, xs, ys, cfg.noise)?
+                    }
                 }
             };
-            let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1));
-            let gp = if retrain {
-                Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
-            } else {
-                Gp::fit(kernel, xs, ys, cfg.noise)?
-            };
+            let fitted = history.len();
             let params = Kernel::<[u8]>::params(gp.kernel());
             decays = (params[0], params[1]);
             let incumbent = history
@@ -335,6 +377,9 @@ impl Boils {
                     }
                 }
             }
+            if cfg.incremental_surrogate {
+                surrogate = Some((gp, fitted));
+            }
         }
         Ok(OptimizationResult::from_history(&space, history))
     }
@@ -359,6 +404,11 @@ pub(crate) fn hill_climb<R: Rng>(
     rng: &mut R,
 ) -> Vec<u8> {
     let mut best: Option<(f64, Vec<u8>)> = None;
+    // One scratch buffer for every neighbour probe: the inner loop used to
+    // allocate a fresh candidate Vec per probe (restarts × steps ×
+    // neighbors of them per BO iteration); now an accepted move just swaps
+    // buffers.
+    let mut scratch: Vec<u8> = Vec::with_capacity(space.length());
     for _ in 0..restarts.max(1) {
         let mut current = match trust_region {
             Some((center, radius)) => space.sample_in_ball(center, radius.max(1), rng),
@@ -368,15 +418,15 @@ pub(crate) fn hill_climb<R: Rng>(
         for _ in 0..steps {
             let mut improved = false;
             for _ in 0..neighbors {
-                let cand = space.random_neighbor(&current, rng);
+                space.random_neighbor_into(&current, &mut scratch, rng);
                 if let Some((center, radius)) = trust_region {
-                    if space.hamming(center, &cand) > radius {
+                    if space.hamming(center, &scratch) > radius {
                         continue;
                     }
                 }
-                let v = acquisition(&cand);
+                let v = acquisition(&scratch);
                 if v > current_value {
-                    current = cand;
+                    std::mem::swap(&mut current, &mut scratch);
                     current_value = v;
                     improved = true;
                 }

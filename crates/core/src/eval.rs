@@ -49,6 +49,24 @@ pub trait SequenceObjective: Sync {
 /// mostly exists to keep writers from serialising on one lock.
 const SHARD_COUNT: usize = 16;
 
+/// Deterministic shard index for a token key: FNV-1a, then a SplitMix64
+/// finaliser (FNV's low bits are weak on short keys), modulo `shards`.
+/// Deliberately not the per-instance-seeded std hasher, so shard
+/// assignment — and therefore lock interleaving — is reproducible. Shared
+/// by the value cache here and the prefix cache
+/// ([`crate::prefix::PrefixCache`]).
+pub(crate) fn shard_index(key: &[u8], shards: usize) -> usize {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash = (hash ^ (hash >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    hash ^= hash >> 31;
+    (hash as usize) % shards
+}
+
 /// A thread-safe memoisation table for sequence evaluations.
 ///
 /// Keys are token sequences; the map is split into [`SHARD_COUNT`] shards,
@@ -68,17 +86,7 @@ impl ShardedCache {
     }
 
     fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Vec<u8>, QorPoint>> {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &b in key {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        // FNV's low bits are weak on short keys; avalanche before taking
-        // the low-bit shard index (SplitMix64 finaliser).
-        hash = (hash ^ (hash >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        hash = (hash ^ (hash >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        hash ^= hash >> 31;
-        &self.shards[(hash as usize) % SHARD_COUNT]
+        &self.shards[shard_index(key, SHARD_COUNT)]
     }
 
     /// Returns the memoised point for `key`, recording a hit on success.

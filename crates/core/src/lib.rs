@@ -36,6 +36,7 @@
 
 mod boils;
 pub mod eval;
+pub mod prefix;
 mod qor;
 mod result;
 mod sbo;
@@ -43,6 +44,7 @@ mod space;
 
 pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError};
 pub use crate::eval::{BatchEvaluator, SequenceObjective, ShardedCache};
+pub use crate::prefix::{PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
 pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};
 pub use crate::result::{EvalRecord, OptimizationResult};
 pub use crate::sbo::{one_hot, IsotropicSe, Sbo, SboConfig};

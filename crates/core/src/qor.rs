@@ -5,12 +5,14 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use boils_aig::Aig;
 use boils_mapper::{map_stats, MapStats, MapperConfig};
 use boils_synth::{resyn2, Transform};
 
 use crate::eval::{SequenceObjective, ShardedCache};
+use crate::prefix::{PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
 
 /// What the black box optimises — Eq. 1 by default; the paper's conclusion
 /// notes BOiLS "can be utilised with other quantities of interest, e.g.,
@@ -116,6 +118,9 @@ pub struct QorEvaluator {
     mapper_config: MapperConfig,
     objective: Objective,
     cache: ShardedCache,
+    /// Intermediate-AIG store keyed by token prefix; `None` disables
+    /// prefix reuse (every evaluation replays from `base`).
+    prefix: Option<PrefixCache>,
     unique_evaluations: AtomicUsize,
 }
 
@@ -150,8 +155,41 @@ impl QorEvaluator {
             mapper_config,
             objective: Objective::Qor,
             cache: ShardedCache::new(),
+            prefix: Some(PrefixCache::new(DEFAULT_PREFIX_CAPACITY)),
             unique_evaluations: AtomicUsize::new(0),
         })
+    }
+
+    /// Bounds the prefix cache to `capacity` intermediate AIGs.
+    ///
+    /// Prefix reuse is purely an accelerator — evaluations resume from the
+    /// longest cached prefix instead of replaying every pass from the base
+    /// circuit, with bit-identical results — so this knob only trades
+    /// memory against replay work.
+    pub fn with_prefix_capacity(mut self, capacity: usize) -> QorEvaluator {
+        self.prefix = Some(PrefixCache::new(capacity));
+        self
+    }
+
+    /// Disables prefix reuse: every evaluation replays the whole sequence
+    /// from the base circuit (the pre-cache behaviour; useful as a
+    /// benchmarking baseline and for memory-constrained sweeps).
+    pub fn without_prefix_cache(mut self) -> QorEvaluator {
+        self.prefix = None;
+        self
+    }
+
+    /// Replay-savings counters of the prefix cache (zeroes when disabled).
+    pub fn prefix_stats(&self) -> PrefixStats {
+        self.prefix
+            .as_ref()
+            .map(PrefixCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Number of intermediate AIGs currently cached.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.as_ref().map_or(0, PrefixCache::len)
     }
 
     /// Switches the optimised quantity (clearing the cache).
@@ -214,11 +252,35 @@ impl QorEvaluator {
     }
 
     /// Applies the sequence and maps the result — the uncached hot path.
+    ///
+    /// With the prefix cache enabled, the replay resumes from the longest
+    /// cached token prefix and each newly reached intermediate AIG is
+    /// stored for later candidates (shared across the
+    /// [`BatchEvaluator`](crate::BatchEvaluator)'s worker threads). Every
+    /// transform is a deterministic function of its input AIG, so the
+    /// mapped result is bit-identical to a full replay.
     fn compute(&self, tokens: &[u8]) -> QorPoint {
-        let mut aig = self.base.clone();
-        for &t in tokens {
-            aig = Transform::from_index(t as usize).apply(&aig);
-        }
+        let aig = match &self.prefix {
+            Some(prefix_cache) => {
+                let (start, mut current) = match prefix_cache.longest_prefix(tokens) {
+                    Some((len, aig)) => (len, aig),
+                    None => (0, Arc::new(self.base.clone())),
+                };
+                for (applied, &t) in tokens.iter().enumerate().skip(start) {
+                    current = Arc::new(Transform::from_index(t as usize).apply(&current));
+                    prefix_cache.insert(&tokens[..=applied], Arc::clone(&current));
+                }
+                prefix_cache.record_replay(start, tokens.len() - start);
+                current
+            }
+            None => {
+                let mut aig = self.base.clone();
+                for &t in tokens {
+                    aig = Transform::from_index(t as usize).apply(&aig);
+                }
+                Arc::new(aig)
+            }
+        };
         let stats = map_stats(&aig, &self.mapper_config);
         QorPoint {
             qor: self.objective.combine(
@@ -245,9 +307,13 @@ impl QorEvaluator {
         self.cache.contains(tokens)
     }
 
-    /// Forgets all cached evaluations and resets the counters.
+    /// Forgets all cached evaluations (values and intermediate AIGs) and
+    /// resets the counters.
     pub fn reset(&self) {
         self.cache.clear();
+        if let Some(prefix_cache) = &self.prefix {
+            prefix_cache.clear();
+        }
         self.unique_evaluations.store(0, Ordering::Relaxed);
     }
 }
@@ -359,6 +425,50 @@ mod tests {
             .with_objective(Objective::Weighted { area_weight: 0.5 });
         let w = w_eval.evaluate(&seq);
         assert!((w.qor - q.qor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_cached_evaluation_is_bit_identical_to_uncached() {
+        let aig = random_aig(41, 8, 400, 4);
+        let cached = QorEvaluator::new(&aig).expect("ok");
+        let uncached = QorEvaluator::new(&aig).expect("ok").without_prefix_cache();
+        // Sequences engineered to share prefixes (the optimisers' common
+        // case) and to diverge early (the cache's worst case).
+        let sequences: Vec<Vec<u8>> = vec![
+            vec![6, 0, 2],
+            vec![6, 0, 2, 5],
+            vec![6, 0, 3, 5],
+            vec![1, 6, 0, 2],
+            vec![6],
+            vec![6, 0, 2, 5, 7, 9],
+        ];
+        for seq in &sequences {
+            assert_eq!(
+                cached.evaluate_tokens(seq),
+                uncached.evaluate_tokens(seq),
+                "prefix reuse changed the value of {seq:?}"
+            );
+        }
+        let stats = cached.prefix_stats();
+        assert!(stats.prefix_hits >= 3, "stats: {stats:?}");
+        assert!(stats.passes_saved >= 3, "stats: {stats:?}");
+        // The uncached evaluator replays everything.
+        assert_eq!(
+            uncached.prefix_stats(),
+            crate::prefix::PrefixStats::default()
+        );
+        assert_eq!(uncached.prefix_len(), 0);
+        assert!(cached.prefix_len() > 0);
+    }
+
+    #[test]
+    fn reset_clears_the_prefix_cache() {
+        let eval = evaluator();
+        eval.evaluate(&[Transform::Balance, Transform::Rewrite]);
+        assert!(eval.prefix_len() > 0);
+        eval.reset();
+        assert_eq!(eval.prefix_len(), 0);
+        assert_eq!(eval.prefix_stats(), crate::prefix::PrefixStats::default());
     }
 
     #[test]

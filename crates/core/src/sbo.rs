@@ -29,6 +29,10 @@ pub struct SboConfig {
     pub acq_neighbors: usize,
     /// Hyperparameter retraining period.
     pub retrain_every: usize,
+    /// Between retrains, extend the previous GP by the new observations in
+    /// `O(n²)` instead of refitting from scratch (see
+    /// [`BoilsConfig::incremental_surrogate`](crate::BoilsConfig)).
+    pub incremental_surrogate: bool,
     /// Adam settings for kernel training.
     pub train: TrainConfig,
     /// GP observation noise.
@@ -50,6 +54,7 @@ impl Default for SboConfig {
             acq_steps: 10,
             acq_neighbors: 30,
             retrain_every: 5,
+            incremental_surrogate: true,
             train: TrainConfig {
                 steps: 15,
                 ..TrainConfig::default()
@@ -116,22 +121,43 @@ impl Sbo {
         }
 
         let mut params: Option<Vec<f64>> = None;
+        // Carried surrogate: `(gp, fitted)` as in `Boils::run` — extended
+        // by new observations on non-retrain iterations instead of
+        // rebuilding the one-hot design matrix and refitting from scratch.
+        let mut surrogate: Option<(Gp<IsotropicSe, Vec<f64>>, usize)> = None;
         while history.len() < cfg.max_evaluations {
-            let xs: Vec<Vec<f64>> = history
-                .iter()
-                .map(|r| one_hot(&r.tokens, space.alphabet()))
-                .collect();
-            let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
-            let mut kernel = isotropic_kernel();
-            if let Some(p) = &params {
-                boils_gp::Kernel::<[f64]>::set_params(&mut kernel, p);
-            }
             let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1));
-            let gp: Gp<IsotropicSe, Vec<f64>> = if retrain {
-                Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
+            let carried = if cfg.incremental_surrogate && !retrain {
+                surrogate.take()
             } else {
-                Gp::fit(kernel, xs, ys, cfg.noise)?
+                None
             };
+            let gp: Gp<IsotropicSe, Vec<f64>> = match carried {
+                Some((mut gp, fitted)) => {
+                    for record in &history[fitted..] {
+                        gp = gp
+                            .extend(one_hot(&record.tokens, space.alphabet()), -record.point.qor)?;
+                    }
+                    gp
+                }
+                None => {
+                    let xs: Vec<Vec<f64>> = history
+                        .iter()
+                        .map(|r| one_hot(&r.tokens, space.alphabet()))
+                        .collect();
+                    let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
+                    let mut kernel = isotropic_kernel();
+                    if let Some(p) = &params {
+                        boils_gp::Kernel::<[f64]>::set_params(&mut kernel, p);
+                    }
+                    if retrain {
+                        Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
+                    } else {
+                        Gp::fit(kernel, xs, ys, cfg.noise)?
+                    }
+                }
+            };
+            let fitted = history.len();
             params = Some(boils_gp::Kernel::<[f64]>::params(gp.kernel()));
             let incumbent = history
                 .iter()
@@ -161,6 +187,9 @@ impl Sbo {
                 tokens: candidate,
                 point,
             });
+            if cfg.incremental_surrogate {
+                surrogate = Some((gp, fitted));
+            }
         }
         Ok(OptimizationResult::from_history(&space, history))
     }

@@ -108,7 +108,18 @@ impl SequenceSpace {
 
     /// One uniformly random Hamming-1 neighbour of `seq`.
     pub fn random_neighbor<R: Rng>(&self, seq: &[u8], rng: &mut R) -> Vec<u8> {
-        let mut out = seq.to_vec();
+        let mut out = Vec::new();
+        self.random_neighbor_into(seq, &mut out, rng);
+        out
+    }
+
+    /// Writes a uniformly random Hamming-1 neighbour of `seq` into `out`,
+    /// reusing its allocation — the allocation-free form for inner loops
+    /// that probe thousands of neighbours (acquisition hill climbing).
+    /// Consumes exactly the same RNG draws as [`SequenceSpace::random_neighbor`].
+    pub fn random_neighbor_into<R: Rng>(&self, seq: &[u8], out: &mut Vec<u8>, rng: &mut R) {
+        out.clear();
+        out.extend_from_slice(seq);
         let pos = rng.gen_range(0..self.length);
         if self.alphabet > 1 {
             let old = out[pos];
@@ -118,7 +129,6 @@ impl SequenceSpace {
             }
             out[pos] = new;
         }
-        out
     }
 
     /// Decodes tokens into transforms.

@@ -83,6 +83,79 @@ fn sbo_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn boils_trajectory_is_identical_with_prefix_cache_on_or_off() {
+    // The prefix-reuse AIG cache is purely an accelerator: it must not
+    // change a single evaluation, and therefore not a single step of the
+    // search — at any thread count.
+    let aig = random_aig(101, 8, 300, 3);
+    let cached = QorEvaluator::new(&aig).expect("ok");
+    let uncached = QorEvaluator::new(&aig).expect("ok").without_prefix_cache();
+    let with_cache = Boils::new(boils_config(2)).run(&cached).expect("run");
+    let without_cache = Boils::new(boils_config(2)).run(&uncached).expect("run");
+    assert_eq!(with_cache.best_tokens, without_cache.best_tokens);
+    assert_eq!(with_cache.best_qor, without_cache.best_qor);
+    assert_eq!(with_cache.history.len(), without_cache.history.len());
+    for (a, b) in with_cache.history.iter().zip(&without_cache.history) {
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.point, b.point);
+    }
+    assert_eq!(cached.num_evaluations(), uncached.num_evaluations());
+    let stats = cached.prefix_stats();
+    assert!(stats.passes_applied > 0);
+    assert_eq!(uncached.prefix_stats().passes_applied, 0);
+}
+
+#[test]
+fn boils_trajectory_is_identical_with_incremental_surrogate_on_or_off() {
+    // Between retrains the kernel hyperparameters are fixed, so extending
+    // the previous GP by one observation is numerically identical to
+    // refitting from scratch — the whole search trajectory must agree.
+    let aig = random_aig(103, 8, 300, 3);
+    let make = |incremental| BoilsConfig {
+        incremental_surrogate: incremental,
+        ..boils_config(1)
+    };
+    let e_inc = QorEvaluator::new(&aig).expect("ok");
+    let e_scratch = QorEvaluator::new(&aig).expect("ok");
+    let inc = Boils::new(make(true)).run(&e_inc).expect("run");
+    let scratch = Boils::new(make(false)).run(&e_scratch).expect("run");
+    assert_eq!(inc.best_tokens, scratch.best_tokens);
+    assert_eq!(inc.best_qor, scratch.best_qor);
+    for (a, b) in inc.history.iter().zip(&scratch.history) {
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.point, b.point);
+    }
+    assert_eq!(e_inc.num_evaluations(), e_scratch.num_evaluations());
+}
+
+#[test]
+fn sbo_trajectory_is_identical_with_incremental_surrogate_on_or_off() {
+    let aig = random_aig(107, 8, 300, 3);
+    let make = |incremental| SboConfig {
+        max_evaluations: 12,
+        initial_samples: 6,
+        space: SequenceSpace::new(5, 11),
+        acq_restarts: 2,
+        acq_steps: 3,
+        acq_neighbors: 8,
+        incremental_surrogate: incremental,
+        train: TrainConfig {
+            steps: 4,
+            ..TrainConfig::default()
+        },
+        seed: 5,
+        ..SboConfig::default()
+    };
+    let e_inc = QorEvaluator::new(&aig).expect("ok");
+    let e_scratch = QorEvaluator::new(&aig).expect("ok");
+    let inc = Sbo::new(make(true)).run(&e_inc).expect("run");
+    let scratch = Sbo::new(make(false)).run(&e_scratch).expect("run");
+    assert_eq!(inc.best_tokens, scratch.best_tokens);
+    assert_eq!(inc.best_qor, scratch.best_qor);
+    assert_eq!(e_inc.num_evaluations(), e_scratch.num_evaluations());
+}
+
+#[test]
 fn cache_hit_accounting_is_exact_in_serial_use() {
     let aig = random_aig(79, 8, 300, 3);
     let evaluator = QorEvaluator::new(&aig).expect("ok");

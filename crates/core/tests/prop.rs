@@ -92,6 +92,40 @@ proptest! {
     }
 
     #[test]
+    fn prefix_cached_evaluation_agrees_with_uncached_compute(
+        seed in 0u64..100,
+        sequences in prop::collection::vec(prop::collection::vec(0u8..11, 0..8), 1..10),
+        capacity in 8usize..64,
+    ) {
+        let aig = random_aig(seed + 40_000, 8, 250, 3);
+        let Ok(cached) = QorEvaluator::new(&aig) else { return Ok(()); };
+        let cached = cached.with_prefix_capacity(capacity);
+        let uncached = QorEvaluator::new(&aig)
+            .expect("same circuit")
+            .without_prefix_cache();
+        for tokens in &sequences {
+            prop_assert_eq!(
+                cached.evaluate_tokens(tokens),
+                uncached.evaluate_tokens(tokens),
+                "prefix reuse changed {:?}", tokens
+            );
+        }
+        // Evaluating every prefix of an already-seen sequence maximises
+        // reuse and must stay pointwise identical.
+        let longest = sequences.iter().max_by_key(|s| s.len()).expect("non-empty");
+        for cut in 0..=longest.len() {
+            prop_assert_eq!(
+                cached.evaluate_tokens(&longest[..cut]),
+                uncached.evaluate_tokens(&longest[..cut])
+            );
+        }
+        prop_assert_eq!(cached.num_evaluations(), uncached.num_evaluations());
+        // The capacity bound holds no matter the workload (per-shard
+        // rounding can overshoot by at most one entry per shard).
+        prop_assert!(cached.prefix_len() <= capacity + 8);
+    }
+
+    #[test]
     fn batch_evaluator_agrees_with_pointwise_evaluation(
         seed in 0u64..100,
         batch in prop::collection::vec(prop::collection::vec(0u8..11, 0..6), 1..12),

@@ -57,11 +57,45 @@ pub struct Gp<K, X> {
     kernel: K,
     noise: f64,
     x: Vec<X>,
+    /// Per-input [`Kernel::self_info`] summaries, aligned with `x` — cached
+    /// once at fit time so the prediction hot path (thousands of
+    /// acquisition probes per BO iteration) never recomputes them.
+    infos: Vec<f64>,
     alpha: Vec<f64>,
     chol: Cholesky,
+    /// Raw (unstandardised) targets — kept so [`Gp::extend`] can restandardise
+    /// after appending an observation.
+    y_raw: Vec<f64>,
     y: Vec<f64>,
     y_mean: f64,
     y_std: f64,
+}
+
+/// Fills the noise-augmented Gram matrix symmetrically: each off-diagonal
+/// pair is evaluated once and mirrored, and per-point summaries are
+/// computed once instead of inside every pair — for a normalised string
+/// kernel this cuts an `n²` fill from `3n²` to `n(n+1)/2 + n` DP runs.
+fn build_gram<K, X>(kernel: &K, x: &[X], infos: &[f64], noise: f64) -> Matrix
+where
+    K: Kernel<X>,
+{
+    let n = x.len();
+    let mut gram = Matrix::zeros(n, n);
+    for i in 0..n {
+        gram[(i, i)] = kernel.eval_with_info(&x[i], infos[i], &x[i], infos[i]) + noise;
+        for j in (i + 1)..n {
+            let v = kernel.eval_with_info(&x[i], infos[i], &x[j], infos[j]);
+            gram[(i, j)] = v;
+            gram[(j, i)] = v;
+        }
+    }
+    gram
+}
+
+fn mean_std(y: &[f64]) -> (f64, f64) {
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let variance = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
+    (mean, variance.sqrt().max(1e-9))
 }
 
 impl<K, X> Gp<K, X>
@@ -86,25 +120,85 @@ where
     ) -> Result<Gp<K, X>, NotPositiveDefiniteError> {
         assert_eq!(x.len(), y.len(), "inputs and targets must pair up");
         assert!(!x.is_empty(), "cannot fit a GP to no data");
-        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
-        let variance = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
-        let y_std = variance.sqrt().max(1e-9);
+        let (y_mean, y_std) = mean_std(&y);
         let standardised: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
-        let gram = Matrix::from_fn(x.len(), x.len(), |i, j| {
-            kernel.eval(&x[i], &x[j]) + if i == j { noise } else { 0.0 }
-        });
+        let infos: Vec<f64> = x.iter().map(|xi| kernel.self_info(xi)).collect();
+        let gram = build_gram(&kernel, &x, &infos, noise);
         let chol = Cholesky::new(&gram, 1e-9)?;
         let alpha = chol.solve(&standardised);
         Ok(Gp {
             kernel,
             noise,
             x,
+            infos,
             alpha,
             chol,
+            y_raw: y,
             y: standardised,
             y_mean,
             y_std,
         })
+    }
+
+    /// Incorporates one new observation in `O(n²)` instead of refitting
+    /// from scratch in `O(n³)`: the stored Cholesky factor is extended by
+    /// one row ([`Cholesky::extend`]), only `n + 1` new kernel values are
+    /// computed, and the targets are restandardised (standardisation and
+    /// `α = K⁻¹y` depend on every observation, but both are `O(n²)` given
+    /// the factor).
+    ///
+    /// With unchanged hyperparameters the result is numerically identical
+    /// to `Gp::fit` on the concatenated data — bit-identical whenever the
+    /// extension's pivot succeeds at the stored factor's effective jitter.
+    /// If the pivot fails, this falls back to a full refit (which can
+    /// escalate jitter).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the fallback full refit also fails.
+    pub fn extend(mut self, x_new: X, y_new: f64) -> Result<Gp<K, X>, NotPositiveDefiniteError> {
+        let info_new = self.kernel.self_info(&x_new);
+        let off_diag: Vec<f64> = self
+            .x
+            .iter()
+            .zip(&self.infos)
+            .map(|(xi, &ii)| self.kernel.eval_with_info(xi, ii, &x_new, info_new))
+            .collect();
+        let diag = self
+            .kernel
+            .eval_with_info(&x_new, info_new, &x_new, info_new)
+            + self.noise;
+        match self.chol.extend(&off_diag, diag) {
+            Ok(chol) => {
+                self.x.push(x_new);
+                self.infos.push(info_new);
+                self.y_raw.push(y_new);
+                let (y_mean, y_std) = mean_std(&self.y_raw);
+                let standardised: Vec<f64> =
+                    self.y_raw.iter().map(|v| (v - y_mean) / y_std).collect();
+                let alpha = chol.solve(&standardised);
+                Ok(Gp {
+                    chol,
+                    alpha,
+                    y: standardised,
+                    y_mean,
+                    y_std,
+                    ..self
+                })
+            }
+            Err(_) => {
+                let Gp {
+                    kernel,
+                    noise,
+                    mut x,
+                    mut y_raw,
+                    ..
+                } = self;
+                x.push(x_new);
+                y_raw.push(y_new);
+                Gp::fit(kernel, x, y_raw, noise)
+            }
+        }
     }
 
     /// Fits hyperparameters by minimising the negative log marginal
@@ -174,15 +268,25 @@ where
     }
 
     /// Posterior mean and variance at a test input.
+    ///
+    /// The test point's [`Kernel::self_info`] summary is computed once and
+    /// the training points' summaries are reused from fit time, so a
+    /// normalised string kernel runs one DP per training point here rather
+    /// than three.
     pub fn predict(&self, x_star: &X) -> (f64, f64) {
+        let info_star = self.kernel.self_info(x_star);
         let k_star: Vec<f64> = self
             .x
             .iter()
-            .map(|xi| self.kernel.eval(xi, x_star))
+            .zip(&self.infos)
+            .map(|(xi, &ii)| self.kernel.eval_with_info(xi, ii, x_star, info_star))
             .collect();
         let mean_std: f64 = k_star.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
         let v = self.chol.solve_lower(&k_star);
-        let k_ss = self.kernel.eval(x_star, x_star) + self.noise;
+        let k_ss = self
+            .kernel
+            .eval_with_info(x_star, info_star, x_star, info_star)
+            + self.noise;
         let var_std = (k_ss - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
         (
             mean_std * self.y_std + self.y_mean,
@@ -266,9 +370,8 @@ fn nlml<K, X>(kernel: &K, x: &[X], y: &[f64], noise: f64) -> Option<f64>
 where
     K: Kernel<X>,
 {
-    let gram = Matrix::from_fn(x.len(), x.len(), |i, j| {
-        kernel.eval(&x[i], &x[j]) + if i == j { noise } else { 0.0 }
-    });
+    let infos: Vec<f64> = x.iter().map(|xi| kernel.self_info(xi)).collect();
+    let gram = build_gram(kernel, x, &infos, noise);
     let chol = Cholesky::new(&gram, 1e-9).ok()?;
     let alpha = chol.solve(y);
     Some(0.5 * chol.log_det() + 0.5 * y.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>())
@@ -393,6 +496,64 @@ mod tests {
         // Decays must have stayed in the projected box.
         let p = Kernel::<[u8]>::params(gp.kernel());
         assert!(p.iter().all(|&v| (0.01..=1.0).contains(&v)), "{p:?}");
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_fit() {
+        let (xs, ys) = toy_data();
+        let mut incremental = Gp::fit(
+            SquaredExponential::new(1),
+            xs[..4].to_vec(),
+            ys[..4].to_vec(),
+            1e-6,
+        )
+        .expect("spd");
+        for i in 4..xs.len() {
+            incremental = incremental.extend(xs[i].clone(), ys[i]).expect("extend");
+        }
+        let scratch = Gp::fit(SquaredExponential::new(1), xs.clone(), ys, 1e-6).expect("spd");
+        for probe in [vec![0.25], vec![2.1], vec![7.0]] {
+            let (m_inc, v_inc) = incremental.predict(&probe);
+            let (m_full, v_full) = scratch.predict(&probe);
+            assert!(
+                (m_inc - m_full).abs() < 1e-10,
+                "means diverged: {m_inc} vs {m_full}"
+            );
+            assert!(
+                (v_inc - v_full).abs() < 1e-10,
+                "variances diverged: {v_inc} vs {v_full}"
+            );
+        }
+        assert!((incremental.nlml() - scratch.nlml()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn extend_matches_fit_with_the_string_kernel() {
+        let seqs: Vec<Vec<u8>> = vec![
+            vec![0, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![0, 0, 1, 1],
+            vec![2, 3, 0, 1],
+            vec![1, 1, 1, 1],
+            vec![0, 2, 0, 2],
+        ];
+        let ys: Vec<f64> = (0..seqs.len()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut incremental = Gp::fit(
+            SskKernel::new(3),
+            seqs[..3].to_vec(),
+            ys[..3].to_vec(),
+            1e-4,
+        )
+        .expect("spd");
+        for i in 3..seqs.len() {
+            incremental = incremental.extend(seqs[i].clone(), ys[i]).expect("extend");
+        }
+        let scratch = Gp::fit(SskKernel::new(3), seqs, ys, 1e-4).expect("spd");
+        let probe = vec![0u8, 3, 1, 2];
+        let (m_inc, v_inc) = incremental.predict(&probe);
+        let (m_full, v_full) = scratch.predict(&probe);
+        assert!((m_inc - m_full).abs() < 1e-10);
+        assert!((v_inc - v_full).abs() < 1e-10);
     }
 
     #[test]

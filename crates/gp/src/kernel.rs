@@ -9,6 +9,27 @@ pub trait Kernel<X: ?Sized> {
     /// Evaluates `k(a, b)`.
     fn eval(&self, a: &X, b: &X) -> f64;
 
+    /// A per-point summary that [`Kernel::eval_with_info`] can reuse across
+    /// many evaluations involving the same point — e.g. the raw
+    /// self-similarity `k̃(x, x)` a normalised string kernel divides by.
+    /// Kernels with nothing to cache return `0.0` (the value is opaque to
+    /// callers; it is only ever passed back to the same kernel).
+    ///
+    /// Summaries depend on the hyperparameters: recompute them after
+    /// [`Kernel::set_params`].
+    fn self_info(&self, x: &X) -> f64 {
+        let _ = x;
+        0.0
+    }
+
+    /// Evaluates `k(a, b)` given the points' [`Kernel::self_info`]
+    /// summaries. Must return exactly what [`Kernel::eval`] would; the
+    /// default ignores the summaries and delegates.
+    fn eval_with_info(&self, a: &X, info_a: f64, b: &X, info_b: f64) -> f64 {
+        let _ = (info_a, info_b);
+        self.eval(a, b)
+    }
+
     /// Current hyperparameter vector.
     fn params(&self) -> Vec<f64>;
 
@@ -28,6 +49,14 @@ pub trait Kernel<X: ?Sized> {
 impl<K: Kernel<[f64]>> Kernel<Vec<f64>> for K {
     fn eval(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
         Kernel::<[f64]>::eval(self, a, b)
+    }
+
+    fn self_info(&self, x: &Vec<f64>) -> f64 {
+        Kernel::<[f64]>::self_info(self, x)
+    }
+
+    fn eval_with_info(&self, a: &Vec<f64>, info_a: f64, b: &Vec<f64>, info_b: f64) -> f64 {
+        Kernel::<[f64]>::eval_with_info(self, a, info_a, b, info_b)
     }
 
     fn params(&self) -> Vec<f64> {

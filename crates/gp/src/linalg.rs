@@ -139,6 +139,7 @@ impl std::error::Error for NotPositiveDefiniteError {}
 #[derive(Clone, Debug)]
 pub struct Cholesky {
     l: Matrix,
+    jitter: f64,
 }
 
 impl Cholesky {
@@ -190,12 +191,73 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(Cholesky { l, jitter })
     }
 
     /// The lower-triangular factor.
     pub fn l(&self) -> &Matrix {
         &self.l
+    }
+
+    /// The diagonal jitter that was actually added during factorisation
+    /// (the requested value, escalated ×10 per retry if needed).
+    pub fn effective_jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Extends the factor of an `n×n` matrix `A` to the factor of
+    ///
+    /// ```text
+    /// A' = [ A   b ]
+    ///      [ bᵀ  c ]
+    /// ```
+    ///
+    /// in `O(n²)` instead of refactorising in `O(n³)`. The new row is
+    /// `l = L⁻¹ b`, `d = √(c + jitter − lᵀl)`, using the same effective
+    /// jitter as the original factorisation — so when the extension
+    /// succeeds, the result is bit-identical to factorising `A'` from
+    /// scratch at that jitter (the leading block of a Cholesky factor only
+    /// depends on the leading block of the matrix, and the arithmetic here
+    /// mirrors [`Cholesky::factor`]'s last row exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if the new diagonal pivot is
+    /// non-positive (the caller should fall back to a full factorisation,
+    /// which can escalate jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off_diag.len()` differs from the current dimension.
+    pub fn extend(
+        &self,
+        off_diag: &[f64],
+        diag: f64,
+    ) -> Result<Cholesky, NotPositiveDefiniteError> {
+        let n = self.l.rows();
+        assert_eq!(off_diag.len(), n, "off-diagonal block must have n entries");
+        let row = self.solve_lower(off_diag);
+        let mut pivot = diag + self.jitter;
+        for &v in &row {
+            pivot -= v * v;
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(NotPositiveDefiniteError { pivot: n });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for (j, &v) in row.iter().enumerate() {
+            l[(n, j)] = v;
+        }
+        l[(n, n)] = pivot.sqrt();
+        Ok(Cholesky {
+            l,
+            jitter: self.jitter,
+        })
     }
 
     /// Solves `A x = b` by forward/backward substitution.
@@ -300,6 +362,45 @@ mod tests {
         // Rank-1 matrix: singular, but PSD — jitter makes it PD.
         let a = Matrix::from_fn(3, 3, |_, _| 1.0);
         assert!(Cholesky::new(&a, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn extension_matches_from_scratch_factorisation() {
+        // Build a 5×5 SPD matrix, factor its leading 4×4 block, then
+        // extend by the last row/column and compare against factoring the
+        // whole matrix directly: bit-identical when no jitter retry fires.
+        let b = Matrix::from_fn(5, 5, |i, j| ((i * 5 + j) as f64 * 0.17).sin());
+        let mut a = b.transpose().mul(&b);
+        for i in 0..5 {
+            a[(i, i)] += 2.0;
+        }
+        let leading = Matrix::from_fn(4, 4, |i, j| a[(i, j)]);
+        let off: Vec<f64> = (0..4).map(|i| a[(i, 4)]).collect();
+        let extended = Cholesky::new(&leading, 1e-9)
+            .expect("spd")
+            .extend(&off, a[(4, 4)])
+            .expect("pivot stays positive");
+        let direct = Cholesky::new(&a, 1e-9).expect("spd");
+        for i in 0..5 {
+            for j in 0..=i {
+                assert_eq!(
+                    extended.l()[(i, j)],
+                    direct.l()[(i, j)],
+                    "L[{i},{j}] diverged"
+                );
+            }
+        }
+        assert_eq!(extended.effective_jitter(), direct.effective_jitter());
+    }
+
+    #[test]
+    fn extension_rejects_pivot_breaking_updates() {
+        let a = Matrix::identity(3);
+        let c = Cholesky::new(&a, 0.0).expect("spd");
+        // New column makes the matrix singular: [1,0,0] with diag 1 is the
+        // first basis vector repeated.
+        assert!(c.extend(&[1.0, 0.0, 0.0], 1.0).is_err());
+        assert!(c.extend(&[0.3, 0.2, 0.1], 2.0).is_ok());
     }
 
     #[test]

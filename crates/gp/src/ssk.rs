@@ -11,7 +11,43 @@
 //! geometric prefix-sum dynamic programme; a brute-force enumeration
 //! cross-checks it in the tests (including the paper's Table I).
 
+use std::cell::RefCell;
+
 use crate::kernel::Kernel;
+
+/// Reusable flat DP buffers for [`SskKernel::eval_raw`]. One set per
+/// thread: a kernel evaluation needs three `|s|·|t|` planes, and
+/// allocating them per pair dominated Gram-fill profiles (the DP itself is
+/// a few hundred fused multiply-adds at the paper's `K = 20`).
+#[derive(Debug, Default)]
+struct SskScratch {
+    m_cur: Vec<f64>,
+    m_next: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl SskScratch {
+    fn reserve(&mut self, cells: usize) {
+        if self.m_cur.len() < cells {
+            self.m_cur.resize(cells, 0.0);
+            self.m_next.resize(cells, 0.0);
+            self.prefix.resize(cells, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SskScratch> = RefCell::new(SskScratch::default());
+}
+
+/// `k(s,t) / √(k(s,s)·k(t,t))`, with the degenerate-sequence convention
+/// shared by the cached and uncached normalisation paths.
+fn normalized(raw: f64, ks: f64, kt: f64, same: bool) -> f64 {
+    if ks <= 0.0 || kt <= 0.0 {
+        return if same { 1.0 } else { 0.0 };
+    }
+    raw / (ks * kt).sqrt()
+}
 
 /// The BOiLS sub-sequence string kernel over token sequences (`[u8]`).
 ///
@@ -32,6 +68,11 @@ pub struct SskKernel {
     match_decay: f64,
     gap_decay: f64,
     normalize: bool,
+    /// Whether [`Kernel::self_info`] summaries carry the per-sequence
+    /// self-similarity. `false` recomputes `k̃(s,s)`/`k̃(t,t)` inside every
+    /// pair evaluation — the seed implementation's cost model, kept as a
+    /// benchmarking baseline. Values are bit-identical either way.
+    cache_self_info: bool,
 }
 
 impl SskKernel {
@@ -48,7 +89,17 @@ impl SskKernel {
             match_decay: 0.8,
             gap_decay: 0.5,
             normalize: true,
+            cache_self_info: true,
         }
+    }
+
+    /// Disables per-point self-similarity caching: every pair evaluation
+    /// recomputes both normalisation constants, as the seed implementation
+    /// did (three DP runs per pair instead of one). Purely a benchmarking
+    /// baseline — results are bit-identical.
+    pub fn without_info_caching(mut self) -> SskKernel {
+        self.cache_self_info = false;
+        self
     }
 
     /// Overrides the match and gap decays (both clamped to `[0, 1]` by the
@@ -81,50 +132,101 @@ impl SskKernel {
     }
 
     /// The un-normalised kernel value.
+    ///
+    /// The `O(ℓ·|s|·|t|)` dynamic programme runs on flat per-thread scratch
+    /// buffers (`M[i][j]`: matchings of the current order ending exactly at
+    /// `(i, j)`; `S[i][j]`: geometric 2-D prefix sum of `M`), so repeated
+    /// evaluations — a Gram fill is `O(n²)` of them — allocate nothing. The
+    /// arithmetic order is unchanged from the allocating version, so values
+    /// are bit-identical.
     pub fn eval_raw(&self, s: &[u8], t: &[u8]) -> f64 {
         let (n, m) = (s.len(), t.len());
         if n == 0 || m == 0 {
             return 0.0;
         }
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.reserve(n * m);
+            self.eval_raw_in(s, t, scratch)
+        })
+    }
+
+    fn eval_raw_in(&self, s: &[u8], t: &[u8], scratch: &mut SskScratch) -> f64 {
+        let (n, m) = (s.len(), t.len());
         let tm2 = self.match_decay * self.match_decay;
         let g = self.gap_decay;
-        // M[i][j]: matchings of the current order ending exactly at (i, j).
-        // S[i][j]: geometric 2-D prefix sum of M.
-        let mut m_cur = vec![vec![0.0f64; m]; n];
+        let g2 = g * g;
+        let cells = n * m;
+        let mut m_cur = &mut scratch.m_cur[..cells];
+        let mut m_next = &mut scratch.m_next[..cells];
+        let prefix = &mut scratch.prefix[..cells];
         let mut total = 0.0;
-        for p in 0..self.max_subsequence {
-            if p == 0 {
-                for i in 0..n {
-                    for j in 0..m {
-                        m_cur[i][j] = if s[i] == t[j] { tm2 } else { 0.0 };
-                    }
-                }
-            } else {
-                // Prefix-sum the previous order, then extend matches.
-                let mut prefix = vec![vec![0.0f64; m]; n];
-                for i in 0..n {
-                    for j in 0..m {
-                        let up = if i > 0 { prefix[i - 1][j] } else { 0.0 };
-                        let left = if j > 0 { prefix[i][j - 1] } else { 0.0 };
-                        let diag = if i > 0 && j > 0 {
-                            prefix[i - 1][j - 1]
-                        } else {
-                            0.0
-                        };
-                        prefix[i][j] = m_cur[i][j] + g * up + g * left - g * g * diag;
-                    }
-                }
-                let mut m_next = vec![vec![0.0f64; m]; n];
-                for i in 1..n {
-                    for j in 1..m {
-                        if s[i] == t[j] {
-                            m_next[i][j] = tm2 * prefix[i - 1][j - 1];
-                        }
-                    }
-                }
-                m_cur = m_next;
+        // Order-1 matchings.
+        for (i, &si) in s.iter().enumerate() {
+            let row = &mut m_cur[i * m..(i + 1) * m];
+            for (cell, &tj) in row.iter_mut().zip(t) {
+                *cell = if si == tj { tm2 } else { 0.0 };
             }
-            total += m_cur.iter().flatten().sum::<f64>();
+        }
+        let mut plane: f64 = m_cur.iter().sum();
+        total += plane;
+        for _ in 1..self.max_subsequence {
+            // A zero plane stays zero at every higher order (entries are
+            // non-negative) — common for dissimilar sequences.
+            if plane == 0.0 {
+                break;
+            }
+            // Geometric 2-D prefix sum of the previous order, with the
+            // boundary rows/columns peeled so the interior loop is
+            // branch-free. Each cell evaluates the same expression
+            // `M + g·up + g·left − g²·diag` in the same order as the
+            // reference implementation (edge terms are exact zeros), so
+            // values are bit-identical.
+            {
+                let mut left = 0.0;
+                for j in 0..m {
+                    let v = m_cur[j] + g * left;
+                    prefix[j] = v;
+                    left = v;
+                }
+            }
+            for i in 1..n {
+                let (done, rest) = prefix.split_at_mut(i * m);
+                let prev_row = &done[(i - 1) * m..];
+                let cur_row = &mut rest[..m];
+                let src = &m_cur[i * m..(i + 1) * m];
+                let mut diag = prev_row[0];
+                let mut left = src[0] + g * diag;
+                cur_row[0] = left;
+                for j in 1..m {
+                    let up = prev_row[j];
+                    let v = src[j] + g * up + g * left - g2 * diag;
+                    cur_row[j] = v;
+                    left = v;
+                    diag = up;
+                }
+            }
+            // Extend matches by one token; row 0 and column 0 admit no
+            // extension.
+            plane = 0.0;
+            m_next[..m].fill(0.0);
+            for i in 1..n {
+                let si = s[i];
+                let prev_prefix = &prefix[(i - 1) * m..i * m];
+                let row = &mut m_next[i * m..(i + 1) * m];
+                row[0] = 0.0;
+                for j in 1..m {
+                    let v = if si == t[j] {
+                        tm2 * prev_prefix[j - 1]
+                    } else {
+                        0.0
+                    };
+                    row[j] = v;
+                    plane += v;
+                }
+            }
+            std::mem::swap(&mut m_cur, &mut m_next);
+            total += plane;
         }
         total
     }
@@ -163,6 +265,14 @@ impl Kernel<Vec<u8>> for SskKernel {
         Kernel::<[u8]>::eval(self, a, b)
     }
 
+    fn self_info(&self, x: &Vec<u8>) -> f64 {
+        Kernel::<[u8]>::self_info(self, x)
+    }
+
+    fn eval_with_info(&self, a: &Vec<u8>, info_a: f64, b: &Vec<u8>, info_b: f64) -> f64 {
+        Kernel::<[u8]>::eval_with_info(self, a, info_a, b, info_b)
+    }
+
     fn params(&self) -> Vec<f64> {
         Kernel::<[u8]>::params(self)
     }
@@ -184,10 +294,28 @@ impl Kernel<[u8]> for SskKernel {
         }
         let ka = self.eval_raw(a, a);
         let kb = self.eval_raw(b, b);
-        if ka <= 0.0 || kb <= 0.0 {
-            return if a == b { 1.0 } else { 0.0 };
+        normalized(raw, ka, kb, a == b)
+    }
+
+    /// The raw self-similarity `k̃(x, x)` — the quantity a normalised Gram
+    /// fill recomputes for every pair unless cached per point.
+    fn self_info(&self, x: &[u8]) -> f64 {
+        if self.normalize && self.cache_self_info {
+            self.eval_raw(x, x)
+        } else {
+            0.0
         }
-        raw / (ka * kb).sqrt()
+    }
+
+    fn eval_with_info(&self, a: &[u8], info_a: f64, b: &[u8], info_b: f64) -> f64 {
+        if !self.cache_self_info {
+            return Kernel::<[u8]>::eval(self, a, b);
+        }
+        let raw = self.eval_raw(a, b);
+        if !self.normalize {
+            return raw;
+        }
+        normalized(raw, info_a, info_b, a == b)
     }
 
     fn params(&self) -> Vec<f64> {

@@ -88,6 +88,59 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_extension_matches_full_factorisation(
+        n in 2usize..8,
+        vals in prop::collection::vec(-2.0f64..2.0, 1..64),
+    ) {
+        // Factor the leading (n-1)×(n-1) block of a random SPD matrix,
+        // extend by the last row/column, and compare against factoring
+        // the full matrix directly.
+        let a = spd_from_seed(n, &vals);
+        let leading = Matrix::from_fn(n - 1, n - 1, |i, j| a[(i, j)]);
+        let off: Vec<f64> = (0..n - 1).map(|i| a[(i, n - 1)]).collect();
+        let extended = Cholesky::new(&leading, 1e-9)
+            .expect("spd")
+            .extend(&off, a[(n - 1, n - 1)])
+            .expect("positive pivot");
+        let direct = Cholesky::new(&a, 1e-9).expect("spd");
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert!(
+                    (extended.l()[(i, j)] - direct.l()[(i, j)]).abs() < 1e-10,
+                    "L[{},{}]: {} vs {}", i, j, extended.l()[(i, j)], direct.l()[(i, j)]
+                );
+            }
+        }
+        prop_assert!((extended.log_det() - direct.log_det()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incremental_gp_extension_matches_from_scratch_fit(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..11, 1..8), 3..9),
+        ys in prop::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        // Random sequence Grams under the SSK: growing the GP one
+        // observation at a time must agree with a from-scratch fit to
+        // ≤ 1e-10 in posterior mean, variance, and NLML.
+        let ys = &ys[..seqs.len()];
+        let split = 2;
+        let mut incremental =
+            Gp::fit(SskKernel::new(3), seqs[..split].to_vec(), ys[..split].to_vec(), 1e-4)
+                .expect("spd");
+        for i in split..seqs.len() {
+            incremental = incremental.extend(seqs[i].clone(), ys[i]).expect("extend");
+        }
+        let scratch = Gp::fit(SskKernel::new(3), seqs.clone(), ys.to_vec(), 1e-4).expect("spd");
+        for probe in &seqs {
+            let (m_inc, v_inc) = incremental.predict(probe);
+            let (m_full, v_full) = scratch.predict(probe);
+            prop_assert!((m_inc - m_full).abs() < 1e-10, "mean {m_inc} vs {m_full}");
+            prop_assert!((v_inc - v_full).abs() < 1e-10, "var {v_inc} vs {v_full}");
+        }
+        prop_assert!((incremental.nlml() - scratch.nlml()).abs() < 1e-10);
+    }
+
+    #[test]
     fn ei_is_nonnegative_and_monotone_in_mean(
         mean in -5.0f64..5.0,
         var in 0.0f64..10.0,
