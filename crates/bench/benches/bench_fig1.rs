@@ -20,6 +20,7 @@ fn bench_fig1_pipeline(c: &mut Criterion) {
         methods: vec![Method::Rs, Method::Greedy, Method::Boils],
         bits: None,
         threads: 1,
+        batch_size: 1,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig1_sample_efficiency_report", |bencher| {

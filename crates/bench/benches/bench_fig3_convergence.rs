@@ -18,6 +18,7 @@ fn bench_convergence_pipeline(c: &mut Criterion) {
         methods: vec![Method::Rs, Method::Ga, Method::Boils],
         bits: None,
         threads: 1,
+        batch_size: 1,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig3_convergence_csv", |bencher| {

@@ -22,6 +22,7 @@ fn bench_qor_table_pipeline(c: &mut Criterion) {
                 methods: vec![Method::Rs, Method::Boils],
                 bits: None,
                 threads: 1,
+                batch_size: 1,
             };
             let sweep = Sweep::run(&cfg);
             black_box(qor_table(&sweep, cfg.budget))

@@ -69,7 +69,7 @@ impl BenchArgs {
 
 /// Builds a sweep config from a parsed argument view, reading the common
 /// flags `--budget N --seeds N --multiplier N --k N --bits N --threads N
-/// --circuits a,b --methods rs,boils --paper`.
+/// --batch-size N --circuits a,b --methods rs,boils --paper`.
 pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     let mut cfg = if args.flag("--paper") {
         SweepConfig::paper()
@@ -93,6 +93,9 @@ pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     }
     if let Some(v) = args.parse("--threads") {
         cfg.threads = v;
+    }
+    if let Some(v) = args.parse("--batch-size") {
+        cfg.batch_size = v;
     }
     if let Some(v) = args.value("--circuits") {
         cfg.circuits = v
@@ -165,6 +168,7 @@ mod tests {
             "--multiplier=2",
             "--k=6",
             "--threads=4",
+            "--batch-size=4",
             "--methods",
             "rs,boils",
         ]);
@@ -174,6 +178,7 @@ mod tests {
         assert_eq!(cfg.others_multiplier, 2);
         assert_eq!(cfg.sequence_length, 6);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.batch_size, 4);
         assert_eq!(cfg.methods, vec![Method::Rs, Method::Boils]);
     }
 

@@ -1,4 +1,4 @@
-//! Formatters that turn a [`Sweep`](crate::suite::Sweep) into the paper's
+//! Formatters that turn a [`Sweep`] into the paper's
 //! tables and figure series (printed as markdown/CSV so shapes can be
 //! compared against the paper directly).
 

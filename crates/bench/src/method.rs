@@ -107,6 +107,24 @@ impl Method {
         seed: u64,
         threads: usize,
     ) -> OptimizationResult {
+        self.run_batched(objective, space, budget, seed, threads, 1)
+    }
+
+    /// [`Method::run_threaded`] with a q-EI acquisition batch size for the
+    /// BO methods: BOiLS and SBO propose `batch_size` candidates per
+    /// iteration (constant liar) and evaluate them as one prefix-aware
+    /// parallel batch. The other methods have no acquisition loop to batch
+    /// and ignore the knob (their existing batching — GA generations,
+    /// greedy sweeps, RS designs — already saturates the engine).
+    pub fn run_batched<O: SequenceObjective + RolloutCircuit>(
+        self,
+        objective: &O,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+    ) -> OptimizationResult {
         match self {
             Method::Rs => random_search(objective, space, budget, seed, threads),
             Method::Greedy => greedy(objective, space, budget, threads),
@@ -160,6 +178,7 @@ impl Method {
                     space,
                     seed,
                     threads,
+                    batch_size,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
@@ -175,6 +194,7 @@ impl Method {
                     space,
                     seed,
                     threads,
+                    batch_size,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
@@ -219,6 +239,30 @@ mod tests {
             let budget = if m == Method::Greedy { 22 } else { 12 };
             let r = m.run(&evaluator, space, budget, 0);
             assert_eq!(r.num_evaluations(), budget, "{m}");
+        }
+    }
+
+    #[test]
+    fn batched_bo_methods_respect_the_budget() {
+        let evaluator = boils_core::QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
+        let space = SequenceSpace::new(4, 11);
+        for m in [Method::Sbo, Method::Boils] {
+            let r = m.run_batched(&evaluator, space, 13, 0, 2, 4);
+            assert_eq!(r.num_evaluations(), 13, "{m}");
+        }
+    }
+
+    #[test]
+    fn batch_size_one_matches_run_threaded() {
+        let aig = random_aig(61, 8, 250, 3);
+        let space = SequenceSpace::new(4, 11);
+        for m in [Method::Sbo, Method::Boils] {
+            let a_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
+            let b_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
+            let a = m.run_threaded(&a_eval, space, 12, 1, 1);
+            let b = m.run_batched(&b_eval, space, 12, 1, 1, 1);
+            assert_eq!(a.best_tokens, b.best_tokens, "{m}");
+            assert_eq!(a.best_qor, b.best_qor, "{m}");
         }
     }
 

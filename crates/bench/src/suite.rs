@@ -32,6 +32,10 @@ pub struct SweepConfig {
     /// Worker threads for batched evaluations inside each run (traces are
     /// thread-count invariant; this only changes wall-clock time).
     pub threads: usize,
+    /// q-EI acquisition batch size for the BO methods (constant liar;
+    /// `1` = the paper's sequential protocol). Unlike `threads`, values
+    /// above 1 change the search trajectory.
+    pub batch_size: usize,
 }
 
 impl Default for SweepConfig {
@@ -45,6 +49,7 @@ impl Default for SweepConfig {
             methods: Method::ALL.to_vec(),
             bits: None,
             threads: 1,
+            batch_size: 1,
         }
     }
 }
@@ -150,8 +155,14 @@ impl Sweep {
                 let budget = config.budget_for(method);
                 for seed in 0..config.seeds as u64 {
                     let t0 = std::time::Instant::now();
-                    let result =
-                        method.run_threaded(&evaluator, space, budget, seed, config.threads);
+                    let result = method.run_batched(
+                        &evaluator,
+                        space,
+                        budget,
+                        seed,
+                        config.threads,
+                        config.batch_size,
+                    );
                     let trace: Vec<(f64, usize, u32)> = result
                         .history
                         .iter()

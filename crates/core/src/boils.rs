@@ -4,7 +4,8 @@
 //! centred on the incumbent.
 
 use boils_gp::{
-    expected_improvement, Gp, Kernel, NotPositiveDefiniteError, SskKernel, TrainConfig,
+    expected_improvement, ConstantLiar, Gp, Kernel, NotPositiveDefiniteError, SskKernel,
+    TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,6 +13,10 @@ use rand::{Rng, SeedableRng};
 use crate::eval::{BatchEvaluator, SequenceObjective};
 use crate::result::{EvalRecord, OptimizationResult};
 use crate::space::SequenceSpace;
+
+/// Random resamples the freshness guard tries before falling back to the
+/// deterministic lexicographic sweep.
+const RESAMPLE_GUARD: usize = 32;
 
 /// The acquisition function used in line 8 of Algorithm 2.
 ///
@@ -57,7 +62,33 @@ pub struct BoilsConfig {
     pub acq_steps: usize,
     /// Random Hamming-1 neighbours examined per step.
     pub acq_neighbors: usize,
-    /// Hyperparameters are retrained every this many iterations.
+    /// Candidates proposed and evaluated per BO iteration (`q`).
+    ///
+    /// `1` (the default) is the paper's fully sequential Algorithm 2:
+    /// bit-identical to previous releases whenever the old and new retrain
+    /// pacing coincide — i.e. `initial_samples` is a multiple of
+    /// [`retrain_every`](BoilsConfig::retrain_every) and no trust-region
+    /// restart or dedup-guard exhaustion fires (the retrain-cadence and
+    /// dedup bugfixes intentionally change those trajectories; see
+    /// `retrain_every`). Larger values
+    /// propose `q` candidates per iteration with the **constant-liar**
+    /// heuristic (each accepted candidate's outcome is hallucinated as the
+    /// incumbent on a scratch copy of the GP, EI is re-maximised against
+    /// the lied model, and the lies are discarded before the surrogate sees
+    /// real data) and evaluate them as a single prefix-aware parallel batch
+    /// ([`BatchEvaluator::evaluate_grouped`]). The budget is still spent as
+    /// whole evaluations — the final batch shrinks to the remaining budget
+    /// — and each batch advances the trust-region schedule by one step.
+    pub batch_size: usize,
+    /// Hyperparameters are retrained once this many evaluations accumulate
+    /// since the previous retrain (restart and batch evaluations count),
+    /// and always on the first iteration after the initial design.
+    ///
+    /// Earlier releases tested `history.len() % retrain_every == 0`
+    /// instead, which skips retraining whenever an iteration appends more
+    /// than one record and never fires at all if the initial design is not
+    /// a multiple of `retrain_every` — so runs hitting those cases retrain
+    /// (correctly) on different iterations than they used to.
     pub retrain_every: usize,
     /// Between hyperparameter retrains, extend the previous GP by the new
     /// observations in `O(n²)` ([`Gp::extend`]) instead of refitting from
@@ -97,6 +128,7 @@ impl Default for BoilsConfig {
             acq_restarts: 3,
             acq_steps: 10,
             acq_neighbors: 30,
+            batch_size: 1,
             retrain_every: 5,
             incremental_surrogate: true,
             train: TrainConfig {
@@ -152,6 +184,92 @@ impl From<NotPositiveDefiniteError> for RunBoilsError {
     }
 }
 
+/// Counters describing the most recent [`Boils::run`] / [`Sbo::run`](crate::Sbo::run).
+///
+/// Purely observational — reading them cannot change a trajectory — and
+/// cheap enough to be collected unconditionally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunDiagnostics {
+    /// History lengths at which kernel hyperparameters were retrained
+    /// (always starts with the initial-design size: the first surrogate is
+    /// trained).
+    pub retrains_at: Vec<usize>,
+    /// Acquisition batches proposed (BO loop iterations).
+    pub batches: usize,
+    /// Candidates rescued by the deterministic lexicographic sweep after
+    /// `RESAMPLE_GUARD` (32) random resamples all collided with evaluated
+    /// sequences.
+    pub sweep_rescues: usize,
+    /// Evaluations spent on already-memoised sequences. Non-zero only when
+    /// the space was genuinely exhausted (every sequence evaluated).
+    pub duplicate_evals: usize,
+}
+
+/// Outcome of the freshness guard around one proposed candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FreshOutcome {
+    /// The acquisition's own argmax was fresh.
+    Direct,
+    /// A random resample (inside the trust region, if any) was fresh.
+    Resampled,
+    /// Random resampling kept colliding; the deterministic sweep found a
+    /// fresh sequence.
+    Swept,
+    /// Every sequence in the space is evaluated or pending; the duplicate
+    /// is returned as a last resort.
+    Exhausted,
+}
+
+/// The budget guard shared by BOiLS and SBO: never spend an evaluation on a
+/// sequence the objective has already memoised, or that is already pending
+/// in the current batch — unless the space is genuinely exhausted.
+///
+/// Tries the acquisition's own `candidate` first, then up to
+/// [`RESAMPLE_GUARD`] random resamples (the pre-existing behaviour), and
+/// finally sweeps the space in lexicographic order from the last rejected
+/// candidate ([`SequenceSpace::advance`]). The sweep is deterministic,
+/// consumes no RNG draws, terminates after at most `|cache| + 1` probes
+/// when a fresh sequence exists, and ignores the trust region — a fresh
+/// point anywhere beats re-buying a known value. Only when the sweep wraps
+/// all the way around (every one of the `alphabet^K` sequences is taken)
+/// does it concede and return the duplicate.
+pub(crate) fn fresh_candidate<O, R>(
+    objective: &O,
+    space: &SequenceSpace,
+    trust_region: Option<(&[u8], usize)>,
+    pending: &[Vec<u8>],
+    mut candidate: Vec<u8>,
+    rng: &mut R,
+) -> (Vec<u8>, FreshOutcome)
+where
+    O: SequenceObjective + ?Sized,
+    R: Rng,
+{
+    let taken = |tokens: &[u8]| objective.is_cached(tokens) || pending.iter().any(|p| p == tokens);
+    if !taken(&candidate) {
+        return (candidate, FreshOutcome::Direct);
+    }
+    for _ in 0..RESAMPLE_GUARD {
+        candidate = match trust_region {
+            Some((center, radius)) => space.sample_in_ball(center, radius.max(1), rng),
+            None => space.sample(rng),
+        };
+        if !taken(&candidate) {
+            return (candidate, FreshOutcome::Resampled);
+        }
+    }
+    let mut cursor = candidate.clone();
+    loop {
+        space.advance(&mut cursor);
+        if cursor == candidate {
+            return (candidate, FreshOutcome::Exhausted);
+        }
+        if !taken(&cursor) {
+            return (cursor, FreshOutcome::Swept);
+        }
+    }
+}
+
 /// The BOiLS optimiser (paper Algorithm 2).
 ///
 /// ```no_run
@@ -180,17 +298,26 @@ impl From<NotPositiveDefiniteError> for RunBoilsError {
 #[derive(Clone, Debug)]
 pub struct Boils {
     config: BoilsConfig,
+    diagnostics: RunDiagnostics,
 }
 
 impl Boils {
     /// Creates the optimiser.
     pub fn new(config: BoilsConfig) -> Boils {
-        Boils { config }
+        Boils {
+            config,
+            diagnostics: RunDiagnostics::default(),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &BoilsConfig {
         &self.config
+    }
+
+    /// Counters from the most recent [`Boils::run`] (empty before any run).
+    pub fn diagnostics(&self) -> &RunDiagnostics {
+        &self.diagnostics
     }
 
     /// Runs Algorithm 2 against any [`SequenceObjective`] (typically a
@@ -205,6 +332,7 @@ impl Boils {
         objective: &O,
     ) -> Result<OptimizationResult, RunBoilsError> {
         let cfg = &self.config;
+        self.diagnostics = RunDiagnostics::default();
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
             return Err(RunBoilsError::BudgetTooSmall {
                 budget: cfg.max_evaluations,
@@ -217,7 +345,7 @@ impl Boils {
         let mut history: Vec<EvalRecord> = Vec::with_capacity(cfg.max_evaluations);
 
         // -- Initial design (line 3): Latin hypercube over categories,
-        // deduplicated, then evaluated as one parallel batch.
+        // deduplicated, then evaluated as one prefix-aware parallel batch.
         let mut initial: Vec<Vec<u8>> = Vec::with_capacity(cfg.initial_samples);
         for tokens in space.latin_hypercube(cfg.initial_samples, &mut rng) {
             if initial.len() >= cfg.max_evaluations {
@@ -228,7 +356,7 @@ impl Boils {
             }
             initial.push(tokens);
         }
-        let points = engine.evaluate(objective, &initial);
+        let points = engine.evaluate_grouped(objective, &initial);
         for (tokens, point) in initial.into_iter().zip(points) {
             history.push(EvalRecord { tokens, point });
         }
@@ -250,9 +378,21 @@ impl Boils {
         // cloned from the whole history every loop.
         let mut surrogate: Option<(Gp<SskKernel, Vec<u8>>, usize)> = None;
 
-        // -- Optimisation loop (lines 6-11).
+        // -- Optimisation loop (lines 6-11). Retraining is paced by
+        // evaluations since the last retrain, not by `history.len() %
+        // retrain_every`: a modulo test silently skips retraining whenever
+        // an iteration appends more than one record (a trust-region
+        // restart, or any `batch_size > 1` batch), letting the
+        // hyperparameters go stale for the rest of the run.
+        let mut evals_since_retrain = 0usize;
+        let mut first_iteration = true;
         while history.len() < cfg.max_evaluations {
-            let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1));
+            let retrain = first_iteration || evals_since_retrain >= cfg.retrain_every.max(1);
+            if retrain {
+                evals_since_retrain = 0;
+                self.diagnostics.retrains_at.push(history.len());
+            }
+            first_iteration = false;
             let carried = if cfg.incremental_surrogate && !retrain {
                 surrogate.take()
             } else {
@@ -300,51 +440,84 @@ impl Boils {
                 .map(|r| -r.point.qor)
                 .fold(f64::NEG_INFINITY, f64::max);
 
-            // -- Acquisition maximisation (line 8).
+            // -- Acquisition maximisation (line 8): q candidates via the
+            // constant-liar heuristic. For `q == 1` no lie is ever told
+            // (the liar never clones the GP) and the loop below reduces
+            // exactly to the sequential algorithm.
             let tr = if cfg.use_trust_region {
                 Some((center.tokens.as_slice(), radius))
             } else {
                 None
             };
             let acquisition = cfg.acquisition;
-            let ei = |tokens: &Vec<u8>| {
-                let (mean, var) = gp.predict(tokens);
-                match acquisition {
-                    Acquisition::ExpectedImprovement => expected_improvement(mean, var, incumbent),
-                    Acquisition::UpperConfidenceBound { beta } => mean + beta * var.max(0.0).sqrt(),
-                }
-            };
-            let mut candidate = hill_climb(
-                &space,
-                tr,
-                &ei,
-                cfg.acq_restarts,
-                cfg.acq_steps,
-                cfg.acq_neighbors,
-                &mut rng,
-            );
-            // Never waste budget on an already-evaluated sequence.
-            let mut guard = 0;
-            while objective.is_cached(&candidate) && guard < 32 {
-                candidate = match tr {
-                    Some((c, r)) => space.sample_in_ball(c, r.max(1), &mut rng),
-                    None => space.sample(&mut rng),
+            let q = cfg
+                .batch_size
+                .max(1)
+                .min(cfg.max_evaluations - history.len());
+            let mut liar = ConstantLiar::new(&gp, incumbent);
+            let mut batch: Vec<Vec<u8>> = Vec::with_capacity(q);
+            for proposed in 0..q {
+                let model = liar.model();
+                let ei = |tokens: &Vec<u8>| {
+                    let (mean, var) = model.predict(tokens);
+                    match acquisition {
+                        Acquisition::ExpectedImprovement => {
+                            expected_improvement(mean, var, incumbent)
+                        }
+                        Acquisition::UpperConfidenceBound { beta } => {
+                            mean + beta * var.max(0.0).sqrt()
+                        }
+                    }
                 };
-                guard += 1;
+                let candidate = hill_climb(
+                    &space,
+                    tr,
+                    &ei,
+                    cfg.acq_restarts,
+                    cfg.acq_steps,
+                    cfg.acq_neighbors,
+                    &mut rng,
+                );
+                // Never waste budget on an already-evaluated sequence (or a
+                // within-batch duplicate).
+                let (candidate, outcome) =
+                    fresh_candidate(objective, &space, tr, &batch, candidate, &mut rng);
+                match outcome {
+                    FreshOutcome::Swept => self.diagnostics.sweep_rescues += 1,
+                    FreshOutcome::Exhausted => self.diagnostics.duplicate_evals += 1,
+                    FreshOutcome::Direct | FreshOutcome::Resampled => {}
+                }
+                if proposed + 1 < q {
+                    // A failed lie leaves the scratch model at the base GP;
+                    // the freshness guard still keeps proposals distinct.
+                    let _ = liar.accept(candidate.clone());
+                }
+                batch.push(candidate);
             }
+            self.diagnostics.batches += 1;
 
-            // -- Evaluate and update data (line 9): the acquisition batch
-            // (size 1 here; larger once q-EI lands) goes through the engine.
-            let point = engine.evaluate(objective, std::slice::from_ref(&candidate))[0];
-            let improved = point.qor < center.point.qor;
-            history.push(EvalRecord {
-                tokens: candidate,
-                point,
-            });
+            // -- Evaluate and update data (line 9): the whole batch goes
+            // through the engine as one prefix-aware parallel evaluation;
+            // the constant-liar fantasies above are discarded (`liar` holds
+            // them, `gp` was never touched).
+            let points = engine.evaluate_grouped(objective, &batch);
+            let batch_start = history.len();
+            for (tokens, point) in batch.into_iter().zip(points) {
+                history.push(EvalRecord { tokens, point });
+            }
+            evals_since_retrain += history.len() - batch_start;
 
-            // -- Trust-region schedule (line 10).
+            // -- Trust-region schedule (line 10): the batch is one
+            // acquisition decision, so it advances the success/failure
+            // schedule by one step, judged on its best point.
+            let best_new = history[batch_start..]
+                .iter()
+                .min_by(|a, b| a.point.qor.partial_cmp(&b.point.qor).expect("finite QoR"))
+                .expect("non-empty batch")
+                .clone();
+            let improved = best_new.point.qor < center.point.qor;
             if improved {
-                center = history.last().expect("just pushed").clone();
+                center = best_new;
                 successes += 1;
                 failures = 0;
                 if successes >= cfg.success_tolerance {
@@ -361,19 +534,19 @@ impl Boils {
             }
             if radius == 0 {
                 // Restart: fresh region around a random point (evaluated,
-                // so it counts against the budget).
+                // so it counts against the budget — and routed through the
+                // engine like every other evaluation, so accounting and
+                // instrumentation see it).
                 radius = space.length();
                 successes = 0;
                 failures = 0;
                 if history.len() < cfg.max_evaluations {
                     let tokens = space.sample(&mut rng);
                     if !objective.is_cached(&tokens) {
-                        let point = objective.evaluate_tokens(&tokens);
-                        history.push(EvalRecord {
-                            tokens: tokens.clone(),
-                            point,
-                        });
+                        let point = engine.evaluate(objective, std::slice::from_ref(&tokens))[0];
+                        history.push(EvalRecord { tokens, point });
                         center = history.last().expect("just pushed").clone();
+                        evals_since_retrain += 1;
                     }
                 }
             }
@@ -510,6 +683,89 @@ mod tests {
         });
         let r = boils.run(&evaluator).expect("run");
         assert_eq!(r.num_evaluations(), 10);
+    }
+
+    /// An objective whose memo cache claims to hold *everything* except a
+    /// single needle sequence.
+    struct AllButOne {
+        needle: Vec<u8>,
+    }
+
+    impl crate::eval::SequenceObjective for AllButOne {
+        fn evaluate_tokens(&self, tokens: &[u8]) -> crate::QorPoint {
+            crate::QorPoint {
+                qor: 2.0,
+                area: tokens.len(),
+                delay: 1,
+            }
+        }
+
+        fn lookup(&self, tokens: &[u8]) -> Option<crate::QorPoint> {
+            (tokens != self.needle.as_slice()).then(|| self.evaluate_tokens(tokens))
+        }
+
+        fn is_cached(&self, tokens: &[u8]) -> bool {
+            tokens != self.needle.as_slice()
+        }
+
+        fn num_evaluations(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn fresh_candidate_sweeps_to_the_only_uncached_sequence() {
+        // One fresh sequence among 11^6 ≈ 1.8M: the 32 random resamples
+        // cannot realistically find it, so only the deterministic
+        // lexicographic sweep can — and must.
+        let space = SequenceSpace::new(6, 11);
+        let needle = vec![4u8, 9, 0, 2, 7, 1];
+        let objective = AllButOne {
+            needle: needle.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let start = vec![10u8; 6];
+        let (found, outcome) = fresh_candidate(&objective, &space, None, &[], start, &mut rng);
+        assert_eq!(found, needle);
+        assert_eq!(outcome, FreshOutcome::Swept);
+    }
+
+    #[test]
+    fn fresh_candidate_reports_exhaustion_when_the_batch_holds_the_last_point() {
+        // The needle is already pending in the current batch: nothing in
+        // the space is available, so the guard concedes with `Exhausted`
+        // and hands back the (duplicate) acquisition candidate.
+        let space = SequenceSpace::new(2, 2);
+        let needle = vec![1u8, 0];
+        let objective = AllButOne {
+            needle: needle.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let pending = vec![needle];
+        let (found, outcome) =
+            fresh_candidate(&objective, &space, None, &pending, vec![0, 0], &mut rng);
+        assert_eq!(outcome, FreshOutcome::Exhausted);
+        assert!(objective.is_cached(&found) || pending.contains(&found));
+    }
+
+    #[test]
+    fn fresh_candidate_accepts_a_fresh_argmax_without_touching_the_rng() {
+        let space = SequenceSpace::new(6, 11);
+        let needle = vec![4u8, 9, 0, 2, 7, 1];
+        let objective = AllButOne {
+            needle: needle.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let (found, outcome) =
+            fresh_candidate(&objective, &space, None, &[], needle.clone(), &mut rng);
+        assert_eq!(found, needle);
+        assert_eq!(outcome, FreshOutcome::Direct);
+        let mut untouched = StdRng::seed_from_u64(8);
+        assert_eq!(
+            rng.gen_range(0..1_000_000usize),
+            untouched.gen_range(0..1_000_000usize),
+            "a fresh argmax must not consume RNG draws"
+        );
     }
 
     #[test]

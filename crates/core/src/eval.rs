@@ -15,7 +15,10 @@
 //!   `std::thread::scope` workers with deterministic results: outputs are
 //!   returned in input order, within-batch duplicates are computed once,
 //!   and the unique-evaluation count (the paper's sample-efficiency
-//!   x-axis) is independent of the thread count.
+//!   x-axis) is independent of the thread count. The
+//!   [`evaluate_grouped`](BatchEvaluator::evaluate_grouped) path
+//!   additionally schedules shared-prefix candidates onto the same worker
+//!   so intra-batch prefix-cache reuse is guaranteed rather than racy.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,7 +72,7 @@ pub(crate) fn shard_index(key: &[u8], shards: usize) -> usize {
 
 /// A thread-safe memoisation table for sequence evaluations.
 ///
-/// Keys are token sequences; the map is split into [`SHARD_COUNT`] shards,
+/// Keys are token sequences; the map is split into `SHARD_COUNT` shards,
 /// each behind its own `RwLock`, selected by a deterministic FNV-1a hash of
 /// the key (deliberately not the per-instance-seeded std hasher, so shard
 /// assignment — and therefore lock interleaving — is reproducible).
@@ -204,6 +207,43 @@ impl BatchEvaluator {
         objective: &O,
         batch: &[Vec<u8>],
     ) -> Vec<QorPoint> {
+        self.run_batch(objective, batch, false)
+    }
+
+    /// [`BatchEvaluator::evaluate`] with **prefix-aware scheduling**: the
+    /// pending (not-yet-memoised) sequences are sorted lexicographically
+    /// and each worker receives one contiguous run of that order, which it
+    /// evaluates in sorted order.
+    ///
+    /// Candidates sharing a token prefix are lexicographic neighbours, so
+    /// a shared-prefix run lands on one worker (at most `threads − 1` runs
+    /// straddle a chunk boundary) and is evaluated back-to-back — by the
+    /// time the later candidate runs, the earlier one has already published
+    /// its intermediate AIGs to the evaluator's prefix cache
+    /// ([`crate::prefix::PrefixCache`]). Under [`BatchEvaluator::evaluate`]
+    /// the same two candidates may land on different workers, where the
+    /// prefix hit depends on a race (whichever worker finishes first
+    /// inserts); here the intra-batch hit is guaranteed.
+    ///
+    /// Everything observable is unchanged: results come back in input
+    /// order, values are bit-identical to [`BatchEvaluator::evaluate`]
+    /// (evaluation is a pure function of the tokens), and the objective's
+    /// unique-evaluation count advances identically. Only wall-clock time
+    /// and [`prefix_stats`](crate::QorEvaluator::prefix_stats) can differ.
+    pub fn evaluate_grouped<O: SequenceObjective + ?Sized>(
+        &self,
+        objective: &O,
+        batch: &[Vec<u8>],
+    ) -> Vec<QorPoint> {
+        self.run_batch(objective, batch, true)
+    }
+
+    fn run_batch<O: SequenceObjective + ?Sized>(
+        &self,
+        objective: &O,
+        batch: &[Vec<u8>],
+        prefix_aware: bool,
+    ) -> Vec<QorPoint> {
         // Map each batch position onto its first occurrence so duplicate
         // candidates are computed once (exactly what a serial loop's cache
         // would do, minus the redundant probes).
@@ -226,7 +266,15 @@ impl BatchEvaluator {
             .iter()
             .map(|tokens| objective.lookup(tokens))
             .collect();
-        let pending: Vec<usize> = (0..unique.len()).filter(|&i| points[i].is_none()).collect();
+        let mut pending: Vec<usize> = (0..unique.len()).filter(|&i| points[i].is_none()).collect();
+        if prefix_aware {
+            // Lexicographic order clusters shared prefixes contiguously;
+            // workers take contiguous chunks below, and evaluate them in
+            // this order, so intra-chunk prefix reuse is sequential (the
+            // earlier candidate's intermediates are cached before the later
+            // candidate needs them) instead of racy.
+            pending.sort_by_key(|&i| unique[i]);
+        }
 
         let workers = self.threads.min(pending.len());
         if workers <= 1 {
@@ -386,6 +434,48 @@ mod tests {
         let points = BatchEvaluator::new(8).evaluate(&objective, &[]);
         assert!(points.is_empty());
         assert_eq!(objective.num_evaluations(), 0);
+        assert!(BatchEvaluator::new(8)
+            .evaluate_grouped(&objective, &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn grouped_agrees_pointwise_with_evaluate_at_any_thread_count() {
+        // Prefix-aware scheduling reorders *work*, never results: for the
+        // same batch it must return the same input-ordered points and
+        // advance the unique-evaluation count identically.
+        let mut batch = batch_of(37);
+        batch.extend(batch_of(11)); // within-batch duplicates
+        batch.reverse(); // far from lexicographic order
+        for threads in [1, 2, 3, 8, 64] {
+            let plain = FakeObjective::default();
+            let grouped = FakeObjective::default();
+            let a = BatchEvaluator::new(threads).evaluate(&plain, &batch);
+            let b = BatchEvaluator::new(threads).evaluate_grouped(&grouped, &batch);
+            assert_eq!(a, b, "threads = {threads}");
+            assert_eq!(
+                plain.num_evaluations(),
+                grouped.num_evaluations(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_skips_memoised_sequences_too() {
+        let objective = FakeObjective::default();
+        let engine = BatchEvaluator::new(4);
+        engine.evaluate_grouped(&objective, &batch_of(12));
+        assert_eq!(objective.num_evaluations(), 12);
+        let again = engine.evaluate_grouped(&objective, &batch_of(12));
+        assert_eq!(objective.num_evaluations(), 12);
+        assert_eq!(
+            again,
+            batch_of(12)
+                .iter()
+                .map(|t| fake_point(t))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

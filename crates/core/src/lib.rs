@@ -42,7 +42,7 @@ mod result;
 mod sbo;
 mod space;
 
-pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError};
+pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError, RunDiagnostics};
 pub use crate::eval::{BatchEvaluator, SequenceObjective, ShardedCache};
 pub use crate::prefix::{PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
 pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};

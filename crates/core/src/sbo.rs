@@ -3,11 +3,11 @@
 //! exponential kernel instead of the SSK, and no trust region — isolating
 //! the contribution of the sequence-aware machinery.
 
-use boils_gp::{expected_improvement, Gp, TrainConfig};
+use boils_gp::{expected_improvement, ConstantLiar, Gp, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::boils::hill_climb;
+use crate::boils::{fresh_candidate, hill_climb, FreshOutcome, RunDiagnostics};
 use crate::eval::{BatchEvaluator, SequenceObjective};
 use crate::result::{EvalRecord, OptimizationResult};
 use crate::space::SequenceSpace;
@@ -27,7 +27,14 @@ pub struct SboConfig {
     pub acq_steps: usize,
     /// Neighbours per hill-climbing step.
     pub acq_neighbors: usize,
-    /// Hyperparameter retraining period.
+    /// Candidates proposed and evaluated per BO iteration (`q`), via the
+    /// constant-liar heuristic for `q > 1` — see
+    /// [`BoilsConfig::batch_size`](crate::BoilsConfig::batch_size),
+    /// including when the `q = 1` default reproduces earlier releases
+    /// bit-for-bit (the retrain-cadence fix moves some retrains).
+    pub batch_size: usize,
+    /// Hyperparameters are retrained once this many evaluations accumulate
+    /// since the previous retrain (batch evaluations count individually).
     pub retrain_every: usize,
     /// Between retrains, extend the previous GP by the new observations in
     /// `O(n²)` instead of refitting from scratch (see
@@ -53,6 +60,7 @@ impl Default for SboConfig {
             acq_restarts: 3,
             acq_steps: 10,
             acq_neighbors: 30,
+            batch_size: 1,
             retrain_every: 5,
             incremental_surrogate: true,
             train: TrainConfig {
@@ -70,18 +78,27 @@ impl Default for SboConfig {
 ///
 /// Sequences are embedded one-hot into `R^{K·n}`; a single isotropic
 /// lengthscale keeps hyperparameter training tractable at this
-/// dimensionality (the paper's SBO uses the HEBO library [25]; the
+/// dimensionality (the paper's SBO uses the HEBO library \[25\]; the
 /// qualitative behaviour — a competent but sequence-blind surrogate — is
 /// what matters for the comparison).
 #[derive(Clone, Debug)]
 pub struct Sbo {
     config: SboConfig,
+    diagnostics: RunDiagnostics,
 }
 
 impl Sbo {
     /// Creates the optimiser.
     pub fn new(config: SboConfig) -> Sbo {
-        Sbo { config }
+        Sbo {
+            config,
+            diagnostics: RunDiagnostics::default(),
+        }
+    }
+
+    /// Counters from the most recent [`Sbo::run`] (empty before any run).
+    pub fn diagnostics(&self) -> &RunDiagnostics {
+        &self.diagnostics
     }
 
     /// Runs standard BO against any [`SequenceObjective`].
@@ -95,6 +112,7 @@ impl Sbo {
         objective: &O,
     ) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
         let cfg = &self.config;
+        self.diagnostics = RunDiagnostics::default();
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
             return Err(crate::boils::RunBoilsError::BudgetTooSmall {
                 budget: cfg.max_evaluations,
@@ -115,7 +133,7 @@ impl Sbo {
             }
             initial.push(tokens);
         }
-        let points = engine.evaluate(objective, &initial);
+        let points = engine.evaluate_grouped(objective, &initial);
         for (tokens, point) in initial.into_iter().zip(points) {
             history.push(EvalRecord { tokens, point });
         }
@@ -125,8 +143,18 @@ impl Sbo {
         // by new observations on non-retrain iterations instead of
         // rebuilding the one-hot design matrix and refitting from scratch.
         let mut surrogate: Option<(Gp<IsotropicSe, Vec<f64>>, usize)> = None;
+        // Evaluations-since-retrain pacing, as in `Boils::run` (a modulo
+        // test on the history length skips retrains once iterations append
+        // more than one record).
+        let mut evals_since_retrain = 0usize;
+        let mut first_iteration = true;
         while history.len() < cfg.max_evaluations {
-            let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1));
+            let retrain = first_iteration || evals_since_retrain >= cfg.retrain_every.max(1);
+            if retrain {
+                evals_since_retrain = 0;
+                self.diagnostics.retrains_at.push(history.len());
+            }
+            first_iteration = false;
             let carried = if cfg.incremental_surrogate && !retrain {
                 surrogate.take()
             } else {
@@ -163,30 +191,50 @@ impl Sbo {
                 .iter()
                 .map(|r| -r.point.qor)
                 .fold(f64::NEG_INFINITY, f64::max);
-            let ei = |tokens: &Vec<u8>| {
-                let x = one_hot(tokens, space.alphabet());
-                let (mean, var) = gp.predict(&x);
-                expected_improvement(mean, var, incumbent)
-            };
-            let mut candidate = hill_climb(
-                &space,
-                None,
-                &ei,
-                cfg.acq_restarts,
-                cfg.acq_steps,
-                cfg.acq_neighbors,
-                &mut rng,
-            );
-            let mut guard = 0;
-            while objective.is_cached(&candidate) && guard < 32 {
-                candidate = space.sample(&mut rng);
-                guard += 1;
+            // Constant-liar batch proposal (no lie is told for `q == 1`;
+            // the lies live on the one-hot embeddings, matching the
+            // surrogate's input space, and are discarded with `liar`).
+            let q = cfg
+                .batch_size
+                .max(1)
+                .min(cfg.max_evaluations - history.len());
+            let mut liar = ConstantLiar::new(&gp, incumbent);
+            let mut batch: Vec<Vec<u8>> = Vec::with_capacity(q);
+            for proposed in 0..q {
+                let model = liar.model();
+                let ei = |tokens: &Vec<u8>| {
+                    let x = one_hot(tokens, space.alphabet());
+                    let (mean, var) = model.predict(&x);
+                    expected_improvement(mean, var, incumbent)
+                };
+                let candidate = hill_climb(
+                    &space,
+                    None,
+                    &ei,
+                    cfg.acq_restarts,
+                    cfg.acq_steps,
+                    cfg.acq_neighbors,
+                    &mut rng,
+                );
+                let (candidate, outcome) =
+                    fresh_candidate(objective, &space, None, &batch, candidate, &mut rng);
+                match outcome {
+                    FreshOutcome::Swept => self.diagnostics.sweep_rescues += 1,
+                    FreshOutcome::Exhausted => self.diagnostics.duplicate_evals += 1,
+                    FreshOutcome::Direct | FreshOutcome::Resampled => {}
+                }
+                if proposed + 1 < q {
+                    let _ = liar.accept(one_hot(&candidate, space.alphabet()));
+                }
+                batch.push(candidate);
             }
-            let point = engine.evaluate(objective, std::slice::from_ref(&candidate))[0];
-            history.push(EvalRecord {
-                tokens: candidate,
-                point,
-            });
+            self.diagnostics.batches += 1;
+            let points = engine.evaluate_grouped(objective, &batch);
+            let batch_start = history.len();
+            for (tokens, point) in batch.into_iter().zip(points) {
+                history.push(EvalRecord { tokens, point });
+            }
+            evals_since_retrain += history.len() - batch_start;
             if cfg.incremental_surrogate {
                 surrogate = Some((gp, fitted));
             }

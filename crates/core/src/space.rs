@@ -81,11 +81,15 @@ impl SequenceSpace {
         a.iter().zip(b).filter(|(x, y)| x != y).count()
     }
 
-    /// Draws a random sequence within Hamming distance `radius` of `center`
-    /// (distance ≥ 1 when `radius ≥ 1`).
+    /// Draws a random sequence within Hamming distance `radius` of `center`,
+    /// at distance ≥ 1 whenever `radius ≥ 1` **and** the alphabet has at
+    /// least two symbols. A one-symbol space contains exactly one sequence,
+    /// so the distance contract is vacuous there and the centre is returned
+    /// unchanged (same behaviour as [`SequenceSpace::random_neighbor_into`],
+    /// and without consuming any RNG draws).
     pub fn sample_in_ball<R: Rng>(&self, center: &[u8], radius: usize, rng: &mut R) -> Vec<u8> {
         let mut out = center.to_vec();
-        if radius == 0 {
+        if radius == 0 || self.alphabet < 2 {
             return out;
         }
         let flips = rng.gen_range(1..=radius.min(self.length));
@@ -96,17 +100,21 @@ impl SequenceSpace {
             positions.swap(i, j);
         }
         for &pos in positions.iter().take(flips) {
+            // A uniform draw over the alphabet minus the current symbol:
+            // sample one of the `alphabet − 1` others and shift past `old`.
             let old = out[pos];
-            let mut new = rng.gen_range(0..self.alphabet.max(2) - 1) as u8;
+            let mut new = rng.gen_range(0..self.alphabet - 1) as u8;
             if new >= old {
                 new += 1;
             }
-            out[pos] = new.min(self.alphabet as u8 - 1);
+            out[pos] = new;
         }
         out
     }
 
-    /// One uniformly random Hamming-1 neighbour of `seq`.
+    /// One uniformly random Hamming-1 neighbour of `seq`. A one-symbol
+    /// space has no Hamming-1 neighbours, so `seq` itself is returned (see
+    /// [`SequenceSpace::sample_in_ball`] for the same contract).
     pub fn random_neighbor<R: Rng>(&self, seq: &[u8], rng: &mut R) -> Vec<u8> {
         let mut out = Vec::new();
         self.random_neighbor_into(seq, &mut out, rng);
@@ -116,7 +124,9 @@ impl SequenceSpace {
     /// Writes a uniformly random Hamming-1 neighbour of `seq` into `out`,
     /// reusing its allocation — the allocation-free form for inner loops
     /// that probe thousands of neighbours (acquisition hill climbing).
-    /// Consumes exactly the same RNG draws as [`SequenceSpace::random_neighbor`].
+    /// Consumes exactly the same RNG draws as [`SequenceSpace::random_neighbor`];
+    /// for a one-symbol alphabet `out` is a copy of `seq` (no neighbour
+    /// exists at distance 1).
     pub fn random_neighbor_into<R: Rng>(&self, seq: &[u8], out: &mut Vec<u8>, rng: &mut R) {
         out.clear();
         out.extend_from_slice(seq);
@@ -128,6 +138,33 @@ impl SequenceSpace {
                 new += 1;
             }
             out[pos] = new;
+        }
+    }
+
+    /// Advances `tokens` to its lexicographic successor in the space,
+    /// wrapping from the all-max sequence back to all-zeros (an odometer in
+    /// base `alphabet`). Starting anywhere and advancing repeatedly visits
+    /// every one of the `alphabet^length` sequences exactly once before
+    /// returning to the start — the deterministic sweep the optimisers fall
+    /// back to when random resampling cannot find an unevaluated candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` has the wrong length; debug builds also reject
+    /// out-of-alphabet symbols (a cursor outside the space would break the
+    /// exactly-once cycle that exhaustion detection relies on).
+    pub fn advance(&self, tokens: &mut [u8]) {
+        assert_eq!(tokens.len(), self.length, "sequence from a different space");
+        debug_assert!(
+            tokens.iter().all(|&t| (t as usize) < self.alphabet),
+            "sequence outside the alphabet"
+        );
+        for t in tokens.iter_mut().rev() {
+            if (*t as usize) + 1 < self.alphabet {
+                *t += 1;
+                return;
+            }
+            *t = 0;
         }
     }
 
@@ -220,6 +257,91 @@ mod tests {
             let n = s.random_neighbor(&seq, &mut rng);
             assert_eq!(s.hamming(&seq, &n), 1);
         }
+    }
+
+    #[test]
+    fn ball_sampling_in_a_one_symbol_space_returns_the_centre() {
+        // `alphabet == 1` has a single point: the distance-≥-1 contract is
+        // vacuous and the centre must come back unchanged (and without
+        // consuming RNG draws, so callers stay deterministic).
+        let s = SequenceSpace::new(5, 1);
+        let center = vec![0u8; 5];
+        let mut rng = StdRng::seed_from_u64(4);
+        for radius in [1usize, 3, 5] {
+            assert_eq!(s.sample_in_ball(&center, radius, &mut rng), center);
+        }
+        let mut untouched = StdRng::seed_from_u64(4);
+        assert_eq!(
+            rng.gen_range(0..1_000_000usize),
+            untouched.gen_range(0..1_000_000usize),
+            "sample_in_ball consumed RNG draws in a one-symbol space"
+        );
+    }
+
+    #[test]
+    fn ball_sampling_keeps_its_distance_contract_for_a_binary_alphabet() {
+        // The smallest alphabet where distance ≥ 1 is satisfiable: every
+        // flip must toggle the bit (there is exactly one other symbol).
+        let s = SequenceSpace::new(6, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let center = s.sample(&mut rng);
+        for radius in 1..=6 {
+            for _ in 0..50 {
+                let p = s.sample_in_ball(&center, radius, &mut rng);
+                let d = s.hamming(&center, &p);
+                assert!((1..=radius).contains(&d), "distance {d} vs radius {radius}");
+                assert!(p.iter().all(|&t| t < 2));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_in_tiny_alphabets() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // alphabet 1: no Hamming-1 neighbour exists; the input comes back.
+        let s1 = SequenceSpace::new(4, 1);
+        let seq = vec![0u8; 4];
+        assert_eq!(s1.random_neighbor(&seq, &mut rng), seq);
+        // alphabet 2: the neighbour always toggles exactly one position.
+        let s2 = SequenceSpace::new(4, 2);
+        let seq = s2.sample(&mut rng);
+        for _ in 0..50 {
+            let n = s2.random_neighbor(&seq, &mut rng);
+            assert_eq!(s2.hamming(&seq, &n), 1);
+            assert!(n.iter().all(|&t| t < 2));
+        }
+    }
+
+    #[test]
+    fn advance_visits_every_sequence_exactly_once() {
+        let s = SequenceSpace::new(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = vec![1u8, 2, 0];
+        let start = cur.clone();
+        loop {
+            assert!(seen.insert(cur.clone()), "revisited {cur:?}");
+            s.advance(&mut cur);
+            if cur == start {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 27, "odometer must cover the whole space");
+    }
+
+    #[test]
+    fn advance_wraps_and_handles_a_one_symbol_space() {
+        let s = SequenceSpace::new(4, 11);
+        let mut cur = vec![10u8, 10, 10, 10];
+        s.advance(&mut cur);
+        assert_eq!(cur, vec![0, 0, 0, 0]);
+        s.advance(&mut cur);
+        assert_eq!(cur, vec![0, 0, 0, 1]);
+        // A one-symbol space wraps immediately: its only sequence succeeds
+        // itself.
+        let s1 = SequenceSpace::new(3, 1);
+        let mut only = vec![0u8; 3];
+        s1.advance(&mut only);
+        assert_eq!(only, vec![0, 0, 0]);
     }
 
     #[test]

@@ -142,6 +142,54 @@ proptest! {
         // Unique-evaluation accounting matches a serial evaluation loop.
         prop_assert_eq!(batched.num_evaluations(), pointwise.num_evaluations());
     }
+
+    #[test]
+    fn grouped_evaluation_agrees_with_plain_evaluation(
+        seed in 0u64..100,
+        batch in prop::collection::vec(prop::collection::vec(0u8..11, 0..6), 1..12),
+        threads in 1usize..9,
+    ) {
+        // Prefix-aware scheduling reorders work across workers; values,
+        // input ordering and unique-evaluation accounting must not move.
+        let aig = random_aig(seed + 20_000, 8, 250, 3);
+        let Ok(grouped) = QorEvaluator::new(&aig) else { return Ok(()); };
+        let plain = QorEvaluator::new(&aig).expect("same circuit");
+        let engine = BatchEvaluator::new(threads);
+        let a = engine.evaluate_grouped(&grouped, &batch);
+        let b = engine.evaluate(&plain, &batch);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(grouped.num_evaluations(), plain.num_evaluations());
+    }
+
+    #[test]
+    fn batched_acquisition_never_duplicates_within_the_budget(
+        seed in 0u64..40,
+        batch_size in 2usize..5,
+    ) {
+        // In a space far larger than the budget, every evaluation of a
+        // batched run must be unique — across batches and within them.
+        let aig = random_aig(seed + 5000, 8, 300, 3);
+        let Ok(evaluator) = QorEvaluator::new(&aig) else { return Ok(()); };
+        let mut boils = Boils::new(BoilsConfig {
+            max_evaluations: 12,
+            initial_samples: 4,
+            space: SequenceSpace::new(5, 11),
+            acq_restarts: 2,
+            acq_steps: 3,
+            acq_neighbors: 8,
+            batch_size,
+            train: TrainConfig { steps: 3, ..TrainConfig::default() },
+            seed,
+            ..BoilsConfig::default()
+        });
+        let r = boils.run(&evaluator).expect("run");
+        prop_assert_eq!(r.num_evaluations(), 12);
+        prop_assert_eq!(evaluator.num_evaluations(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for record in &r.history {
+            prop_assert!(seen.insert(record.tokens.clone()), "duplicate {:?}", record.tokens);
+        }
+    }
 }
 
 #[test]

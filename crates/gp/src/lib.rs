@@ -6,7 +6,9 @@
 //! (with the Table I semantics, validated against brute force), a
 //! [squared-exponential kernel](SquaredExponential) for the SBO baseline,
 //! projected-Adam hyperparameter training (paper Eq. 4) and the
-//! [expected-improvement](expected_improvement) acquisition.
+//! [expected-improvement](expected_improvement) acquisition, plus the
+//! batched q-EI machinery ([`ConstantLiar`] fantasy models and a
+//! [Monte-Carlo q-EI estimate](qei_monte_carlo)).
 //!
 //! ## Example
 //!
@@ -29,10 +31,12 @@ mod acquisition;
 mod gp;
 mod kernel;
 mod linalg;
+mod qei;
 mod ssk;
 
 pub use crate::acquisition::{erf, expected_improvement, normal_cdf, normal_pdf};
 pub use crate::gp::{sample_gaussian, standard_normal, Gp, TrainConfig};
 pub use crate::kernel::{Kernel, SquaredExponential};
 pub use crate::linalg::{Cholesky, Matrix, NotPositiveDefiniteError};
+pub use crate::qei::{qei_monte_carlo, ConstantLiar};
 pub use crate::ssk::SskKernel;

@@ -218,7 +218,7 @@ impl Cholesky {
     /// succeeds, the result is bit-identical to factorising `A'` from
     /// scratch at that jitter (the leading block of a Cholesky factor only
     /// depends on the leading block of the matrix, and the arithmetic here
-    /// mirrors [`Cholesky::factor`]'s last row exactly).
+    /// mirrors `Cholesky::factor`'s last row exactly).
     ///
     /// # Errors
     ///

@@ -6,7 +6,7 @@
 //! boils synth    --input mult.aag --ops "balance;rewrite;fraig" --output opt.aag
 //! boils map      --input opt.aag [--lut-size 6]
 //! boils check    --golden mult.aag --revised opt.aag
-//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8]
+//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4]
 //! ```
 //!
 //! Flags may be written `--flag value` or `--flag=value`.
@@ -120,7 +120,7 @@ fn print_help() {
          \x20 check     --golden <file> --revised <file>\n\
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
          \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
-         \x20           [--threads N]\n\n\
+         \x20           [--threads N] [--batch-size Q]\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
 }
@@ -254,6 +254,7 @@ fn optimize(args: &Args) -> Result<(), String> {
     let k: usize = args.parse_or("k", 20)?;
     let seed: u64 = args.parse_or("seed", 0)?;
     let threads: usize = args.parse_or("threads", 1)?;
+    let batch_size: usize = args.parse_or("batch-size", 1)?;
     let method = args.get("method").unwrap_or("boils");
     let space = SequenceSpace::new(k, 11);
     let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
@@ -266,6 +267,7 @@ fn optimize(args: &Args) -> Result<(), String> {
             initial_samples: init,
             space,
             threads,
+            batch_size,
             seed,
             ..BoilsConfig::default()
         })
@@ -276,6 +278,7 @@ fn optimize(args: &Args) -> Result<(), String> {
             initial_samples: init,
             space,
             threads,
+            batch_size,
             seed,
             ..SboConfig::default()
         })

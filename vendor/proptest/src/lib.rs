@@ -165,7 +165,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`]: a subset of proptest's `SizeRange`.
+    /// A size specification for [`vec()`]: a subset of proptest's `SizeRange`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
