@@ -560,6 +560,27 @@ impl Aig {
         }
     }
 
+    /// A deterministic 64-bit hash of the graph's structure: input count,
+    /// every AND gate's fanin literals in arena order, and the output
+    /// drivers. Structurally identical AIGs (up to the name, which is
+    /// excluded) always hash equally; distinct structures collide only
+    /// with the ~2⁻⁶⁴ probability a 64-bit hash allows. The hash is
+    /// stable across processes and platforms, so it can key persistent
+    /// caches — see `boils_core::prefix::PersistentPrefixStore`.
+    pub fn content_hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(16 * (self.num_ands() + self.pos.len() + 2));
+        bytes.extend_from_slice(&(self.num_pis as u64).to_le_bytes());
+        for var in self.ands() {
+            bytes.extend_from_slice(&u64::from(self.nodes[var].fanin0.raw()).to_le_bytes());
+            bytes.extend_from_slice(&u64::from(self.nodes[var].fanin1.raw()).to_le_bytes());
+        }
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // gates/outputs separator
+        for po in &self.pos {
+            bytes.extend_from_slice(&u64::from(po.raw()).to_le_bytes());
+        }
+        crate::splitmix64(crate::fnv1a64(&bytes))
+    }
+
     /// Collects the transitive fanin cone of `roots` (indices of all AND
     /// gates and inputs feeding them), in topological order.
     pub fn cone(&self, roots: &[usize]) -> Vec<usize> {
@@ -800,6 +821,26 @@ mod tests {
             aig.check(),
             Err(CheckAigError::DuplicateAnd { .. })
         ));
+    }
+
+    #[test]
+    fn content_hash_tracks_structure_not_name() {
+        let mut a = Aig::new(2);
+        let (x, y) = (a.pi(0), a.pi(1));
+        let g = a.and(x, y);
+        a.add_po(g);
+        let mut b = a.clone();
+        b.set_name("renamed");
+        assert_eq!(a.content_hash(), b.content_hash());
+        // A complemented output is a different circuit.
+        let mut c = a.clone();
+        c.set_po(0, !g);
+        assert_ne!(a.content_hash(), c.content_hash());
+        // An extra gate is a different circuit.
+        let mut d = a.clone();
+        let h = d.or(x, y);
+        d.add_po(h);
+        assert_ne!(a.content_hash(), d.content_hash());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The workspace's one deterministic hash primitive.
+//!
+//! Everything that needs a process- and platform-stable hash — structural
+//! [content hashes](crate::Aig::content_hash), the evaluation engine's
+//! shard selection, the persistent store's entry checksums — builds on
+//! this pair, so the constants live in exactly one place. None of it is
+//! cryptographic: these guard against accidents (truncation, bit rot,
+//! unlucky bucketing), not adversaries.
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The SplitMix64 finaliser. FNV's low bits are weak on short keys;
+/// follow [`fnv1a64`] with this when the hash is reduced modulo a small
+/// number (shard counts, table sizes).
+pub fn splitmix64(mut hash: u64) -> u64 {
+    hash = (hash ^ (hash >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    hash ^ (hash >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn finaliser_spreads_low_bits() {
+        // Keys differing only in high bits must land in different low
+        // bits after finalising (the property shard selection needs).
+        let a = splitmix64(1u64 << 60);
+        let b = splitmix64(1u64 << 61);
+        assert_ne!(a & 0xFF, b & 0xFF);
+    }
+}

@@ -33,10 +33,12 @@ mod aig;
 mod aiger;
 mod error;
 mod export;
+mod hash;
 mod lit;
 mod random;
 
 pub use crate::aig::{input_pattern, Aig};
 pub use crate::error::{CheckAigError, ParseAagError};
+pub use crate::hash::{fnv1a64, splitmix64};
 pub use crate::lit::Lit;
 pub use crate::random::random_aig;

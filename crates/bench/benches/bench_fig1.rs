@@ -21,6 +21,7 @@ fn bench_fig1_pipeline(c: &mut Criterion) {
         bits: None,
         threads: 1,
         batch_size: 1,
+        cache_dir: None,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig1_sample_efficiency_report", |bencher| {

@@ -23,6 +23,7 @@ fn bench_qor_table_pipeline(c: &mut Criterion) {
                 bits: None,
                 threads: 1,
                 batch_size: 1,
+                cache_dir: None,
             };
             let sweep = Sweep::run(&cfg);
             black_box(qor_table(&sweep, cfg.budget))

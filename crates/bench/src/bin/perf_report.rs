@@ -2,8 +2,9 @@
 //! evaluation throughput (prefix cache on/off), end-to-end optimiser
 //! wall-clock (greedy sweep and a default-config BOiLS run, with and
 //! without the incremental machinery), GP fit latency (from-scratch vs
-//! incremental extension) and batched q-EI acquisition (q = 1 vs
-//! `--batch-size`), then writes `BENCH_eval.json`.
+//! incremental extension), batched q-EI acquisition (q = 1 vs
+//! `--batch-size`) and the persistent prefix store (cold vs warm
+//! process), then writes `BENCH_eval.json`.
 //!
 //! This is the repo's perf trajectory: every entry also re-checks the
 //! accelerated path against its baseline — bit-identical where the
@@ -72,6 +73,7 @@ fn main() {
     sections.push(boils_section(&aig, smoke));
     sections.push(gp_fit_section(smoke));
     sections.push(qei_section(&aig, threads, smoke, batch_size));
+    sections.push(persist_section(&aig, smoke));
 
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
@@ -308,6 +310,78 @@ fn qei_section(aig: &boils_aig::Aig, threads: usize, smoke: bool, batch_size: us
         q1.best_qor,
         qn.best_qor,
         budget
+    )
+}
+
+/// The persistent prefix store, cold vs warm: a greedy sweep is run by a
+/// "cold" evaluator writing through to an empty store directory, then by
+/// a fresh "warm" evaluator over the same directory — exactly what a
+/// second sweep process (another seed, another method, a restart) sees.
+/// The warm run must be bit-identical and demonstrably served off disk;
+/// the speedup is the cross-process synthesis reuse the store exists for.
+fn persist_section(aig: &boils_aig::Aig, smoke: bool) -> String {
+    let k = if smoke { 6 } else { 20 };
+    let space = SequenceSpace::new(k, 11);
+    let budget = k * space.alphabet();
+    let dir = std::env::temp_dir().join(format!("boils-perf-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_eval = QorEvaluator::new(aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir is writable");
+    let start = Instant::now();
+    let cold_run = greedy(&cold_eval, space, budget, 1);
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let cold_stats = cold_eval.prefix_stats();
+    drop(cold_eval);
+
+    let warm_eval = QorEvaluator::new(aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir is writable");
+    let start = Instant::now();
+    let warm_run = greedy(&warm_eval, space, budget, 1);
+    let warm_seconds = start.elapsed().as_secs_f64();
+    let warm_stats = warm_eval.prefix_stats();
+
+    assert_eq!(
+        cold_run.best_tokens, warm_run.best_tokens,
+        "warm store changed the search"
+    );
+    assert_eq!(cold_run.best_qor.to_bits(), warm_run.best_qor.to_bits());
+    assert!(
+        warm_stats.disk_hits > 0,
+        "warm run never touched the disk tier"
+    );
+    assert_eq!(warm_stats.disk_corrupt_dropped, 0);
+    let entries = warm_eval.persistent_store().expect("store attached").len();
+    let bytes = warm_eval
+        .persistent_store()
+        .expect("store attached")
+        .total_bytes();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold_seconds / warm_seconds;
+    eprintln!(
+        "  persistent store (greedy K={k}, budget {budget}): cold {cold_seconds:.3}s \
+         ({} writes) vs warm {warm_seconds:.3}s ({} disk hits) — {speedup:.2}x",
+        cold_stats.disk_writes, warm_stats.disk_hits
+    );
+    format!(
+        "  \"persist\": {{\"k\": {}, \"budget\": {}, \"cold_seconds\": {:.6}, \
+         \"warm_seconds\": {:.6}, \"speedup\": {:.3}, \"cold_disk_writes\": {}, \
+         \"warm_disk_hits\": {}, \"entries\": {}, \"store_bytes\": {}, \
+         \"bit_identical\": true}}",
+        k,
+        budget,
+        cold_seconds,
+        warm_seconds,
+        speedup,
+        cold_stats.disk_writes,
+        warm_stats.disk_hits,
+        entries,
+        bytes
     )
 }
 

@@ -4,7 +4,7 @@
 //! horizon), and persists raw traces as CSV.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use boils_circuits::{Benchmark, CircuitSpec};
 use boils_core::{QorEvaluator, SequenceSpace};
@@ -36,6 +36,12 @@ pub struct SweepConfig {
     /// `1` = the paper's sequential protocol). Unlike `threads`, values
     /// above 1 change the search trajectory.
     pub batch_size: usize,
+    /// Directory for the disk-backed prefix store shared by every run of
+    /// the sweep (and by concurrent or later sweep *processes* pointed at
+    /// the same directory). `None` keeps all caching in memory. Like
+    /// `threads`, this only changes wall-clock time: traces are
+    /// bit-identical with the store cold, warm, or absent.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -50,6 +56,7 @@ impl Default for SweepConfig {
             bits: None,
             threads: 1,
             batch_size: 1,
+            cache_dir: None,
         }
     }
 }
@@ -149,8 +156,16 @@ impl Sweep {
             let aig = spec.build();
             // One evaluator per circuit: its sharded memo cache is shared
             // across every method and seed on that circuit, so a sequence
-            // synthesised once is never recomputed by a later method.
+            // synthesised once is never recomputed by a later method. With
+            // a cache directory, the prefix store extends that sharing
+            // across sweep *processes* (other seeds, methods, restarts).
             let evaluator = QorEvaluator::new(&aig).expect("benchmark circuits are non-trivial");
+            let evaluator = match &config.cache_dir {
+                Some(dir) => evaluator.with_persistent_store(dir).unwrap_or_else(|e| {
+                    panic!("--cache-dir {}: {e}", dir.display());
+                }),
+                None => evaluator,
+            };
             for &method in &config.methods {
                 let budget = config.budget_for(method);
                 for seed in 0..config.seeds as u64 {
@@ -183,6 +198,16 @@ impl Sweep {
                         trace,
                     });
                 }
+            }
+            if config.cache_dir.is_some() {
+                let stats = evaluator.prefix_stats();
+                eprintln!(
+                    "[sweep] {:<10} persistent store: {} disk hits, {} writes, {} corrupt dropped",
+                    circuit.name(),
+                    stats.disk_hits,
+                    stats.disk_writes,
+                    stats.disk_corrupt_dropped
+                );
             }
         }
         Sweep { runs }

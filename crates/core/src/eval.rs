@@ -59,15 +59,53 @@ const SHARD_COUNT: usize = 16;
 /// by the value cache here and the prefix cache
 /// ([`crate::prefix::PrefixCache`]).
 pub(crate) fn shard_index(key: &[u8], shards: usize) -> usize {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in key {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    (boils_aig::splitmix64(boils_aig::fnv1a64(key)) as usize) % shards
+}
+
+/// Length of the longest common token prefix of two sequences.
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Worker-chunk ranges over `seqs` (which must be sorted
+/// lexicographically), snapped to minimal-common-prefix positions.
+///
+/// Equal-size splits of the sorted order can cut a shared-prefix run in
+/// two, sending its halves to different workers and losing the
+/// intra-batch prefix reuse [`BatchEvaluator::evaluate_grouped`] exists
+/// to guarantee. Each boundary therefore slides — within half a chunk of
+/// its equal-split target, so no worker's share more than doubles — to
+/// the adjacent pair with the *shortest* common prefix (ties broken
+/// toward the equal split). A boundary between sequences sharing no
+/// prefix costs nothing; one inside a run costs the run's shared passes.
+pub(crate) fn prefix_chunk_ranges(seqs: &[&[u8]], workers: usize) -> Vec<std::ops::Range<usize>> {
+    let n = seqs.len();
+    let workers = workers.clamp(1, n.max(1));
+    let chunk = n.div_ceil(workers);
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0usize);
+    for k in 1..workers {
+        let target = k * chunk;
+        if target >= n {
+            break;
+        }
+        let prev = *bounds.last().expect("bounds start non-empty");
+        let slack = chunk / 2;
+        let lo = target.saturating_sub(slack).max(prev + 1);
+        let hi = (target + slack).min(n - 1);
+        let mut best = target;
+        let mut best_key = (usize::MAX, usize::MAX);
+        for p in lo..=hi {
+            let key = (common_prefix_len(seqs[p - 1], seqs[p]), p.abs_diff(target));
+            if key < best_key {
+                best = p;
+                best_key = key;
+            }
+        }
+        bounds.push(best);
     }
-    hash = (hash ^ (hash >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    hash ^= hash >> 31;
-    (hash as usize) % shards
+    bounds.push(n);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
 }
 
 /// A thread-safe memoisation table for sequence evaluations.
@@ -286,13 +324,25 @@ impl BatchEvaluator {
             // returns (unique index, point) pairs; joining in spawn order
             // keeps the merge deterministic (not that it matters for
             // values — evaluation is pure — but it keeps accounting and
-            // instrumentation reproducible too).
-            let chunk_len = pending.len().div_ceil(workers);
+            // instrumentation reproducible too). Prefix-aware scheduling
+            // additionally snaps chunk boundaries to minimal-common-prefix
+            // positions so a shared-prefix run never straddles workers.
+            let ranges: Vec<std::ops::Range<usize>> = if prefix_aware {
+                let seqs: Vec<&[u8]> = pending.iter().map(|&i| unique[i]).collect();
+                prefix_chunk_ranges(&seqs, workers)
+            } else {
+                let chunk_len = pending.len().div_ceil(workers);
+                (0..pending.len())
+                    .step_by(chunk_len)
+                    .map(|start| start..(start + chunk_len).min(pending.len()))
+                    .collect()
+            };
             let unique = &unique;
             let computed: Vec<(usize, QorPoint)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = pending
-                    .chunks(chunk_len)
-                    .map(|ids| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| {
+                        let ids = &pending[range];
                         scope.spawn(move || {
                             ids.iter()
                                 .map(|&i| (i, objective.evaluate_tokens(unique[i])))
@@ -476,6 +526,88 @@ mod tests {
                 .map(|t| fake_point(t))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn chunk_boundaries_snap_to_group_edges() {
+        // Eight groups of four sequences; within a group everything shares
+        // a 3-token prefix, across groups nothing is shared. The equal
+        // split at 4 workers (chunk 8) happens to land on group edges, so
+        // use 3 workers (chunk 11), whose naive boundaries at 11 and 22
+        // would cut groups 2 and 5 mid-run.
+        let mut seqs: Vec<Vec<u8>> = Vec::new();
+        for group in 0..8u8 {
+            for variant in 0..4u8 {
+                seqs.push(vec![group, group, group, variant]);
+            }
+        }
+        let views: Vec<&[u8]> = seqs.iter().map(Vec::as_slice).collect();
+        let ranges = prefix_chunk_ranges(&views, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges.first().expect("non-empty").start, 0);
+        assert_eq!(ranges.last().expect("non-empty").end, seqs.len());
+        for window in ranges.windows(2) {
+            let boundary = window[0].end;
+            assert_eq!(boundary, window[1].start, "ranges must be contiguous");
+            assert_eq!(
+                boundary % 4,
+                0,
+                "boundary {boundary} splits a shared-prefix group"
+            );
+            assert_eq!(
+                common_prefix_len(views[boundary - 1], views[boundary]),
+                0,
+                "boundary {boundary} sits inside a shared-prefix run"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_every_index_exactly_once() {
+        // Adversarial shapes: group sizes that never divide the chunk
+        // length, more workers than items, one item, empty input.
+        for (n, workers) in [(37usize, 5usize), (3, 8), (1, 4), (16, 1), (25, 4)] {
+            let seqs: Vec<Vec<u8>> = (0..n).map(|i| vec![(i / 3) as u8, i as u8]).collect();
+            let views: Vec<&[u8]> = seqs.iter().map(Vec::as_slice).collect();
+            let ranges = prefix_chunk_ranges(&views, workers);
+            let mut covered = Vec::new();
+            for r in &ranges {
+                assert!(!r.is_empty(), "empty chunk for n={n} workers={workers}");
+                covered.extend(r.clone());
+            }
+            assert_eq!(
+                covered,
+                (0..n).collect::<Vec<_>>(),
+                "n={n} workers={workers}"
+            );
+            assert!(ranges.len() <= workers.max(1));
+        }
+        // Empty input: whatever comes back must cover nothing.
+        assert!(prefix_chunk_ranges(&[], 4).iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn snapped_scheduling_keeps_values_and_accounting() {
+        // Shared-prefix groups deliberately misaligned with the equal
+        // split: grouped evaluation must return identical points and an
+        // identical unique-evaluation count at every thread count.
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        for group in 0..5u8 {
+            for variant in 0..7u8 {
+                batch.push(vec![group, 9, group, variant]);
+            }
+        }
+        let expected: Vec<QorPoint> = batch.iter().map(|t| fake_point(t)).collect();
+        for threads in [1, 2, 3, 4, 16] {
+            let objective = FakeObjective::default();
+            let got = BatchEvaluator::new(threads).evaluate_grouped(&objective, &batch);
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(
+                objective.num_evaluations(),
+                batch.len(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -44,7 +44,10 @@ mod space;
 
 pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError, RunDiagnostics};
 pub use crate::eval::{BatchEvaluator, SequenceObjective, ShardedCache};
-pub use crate::prefix::{PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
+pub use crate::prefix::{
+    PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PERSIST_BYTE_BUDGET,
+    DEFAULT_PREFIX_CAPACITY,
+};
 pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};
 pub use crate::result::{EvalRecord, OptimizationResult};
 pub use crate::sbo::{one_hot, IsotropicSe, Sbo, SboConfig};

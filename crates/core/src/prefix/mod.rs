@@ -17,12 +17,23 @@
 //! AIG, so resuming from a cached intermediate yields bit-identical
 //! results to a full replay — at any thread count, with the cache on or
 //! off.
+//!
+//! A second, disk-backed tier — [`PersistentPrefixStore`] — survives the
+//! evaluator: intermediate AIGs are serialised as binary AIGER keyed by
+//! (circuit content hash, token prefix), so sweeps over seeds and methods
+//! on the same circuit reuse synthesis work across *processes*. Lookups
+//! consult memory first, then disk; the same bit-identity guarantee holds
+//! with the store on, off, or pre-warmed by a different process.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use boils_aig::Aig;
+
+mod store;
+
+pub use store::{PersistentPrefixStore, DEFAULT_PERSIST_BYTE_BUDGET};
 
 /// Number of lock shards (same rationale as the value cache: synthesis
 /// passes dwarf a cache probe, the shards just keep writers apart).
@@ -44,6 +55,16 @@ pub struct PrefixStats {
     pub passes_saved: usize,
     /// Entries evicted to respect the capacity bound.
     pub evictions: usize,
+    /// Evaluations that resumed from a prefix restored off disk (the
+    /// [`PersistentPrefixStore`] tier); zero when no store is attached.
+    pub disk_hits: usize,
+    /// Intermediate AIGs newly serialised to the persistent store.
+    pub disk_writes: usize,
+    /// Persistent entries dropped because they failed validation
+    /// (truncated, checksum mismatch, wrong key, unparsable).
+    pub disk_corrupt_dropped: usize,
+    /// Persistent entries evicted to respect the store's byte budget.
+    pub disk_evictions: usize,
 }
 
 #[derive(Debug)]
@@ -171,6 +192,7 @@ impl PrefixCache {
             passes_applied: self.passes_applied.load(Ordering::Relaxed),
             passes_saved: self.passes_saved.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            ..PrefixStats::default()
         }
     }
 

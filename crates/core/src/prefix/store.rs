@@ -1,0 +1,577 @@
+//! Disk-backed prefix store: the cross-process tier of the prefix cache.
+//!
+//! Every intermediate AIG reached while replaying a synthesis sequence is
+//! serialised to a directory as binary AIGER, keyed by (content hash of
+//! the base circuit, token-prefix bytes). A `boils-bench` sweep runs the
+//! same circuit through many methods, seeds and *processes*; the in-memory
+//! [`PrefixCache`](super::PrefixCache) dies with each evaluator, but this
+//! store lets every later run — warm restarts, other seeds, other methods,
+//! other processes — resume from work any earlier run already did.
+//!
+//! Design constraints, in order:
+//!
+//! * **Never trusted blindly.** Each entry file carries a self-describing
+//!   header (magic, circuit hash, prefix, payload length, checksum); any
+//!   mismatch — truncation, bit rot, a foreign file, a half-written entry
+//!   from a crashed process — drops the entry and falls back to
+//!   recomputation. A bad cache can cost time, never correctness.
+//! * **Crash- and concurrency-safe writes.** Entries are written to a
+//!   process-unique temporary file and atomically renamed into place, so
+//!   readers (in this or any other process) only ever observe complete
+//!   entries. Racing writers of the same prefix produce identical bytes
+//!   (the transform pipeline is deterministic), so either rename winning
+//!   is correct.
+//! * **Bounded.** A byte budget (default 256 MiB) is enforced by evicting
+//!   the least-recently-stamped entries. The `index.tsv` file persists
+//!   sizes and stamps across runs; it is advisory — stale lines (files
+//!   meanwhile evicted by another process) are dropped on load, and
+//!   entry files missing from the index are adopted from a directory scan.
+//!
+//! Restoring an entry yields an AIG **structurally identical** to the one
+//! that was written (the binary AIGER codec is round-trip stable, property
+//! tested in `crates/aig/tests/prop.rs`), so every transform applied on
+//! top of a restored intermediate is bit-identical to a from-scratch
+//! replay — the invariant `crates/core/tests/persist.rs` additionally
+//! proves by SAT-mitering restored intermediates against fresh syntheses.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use boils_aig::Aig;
+
+use super::PrefixStats;
+
+/// Default byte budget: generous enough to keep every intermediate of a
+/// paper-scale sweep on one circuit (≈ 4 000 prefixes × ~10 KiB each)
+/// resident many times over, while bounding unattended cache directories.
+pub const DEFAULT_PERSIST_BYTE_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// Magic tag opening every entry file (versioned: bump on layout change).
+const ENTRY_MAGIC: &str = "bps1";
+
+/// Name of the advisory index file inside the store directory.
+const INDEX_FILE: &str = "index.tsv";
+
+/// Mutable state: the in-memory mirror of the on-disk index.
+#[derive(Debug, Default)]
+struct Index {
+    /// Entry file name → (payload bytes on disk, last-touch stamp).
+    entries: HashMap<String, (u64, u64)>,
+    /// Logical clock; starts above the largest stamp found on load.
+    clock: u64,
+    /// Sum of all entry sizes (maintained incrementally).
+    total_bytes: u64,
+}
+
+/// A disk-backed store of intermediate AIGs keyed by token prefix.
+///
+/// One store instance serves one base circuit (identified by
+/// [`Aig::content_hash`]); several evaluators — in this process or others —
+/// may point at the same directory concurrently, including for different
+/// circuits (the circuit hash is part of every entry's key).
+#[derive(Debug)]
+pub struct PersistentPrefixStore {
+    dir: PathBuf,
+    circuit_hash: u64,
+    byte_budget: u64,
+    index: Mutex<Index>,
+    disk_hits: AtomicUsize,
+    disk_writes: AtomicUsize,
+    corrupt_dropped: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl PersistentPrefixStore {
+    /// Opens (creating if necessary) a store directory for a circuit with
+    /// the given content hash and the default byte budget.
+    ///
+    /// Loading is tolerant by construction: malformed index lines and
+    /// index entries whose file has meanwhile disappeared are dropped, and
+    /// entry files the index does not know about are adopted from a
+    /// directory scan.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory cannot be created or scanned; a corrupt
+    /// or stale index is recovered from, not reported.
+    pub fn open(dir: impl AsRef<Path>, circuit_hash: u64) -> io::Result<PersistentPrefixStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut index = Index::default();
+        // Advisory stamps from the index file (sizes are re-checked below).
+        let mut stamps: HashMap<String, u64> = HashMap::new();
+        if let Ok(text) = fs::read_to_string(dir.join(INDEX_FILE)) {
+            for line in text.lines() {
+                let mut fields = line.split('\t');
+                let (Some(name), Some(_bytes), Some(stamp)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
+                    continue; // malformed line: ignore
+                };
+                if let Ok(stamp) = stamp.parse::<u64>() {
+                    stamps.insert(name.to_string(), stamp);
+                }
+            }
+        }
+        // The directory is the source of truth: adopt every entry file,
+        // with its index stamp when known (stale index lines simply find
+        // no file and vanish; unknown files get stamp 0 = oldest).
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // Litter from a crashed writer. Only sweep tempfiles that
+                // are demonstrably old — a concurrent process's in-flight
+                // tempfile is seconds old and must not be yanked out from
+                // under its rename.
+                let stale = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age.as_secs() > 3600);
+                if stale {
+                    let _ = fs::remove_file(entry.path());
+                }
+                continue;
+            }
+            if !name.ends_with(".aig") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            // saturating: a garbage index may carry stamp u64::MAX.
+            let stamp = stamps.get(&name).copied().unwrap_or(0);
+            index.clock = index.clock.max(stamp.saturating_add(1));
+            index.total_bytes += meta.len();
+            index.entries.insert(name, (meta.len(), stamp));
+        }
+        // Deliberately no budget enforcement here: a caller raising the
+        // cap via `with_byte_budget` must get a chance to do so before
+        // any pre-existing (possibly larger) contents are evicted. The
+        // budget is applied on the first write instead.
+        Ok(PersistentPrefixStore {
+            dir,
+            circuit_hash,
+            byte_budget: DEFAULT_PERSIST_BYTE_BUDGET,
+            index: Mutex::new(index),
+            disk_hits: AtomicUsize::new(0),
+            disk_writes: AtomicUsize::new(0),
+            corrupt_dropped: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        })
+    }
+
+    /// Opens a store keyed for `base` (see [`PersistentPrefixStore::open`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/scan failures.
+    pub fn open_for(dir: impl AsRef<Path>, base: &Aig) -> io::Result<PersistentPrefixStore> {
+        PersistentPrefixStore::open(dir, base.content_hash())
+    }
+
+    /// Caps the store at `bytes` of entry payload, evicting immediately if
+    /// the current contents exceed the new budget.
+    pub fn with_byte_budget(mut self, bytes: u64) -> PersistentPrefixStore {
+        self.byte_budget = bytes;
+        self.enforce_budget();
+        self
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content hash of the circuit this store instance serves.
+    pub fn circuit_hash(&self) -> u64 {
+        self.circuit_hash
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget
+    }
+
+    /// Number of entries this instance currently believes are on disk.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("store index lock").entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entry bytes this instance currently believes are on disk.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.lock().expect("store index lock").total_bytes
+    }
+
+    /// Entry file name for a prefix under this store's circuit.
+    fn entry_name(&self, prefix: &[u8]) -> String {
+        let mut name = format!("{:016x}-", self.circuit_hash);
+        for &token in prefix {
+            write!(name, "{token:02x}").expect("writing to a String cannot fail");
+        }
+        name.push_str(".aig");
+        name
+    }
+
+    /// The longest stored prefix of `tokens` strictly longer than `floor`,
+    /// as `(prefix_length, restored_aig)`.
+    ///
+    /// Probes from the full length down (a cheap metadata check per
+    /// length; the file is read and validated only on the first hit);
+    /// entries that fail validation are dropped and probing continues
+    /// with the next shorter prefix.
+    pub fn longest_prefix(&self, tokens: &[u8], floor: usize) -> Option<(usize, Aig)> {
+        for len in ((floor + 1)..=tokens.len()).rev() {
+            if let Some(aig) = self.load(&tokens[..len]) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((len, aig));
+            }
+        }
+        None
+    }
+
+    /// Loads and validates one entry, without hit accounting. Returns
+    /// `None` — after dropping the entry — on any validation failure.
+    pub fn load(&self, prefix: &[u8]) -> Option<Aig> {
+        let name = self.entry_name(prefix);
+        let path = self.dir.join(&name);
+        // Fast path: most probe lengths have no entry at all. A racing
+        // eviction between this check and the read behaves like a miss.
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // The file may have been evicted by another process while
+                // our index still lists it; reconcile lazily.
+                self.forget(&name);
+                return None;
+            }
+        };
+        match self.decode(prefix, &bytes) {
+            Some(aig) => {
+                self.touch(&name, bytes.len() as u64);
+                Some(aig)
+            }
+            None => {
+                // Truncated, bit-rotted, foreign, or stale-format: drop it
+                // so the next probe does not pay the read again.
+                self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                self.forget(&name);
+                None
+            }
+        }
+    }
+
+    /// Serialises the intermediate reached after `prefix`, unless an entry
+    /// for it already exists. Failures to write are silently ignored — the
+    /// store is an accelerator, and a full disk must not fail evaluation.
+    pub fn store(&self, prefix: &[u8], aig: &Aig) {
+        let name = self.entry_name(prefix);
+        {
+            let index = self.index.lock().expect("store index lock");
+            if index.entries.contains_key(&name) {
+                return;
+            }
+        }
+        let path = self.dir.join(&name);
+        if path.exists() {
+            // Another process wrote it since our index was loaded; adopt.
+            if let Ok(meta) = fs::metadata(&path) {
+                self.touch(&name, meta.len());
+            }
+            return;
+        }
+        let bytes = self.encode(prefix, aig);
+        // Tempfile + rename: the process id and logical clock make the
+        // temporary name unique among concurrent writers, and the rename
+        // is atomic, so no reader ever sees a partial entry.
+        let stamp = {
+            let mut index = self.index.lock().expect("store index lock");
+            index.clock += 1;
+            index.clock
+        };
+        let tmp = self
+            .dir
+            .join(format!(".{}.{}.{}.tmp", std::process::id(), stamp, name));
+        if fs::write(&tmp, &bytes).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        let writes = self.disk_writes.fetch_add(1, Ordering::Relaxed) + 1;
+        self.touch(&name, bytes.len() as u64);
+        self.enforce_budget();
+        // The index file is advisory (the directory scan on open adopts
+        // unlisted entries), so amortise its rewrite across entry writes;
+        // `Drop` persists the final state.
+        if writes.is_multiple_of(32) {
+            self.persist_index();
+        }
+    }
+
+    /// Folds this store's counters into an evaluator-level stats snapshot.
+    pub(crate) fn merge_into(&self, stats: &mut PrefixStats) {
+        stats.disk_hits += self.disk_hits.load(Ordering::Relaxed);
+        stats.disk_writes += self.disk_writes.load(Ordering::Relaxed);
+        stats.disk_corrupt_dropped += self.corrupt_dropped.load(Ordering::Relaxed);
+        stats.disk_evictions += self.evictions.load(Ordering::Relaxed);
+    }
+
+    /// This store's own counters as a stats snapshot (disk fields only).
+    pub fn stats(&self) -> PrefixStats {
+        let mut stats = PrefixStats::default();
+        self.merge_into(&mut stats);
+        stats
+    }
+
+    /// Entry payload: a one-line self-describing header followed by the
+    /// binary AIGER serialisation of the intermediate AIG.
+    fn encode(&self, prefix: &[u8], aig: &Aig) -> Vec<u8> {
+        let mut payload = Vec::new();
+        aig.write_aig_binary(&mut payload)
+            .expect("in-memory write cannot fail");
+        let mut out = Vec::with_capacity(payload.len() + 96);
+        let mut header = format!("{ENTRY_MAGIC} {:016x} ", self.circuit_hash);
+        for &token in prefix {
+            write!(header, "{token:02x}").expect("writing to a String cannot fail");
+        }
+        write!(
+            header,
+            " {} {:016x}",
+            payload.len(),
+            boils_aig::fnv1a64(&payload)
+        )
+        .expect("writing to a String cannot fail");
+        header.push('\n');
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Validates and parses one entry's bytes. `None` means "do not trust
+    /// this entry" — the caller drops it.
+    fn decode(&self, prefix: &[u8], bytes: &[u8]) -> Option<Aig> {
+        let newline = bytes.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+        let mut fields = header.split(' ');
+        if fields.next()? != ENTRY_MAGIC {
+            return None;
+        }
+        let circuit = u64::from_str_radix(fields.next()?, 16).ok()?;
+        if circuit != self.circuit_hash {
+            return None;
+        }
+        let prefix_hex = fields.next()?;
+        if prefix_hex.len() != 2 * prefix.len() {
+            return None;
+        }
+        for (chunk, &token) in prefix_hex.as_bytes().chunks(2).zip(prefix) {
+            let hex = std::str::from_utf8(chunk).ok()?;
+            if u8::from_str_radix(hex, 16).ok()? != token {
+                return None;
+            }
+        }
+        let payload_len: usize = fields.next()?.parse().ok()?;
+        let checksum = u64::from_str_radix(fields.next()?, 16).ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        let payload = bytes.get(newline + 1..)?;
+        if payload.len() != payload_len || boils_aig::fnv1a64(payload) != checksum {
+            return None;
+        }
+        Aig::read_aig_binary(payload).ok()
+    }
+
+    /// Records (or refreshes) an entry in the in-memory index.
+    fn touch(&self, name: &str, bytes: u64) {
+        let mut index = self.index.lock().expect("store index lock");
+        index.clock += 1;
+        let stamp = index.clock;
+        let previous = index.entries.insert(name.to_string(), (bytes, stamp));
+        index.total_bytes += bytes;
+        if let Some((old_bytes, _)) = previous {
+            index.total_bytes -= old_bytes;
+        }
+    }
+
+    /// Drops an entry from the in-memory index (the file is already gone).
+    fn forget(&self, name: &str) {
+        let mut index = self.index.lock().expect("store index lock");
+        if let Some((bytes, _)) = index.entries.remove(name) {
+            index.total_bytes -= bytes;
+        }
+    }
+
+    /// Deletes least-recently-stamped entries until the byte budget holds.
+    fn enforce_budget(&self) {
+        let mut victims: Vec<String> = Vec::new();
+        {
+            let mut index = self.index.lock().expect("store index lock");
+            if index.total_bytes <= self.byte_budget {
+                return;
+            }
+            let mut by_age: Vec<(u64, String, u64)> = index
+                .entries
+                .iter()
+                .map(|(name, &(bytes, stamp))| (stamp, name.clone(), bytes))
+                .collect();
+            by_age.sort(); // oldest stamp first; name breaks ties stably
+            for (_, name, bytes) in by_age {
+                if index.total_bytes <= self.byte_budget {
+                    break;
+                }
+                index.total_bytes -= bytes;
+                index.entries.remove(&name);
+                victims.push(name);
+            }
+        }
+        for name in victims {
+            let _ = fs::remove_file(self.dir.join(&name));
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        // No index rewrite here: at steady state over budget this runs on
+        // every store(), and the rewrite is O(entries). The amortised
+        // writes (1/32 in `store`, final in `Drop`) cover it, and a stale
+        // index merely lists files the next open's scan will not find.
+    }
+
+    /// Writes the advisory index file (tempfile + atomic rename; a failure
+    /// is ignored — the directory scan on the next open recovers).
+    fn persist_index(&self) {
+        let (text, stamp) = {
+            let index = self.index.lock().expect("store index lock");
+            let mut lines: Vec<(&String, &(u64, u64))> = index.entries.iter().collect();
+            lines.sort();
+            let mut text = String::new();
+            for (name, (bytes, stamp)) in lines {
+                writeln!(text, "{name}\t{bytes}\t{stamp}")
+                    .expect("writing to a String cannot fail");
+            }
+            (text, index.clock)
+        };
+        let tmp = self
+            .dir
+            .join(format!(".{}.{}.index.tmp", std::process::id(), stamp));
+        // Clean the tempfile up on either failure: a failed write can
+        // still leave a partial file behind (e.g. ENOSPC mid-write).
+        if fs::write(&tmp, text).is_err() || fs::rename(&tmp, self.dir.join(INDEX_FILE)).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+impl Drop for PersistentPrefixStore {
+    fn drop(&mut self) {
+        self.persist_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boils_aig::random_aig;
+
+    fn temp_store_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("boils-store-unit-{}-{label}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_and_reload_round_trips_structurally() {
+        let dir = temp_store_dir("roundtrip");
+        let base = random_aig(1, 6, 120, 3);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        let intermediate = random_aig(2, 6, 90, 2);
+        store.store(&[3, 1, 4], &intermediate);
+        assert_eq!(store.len(), 1);
+        let back = store.load(&[3, 1, 4]).expect("entry restored");
+        assert_eq!(back.content_hash(), intermediate.content_hash());
+        // A different prefix misses; a shorter prefix of the key misses.
+        assert!(store.load(&[3, 1]).is_none());
+        assert!(store.load(&[3, 1, 5]).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn longest_prefix_respects_the_floor() {
+        let dir = temp_store_dir("floor");
+        let base = random_aig(3, 5, 80, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        store.store(&[1], &random_aig(10, 5, 40, 2));
+        store.store(&[1, 2], &random_aig(11, 5, 40, 2));
+        let (len, _) = store.longest_prefix(&[1, 2, 3], 0).expect("hit");
+        assert_eq!(len, 2);
+        // Floor 2 excludes both stored prefixes.
+        assert!(store.longest_prefix(&[1, 2, 3], 2).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_second_instance_sees_entries_written_by_the_first() {
+        let dir = temp_store_dir("reopen");
+        let base = random_aig(5, 6, 100, 2);
+        let intermediate = random_aig(6, 6, 70, 2);
+        {
+            let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+            store.store(&[7, 7], &intermediate);
+        }
+        let reopened = PersistentPrefixStore::open_for(&dir, &base).expect("reopen");
+        assert_eq!(reopened.len(), 1);
+        let back = reopened.load(&[7, 7]).expect("restored after reopen");
+        assert_eq!(back.content_hash(), intermediate.content_hash());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_circuit_hash_never_matches() {
+        let dir = temp_store_dir("crosshash");
+        let a = random_aig(20, 6, 100, 2);
+        let b = random_aig(21, 6, 100, 2);
+        assert_ne!(a.content_hash(), b.content_hash());
+        let store_a = PersistentPrefixStore::open_for(&dir, &a).expect("open");
+        store_a.store(&[9], &random_aig(22, 6, 60, 2));
+        let store_b = PersistentPrefixStore::open_for(&dir, &b).expect("open");
+        // Same prefix, different circuit: different file name, no match.
+        assert!(store_b.load(&[9]).is_none());
+        assert_eq!(store_b.stats().disk_corrupt_dropped, 0);
+        // And store_a's entry is still intact.
+        assert!(store_a.load(&[9]).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_entries() {
+        let dir = temp_store_dir("budget");
+        let base = random_aig(30, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        for i in 0..8u8 {
+            store.store(&[i], &random_aig(40 + u64::from(i), 6, 80, 2));
+        }
+        let one_entry = store.total_bytes() / store.len() as u64;
+        let store = store.with_byte_budget(3 * one_entry);
+        assert!(store.total_bytes() <= 3 * one_entry);
+        assert!(store.stats().disk_evictions >= 5);
+        // The newest entries survive; the oldest are gone from disk too.
+        assert!(store.load(&[7]).is_some());
+        assert!(store.load(&[0]).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

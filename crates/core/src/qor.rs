@@ -12,7 +12,7 @@ use boils_mapper::{map_stats, MapStats, MapperConfig};
 use boils_synth::{resyn2, Transform};
 
 use crate::eval::{SequenceObjective, ShardedCache};
-use crate::prefix::{PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
+use crate::prefix::{PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
 
 /// What the black box optimises — Eq. 1 by default; the paper's conclusion
 /// notes BOiLS "can be utilised with other quantities of interest, e.g.,
@@ -121,6 +121,9 @@ pub struct QorEvaluator {
     /// Intermediate-AIG store keyed by token prefix; `None` disables
     /// prefix reuse (every evaluation replays from `base`).
     prefix: Option<PrefixCache>,
+    /// Disk-backed second tier consulted behind the in-memory cache;
+    /// `None` keeps everything process-local (the default).
+    store: Option<PersistentPrefixStore>,
     unique_evaluations: AtomicUsize,
 }
 
@@ -156,6 +159,7 @@ impl QorEvaluator {
             objective: Objective::Qor,
             cache: ShardedCache::new(),
             prefix: Some(PrefixCache::new(DEFAULT_PREFIX_CAPACITY)),
+            store: None,
             unique_evaluations: AtomicUsize::new(0),
         })
     }
@@ -173,18 +177,60 @@ impl QorEvaluator {
 
     /// Disables prefix reuse: every evaluation replays the whole sequence
     /// from the base circuit (the pre-cache behaviour; useful as a
-    /// benchmarking baseline and for memory-constrained sweeps).
+    /// benchmarking baseline and for memory-constrained sweeps). Does not
+    /// detach an attached persistent store.
     pub fn without_prefix_cache(mut self) -> QorEvaluator {
         self.prefix = None;
         self
     }
 
-    /// Replay-savings counters of the prefix cache (zeroes when disabled).
+    /// Attaches a disk-backed [`PersistentPrefixStore`] at `dir` as a
+    /// second cache tier behind the in-memory prefix cache.
+    ///
+    /// Lookups consult memory first, then disk; every newly synthesised
+    /// intermediate is written through to both tiers. The store is keyed
+    /// by the base circuit's [content hash](boils_aig::Aig::content_hash),
+    /// so one directory can be shared by sweeps over seeds, methods,
+    /// circuits and *processes* — any run with the same base circuit
+    /// resumes from work an earlier run already did, with bit-identical
+    /// results (disk entries are validated and restored structurally
+    /// identical; a bad entry is dropped and recomputed, never trusted).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or scanned.
+    pub fn with_persistent_store(
+        mut self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<QorEvaluator> {
+        self.store = Some(PersistentPrefixStore::open_for(dir, &self.base)?);
+        Ok(self)
+    }
+
+    /// Caps the attached persistent store's byte budget (no-op without a
+    /// store; see [`QorEvaluator::with_persistent_store`]).
+    pub fn with_persistent_byte_budget(mut self, bytes: u64) -> QorEvaluator {
+        self.store = self.store.map(|s| s.with_byte_budget(bytes));
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn persistent_store(&self) -> Option<&PersistentPrefixStore> {
+        self.store.as_ref()
+    }
+
+    /// Replay-savings counters of the prefix cache (zeroes when disabled),
+    /// including the disk-tier counters of an attached persistent store.
     pub fn prefix_stats(&self) -> PrefixStats {
-        self.prefix
+        let mut stats = self
+            .prefix
             .as_ref()
             .map(PrefixCache::stats)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if let Some(store) = &self.store {
+            store.merge_into(&mut stats);
+        }
+        stats
     }
 
     /// Number of intermediate AIGs currently cached.
@@ -256,32 +302,52 @@ impl QorEvaluator {
     /// With the prefix cache enabled, the replay resumes from the longest
     /// cached token prefix and each newly reached intermediate AIG is
     /// stored for later candidates (shared across the
-    /// [`BatchEvaluator`](crate::BatchEvaluator)'s worker threads). Every
-    /// transform is a deterministic function of its input AIG, so the
-    /// mapped result is bit-identical to a full replay.
+    /// [`BatchEvaluator`](crate::BatchEvaluator)'s worker threads). An
+    /// attached [`PersistentPrefixStore`] acts as a second tier: memory is
+    /// consulted first, then disk for strictly longer prefixes, and newly
+    /// reached intermediates are written through to both. Every transform
+    /// is a deterministic function of its input AIG and disk restores are
+    /// structurally identical to what was written, so the mapped result is
+    /// bit-identical to a full replay — with the store on, off, or
+    /// pre-warmed by a different process.
     fn compute(&self, tokens: &[u8]) -> QorPoint {
-        let aig = match &self.prefix {
-            Some(prefix_cache) => {
-                let (start, mut current) = match prefix_cache.longest_prefix(tokens) {
-                    Some((len, aig)) => (len, aig),
-                    None => (0, Arc::new(self.base.clone())),
-                };
-                for (applied, &t) in tokens.iter().enumerate().skip(start) {
-                    current = Arc::new(Transform::from_index(t as usize).apply(&current));
-                    prefix_cache.insert(&tokens[..=applied], Arc::clone(&current));
-                }
-                prefix_cache.record_replay(start, tokens.len() - start);
-                current
-            }
-            None => {
-                let mut aig = self.base.clone();
-                for &t in tokens {
-                    aig = Transform::from_index(t as usize).apply(&aig);
-                }
-                Arc::new(aig)
-            }
+        // Deepest in-memory prefix first (cheapest tier).
+        let (mut start, mut current) = match self
+            .prefix
+            .as_ref()
+            .and_then(|cache| cache.longest_prefix(tokens))
+        {
+            Some((len, aig)) => (len, aig),
+            None => (0, Arc::new(self.base.clone())),
         };
-        let stats = map_stats(&aig, &self.mapper_config);
+        // Disk tier: only worth a read for strictly longer prefixes; a
+        // restored intermediate is published to the memory cache so the
+        // next candidate sharing it skips the disk entirely.
+        if start < tokens.len() {
+            if let Some(store) = &self.store {
+                if let Some((len, aig)) = store.longest_prefix(tokens, start) {
+                    let aig = Arc::new(aig);
+                    if let Some(cache) = &self.prefix {
+                        cache.insert(&tokens[..len], Arc::clone(&aig));
+                    }
+                    start = len;
+                    current = aig;
+                }
+            }
+        }
+        for (applied, &t) in tokens.iter().enumerate().skip(start) {
+            current = Arc::new(Transform::from_index(t as usize).apply(&current));
+            if let Some(cache) = &self.prefix {
+                cache.insert(&tokens[..=applied], Arc::clone(&current));
+            }
+            if let Some(store) = &self.store {
+                store.store(&tokens[..=applied], &current);
+            }
+        }
+        if let Some(cache) = &self.prefix {
+            cache.record_replay(start, tokens.len() - start);
+        }
+        let stats = map_stats(&current, &self.mapper_config);
         QorPoint {
             qor: self.objective.combine(
                 stats.luts as f64 / self.reference.luts as f64,
@@ -307,8 +373,11 @@ impl QorEvaluator {
         self.cache.contains(tokens)
     }
 
-    /// Forgets all cached evaluations (values and intermediate AIGs) and
-    /// resets the counters.
+    /// Forgets all in-memory cached evaluations (values and intermediate
+    /// AIGs) and resets the counters. An attached persistent store keeps
+    /// its on-disk entries — surviving resets (and processes) is its
+    /// purpose — but correctness never depends on them: entries are
+    /// validated on every read.
     pub fn reset(&self) {
         self.cache.clear();
         if let Some(prefix_cache) = &self.prefix {

@@ -1,0 +1,482 @@
+//! Persistent prefix store guarantees, proved end to end:
+//!
+//! * **SAT-equivalence harness** — every intermediate AIG restored from
+//!   disk is mitered against a freshly synthesised one and proved
+//!   equivalent with `boils-sat`, over every prefix of a full K = 20
+//!   trajectory on two benchmark circuits (on top of the stronger
+//!   structural byte-identity check).
+//! * **Frozen trajectories** — BOiLS, SBO and greedy runs against a
+//!   pre-warmed store are bit-identical to their cold runs, and the warm
+//!   run demonstrably used the disk tier (`prefix_stats().disk_hits > 0`).
+//! * **Concurrency** — two evaluators (each driving a multi-threaded
+//!   `BatchEvaluator`) share one store directory at the same time.
+//! * **Corruption tolerance** — truncated entries, bit-rotted payloads and
+//!   stale index files are skipped and recomputed, never trusted.
+//! * **Bounded size** — the byte budget holds after eviction, and evicted
+//!   entries are transparently recomputed.
+//!
+//! Set `BOILS_CACHE_DIR` to pin the store directories somewhere stable
+//! (CI runs this suite twice against one directory — cold then warm — so
+//! the cross-process reuse path is exercised for real; every assertion
+//! here is warm/cold agnostic). Destructive tests ignore the variable and
+//! always use fresh directories.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use boils_baselines::greedy;
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_core::{
+    BatchEvaluator, Boils, BoilsConfig, EvalRecord, PersistentPrefixStore, QorEvaluator, Sbo,
+    SboConfig, SequenceSpace,
+};
+use boils_gp::TrainConfig;
+use boils_sat::{check_equivalence, EquivResult};
+use boils_synth::Transform;
+
+/// A store directory that survives across test processes when
+/// `BOILS_CACHE_DIR` is set (the CI cold/warm protocol), and is unique per
+/// process otherwise. Every test using this helper must hold bit-identical
+/// results whether the directory starts empty or pre-warmed.
+fn shared_store_dir(label: &str) -> PathBuf {
+    match std::env::var_os("BOILS_CACHE_DIR") {
+        Some(root) => PathBuf::from(root).join(label),
+        None => std::env::temp_dir().join(format!("boils-persist-{}-{label}", std::process::id())),
+    }
+}
+
+/// A directory for destructive tests: always fresh, never shared.
+fn fresh_store_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boils-destruct-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fixed K = 20 trajectory covering the whole transform alphabet.
+const TRAJECTORY: [u8; 20] = [6, 0, 2, 7, 4, 1, 3, 6, 5, 8, 9, 10, 0, 6, 2, 4, 7, 1, 3, 6];
+
+/// The SAT-equivalence harness of the store: for every prefix of a full
+/// trajectory, the cache-restored intermediate must be (a) byte-identical
+/// to the from-scratch synthesis under the binary AIGER codec and (b)
+/// proved functionally equivalent by mitering the two with the SAT solver.
+fn prove_every_restored_prefix(circuit: Benchmark, bits: usize) {
+    let base = CircuitSpec::new(circuit).bits(bits).build();
+    let dir = shared_store_dir(&format!("sat-{}", circuit.name()));
+
+    // Populate the store by evaluating the full trajectory once.
+    let evaluator = QorEvaluator::new(&base)
+        .expect("benchmark reference is non-degenerate")
+        .with_persistent_store(&dir)
+        .expect("store directory is writable");
+    evaluator.evaluate_tokens(&TRAJECTORY);
+    drop(evaluator);
+
+    // A fresh handle — as a separate process would see it.
+    let store = PersistentPrefixStore::open_for(&dir, &base).expect("reopen store");
+    let mut fresh = base.clone();
+    for len in 1..=TRAJECTORY.len() {
+        let prefix = &TRAJECTORY[..len];
+        fresh = Transform::from_index(prefix[len - 1] as usize).apply(&fresh);
+        let restored = store
+            .load(prefix)
+            .unwrap_or_else(|| panic!("prefix of length {len} missing from the store"));
+
+        // Structural identity: the strongest form of "bit-identical".
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        restored.write_aig_binary(&mut a).expect("write");
+        fresh.write_aig_binary(&mut b).expect("write");
+        assert_eq!(
+            a,
+            b,
+            "{}: restored prefix of length {len} is not byte-identical",
+            circuit.name()
+        );
+
+        // Independent functional proof: miter restored vs fresh.
+        assert_eq!(
+            check_equivalence(&restored, &fresh, Some(1_000_000)),
+            EquivResult::Equivalent,
+            "{}: restored prefix of length {len} not SAT-equivalent",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn restored_intermediates_are_sat_equivalent_on_adder() {
+    prove_every_restored_prefix(Benchmark::Adder, 8);
+}
+
+#[test]
+fn restored_intermediates_are_sat_equivalent_on_max() {
+    prove_every_restored_prefix(Benchmark::Max, 4);
+}
+
+/// `(tokens, qor bits)` pairs of a history, for exact comparisons.
+fn history_bits(history: &[EvalRecord]) -> Vec<(Vec<u8>, u64)> {
+    history
+        .iter()
+        .map(|r| (r.tokens.clone(), r.point.qor.to_bits()))
+        .collect()
+}
+
+fn boils_config(seed: u64) -> BoilsConfig {
+    BoilsConfig {
+        max_evaluations: 16,
+        initial_samples: 10,
+        space: SequenceSpace::new(6, 11),
+        acq_restarts: 2,
+        acq_steps: 4,
+        acq_neighbors: 10,
+        retrain_every: 5,
+        train: TrainConfig {
+            steps: 5,
+            ..TrainConfig::default()
+        },
+        seed,
+        ..BoilsConfig::default()
+    }
+}
+
+#[test]
+fn warmed_store_reproduces_the_cold_boils_run_bit_identically() {
+    let aig = boils_aig::random_aig(71, 8, 300, 3);
+    let dir = shared_store_dir("frozen-boils");
+
+    let cold_eval = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let cold = Boils::new(boils_config(7)).run(&cold_eval).expect("run");
+    assert!(
+        cold_eval.prefix_stats().disk_writes > 0 || cold_eval.prefix_stats().disk_hits > 0,
+        "the store saw no traffic at all"
+    );
+    drop(cold_eval);
+
+    // A fresh evaluator over the same directory: the in-memory tiers start
+    // empty, so every resumed prefix must come off disk.
+    let warm_eval = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let warm = Boils::new(boils_config(7)).run(&warm_eval).expect("run");
+
+    assert_eq!(history_bits(&cold.history), history_bits(&warm.history));
+    assert_eq!(cold.best_tokens, warm.best_tokens);
+    assert_eq!(cold.best_qor.to_bits(), warm.best_qor.to_bits());
+    let stats = warm_eval.prefix_stats();
+    assert!(stats.disk_hits > 0, "warm run never touched the disk tier");
+}
+
+#[test]
+fn warmed_store_reproduces_the_cold_sbo_run_bit_identically() {
+    let aig = boils_aig::random_aig(73, 8, 300, 3);
+    let dir = shared_store_dir("frozen-sbo");
+    let config = || SboConfig {
+        max_evaluations: 14,
+        initial_samples: 10,
+        space: SequenceSpace::new(5, 11),
+        acq_restarts: 2,
+        acq_steps: 3,
+        acq_neighbors: 8,
+        retrain_every: 5,
+        train: TrainConfig {
+            steps: 4,
+            ..TrainConfig::default()
+        },
+        seed: 3,
+        ..SboConfig::default()
+    };
+
+    let cold_eval = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let cold = Sbo::new(config()).run(&cold_eval).expect("run");
+    drop(cold_eval);
+
+    let warm_eval = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let warm = Sbo::new(config()).run(&warm_eval).expect("run");
+
+    assert_eq!(history_bits(&cold.history), history_bits(&warm.history));
+    assert!(warm_eval.prefix_stats().disk_hits > 0);
+}
+
+#[test]
+fn warmed_store_reproduces_the_cold_greedy_run_bit_identically() {
+    let aig = boils_aig::random_aig(77, 8, 300, 3);
+    let dir = shared_store_dir("frozen-greedy");
+    let space = SequenceSpace::new(4, 11);
+    let budget = space.length() * space.alphabet();
+
+    let cold_eval = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let cold = greedy(&cold_eval, space, budget, 2);
+    drop(cold_eval);
+
+    let warm_eval = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let warm = greedy(&warm_eval, space, budget, 2);
+
+    assert_eq!(history_bits(&cold.history), history_bits(&warm.history));
+    assert_eq!(cold.best_tokens, warm.best_tokens);
+    assert!(warm_eval.prefix_stats().disk_hits > 0);
+}
+
+#[test]
+fn two_batch_evaluators_share_one_store_directory_concurrently() {
+    let aig = boils_aig::random_aig(81, 8, 300, 3);
+    let dir = shared_store_dir("concurrent");
+
+    // Overlapping batches with shared prefixes: the worst case for two
+    // writers (same entries raced) and the best case for reuse.
+    let batch_a: Vec<Vec<u8>> = (0..12u8).map(|i| vec![6, 0, i % 4, i % 11]).collect();
+    let batch_b: Vec<Vec<u8>> = (0..12u8).map(|i| vec![6, 0, i % 4, (i + 5) % 11]).collect();
+
+    // The ground truth, computed without any store.
+    let reference = QorEvaluator::new(&aig).expect("ok");
+    let expect_a: Vec<_> = batch_a
+        .iter()
+        .map(|t| reference.evaluate_tokens(t))
+        .collect();
+    let expect_b: Vec<_> = batch_b
+        .iter()
+        .map(|t| reference.evaluate_tokens(t))
+        .collect();
+
+    let eval_a = Arc::new(
+        QorEvaluator::new(&aig)
+            .expect("ok")
+            .with_persistent_store(&dir)
+            .expect("store dir"),
+    );
+    let eval_b = Arc::new(
+        QorEvaluator::new(&aig)
+            .expect("ok")
+            .with_persistent_store(&dir)
+            .expect("store dir"),
+    );
+
+    let (got_a, got_b) = std::thread::scope(|scope| {
+        let a = scope.spawn({
+            let eval_a = Arc::clone(&eval_a);
+            let batch_a = batch_a.clone();
+            move || BatchEvaluator::new(2).evaluate_grouped(&*eval_a, &batch_a)
+        });
+        let b = scope.spawn({
+            let eval_b = Arc::clone(&eval_b);
+            let batch_b = batch_b.clone();
+            move || BatchEvaluator::new(2).evaluate_grouped(&*eval_b, &batch_b)
+        });
+        (a.join().expect("worker a"), b.join().expect("worker b"))
+    });
+
+    assert_eq!(
+        got_a, expect_a,
+        "store sharing changed evaluator A's values"
+    );
+    assert_eq!(
+        got_b, expect_b,
+        "store sharing changed evaluator B's values"
+    );
+}
+
+#[test]
+fn the_store_works_with_the_in_memory_cache_disabled() {
+    let aig = boils_aig::random_aig(85, 8, 300, 3);
+    let dir = shared_store_dir("no-mem-cache");
+    let sequence: &[u8] = &[6, 0, 2, 5];
+
+    let reference = QorEvaluator::new(&aig).expect("ok");
+    let expected = reference.evaluate_tokens(sequence);
+
+    let cold = QorEvaluator::new(&aig)
+        .expect("ok")
+        .without_prefix_cache()
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    assert_eq!(cold.evaluate_tokens(sequence), expected);
+    drop(cold);
+
+    let warm = QorEvaluator::new(&aig)
+        .expect("ok")
+        .without_prefix_cache()
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    assert_eq!(warm.evaluate_tokens(sequence), expected);
+    let stats = warm.prefix_stats();
+    assert!(stats.disk_hits > 0, "disk tier unused: {stats:?}");
+    assert_eq!(stats.prefix_hits, 0, "no memory tier exists to hit");
+}
+
+#[test]
+fn truncated_entries_are_skipped_and_recomputed() {
+    let aig = boils_aig::random_aig(91, 8, 300, 3);
+    let dir = fresh_store_dir("truncate");
+    let sequence: &[u8] = &[6, 0, 2, 5, 7];
+
+    let reference = QorEvaluator::new(&aig).expect("ok");
+    let expected = reference.evaluate_tokens(sequence);
+
+    let cold = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    assert_eq!(cold.evaluate_tokens(sequence), expected);
+    drop(cold);
+
+    // Truncate every entry file — simulating a crash mid-write that
+    // somehow bypassed the tempfile protocol, or plain disk damage.
+    let mut truncated = 0;
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "aig") {
+            let bytes = std::fs::read(&path).expect("read entry");
+            std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+            truncated += 1;
+        }
+    }
+    assert!(truncated > 0, "no entries were written to truncate");
+
+    let warm = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    assert_eq!(warm.evaluate_tokens(sequence), expected);
+    let stats = warm.prefix_stats();
+    assert!(
+        stats.disk_corrupt_dropped > 0,
+        "no corrupt entry was detected: {stats:?}"
+    );
+    assert_eq!(stats.disk_hits, 0, "a truncated entry was trusted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_rotted_payloads_fail_the_checksum_and_are_recomputed() {
+    let aig = boils_aig::random_aig(93, 8, 300, 3);
+    let dir = fresh_store_dir("bitrot");
+    let sequence: &[u8] = &[3, 1, 4];
+
+    let reference = QorEvaluator::new(&aig).expect("ok");
+    let expected = reference.evaluate_tokens(sequence);
+
+    let cold = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    assert_eq!(cold.evaluate_tokens(sequence), expected);
+    drop(cold);
+
+    // Flip one payload byte in every entry; lengths and headers stay
+    // valid, so only the checksum can catch this.
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "aig") {
+            let mut bytes = std::fs::read(&path).expect("read entry");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            std::fs::write(&path, &bytes).expect("rewrite");
+        }
+    }
+
+    let warm = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    assert_eq!(warm.evaluate_tokens(sequence), expected);
+    let stats = warm.prefix_stats();
+    assert!(stats.disk_corrupt_dropped > 0, "bit rot went undetected");
+    assert_eq!(stats.disk_hits, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_stale_or_garbage_index_is_tolerated() {
+    let aig = boils_aig::random_aig(95, 8, 300, 3);
+    let dir = fresh_store_dir("staleindex");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(
+        dir.join("index.tsv"),
+        "0123456789abcdef-06.aig\t4096\t17\n\
+         not a valid line at all\n\
+         ffffffffffffffff-00ff.aig\tNaN\t-3\n",
+    )
+    .expect("write stale index");
+
+    let reference = QorEvaluator::new(&aig).expect("ok");
+    let sequence: &[u8] = &[6, 2];
+    let expected = reference.evaluate_tokens(sequence);
+
+    let evaluator = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("a stale index must not fail open");
+    assert_eq!(evaluator.evaluate_tokens(sequence), expected);
+    // The stale lines pointed at files that never existed: nothing to
+    // hit, nothing to drop, and the store works normally.
+    let store = evaluator.persistent_store().expect("store attached");
+    assert_eq!(store.stats().disk_corrupt_dropped, 0);
+    assert!(!store.is_empty(), "new entries were not adopted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_byte_budget_holds_after_eviction_and_evicted_work_is_recomputed() {
+    let aig = boils_aig::random_aig(97, 8, 300, 3);
+    let dir = fresh_store_dir("budget");
+    let sequence: &[u8] = &[6, 0, 2, 5, 7, 1, 3, 4];
+
+    let reference = QorEvaluator::new(&aig).expect("ok");
+    let expected = reference.evaluate_tokens(sequence);
+
+    // A budget that fits only a couple of intermediates: storing the full
+    // trajectory must evict the oldest prefixes as it goes.
+    let budget = 256;
+    let evaluator = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir")
+        .with_persistent_byte_budget(budget);
+    assert_eq!(evaluator.evaluate_tokens(sequence), expected);
+
+    let store = evaluator.persistent_store().expect("store attached");
+    assert!(
+        store.total_bytes() <= budget,
+        "budget violated: {} > {budget}",
+        store.total_bytes()
+    );
+    let disk_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "aig"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    assert!(
+        disk_bytes <= budget,
+        "files on disk exceed the budget: {disk_bytes} > {budget}"
+    );
+    assert!(
+        evaluator.prefix_stats().disk_evictions > 0,
+        "nothing was evicted under a tiny budget"
+    );
+    drop(evaluator);
+
+    // Evicted prefixes are transparently recomputed by a fresh evaluator.
+    let warm = QorEvaluator::new(&aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir")
+        .with_persistent_byte_budget(budget);
+    assert_eq!(warm.evaluate_tokens(sequence), expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}

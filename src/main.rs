@@ -6,7 +6,7 @@
 //! boils synth    --input mult.aag --ops "balance;rewrite;fraig" --output opt.aag
 //! boils map      --input opt.aag [--lut-size 6]
 //! boils check    --golden mult.aag --revised opt.aag
-//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4]
+//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4] [--cache-dir .boils-cache]
 //! ```
 //!
 //! Flags may be written `--flag value` or `--flag=value`.
@@ -120,7 +120,7 @@ fn print_help() {
          \x20 check     --golden <file> --revised <file>\n\
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
          \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
-         \x20           [--threads N] [--batch-size Q]\n\n\
+         \x20           [--threads N] [--batch-size Q] [--cache-dir DIR]\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
 }
@@ -258,6 +258,15 @@ fn optimize(args: &Args) -> Result<(), String> {
     let method = args.get("method").unwrap_or("boils");
     let space = SequenceSpace::new(k, 11);
     let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
+    // Disk-backed prefix store: repeated invocations (other seeds, other
+    // methods, interrupted runs) on the same circuit resume from the
+    // synthesis work earlier processes already did — bit-identically.
+    let evaluator = match args.get("cache-dir") {
+        Some(dir) => evaluator
+            .with_persistent_store(dir)
+            .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
+        None => evaluator,
+    };
     println!("{aig}");
     println!("reference (resyn2 + if -K 6): {}", evaluator.reference());
     let init = (budget / 5).clamp(4, budget.saturating_sub(1).max(1));
@@ -317,6 +326,17 @@ fn optimize(args: &Args) -> Result<(), String> {
         evaluator.num_evaluations(),
         evaluator.cache_hits()
     );
+    if let Some(store) = evaluator.persistent_store() {
+        let stats = evaluator.prefix_stats();
+        println!(
+            "cache dir     : {} ({} disk hits, {} writes, {} entries, {} KiB)",
+            store.dir().display(),
+            stats.disk_hits,
+            stats.disk_writes,
+            store.len(),
+            store.total_bytes() / 1024
+        );
+    }
     println!("best sequence : {}", result.best_sequence);
     println!(
         "best QoR      : {:.4}  (area {} LUTs, delay {} levels, {:+.2}% vs resyn2)",

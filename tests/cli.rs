@@ -120,6 +120,55 @@ fn optimize_runs_a_small_budget() {
 }
 
 #[test]
+fn optimize_with_a_cache_dir_is_bit_identical_across_processes() {
+    let cache = tmp("persist-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let run = || {
+        let out = boils()
+            .args([
+                "optimize",
+                "--circuit",
+                "max",
+                "--bits",
+                "4",
+                "--k",
+                "5",
+                "--method",
+                "greedy",
+                "--budget",
+                "22",
+                "--cache-dir",
+            ])
+            .arg(&cache)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let cold = run();
+    assert!(cold.contains("cache dir"), "output: {cold}");
+    let warm = run();
+    let best = |text: &str| {
+        text.lines()
+            .find(|l| l.starts_with("best QoR"))
+            .expect("best QoR line")
+            .to_string()
+    };
+    // A separate warmed process reproduces the cold run exactly and
+    // actually used the disk tier.
+    assert_eq!(best(&cold), best(&warm));
+    assert!(
+        !warm.contains("(0 disk hits"),
+        "warm process never read the store: {warm}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
 fn unknown_flags_and_circuits_fail_gracefully() {
     let out = boils()
         .args(["generate", "--circuit", "mystery", "--output", "/tmp/x.aag"])
