@@ -19,6 +19,7 @@ fn bench_pareto_pipeline(c: &mut Criterion) {
         bits: None,
         threads: 1,
         batch_size: 1,
+        surrogate_window: None,
         cache_dir: None,
     };
     let sweep = Sweep::run(&cfg);

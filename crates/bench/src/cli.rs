@@ -69,8 +69,8 @@ impl BenchArgs {
 
 /// Builds a sweep config from a parsed argument view, reading the common
 /// flags `--budget N --seeds N --multiplier N --k N --bits N --threads N
-/// --batch-size N --cache-dir DIR --circuits a,b --methods rs,boils
-/// --paper`.
+/// --batch-size N --surrogate-window W --cache-dir DIR --circuits a,b
+/// --methods rs,boils --paper`.
 pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     let mut cfg = if args.flag("--paper") {
         SweepConfig::paper()
@@ -97,6 +97,9 @@ pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     }
     if let Some(v) = args.parse("--batch-size") {
         cfg.batch_size = v;
+    }
+    if let Some(v) = args.parse("--surrogate-window") {
+        cfg.surrogate_window = Some(v);
     }
     if let Some(v) = args.value("--cache-dir") {
         cfg.cache_dir = Some(std::path::PathBuf::from(v));
@@ -173,6 +176,7 @@ mod tests {
             "--k=6",
             "--threads=4",
             "--batch-size=4",
+            "--surrogate-window=32",
             "--cache-dir=/tmp/boils-cache",
             "--methods",
             "rs,boils",
@@ -184,13 +188,18 @@ mod tests {
         assert_eq!(cfg.sequence_length, 6);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.batch_size, 4);
+        assert_eq!(cfg.surrogate_window, Some(32));
         assert_eq!(
             cfg.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/boils-cache"))
         );
         assert_eq!(cfg.methods, vec![Method::Rs, Method::Boils]);
-        // Absent flag leaves the store off.
+        // Absent flags leave the store off and the window unbounded.
         assert_eq!(sweep_config_from(&args(&["--budget=1"])).cache_dir, None);
+        assert_eq!(
+            sweep_config_from(&args(&["--budget=1"])).surrogate_window,
+            None
+        );
     }
 
     #[test]

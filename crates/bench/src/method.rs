@@ -125,6 +125,25 @@ impl Method {
         threads: usize,
         batch_size: usize,
     ) -> OptimizationResult {
+        self.run_configured(objective, space, budget, seed, threads, batch_size, None)
+    }
+
+    /// [`Method::run_batched`] with a bounded-history surrogate window for
+    /// the BO methods: `Some(w)` caps the GP training set at `w`
+    /// observations with incumbent-pinned sliding-window eviction (see
+    /// [`BoilsConfig::surrogate_window`]). The non-BO methods have no
+    /// surrogate and ignore the knob.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_configured<O: SequenceObjective + RolloutCircuit>(
+        self,
+        objective: &O,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+        surrogate_window: Option<usize>,
+    ) -> OptimizationResult {
         match self {
             Method::Rs => random_search(objective, space, budget, seed, threads),
             Method::Greedy => greedy(objective, space, budget, threads),
@@ -179,6 +198,7 @@ impl Method {
                     seed,
                     threads,
                     batch_size,
+                    surrogate_window,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
@@ -195,6 +215,7 @@ impl Method {
                     seed,
                     threads,
                     batch_size,
+                    surrogate_window,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
@@ -249,6 +270,30 @@ mod tests {
         for m in [Method::Sbo, Method::Boils] {
             let r = m.run_batched(&evaluator, space, 13, 0, 2, 4);
             assert_eq!(r.num_evaluations(), 13, "{m}");
+        }
+    }
+
+    #[test]
+    fn windowed_bo_methods_respect_the_budget() {
+        let evaluator = boils_core::QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
+        let space = SequenceSpace::new(4, 11);
+        for m in [Method::Sbo, Method::Boils] {
+            let r = m.run_configured(&evaluator, space, 14, 0, 1, 1, Some(5));
+            assert_eq!(r.num_evaluations(), 14, "{m}");
+        }
+    }
+
+    #[test]
+    fn no_window_matches_run_batched() {
+        let aig = random_aig(61, 8, 250, 3);
+        let space = SequenceSpace::new(4, 11);
+        for m in [Method::Sbo, Method::Boils] {
+            let a_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
+            let b_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
+            let a = m.run_batched(&a_eval, space, 12, 1, 1, 1);
+            let b = m.run_configured(&b_eval, space, 12, 1, 1, 1, None);
+            assert_eq!(a.best_tokens, b.best_tokens, "{m}");
+            assert_eq!(a.best_qor, b.best_qor, "{m}");
         }
     }
 

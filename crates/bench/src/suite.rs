@@ -36,6 +36,12 @@ pub struct SweepConfig {
     /// `1` = the paper's sequential protocol). Unlike `threads`, values
     /// above 1 change the search trajectory.
     pub batch_size: usize,
+    /// Bounded-history surrogate window for the BO methods (see
+    /// [`boils_core::BoilsConfig::surrogate_window`]): `Some(w)` caps the
+    /// GP training set at `w` observations. Like `batch_size`, setting it
+    /// changes the search trajectory (the surrogate forgets old points);
+    /// `None` reproduces the unbounded protocol.
+    pub surrogate_window: Option<usize>,
     /// Directory for the disk-backed prefix store shared by every run of
     /// the sweep (and by concurrent or later sweep *processes* pointed at
     /// the same directory). `None` keeps all caching in memory. Like
@@ -56,6 +62,7 @@ impl Default for SweepConfig {
             bits: None,
             threads: 1,
             batch_size: 1,
+            surrogate_window: None,
             cache_dir: None,
         }
     }
@@ -170,13 +177,14 @@ impl Sweep {
                 let budget = config.budget_for(method);
                 for seed in 0..config.seeds as u64 {
                     let t0 = std::time::Instant::now();
-                    let result = method.run_batched(
+                    let result = method.run_configured(
                         &evaluator,
                         space,
                         budget,
                         seed,
                         config.threads,
                         config.batch_size,
+                        config.surrogate_window,
                     );
                     let trace: Vec<(f64, usize, u32)> = result
                         .history

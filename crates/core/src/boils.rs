@@ -4,8 +4,8 @@
 //! centred on the incumbent.
 
 use boils_gp::{
-    expected_improvement, ConstantLiar, Gp, Kernel, NotPositiveDefiniteError, SskKernel,
-    TrainConfig,
+    expected_improvement, ConstantLiar, NotPositiveDefiniteError, SskKernel, Surrogate,
+    SurrogateConfig, SurrogateDiagnostics, TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,14 +91,24 @@ pub struct BoilsConfig {
     /// (correctly) on different iterations than they used to.
     pub retrain_every: usize,
     /// Between hyperparameter retrains, extend the previous GP by the new
-    /// observations in `O(n²)` ([`Gp::extend`]) instead of refitting from
-    /// scratch in `O(n³)`, with per-sequence self-similarities cached
-    /// across the Gram fill and prediction. `false` restores the seed's
-    /// from-scratch surrogate (full refit every iteration, normalisation
-    /// constants recomputed inside every pair evaluation) as a
-    /// benchmarking baseline. The search trajectory is bit-identical
-    /// either way.
+    /// observations in `O(n²)` ([`boils_gp::Gp::extend`]) instead of
+    /// refitting from scratch in `O(n³)`, with per-sequence
+    /// self-similarities cached across the Gram fill and prediction, and
+    /// the SSK's decay-independent match structure cached across the Adam
+    /// steps of a retrain ([`SskKernel::with_match_caching`]). `false`
+    /// restores the seed's from-scratch surrogate (full refit every
+    /// iteration, normalisation constants recomputed inside every pair
+    /// evaluation) as a benchmarking baseline. The search trajectory is
+    /// bit-identical either way.
     pub incremental_surrogate: bool,
+    /// Bounded-history surrogate: `Some(w)` keeps at most `w` observations
+    /// in the GP's training set, evicting the oldest non-incumbent point
+    /// by a rank-1 Cholesky downdate once the window fills — the per-step
+    /// surrogate cost stops growing with the budget. The incumbent is
+    /// pinned (never evicted), so expected improvement keeps the true
+    /// best in-model. `None` (the default) trains on the full history,
+    /// bit-identical to previous releases.
+    pub surrogate_window: Option<usize>,
     /// Projected-Adam settings for kernel training (paper Eq. 4).
     pub train: TrainConfig,
     /// GP observation noise.
@@ -131,6 +141,7 @@ impl Default for BoilsConfig {
             batch_size: 1,
             retrain_every: 5,
             incremental_surrogate: true,
+            surrogate_window: None,
             train: TrainConfig {
                 steps: 15,
                 ..TrainConfig::default()
@@ -192,8 +203,12 @@ impl From<NotPositiveDefiniteError> for RunBoilsError {
 pub struct RunDiagnostics {
     /// History lengths at which kernel hyperparameters were retrained
     /// (always starts with the initial-design size: the first surrogate is
-    /// trained).
+    /// trained). Mirrors [`SurrogateDiagnostics::retrains_at`].
     pub retrains_at: Vec<usize>,
+    /// The surrogate subsystem's own lifecycle counters: factor extends,
+    /// window-eviction downdates, and incremental updates that fell back
+    /// to a full refit.
+    pub surrogate: SurrogateDiagnostics,
     /// Acquisition batches proposed (BO loop iterations).
     pub batches: usize,
     /// Candidates rescued by the deterministic lexicographic sweep after
@@ -368,82 +383,52 @@ impl Boils {
         // The TR centre is the best point since the last restart; the global
         // best is tracked through `history`.
         let mut center = best_of(&history).clone();
-        // Kernel decays carried across iterations, retrained periodically.
-        let mut decays = (0.8, 0.5);
-        // The surrogate carried between iterations: `(gp, fitted)` where
-        // `fitted` is the history length the GP covers. On non-retrain
-        // iterations the kernel hyperparameters are unchanged, so the GP
-        // is extended by the new observations in O(n²) instead of
-        // refitting from scratch — and the training vectors are no longer
-        // cloned from the whole history every loop.
-        let mut surrogate: Option<(Gp<SskKernel, Vec<u8>>, usize)> = None;
-
-        // -- Optimisation loop (lines 6-11). Retraining is paced by
-        // evaluations since the last retrain, not by `history.len() %
-        // retrain_every`: a modulo test silently skips retraining whenever
-        // an iteration appends more than one record (a trust-region
-        // restart, or any `batch_size > 1` batch), letting the
-        // hyperparameters go stale for the rest of the run.
-        let mut evals_since_retrain = 0usize;
-        let mut first_iteration = true;
-        while history.len() < cfg.max_evaluations {
-            let retrain = first_iteration || evals_since_retrain >= cfg.retrain_every.max(1);
-            if retrain {
-                evals_since_retrain = 0;
-                self.diagnostics.retrains_at.push(history.len());
-            }
-            first_iteration = false;
-            let carried = if cfg.incremental_surrogate && !retrain {
-                surrogate.take()
+        // The surrogate subsystem owns the whole fit → extend → retrain →
+        // forget lifecycle: the evals-since-retrain cadence, the carried
+        // kernel hyperparameters, the O(n²) factor extensions between
+        // retrains, and (with `surrogate_window`) sliding-window eviction
+        // with incumbent pinning. Retraining is paced by observations
+        // since the last retrain, not by `history.len() % retrain_every`:
+        // a modulo test silently skips retraining whenever an iteration
+        // appends more than one record (a trust-region restart, or any
+        // `batch_size > 1` batch).
+        let kernel_template = {
+            let k = SskKernel::new(cfg.ssk_order);
+            let k = if cfg.normalize_kernel {
+                k
             } else {
-                None
+                k.without_normalization()
             };
-            let gp = match carried {
-                Some((mut gp, fitted)) => {
-                    for record in &history[fitted..] {
-                        gp = gp.extend(record.tokens.clone(), -record.point.qor)?;
-                    }
-                    gp
-                }
-                None => {
-                    let xs: Vec<Vec<u8>> = history.iter().map(|r| r.tokens.clone()).collect();
-                    let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
-                    let kernel = {
-                        let k = SskKernel::new(cfg.ssk_order).with_decays(decays.0, decays.1);
-                        let k = if cfg.normalize_kernel {
-                            k
-                        } else {
-                            k.without_normalization()
-                        };
-                        if cfg.incremental_surrogate {
-                            k
-                        } else {
-                            // Benchmarking baseline: reproduce the seed's
-                            // cost model (self-similarities recomputed
-                            // inside every pair evaluation). Bit-identical
-                            // values either way.
-                            k.without_info_caching()
-                        }
-                    };
-                    if retrain {
-                        Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
-                    } else {
-                        Gp::fit(kernel, xs, ys, cfg.noise)?
-                    }
-                }
-            };
-            let fitted = history.len();
-            let params = Kernel::<[u8]>::params(gp.kernel());
-            decays = (params[0], params[1]);
+            if cfg.incremental_surrogate {
+                k.with_match_caching()
+            } else {
+                // Benchmarking baseline: reproduce the seed's cost model
+                // (self-similarities recomputed inside every pair
+                // evaluation, no match-structure cache). Bit-identical
+                // values either way.
+                k.without_info_caching()
+            }
+        };
+        let mut surrogate: Surrogate<SskKernel, Vec<u8>> = Surrogate::new(
+            kernel_template,
+            SurrogateConfig {
+                noise: cfg.noise,
+                retrain_every: cfg.retrain_every,
+                incremental: cfg.incremental_surrogate,
+                window: cfg.surrogate_window,
+                train: cfg.train.clone(),
+            },
+        );
+        for record in &history {
+            surrogate.observe(record.tokens.clone(), -record.point.qor);
+        }
+
+        // -- Optimisation loop (lines 6-11).
+        while history.len() < cfg.max_evaluations {
             let incumbent = history
                 .iter()
                 .map(|r| -r.point.qor)
                 .fold(f64::NEG_INFINITY, f64::max);
-
-            // -- Acquisition maximisation (line 8): q candidates via the
-            // constant-liar heuristic. For `q == 1` no lie is ever told
-            // (the liar never clones the GP) and the loop below reduces
-            // exactly to the sequential algorithm.
             let tr = if cfg.use_trust_region {
                 Some((center.tokens.as_slice(), radius))
             } else {
@@ -454,7 +439,14 @@ impl Boils {
                 .batch_size
                 .max(1)
                 .min(cfg.max_evaluations - history.len());
-            let mut liar = ConstantLiar::new(&gp, incumbent);
+
+            // -- Acquisition maximisation (line 8): q candidates via the
+            // constant-liar heuristic against the freshly-synchronised
+            // surrogate. For `q == 1` no lie is ever told (the liar never
+            // clones the GP) and the loop below reduces exactly to the
+            // sequential algorithm.
+            let gp = surrogate.maybe_retrain()?;
+            let mut liar = ConstantLiar::new(gp, incumbent);
             let mut batch: Vec<Vec<u8>> = Vec::with_capacity(q);
             for proposed in 0..q {
                 let model = liar.model();
@@ -494,18 +486,19 @@ impl Boils {
                 }
                 batch.push(candidate);
             }
+            drop(liar);
             self.diagnostics.batches += 1;
 
             // -- Evaluate and update data (line 9): the whole batch goes
             // through the engine as one prefix-aware parallel evaluation;
-            // the constant-liar fantasies above are discarded (`liar` holds
-            // them, `gp` was never touched).
+            // the constant-liar fantasies above are discarded (`liar` held
+            // them, the surrogate's GP was never touched).
             let points = engine.evaluate_grouped(objective, &batch);
             let batch_start = history.len();
             for (tokens, point) in batch.into_iter().zip(points) {
+                surrogate.observe(tokens.clone(), -point.qor);
                 history.push(EvalRecord { tokens, point });
             }
-            evals_since_retrain += history.len() - batch_start;
 
             // -- Trust-region schedule (line 10): the batch is one
             // acquisition decision, so it advances the success/failure
@@ -544,16 +537,15 @@ impl Boils {
                     let tokens = space.sample(&mut rng);
                     if !objective.is_cached(&tokens) {
                         let point = engine.evaluate(objective, std::slice::from_ref(&tokens))[0];
+                        surrogate.observe(tokens.clone(), -point.qor);
                         history.push(EvalRecord { tokens, point });
                         center = history.last().expect("just pushed").clone();
-                        evals_since_retrain += 1;
                     }
                 }
             }
-            if cfg.incremental_surrogate {
-                surrogate = Some((gp, fitted));
-            }
         }
+        self.diagnostics.retrains_at = surrogate.diagnostics().retrains_at.clone();
+        self.diagnostics.surrogate = surrogate.diagnostics().clone();
         Ok(OptimizationResult::from_history(&space, history))
     }
 }

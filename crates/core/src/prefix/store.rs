@@ -57,6 +57,12 @@ const ENTRY_MAGIC: &str = "bps1";
 /// Name of the advisory index file inside the store directory.
 const INDEX_FILE: &str = "index.tsv";
 
+/// Probe-range size above which [`PersistentPrefixStore::longest_prefix`]
+/// batches its per-length filesystem probes into one directory listing.
+/// Below it (the paper's `K = 20` sits well under), a few `ENOENT` probes
+/// beat scanning a shared directory.
+const LISTING_PROBE_THRESHOLD: usize = 32;
+
 /// Mutable state: the in-memory mirror of the on-disk index.
 #[derive(Debug, Default)]
 struct Index {
@@ -228,18 +234,57 @@ impl PersistentPrefixStore {
     /// The longest stored prefix of `tokens` strictly longer than `floor`,
     /// as `(prefix_length, restored_aig)`.
     ///
-    /// Probes from the full length down (a cheap metadata check per
-    /// length; the file is read and validated only on the first hit);
-    /// entries that fail validation are dropped and probing continues
-    /// with the next shorter prefix.
+    /// For probe ranges past `LISTING_PROBE_THRESHOLD` (32) — sequences
+    /// well beyond the paper's `K = 20` — one directory listing per lookup
+    /// decides which prefix lengths have an entry at all (this store's
+    /// in-memory index cannot: entries written by *other processes* since
+    /// open would be invisible to it), then only listed candidates are
+    /// read and validated, longest first — `O(directory)` once instead of
+    /// one filesystem probe per candidate length. Short ranges keep the
+    /// per-length probe: a handful of `ENOENT`s is cheaper than scanning
+    /// a shared cache directory that may hold tens of thousands of
+    /// entries from other circuits and runs. Entries that fail validation
+    /// are dropped and probing continues with the next shorter candidate;
+    /// if the directory cannot be listed, every length is probed directly
+    /// as before. Hit behaviour is identical on both paths.
     pub fn longest_prefix(&self, tokens: &[u8], floor: usize) -> Option<(usize, Aig)> {
+        if tokens.len() <= floor {
+            return None;
+        }
+        let listed = if tokens.len() - floor > LISTING_PROBE_THRESHOLD {
+            self.list_entry_names()
+        } else {
+            None
+        };
         for len in ((floor + 1)..=tokens.len()).rev() {
-            if let Some(aig) = self.load(&tokens[..len]) {
+            let prefix = &tokens[..len];
+            if let Some(listed) = &listed {
+                if !listed.contains(&self.entry_name(prefix)) {
+                    continue;
+                }
+            }
+            if let Some(aig) = self.load(prefix) {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 return Some((len, aig));
             }
         }
         None
+    }
+
+    /// Entry file names currently present for this store's circuit, from
+    /// one directory scan; `None` if the directory cannot be listed (the
+    /// caller falls back to probing each candidate directly).
+    fn list_entry_names(&self) -> Option<std::collections::HashSet<String>> {
+        let circuit_prefix = format!("{:016x}-", self.circuit_hash);
+        let mut names = std::collections::HashSet::new();
+        for entry in fs::read_dir(&self.dir).ok()? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(&circuit_prefix) && name.ends_with(".aig") {
+                names.insert(name);
+            }
+        }
+        Some(names)
     }
 
     /// Loads and validates one entry, without hit accounting. Returns
@@ -554,6 +599,60 @@ mod tests {
         assert_eq!(store_b.stats().disk_corrupt_dropped, 0);
         // And store_a's entry is still intact.
         assert!(store_a.load(&[9]).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn longest_prefix_single_listing_matches_per_length_probing_for_large_k() {
+        // K ≫ 20: the listing-based lookup must hit exactly the same
+        // (length, entry) a per-length probe loop would, across floors,
+        // corrupt entries, and entries written by a *different* store
+        // instance (invisible to this instance's in-memory index).
+        let dir = temp_store_dir("biglisting");
+        let base = random_aig(50, 6, 100, 2);
+        let k = 64usize;
+        let tokens: Vec<u8> = (0..k as u8).map(|i| i % 11).collect();
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        let stored_lens = [3usize, 17, 29, 41, 57];
+        for &len in &stored_lens {
+            store.store(&tokens[..len], &random_aig(60 + len as u64, 6, 50, 2));
+        }
+        // A foreign-process write this instance's index has never seen.
+        {
+            let other = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+            other.store(&tokens[..60], &random_aig(200, 6, 50, 2));
+        }
+        // The exhaustive per-length reference: the longest stored length
+        // not exceeding the query and strictly above the floor.
+        let reference = |query_len: usize, floor: usize| {
+            (floor + 1..=query_len)
+                .rev()
+                .find(|len| stored_lens.contains(len) || *len == 60)
+        };
+        for (query_len, floor) in [(k, 0), (k, 41), (k, 57), (k, 60), (40, 0), (16, 3), (2, 0)] {
+            let got = store.longest_prefix(&tokens[..query_len], floor);
+            match reference(query_len, floor) {
+                Some(expected_len) => {
+                    let (len, _) = got.unwrap_or_else(|| {
+                        panic!("query {query_len}/floor {floor}: expected hit {expected_len}")
+                    });
+                    assert_eq!(len, expected_len, "query {query_len} floor {floor}");
+                }
+                None => assert!(got.is_none(), "query {query_len} floor {floor}"),
+            }
+        }
+        // Corrupting the longest entries must fall through to the next
+        // shorter stored prefix, exactly as per-length probing would.
+        for corrupt_len in [60usize, 57] {
+            let path = dir.join(store.entry_name(&tokens[..corrupt_len]));
+            let mut bytes = fs::read(&path).expect("entry exists");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            fs::write(&path, &bytes).expect("rewrite");
+        }
+        let (len, _) = store.longest_prefix(&tokens, 0).expect("shorter hit");
+        assert_eq!(len, 41, "corrupt 60 and 57 must fall back to 41");
+        assert!(store.stats().disk_corrupt_dropped >= 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -3,7 +3,7 @@
 //! exponential kernel instead of the SSK, and no trust region — isolating
 //! the contribution of the sequence-aware machinery.
 
-use boils_gp::{expected_improvement, ConstantLiar, Gp, TrainConfig};
+use boils_gp::{expected_improvement, ConstantLiar, Surrogate, SurrogateConfig, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,6 +40,12 @@ pub struct SboConfig {
     /// `O(n²)` instead of refitting from scratch (see
     /// [`BoilsConfig::incremental_surrogate`](crate::BoilsConfig)).
     pub incremental_surrogate: bool,
+    /// Bounded-history surrogate window (see
+    /// [`BoilsConfig::surrogate_window`](crate::BoilsConfig)): `Some(w)`
+    /// caps the GP training set at `w` observations with
+    /// incumbent-pinned oldest-first eviction; `None` trains on the full
+    /// history.
+    pub surrogate_window: Option<usize>,
     /// Adam settings for kernel training.
     pub train: TrainConfig,
     /// GP observation noise.
@@ -63,6 +69,7 @@ impl Default for SboConfig {
             batch_size: 1,
             retrain_every: 5,
             incremental_surrogate: true,
+            surrogate_window: None,
             train: TrainConfig {
                 steps: 15,
                 ..TrainConfig::default()
@@ -138,55 +145,25 @@ impl Sbo {
             history.push(EvalRecord { tokens, point });
         }
 
-        let mut params: Option<Vec<f64>> = None;
-        // Carried surrogate: `(gp, fitted)` as in `Boils::run` — extended
-        // by new observations on non-retrain iterations instead of
-        // rebuilding the one-hot design matrix and refitting from scratch.
-        let mut surrogate: Option<(Gp<IsotropicSe, Vec<f64>>, usize)> = None;
-        // Evaluations-since-retrain pacing, as in `Boils::run` (a modulo
-        // test on the history length skips retrains once iterations append
-        // more than one record).
-        let mut evals_since_retrain = 0usize;
-        let mut first_iteration = true;
+        // The shared surrogate subsystem (see `Boils::run`): it owns the
+        // evals-since-retrain cadence, the carried hyperparameters, the
+        // O(n²) factor extensions between retrains, and the optional
+        // sliding window — here over the one-hot embeddings the SE kernel
+        // actually sees.
+        let mut surrogate: Surrogate<IsotropicSe, Vec<f64>> = Surrogate::new(
+            isotropic_kernel(),
+            SurrogateConfig {
+                noise: cfg.noise,
+                retrain_every: cfg.retrain_every,
+                incremental: cfg.incremental_surrogate,
+                window: cfg.surrogate_window,
+                train: cfg.train.clone(),
+            },
+        );
+        for record in &history {
+            surrogate.observe(one_hot(&record.tokens, space.alphabet()), -record.point.qor);
+        }
         while history.len() < cfg.max_evaluations {
-            let retrain = first_iteration || evals_since_retrain >= cfg.retrain_every.max(1);
-            if retrain {
-                evals_since_retrain = 0;
-                self.diagnostics.retrains_at.push(history.len());
-            }
-            first_iteration = false;
-            let carried = if cfg.incremental_surrogate && !retrain {
-                surrogate.take()
-            } else {
-                None
-            };
-            let gp: Gp<IsotropicSe, Vec<f64>> = match carried {
-                Some((mut gp, fitted)) => {
-                    for record in &history[fitted..] {
-                        gp = gp
-                            .extend(one_hot(&record.tokens, space.alphabet()), -record.point.qor)?;
-                    }
-                    gp
-                }
-                None => {
-                    let xs: Vec<Vec<f64>> = history
-                        .iter()
-                        .map(|r| one_hot(&r.tokens, space.alphabet()))
-                        .collect();
-                    let ys: Vec<f64> = history.iter().map(|r| -r.point.qor).collect();
-                    let mut kernel = isotropic_kernel();
-                    if let Some(p) = &params {
-                        boils_gp::Kernel::<[f64]>::set_params(&mut kernel, p);
-                    }
-                    if retrain {
-                        Gp::fit_with_adam(kernel, xs, ys, cfg.noise, &cfg.train)?
-                    } else {
-                        Gp::fit(kernel, xs, ys, cfg.noise)?
-                    }
-                }
-            };
-            let fitted = history.len();
-            params = Some(boils_gp::Kernel::<[f64]>::params(gp.kernel()));
             let incumbent = history
                 .iter()
                 .map(|r| -r.point.qor)
@@ -198,7 +175,8 @@ impl Sbo {
                 .batch_size
                 .max(1)
                 .min(cfg.max_evaluations - history.len());
-            let mut liar = ConstantLiar::new(&gp, incumbent);
+            let gp = surrogate.maybe_retrain()?;
+            let mut liar = ConstantLiar::new(gp, incumbent);
             let mut batch: Vec<Vec<u8>> = Vec::with_capacity(q);
             for proposed in 0..q {
                 let model = liar.model();
@@ -228,17 +206,16 @@ impl Sbo {
                 }
                 batch.push(candidate);
             }
+            drop(liar);
             self.diagnostics.batches += 1;
             let points = engine.evaluate_grouped(objective, &batch);
-            let batch_start = history.len();
             for (tokens, point) in batch.into_iter().zip(points) {
+                surrogate.observe(one_hot(&tokens, space.alphabet()), -point.qor);
                 history.push(EvalRecord { tokens, point });
             }
-            evals_since_retrain += history.len() - batch_start;
-            if cfg.incremental_surrogate {
-                surrogate = Some((gp, fitted));
-            }
         }
+        self.diagnostics.retrains_at = surrogate.diagnostics().retrains_at.clone();
+        self.diagnostics.surrogate = surrogate.diagnostics().clone();
         Ok(OptimizationResult::from_history(&space, history))
     }
 }

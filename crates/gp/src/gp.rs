@@ -75,6 +75,9 @@ pub struct Gp<K, X> {
 /// pair is evaluated once and mirrored, and per-point summaries are
 /// computed once instead of inside every pair — for a normalised string
 /// kernel this cuts an `n²` fill from `3n²` to `n(n+1)/2 + n` DP runs.
+/// Pairs go through [`Kernel::eval_training`], so kernels with a
+/// per-pair-structure cache serve repeated fills (every Adam step of a
+/// retrain) from it.
 fn build_gram<K, X>(kernel: &K, x: &[X], infos: &[f64], noise: f64) -> Matrix
 where
     K: Kernel<X>,
@@ -82,14 +85,24 @@ where
     let n = x.len();
     let mut gram = Matrix::zeros(n, n);
     for i in 0..n {
-        gram[(i, i)] = kernel.eval_with_info(&x[i], infos[i], &x[i], infos[i]) + noise;
+        gram[(i, i)] = kernel.eval_training(&x[i], infos[i], &x[i], infos[i]) + noise;
         for j in (i + 1)..n {
-            let v = kernel.eval_with_info(&x[i], infos[i], &x[j], infos[j]);
+            let v = kernel.eval_training(&x[i], infos[i], &x[j], infos[j]);
             gram[(i, j)] = v;
             gram[(j, i)] = v;
         }
     }
     gram
+}
+
+/// Which path produced an incrementally-updated GP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The `O(n²)` factor extension/downdate succeeded.
+    Incremental,
+    /// The incremental update failed numerically; the model came from the
+    /// `O(n³)` full-refit fallback (which can escalate jitter).
+    Refitted,
 }
 
 fn mean_std(y: &[f64]) -> (f64, f64) {
@@ -156,17 +169,37 @@ where
     /// # Errors
     ///
     /// Returns an error only if the fallback full refit also fails.
-    pub fn extend(mut self, x_new: X, y_new: f64) -> Result<Gp<K, X>, NotPositiveDefiniteError> {
+    pub fn extend(self, x_new: X, y_new: f64) -> Result<Gp<K, X>, NotPositiveDefiniteError> {
+        self.extend_with_outcome(x_new, y_new).map(|(gp, _)| gp)
+    }
+
+    /// [`Gp::extend`], additionally reporting which path ran:
+    /// [`UpdateOutcome::Incremental`] for the `O(n²)` factor extension,
+    /// [`UpdateOutcome::Refitted`] when the extension's pivot failed and
+    /// the `O(n³)` full-refit fallback (which can escalate jitter)
+    /// produced the model instead. Callers tracking surrogate health
+    /// (e.g. [`crate::SurrogateDiagnostics`]) count the fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the fallback full refit also fails.
+    pub fn extend_with_outcome(
+        mut self,
+        x_new: X,
+        y_new: f64,
+    ) -> Result<(Gp<K, X>, UpdateOutcome), NotPositiveDefiniteError> {
         let info_new = self.kernel.self_info(&x_new);
+        // `x_new` joins the training set: these pairs recur in the next
+        // retrain's Gram fills, so route them through the training path.
         let off_diag: Vec<f64> = self
             .x
             .iter()
             .zip(&self.infos)
-            .map(|(xi, &ii)| self.kernel.eval_with_info(xi, ii, &x_new, info_new))
+            .map(|(xi, &ii)| self.kernel.eval_training(xi, ii, &x_new, info_new))
             .collect();
         let diag = self
             .kernel
-            .eval_with_info(&x_new, info_new, &x_new, info_new)
+            .eval_training(&x_new, info_new, &x_new, info_new)
             + self.noise;
         match self.chol.extend(&off_diag, diag) {
             Ok(chol) => {
@@ -177,14 +210,17 @@ where
                 let standardised: Vec<f64> =
                     self.y_raw.iter().map(|v| (v - y_mean) / y_std).collect();
                 let alpha = chol.solve(&standardised);
-                Ok(Gp {
-                    chol,
-                    alpha,
-                    y: standardised,
-                    y_mean,
-                    y_std,
-                    ..self
-                })
+                Ok((
+                    Gp {
+                        chol,
+                        alpha,
+                        y: standardised,
+                        y_mean,
+                        y_std,
+                        ..self
+                    },
+                    UpdateOutcome::Incremental,
+                ))
             }
             Err(_) => {
                 let Gp {
@@ -196,7 +232,70 @@ where
                 } = self;
                 x.push(x_new);
                 y_raw.push(y_new);
-                Gp::fit(kernel, x, y_raw, noise)
+                Gp::fit(kernel, x, y_raw, noise).map(|gp| (gp, UpdateOutcome::Refitted))
+            }
+        }
+    }
+
+    /// Removes the training point at `index` in `O(n²)` instead of
+    /// refitting the reduced data set in `O(n³)`: the stored factor is
+    /// downdated ([`Cholesky::downdate`]), the point's input/summary/target
+    /// are dropped, and the remaining targets are restandardised. The dual
+    /// of [`Gp::extend`] — together they give a sliding-window surrogate
+    /// whose per-step cost is bounded by the window, not the history.
+    ///
+    /// The downdated model agrees with [`Gp::fit`] on the retained points
+    /// to rounding (the Givens rotations reassociate the arithmetic; see
+    /// [`Cholesky::downdate`]), so unlike `extend` this path is *not*
+    /// bit-identical to a from-scratch fit. If the downdate fails
+    /// numerically, falls back to a full refit on the retained points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the fallback full refit also fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or only one training point
+    /// remains.
+    pub fn downdate(
+        mut self,
+        index: usize,
+    ) -> Result<(Gp<K, X>, UpdateOutcome), NotPositiveDefiniteError> {
+        assert!(index < self.x.len(), "downdate index out of bounds");
+        assert!(self.x.len() > 1, "cannot downdate the last training point");
+        match self.chol.downdate(index) {
+            Ok(chol) => {
+                self.x.remove(index);
+                self.infos.remove(index);
+                self.y_raw.remove(index);
+                let (y_mean, y_std) = mean_std(&self.y_raw);
+                let standardised: Vec<f64> =
+                    self.y_raw.iter().map(|v| (v - y_mean) / y_std).collect();
+                let alpha = chol.solve(&standardised);
+                Ok((
+                    Gp {
+                        chol,
+                        alpha,
+                        y: standardised,
+                        y_mean,
+                        y_std,
+                        ..self
+                    },
+                    UpdateOutcome::Incremental,
+                ))
+            }
+            Err(_) => {
+                let Gp {
+                    kernel,
+                    noise,
+                    mut x,
+                    mut y_raw,
+                    ..
+                } = self;
+                x.remove(index);
+                y_raw.remove(index);
+                Gp::fit(kernel, x, y_raw, noise).map(|gp| (gp, UpdateOutcome::Refitted))
             }
         }
     }

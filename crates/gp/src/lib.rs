@@ -33,10 +33,12 @@ mod kernel;
 mod linalg;
 mod qei;
 mod ssk;
+mod surrogate;
 
 pub use crate::acquisition::{erf, expected_improvement, normal_cdf, normal_pdf};
-pub use crate::gp::{sample_gaussian, standard_normal, Gp, TrainConfig};
+pub use crate::gp::{sample_gaussian, standard_normal, Gp, TrainConfig, UpdateOutcome};
 pub use crate::kernel::{Kernel, SquaredExponential};
 pub use crate::linalg::{Cholesky, Matrix, NotPositiveDefiniteError};
 pub use crate::qei::{qei_monte_carlo, ConstantLiar};
-pub use crate::ssk::SskKernel;
+pub use crate::ssk::{MatchState, MatchStore, MatchStoreStats, SskKernel};
+pub use crate::surrogate::{Surrogate, SurrogateConfig, SurrogateDiagnostics};

@@ -260,6 +260,82 @@ impl Cholesky {
         })
     }
 
+    /// Removes row and column `index` from the factored matrix in `O(n²)`:
+    /// the factor of the `(n−1)×(n−1)` principal submatrix of `A` with that
+    /// row/column deleted — the rank-1 *downdate* dual of
+    /// [`Cholesky::extend`].
+    ///
+    /// Deleting row `index` of `L` leaves an `(n−1)×n` lower-Hessenberg
+    /// matrix `H` with `H·Hᵀ` equal to the reduced matrix; a sweep of
+    /// Givens rotations over column pairs `(j, j+1)` for `j ≥ index`
+    /// restores lower-triangularity while preserving `H·Hᵀ` (rotations are
+    /// orthogonal), so the result is a genuine Cholesky factor of the
+    /// reduced matrix at the same effective jitter. Unlike `extend`, the
+    /// restored factor agrees with a from-scratch factorisation only to
+    /// rounding (the rotations reassociate the arithmetic) — ≤ 1e-8 under
+    /// the property tests, not bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if a restored diagonal pivot
+    /// vanishes or goes non-finite (numerically semi-definite input); the
+    /// caller should fall back to a full factorisation, mirroring the
+    /// [`Cholesky::extend`] failure contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn downdate(&self, index: usize) -> Result<Cholesky, NotPositiveDefiniteError> {
+        let n = self.l.rows();
+        assert!(index < n, "downdate index {index} out of bounds for {n}");
+        // Copy L without row `index`. Rows below it keep one entry past
+        // their (new) diagonal, in column new-row-index + 1.
+        let mut h = Matrix::zeros(n - 1, n);
+        for i in 0..n {
+            if i == index {
+                continue;
+            }
+            let dst = if i < index { i } else { i - 1 };
+            for j in 0..=i {
+                h[(dst, j)] = self.l[(i, j)];
+            }
+        }
+        // Givens sweep: zero the super-diagonal entry of each row from
+        // `index` down, rotating the same column pair in every later row.
+        for j in index..n.saturating_sub(1) {
+            let a = h[(j, j)];
+            let b = h[(j, j + 1)];
+            let r = a.hypot(b);
+            if r <= 0.0 || !r.is_finite() {
+                return Err(NotPositiveDefiniteError { pivot: j });
+            }
+            let (c, s) = (a / r, b / r);
+            h[(j, j)] = r;
+            h[(j, j + 1)] = 0.0;
+            for i in (j + 1)..(n - 1) {
+                let (u, v) = (h[(i, j)], h[(i, j + 1)]);
+                h[(i, j)] = c * u + s * v;
+                h[(i, j + 1)] = c * v - s * u;
+            }
+        }
+        let l = Matrix::from_fn(n - 1, n - 1, |i, j| if j <= i { h[(i, j)] } else { 0.0 });
+        Ok(Cholesky {
+            l,
+            jitter: self.jitter,
+        })
+    }
+
+    /// Drops the oldest observation — row/column 0 — in `O(n²)`: the
+    /// sliding-window step for bounded-history surrogates (evict the
+    /// front, [`Cholesky::extend`] at the back).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cholesky::downdate`].
+    pub fn shift_window(&self) -> Result<Cholesky, NotPositiveDefiniteError> {
+        self.downdate(0)
+    }
+
     /// Solves `A x = b` by forward/backward substitution.
     ///
     /// # Panics
@@ -401,6 +477,97 @@ mod tests {
         // first basis vector repeated.
         assert!(c.extend(&[1.0, 0.0, 0.0], 1.0).is_err());
         assert!(c.extend(&[0.3, 0.2, 0.1], 2.0).is_ok());
+    }
+
+    /// A reproducible SPD matrix for the downdate tests.
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| {
+            (((i * n + j) as f64 + seed as f64) * 0.37).sin()
+        });
+        let mut a = b.transpose().mul(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn downdate_matches_refactorisation_at_every_index() {
+        let n = 6;
+        let a = spd(n, 3);
+        let full = Cholesky::new(&a, 1e-9).expect("spd");
+        for drop in 0..n {
+            let keep: Vec<usize> = (0..n).filter(|&i| i != drop).collect();
+            let reduced = Matrix::from_fn(n - 1, n - 1, |i, j| a[(keep[i], keep[j])]);
+            let direct = Cholesky::new(&reduced, 1e-9).expect("spd");
+            let down = full.downdate(drop).expect("principal submatrix stays pd");
+            for i in 0..n - 1 {
+                for j in 0..=i {
+                    assert!(
+                        (down.l()[(i, j)] - direct.l()[(i, j)]).abs() < 1e-10,
+                        "drop {drop}: L[{i},{j}] {} vs {}",
+                        down.l()[(i, j)],
+                        direct.l()[(i, j)]
+                    );
+                }
+            }
+            assert_eq!(down.effective_jitter(), direct.effective_jitter());
+        }
+    }
+
+    #[test]
+    fn shift_window_drops_the_oldest_row() {
+        let a = spd(5, 11);
+        let full = Cholesky::new(&a, 1e-9).expect("spd");
+        let shifted = full.shift_window().expect("pd");
+        let manual = full.downdate(0).expect("pd");
+        for i in 0..4 {
+            for j in 0..=i {
+                assert_eq!(shifted.l()[(i, j)], manual.l()[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_undoes_extend() {
+        // Extending by a row and then downdating it must recover the
+        // original factor (the last row/column removal needs no rotation,
+        // so this direction is exact).
+        let a = spd(4, 7);
+        let base = Cholesky::new(&a, 1e-9).expect("spd");
+        let off = vec![0.3, -0.2, 0.5, 0.1];
+        let grown = base.extend(&off, 6.0).expect("pd");
+        let back = grown.downdate(4).expect("pd");
+        for i in 0..4 {
+            for j in 0..=i {
+                assert_eq!(back.l()[(i, j)], base.l()[(i, j)], "L[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_solves_the_reduced_system() {
+        let n = 7;
+        let a = spd(n, 19);
+        let full = Cholesky::new(&a, 0.0).expect("spd");
+        let drop = 3;
+        let keep: Vec<usize> = (0..n).filter(|&i| i != drop).collect();
+        let down = full.downdate(drop).expect("pd");
+        let b: Vec<f64> = keep.iter().map(|&i| (i as f64 * 0.7).cos()).collect();
+        let x = down.solve(&b);
+        // Check A' x = b against the reduced matrix directly.
+        for (row, &i) in keep.iter().enumerate() {
+            let lhs: f64 = keep
+                .iter()
+                .enumerate()
+                .map(|(col, &j)| a[(i, j)] * x[col])
+                .sum();
+            assert!(
+                (lhs - b[row]).abs() < 1e-8,
+                "row {row}: {lhs} vs {}",
+                b[row]
+            );
+        }
     }
 
     #[test]

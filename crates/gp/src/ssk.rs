@@ -12,6 +12,10 @@
 //! cross-checks it in the tests (including the paper's Table I).
 
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use crate::kernel::Kernel;
 
@@ -38,6 +42,243 @@ impl SskScratch {
 
 thread_local! {
     static SCRATCH: RefCell<SskScratch> = RefCell::new(SskScratch::default());
+}
+
+/// The decay-parameter-independent structure of one `(s, t)` pair: which
+/// `(i, j)` cells match, and the highest matching order any sub-sequence
+/// attains (capped at the kernel's ℓ).
+///
+/// The SSK DP interleaves two ingredients: the *token-match structure*
+/// (fixed for a pair of sequences) and the *decay weights* `θ_m`, `θ_g`
+/// (changed by every Adam step during hyperparameter training). This type
+/// captures the first ingredient once, so repeated evaluations of the same
+/// pair at different decays — a retrain runs dozens of Gram fills over the
+/// same training set — only pay the cheap decay-dependent contraction
+/// (training-pair evaluations consult the kernel's [`MatchStore`]; see
+/// [`Kernel::eval_training`]). The contraction reproduces the full DP's
+/// arithmetic operation-for-operation, so values are **bit-identical** to
+/// the uncached path.
+#[derive(Debug)]
+pub struct MatchState {
+    rows: usize,
+    cols: usize,
+    /// CSR-style row offsets into `match_cols` (`rows + 1` entries).
+    row_offsets: Vec<u32>,
+    /// Matching column indices, sorted within each row.
+    match_cols: Vec<u32>,
+    /// The highest order `p` for which an order-`p` matching exists,
+    /// capped at the kernel's ℓ; `0` when the pair shares no token.
+    max_order: usize,
+}
+
+impl MatchState {
+    /// Builds the match structure of `(s, t)` with orders capped at `ell`.
+    fn build(s: &[u8], t: &[u8], ell: usize) -> MatchState {
+        let (n, m) = (s.len(), t.len());
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut match_cols: Vec<u32> = Vec::new();
+        row_offsets.push(0u32);
+        for &si in s {
+            for (j, &tj) in t.iter().enumerate() {
+                if si == tj {
+                    match_cols.push(j as u32);
+                }
+            }
+            row_offsets.push(match_cols.len() as u32);
+        }
+        let mut state = MatchState {
+            rows: n,
+            cols: m,
+            row_offsets,
+            match_cols,
+            max_order: 0,
+        };
+        state.max_order = state.compute_max_order(ell);
+        state
+    }
+
+    /// Matching column indices of row `i`.
+    fn cols_of(&self, i: usize) -> &[u32] {
+        &self.match_cols[self.row_offsets[i] as usize..self.row_offsets[i + 1] as usize]
+    }
+
+    /// The highest matching order, by a boolean strict-dominance DP: an
+    /// order-`p+1` matching ends at `(i, j)` iff `(i, j)` matches and some
+    /// order-`p` matching ends strictly above-left of it.
+    fn compute_max_order(&self, ell: usize) -> usize {
+        if self.match_cols.is_empty() || ell == 0 {
+            return 0;
+        }
+        let (n, m) = (self.rows, self.cols);
+        let mut cur = vec![false; n * m];
+        for i in 0..n {
+            for &j in self.cols_of(i) {
+                cur[i * m + j as usize] = true;
+            }
+        }
+        let mut order = 1;
+        let mut dom = vec![false; n * m];
+        while order < ell {
+            for i in 0..n {
+                for j in 0..m {
+                    let mut v = cur[i * m + j];
+                    if i > 0 {
+                        v |= dom[(i - 1) * m + j];
+                    }
+                    if j > 0 {
+                        v |= dom[i * m + j - 1];
+                    }
+                    dom[i * m + j] = v;
+                }
+            }
+            let mut any = false;
+            let mut next = vec![false; n * m];
+            for i in 1..n {
+                for &j in self.cols_of(i) {
+                    let j = j as usize;
+                    if j > 0 && dom[(i - 1) * m + (j - 1)] {
+                        next[i * m + j] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            order += 1;
+            cur = next;
+        }
+        order
+    }
+}
+
+/// Counters describing a [`MatchStore`]'s effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStoreStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to build a fresh [`MatchState`].
+    pub misses: usize,
+    /// Whole-shard clears triggered by the per-shard capacity bound.
+    pub shard_clears: usize,
+}
+
+/// Number of lock shards in a [`MatchStore`].
+const MATCH_STORE_SHARDS: usize = 16;
+
+/// Default total [`MatchState`] capacity of a [`MatchStore`]: comfortably
+/// above the `n(n+1)/2` training pairs of a paper-scale run (`n = 200` →
+/// ~20k) so every retrain after the first finds the whole Gram's match
+/// structure resident; a full store is ~25 MiB at `K = 20`.
+const DEFAULT_MATCH_STORE_CAPACITY: usize = 65_536;
+
+/// One lock shard: flat pair key → cached match structure.
+type MatchShard = RwLock<HashMap<Box<[u8]>, Arc<MatchState>>>;
+
+/// A sharded, bounded cache of [`MatchState`]s keyed by the ordered
+/// sequence pair.
+///
+/// Shared (via `Arc`) by every clone of a [`SskKernel`] created with
+/// [`SskKernel::with_match_caching`], so the scratch kernels a trainer
+/// clones per objective evaluation all reuse one store. Only training
+/// pairs enter ([`Kernel::eval_training`]), so at a paper-scale budget
+/// the store stabilises at the Gram's `n(n+1)/2` pairs and every retrain
+/// after the first starts warm. Eviction is coarse: when a shard reaches
+/// its capacity share, it is cleared — the states are cheap to rebuild,
+/// and the reuse that matters (dozens of Gram fills over the same
+/// training pairs within one retrain, and the same pairs again at the
+/// next retrain) sits well inside the default bound.
+#[derive(Debug)]
+pub struct MatchStore {
+    shards: Vec<MatchShard>,
+    shard_capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    shard_clears: AtomicUsize,
+}
+
+/// One flat key for the ordered pair `(s, t)`: `|s|` as little-endian
+/// `u32`, then `s`, then `t` (unambiguous, single allocation per lookup).
+fn pair_key(s: &[u8], t: &[u8]) -> Box<[u8]> {
+    let mut key = Vec::with_capacity(4 + s.len() + t.len());
+    key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    key.extend_from_slice(s);
+    key.extend_from_slice(t);
+    key.into_boxed_slice()
+}
+
+impl MatchStore {
+    /// An empty store with the default capacity.
+    pub fn new() -> MatchStore {
+        MatchStore::with_capacity(DEFAULT_MATCH_STORE_CAPACITY)
+    }
+
+    /// An empty store bounded at roughly `capacity` cached pairs.
+    pub fn with_capacity(capacity: usize) -> MatchStore {
+        MatchStore {
+            shards: (0..MATCH_STORE_SHARDS).map(|_| RwLock::default()).collect(),
+            shard_capacity: capacity.div_ceil(MATCH_STORE_SHARDS).max(1),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            shard_clears: AtomicUsize::new(0),
+        }
+    }
+
+    /// Cache-effectiveness counters.
+    pub fn stats(&self) -> MatchStoreStats {
+        MatchStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            shard_clears: self.shard_clears.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached pairs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("match store shard").len())
+            .sum()
+    }
+
+    /// Whether the store holds no cached pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// The cached match structure of `(s, t)`, built (and cached) on miss.
+    fn get_or_build(&self, s: &[u8], t: &[u8], ell: usize) -> Arc<MatchState> {
+        let key = pair_key(s, t);
+        let shard = &self.shards[self.shard_of(&key)];
+        {
+            let map = shard.read().expect("match store shard");
+            if let Some(state) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(state);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(MatchState::build(s, t, ell));
+        let mut map = shard.write().expect("match store shard");
+        if map.len() >= self.shard_capacity {
+            map.clear();
+            self.shard_clears.fetch_add(1, Ordering::Relaxed);
+        }
+        map.insert(key, Arc::clone(&state));
+        state
+    }
+}
+
+impl Default for MatchStore {
+    fn default() -> Self {
+        MatchStore::new()
+    }
 }
 
 /// `k(s,t) / √(k(s,s)·k(t,t))`, with the degenerate-sequence convention
@@ -73,6 +314,11 @@ pub struct SskKernel {
     /// pair evaluation — the seed implementation's cost model, kept as a
     /// benchmarking baseline. Values are bit-identical either way.
     cache_self_info: bool,
+    /// Optional shared cache of per-pair [`MatchState`]s (see
+    /// [`SskKernel::with_match_caching`]); decays are *not* part of the
+    /// key — the cached structure is parameter-independent by
+    /// construction, so [`Kernel::set_params`] never invalidates it.
+    match_store: Option<Arc<MatchStore>>,
 }
 
 impl SskKernel {
@@ -90,7 +336,34 @@ impl SskKernel {
             gap_decay: 0.5,
             normalize: true,
             cache_self_info: true,
+            match_store: None,
         }
+    }
+
+    /// Attaches a fresh [`MatchStore`]: every **training-pair** evaluation
+    /// ([`Kernel::eval_training`] — Gram fills, marginal-likelihood
+    /// objectives, factor extensions) first consults the cache for the
+    /// pair's decay-independent [`MatchState`] and then runs only the
+    /// decay-dependent contraction. Values are bit-identical to the
+    /// uncached DP; the win is that hyperparameter retrains — whose Adam
+    /// steps rebuild the Gram over the *same* training pairs at different
+    /// decays, dozens of times — stop re-deriving the token-match
+    /// structure from scratch on every fill. Prediction-path evaluations
+    /// ([`Kernel::eval_with_info`]) deliberately bypass the store: their
+    /// probe pairs are one-shot, so caching them would cost structure
+    /// builds that are never reused and would churn the training entries
+    /// out of the bounded shards.
+    ///
+    /// Clones of the kernel (e.g. the per-evaluation copies a trainer
+    /// makes) share the store.
+    pub fn with_match_caching(mut self) -> SskKernel {
+        self.match_store = Some(Arc::new(MatchStore::new()));
+        self
+    }
+
+    /// The attached match-structure cache, if any.
+    pub fn match_store(&self) -> Option<&MatchStore> {
+        self.match_store.as_deref()
     }
 
     /// Disables per-point self-similarity caching: every pair evaluation
@@ -149,6 +422,116 @@ impl SskKernel {
             scratch.reserve(n * m);
             self.eval_raw_in(s, t, scratch)
         })
+    }
+
+    /// [`SskKernel::eval_raw`] through the attached [`MatchStore`]:
+    /// fetches (building on first sight) the pair's decay-independent
+    /// match structure and runs only the decay-dependent contraction.
+    /// Bit-identical to the dense DP; reserved for *training* pairs
+    /// ([`Kernel::eval_training`]), which recur across the Adam steps of
+    /// a retrain and across retrains — one-shot prediction pairs would
+    /// pay the structure build without ever reusing it.
+    fn eval_raw_cached(&self, store: &MatchStore, s: &[u8], t: &[u8]) -> f64 {
+        let (n, m) = (s.len(), t.len());
+        if n == 0 || m == 0 {
+            return 0.0;
+        }
+        let state = store.get_or_build(s, t, self.max_subsequence);
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.reserve(n * m);
+            self.eval_raw_with_state(&state, scratch)
+        })
+    }
+
+    /// The decay-dependent contraction over a cached [`MatchState`]: the
+    /// same dynamic programme as [`SskKernel::eval_raw_in`], but the match
+    /// planes are filled sparsely from the cached match positions (writing
+    /// and accumulating in the identical row-major order — skipping an
+    /// exact `+0.0` never changes a non-negative sum's bits) and the order
+    /// loop is capped at the cached maximum matching order, skipping the
+    /// one trailing all-zero plane the dense code computes only to add
+    /// `0.0`. Values are therefore bit-identical to the full DP.
+    fn eval_raw_with_state(&self, state: &MatchState, scratch: &mut SskScratch) -> f64 {
+        let (n, m) = (state.rows, state.cols);
+        if state.max_order == 0 {
+            return 0.0;
+        }
+        let tm2 = self.match_decay * self.match_decay;
+        let g = self.gap_decay;
+        let g2 = g * g;
+        let cells = n * m;
+        let mut m_cur = &mut scratch.m_cur[..cells];
+        let mut m_next = &mut scratch.m_next[..cells];
+        let prefix = &mut scratch.prefix[..cells];
+        let mut total = 0.0;
+        // Order-1 matchings, sparse: zero the plane, then drop `tm2` at
+        // every cached match, accumulating the plane sum in the same
+        // row-major order as the dense fill + `iter().sum()`.
+        m_cur.fill(0.0);
+        let mut plane: f64 = 0.0;
+        for i in 0..n {
+            let row = &mut m_cur[i * m..(i + 1) * m];
+            for &j in state.cols_of(i) {
+                row[j as usize] = tm2;
+                plane += tm2;
+            }
+        }
+        total += plane;
+        for _ in 1..self.max_subsequence.min(state.max_order) {
+            // Guard against float underflow to an exactly-zero plane (the
+            // dense path's only data-dependent early exit).
+            if plane == 0.0 {
+                break;
+            }
+            // Dense geometric 2-D prefix sum — identical to the uncached
+            // path (every cell feeds cells below/right, match or not).
+            {
+                let mut left = 0.0;
+                for j in 0..m {
+                    let v = m_cur[j] + g * left;
+                    prefix[j] = v;
+                    left = v;
+                }
+            }
+            for i in 1..n {
+                let (done, rest) = prefix.split_at_mut(i * m);
+                let prev_row = &done[(i - 1) * m..];
+                let cur_row = &mut rest[..m];
+                let src = &m_cur[i * m..(i + 1) * m];
+                let mut diag = prev_row[0];
+                let mut left = src[0] + g * diag;
+                cur_row[0] = left;
+                for j in 1..m {
+                    let up = prev_row[j];
+                    let v = src[j] + g * up + g * left - g2 * diag;
+                    cur_row[j] = v;
+                    left = v;
+                    diag = up;
+                }
+            }
+            // Extension, sparse: only cached matches with i ≥ 1, j ≥ 1 can
+            // extend a shorter matching; everything else is an exact zero.
+            plane = 0.0;
+            m_next[..m].fill(0.0);
+            for i in 1..n {
+                let prev_prefix = &prefix[(i - 1) * m..i * m];
+                let row = &mut m_next[i * m..(i + 1) * m];
+                row.fill(0.0);
+                for &j in state.cols_of(i) {
+                    let j = j as usize;
+                    if j == 0 {
+                        continue;
+                    }
+                    let v = tm2 * prev_prefix[j - 1];
+                    row[j] = v;
+                    plane += v;
+                }
+            }
+            std::mem::swap(&mut m_cur, &mut m_next);
+            total += plane;
+        }
+        total
     }
 
     fn eval_raw_in(&self, s: &[u8], t: &[u8], scratch: &mut SskScratch) -> f64 {
@@ -273,6 +656,10 @@ impl Kernel<Vec<u8>> for SskKernel {
         Kernel::<[u8]>::eval_with_info(self, a, info_a, b, info_b)
     }
 
+    fn eval_training(&self, a: &Vec<u8>, info_a: f64, b: &Vec<u8>, info_b: f64) -> f64 {
+        Kernel::<[u8]>::eval_training(self, a, info_a, b, info_b)
+    }
+
     fn params(&self) -> Vec<f64> {
         Kernel::<[u8]>::params(self)
     }
@@ -312,6 +699,25 @@ impl Kernel<[u8]> for SskKernel {
             return Kernel::<[u8]>::eval(self, a, b);
         }
         let raw = self.eval_raw(a, b);
+        if !self.normalize {
+            return raw;
+        }
+        normalized(raw, info_a, info_b, a == b)
+    }
+
+    /// Training pairs go through the [`MatchStore`] when one is attached
+    /// (see [`SskKernel::with_match_caching`]); bit-identical to
+    /// [`Kernel::eval_with_info`] either way.
+    fn eval_training(&self, a: &[u8], info_a: f64, b: &[u8], info_b: f64) -> f64 {
+        let Some(store) = &self.match_store else {
+            return self.eval_with_info(a, info_a, b, info_b);
+        };
+        if !self.cache_self_info {
+            // `without_info_caching` is the seed-cost-model baseline; it
+            // never carries a store, but stay correct if combined.
+            return Kernel::<[u8]>::eval(self, a, b);
+        }
+        let raw = self.eval_raw_cached(store, a, b);
         if !self.normalize {
             return raw;
         }
@@ -465,5 +871,138 @@ mod tests {
         assert_eq!(k.eval_raw(&[], &[1, 2]), 0.0);
         assert_eq!(k.eval(&[][..], &[][..]), 1.0); // identical → similarity 1
         assert_eq!(k.eval(&[][..], &[1][..]), 0.0);
+        // The cached training path shares the degenerate conventions.
+        let cached = SskKernel::new(3).with_match_caching();
+        let train = |k: &SskKernel, a: &[u8], b: &[u8]| {
+            let (ia, ib) = (
+                Kernel::<[u8]>::self_info(k, a),
+                Kernel::<[u8]>::self_info(k, b),
+            );
+            Kernel::<[u8]>::eval_training(k, a, ia, b, ib)
+        };
+        assert_eq!(train(&cached, &[], &[]), 1.0);
+        assert_eq!(train(&cached, &[], &[1]), 0.0);
+    }
+
+    /// `eval_training` with both points' `self_info` summaries — the call
+    /// shape of a Gram fill.
+    fn training_eval(k: &SskKernel, s: &[u8], t: &[u8]) -> f64 {
+        let (is, it) = (
+            Kernel::<[u8]>::self_info(k, s),
+            Kernel::<[u8]>::self_info(k, t),
+        );
+        Kernel::<[u8]>::eval_training(k, s, is, t, it)
+    }
+
+    #[test]
+    fn match_cached_contraction_is_bit_identical_to_the_full_dp() {
+        let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (vec![0, 1, 2, 3, 2, 4, 0], vec![0, 1, 2, 5, 3, 4, 0]),
+            (vec![3, 3, 3], vec![3, 3]),
+            (vec![0, 1], vec![2, 3]), // disjoint: zero value
+            (vec![1, 2, 3, 4, 2, 1], vec![4, 3, 2, 1, 2, 3]),
+            (vec![5], vec![5]),
+            (vec![0, 0, 0, 0, 0], vec![0, 0]),
+        ];
+        for ell in 1..=5 {
+            for &(tm, tg) in &[(0.9, 0.6), (0.8, 0.5), (0.3, 0.95), (0.01, 0.01)] {
+                let dense = SskKernel::new(ell).with_decays(tm, tg);
+                let cached = SskKernel::new(ell).with_decays(tm, tg).with_match_caching();
+                for (s, t) in &cases {
+                    // Twice: the first call builds the MatchState, the
+                    // second hits it — both must equal the dense DP bits.
+                    for _ in 0..2 {
+                        assert_eq!(
+                            training_eval(&dense, s, t).to_bits(),
+                            training_eval(&cached, s, t).to_bits(),
+                            "ℓ={ell} θ=({tm},{tg}) s={s:?} t={t:?}"
+                        );
+                    }
+                    // The prediction path ignores the store entirely and
+                    // agrees too.
+                    assert_eq!(
+                        Kernel::<[u8]>::eval(&dense, s, t).to_bits(),
+                        Kernel::<[u8]>::eval(&cached, s, t).to_bits(),
+                        "normalised ℓ={ell} s={s:?} t={t:?}"
+                    );
+                }
+                let stats = cached.match_store().expect("store").stats();
+                assert!(stats.hits >= cases.len(), "second sweep must hit");
+            }
+        }
+    }
+
+    #[test]
+    fn match_store_is_decay_independent_and_hits_across_set_params() {
+        let mut k = SskKernel::new(4).with_match_caching();
+        let s = [0u8, 1, 2, 3, 1];
+        let t = [1u8, 0, 2, 1, 3];
+        let first = training_eval(&k, &s, &t);
+        let stats = k.match_store().expect("store attached").stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        // Changing decays must reuse the cached structure, not rebuild it.
+        Kernel::<[u8]>::set_params(&mut k, &[0.55, 0.35]);
+        let second = training_eval(&k, &s, &t);
+        let stats = k.match_store().expect("store attached").stats();
+        assert_eq!(stats.misses, 1, "decay change rebuilt the match state");
+        assert_eq!(stats.hits, 1);
+        assert_ne!(first, second, "different decays give different values");
+        assert_eq!(
+            second.to_bits(),
+            training_eval(&SskKernel::new(4).with_decays(0.55, 0.35), &s, &t).to_bits()
+        );
+    }
+
+    #[test]
+    fn prediction_path_never_touches_the_store() {
+        let k = SskKernel::new(4).with_match_caching();
+        let s = [0u8, 1, 2, 3, 1];
+        let probe = [1u8, 0, 2, 1, 3];
+        let (is, ip) = (
+            Kernel::<[u8]>::self_info(&k, &s),
+            Kernel::<[u8]>::self_info(&k, &probe),
+        );
+        let _ = Kernel::<[u8]>::eval_with_info(&k, &s, is, &probe, ip);
+        let _ = Kernel::<[u8]>::eval(&k, &s, &probe);
+        let stats = k.match_store().expect("store").stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "one-shot prediction pairs must bypass (and not pollute) the store"
+        );
+        assert!(k.match_store().expect("store").is_empty());
+    }
+
+    #[test]
+    fn match_store_is_shared_by_kernel_clones_and_bounded() {
+        let k = SskKernel::new(3).with_match_caching();
+        let clone = k.clone();
+        let s = [1u8, 2, 3];
+        let t = [3u8, 2, 1];
+        let _ = training_eval(&k, &s, &t);
+        let _ = training_eval(&clone, &s, &t);
+        let stats = k.match_store().expect("store").stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "clones must share");
+        // A tiny store stays bounded by clearing shards.
+        let small = MatchStore::with_capacity(16);
+        for i in 0..200u8 {
+            let _ = small.get_or_build(&[i, i.wrapping_add(1)], &[i], 3);
+        }
+        assert!(small.len() <= 16 + MATCH_STORE_SHARDS);
+        assert!(small.stats().shard_clears > 0);
+    }
+
+    #[test]
+    fn match_state_max_order_matches_the_structural_maximum() {
+        // s/t share an increasing sub-sequence of length 3 at most.
+        let state = MatchState::build(&[0, 1, 2, 9], &[0, 1, 2], 5);
+        assert_eq!(state.max_order, 3);
+        let state = MatchState::build(&[0, 1, 2, 9], &[0, 1, 2], 2);
+        assert_eq!(state.max_order, 2, "cap at ℓ");
+        let state = MatchState::build(&[2, 1, 0], &[0, 1, 2], 5);
+        assert_eq!(state.max_order, 1, "only reversed matches: no order 2");
+        let state = MatchState::build(&[4, 4], &[5, 5], 5);
+        assert_eq!(state.max_order, 0, "disjoint alphabets");
     }
 }

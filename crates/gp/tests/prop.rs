@@ -1,7 +1,12 @@
 //! Property tests for the GP stack: Cholesky correctness on random SPD
-//! matrices, SSK kernel axioms, GP posterior consistency, and EI behaviour.
+//! matrices (extension *and* downdate), SSK kernel axioms, match-cached
+//! warm-retrain bit-identity, GP posterior consistency, sliding-window
+//! surrogate correctness, and EI behaviour.
 
-use boils_gp::{expected_improvement, Cholesky, Gp, Kernel, Matrix, SquaredExponential, SskKernel};
+use boils_gp::{
+    expected_improvement, Cholesky, Gp, Kernel, Matrix, SquaredExponential, SskKernel, Surrogate,
+    SurrogateConfig, TrainConfig,
+};
 use proptest::prelude::*;
 
 fn spd_from_seed(n: usize, vals: &[f64]) -> Matrix {
@@ -138,6 +143,151 @@ proptest! {
             prop_assert!((v_inc - v_full).abs() < 1e-10, "var {v_inc} vs {v_full}");
         }
         prop_assert!((incremental.nlml() - scratch.nlml()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_downdate_matches_refactorisation(
+        n in 2usize..9,
+        index in 0usize..9,
+        vals in prop::collection::vec(-2.0f64..2.0, 1..64),
+    ) {
+        // Factor a random SPD matrix, downdate an arbitrary row/column,
+        // and compare against factoring the reduced matrix directly: the
+        // Givens restoration must agree to ≤ 1e-8.
+        let index = index % n;
+        let a = spd_from_seed(n, &vals);
+        let full = Cholesky::new(&a, 1e-9).expect("spd");
+        let down = full.downdate(index).expect("principal submatrix stays pd");
+        let keep: Vec<usize> = (0..n).filter(|&i| i != index).collect();
+        let reduced = Matrix::from_fn(n - 1, n - 1, |i, j| a[(keep[i], keep[j])]);
+        let direct = Cholesky::new(&reduced, 1e-9).expect("spd");
+        for i in 0..n - 1 {
+            for j in 0..=i {
+                prop_assert!(
+                    (down.l()[(i, j)] - direct.l()[(i, j)]).abs() <= 1e-8,
+                    "L[{},{}]: {} vs {}", i, j, down.l()[(i, j)], direct.l()[(i, j)]
+                );
+            }
+        }
+        prop_assert!((down.log_det() - direct.log_det()).abs() <= 1e-8);
+    }
+
+    #[test]
+    fn warm_ssk_gram_is_bit_identical_to_cold_recomputation(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..11, 1..10), 2..7),
+        tm in 0.05f64..1.0,
+        tg in 0.05f64..1.0,
+    ) {
+        // The warm-retrain contract: a Gram fill through cached
+        // MatchStates (at decays the cache has never seen) is bit-identical
+        // to the full DP — including the self-similarity normalisers.
+        let training_eval = |k: &SskKernel, s: &Vec<u8>, t: &Vec<u8>| {
+            let (is, it) = (
+                Kernel::<[u8]>::self_info(k, s),
+                Kernel::<[u8]>::self_info(k, t),
+            );
+            Kernel::<[u8]>::eval_training(k, s, is, t, it)
+        };
+        let cold = SskKernel::new(4).with_decays(tm, tg);
+        let warm = SskKernel::new(4).with_decays(0.8, 0.5).with_match_caching();
+        // Prime the cache at different decays, then move to (tm, tg).
+        for s in &seqs {
+            for t in &seqs {
+                let _ = training_eval(&warm, s, t);
+            }
+        }
+        let mut warm = warm;
+        Kernel::<[u8]>::set_params(&mut warm, &[tm, tg]);
+        for s in &seqs {
+            for t in &seqs {
+                prop_assert_eq!(
+                    training_eval(&cold, s, t).to_bits(),
+                    training_eval(&warm, s, t).to_bits(),
+                    "s={:?} t={:?}", s, t
+                );
+            }
+        }
+        let stats = warm.match_store().expect("store").stats();
+        prop_assert!(stats.hits > 0, "second sweep never hit the cache");
+    }
+
+    #[test]
+    fn gp_downdate_matches_scratch_fit_on_survivors(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..11, 2..8), 5..9),
+        ys in prop::collection::vec(-2.0f64..2.0, 9),
+        evict_seed in 0usize..1000,
+    ) {
+        // Downdating arbitrary rows in a random order must agree with a
+        // from-scratch fit on the surviving points.
+        let ys = &ys[..seqs.len()];
+        let mut gp = Gp::fit(SskKernel::new(3), seqs.clone(), ys.to_vec(), 1e-4).expect("spd");
+        let mut survivors: Vec<usize> = (0..seqs.len()).collect();
+        let mut state = evict_seed;
+        for _ in 0..seqs.len() - 3 {
+            state = (state * 1103515245 + 12345) % (1 << 31);
+            let victim = state % survivors.len();
+            let (next, _) = gp.downdate(victim).expect("pd");
+            gp = next;
+            survivors.remove(victim);
+        }
+        let xs: Vec<Vec<u8>> = survivors.iter().map(|&i| seqs[i].clone()).collect();
+        let yk: Vec<f64> = survivors.iter().map(|&i| ys[i]).collect();
+        let scratch = Gp::fit(SskKernel::new(3), xs, yk, 1e-4).expect("spd");
+        for probe in &seqs {
+            let (m_d, v_d) = gp.predict(probe);
+            let (m_s, v_s) = scratch.predict(probe);
+            prop_assert!((m_d - m_s).abs() < 1e-6, "mean {} vs {}", m_d, m_s);
+            prop_assert!((v_d - v_s).abs() < 1e-6, "var {} vs {}", v_d, v_s);
+        }
+    }
+
+    #[test]
+    fn windowed_surrogate_matches_scratch_fit_on_the_retained_window(
+        window_choice in 0usize..3,
+        stream in prop::collection::vec(
+            (prop::collection::vec(0u8..11, 3..8), -2.0f64..2.0), 6..24),
+    ) {
+        // Sliding-window correctness over window sizes {4, 8, 16} and
+        // whatever evict order the stream's targets induce (the pinned
+        // incumbent shifts arbitrarily): after every update, the windowed
+        // posterior equals a from-scratch GP fit on exactly the retained
+        // window, and the incumbent is always retained.
+        let window = [4usize, 8, 16][window_choice];
+        let mut surrogate: Surrogate<SskKernel, Vec<u8>> = Surrogate::new(
+            SskKernel::new(3),
+            SurrogateConfig {
+                noise: 1e-4,
+                retrain_every: 1_000_000, // isolate the extend/forget path
+                incremental: true,
+                window: Some(window),
+                train: TrainConfig { steps: 2, ..TrainConfig::default() },
+            },
+        );
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (x, y)) in stream.iter().enumerate() {
+            surrogate.observe(x.clone(), *y);
+            if best.is_none_or(|(_, by)| *y > by) {
+                best = Some((i, *y));
+            }
+            surrogate.maybe_retrain().expect("fit");
+        }
+        let retained = surrogate.window_indices().to_vec();
+        prop_assert!(retained.len() <= window);
+        let (best_idx, _) = best.expect("non-empty stream");
+        prop_assert!(
+            retained.contains(&best_idx),
+            "incumbent {} evicted: {:?}", best_idx, retained
+        );
+        let gp = surrogate.gp().expect("fitted");
+        let xs: Vec<Vec<u8>> = retained.iter().map(|&i| stream[i].0.clone()).collect();
+        let ys: Vec<f64> = retained.iter().map(|&i| stream[i].1).collect();
+        let scratch = Gp::fit(gp.kernel().clone(), xs, ys, 1e-4).expect("spd");
+        for (probe, _) in stream.iter().take(6) {
+            let (m_w, v_w) = gp.predict(probe);
+            let (m_s, v_s) = scratch.predict(probe);
+            prop_assert!((m_w - m_s).abs() < 1e-6, "mean {} vs {}", m_w, m_s);
+            prop_assert!((v_w - v_s).abs() < 1e-6, "var {} vs {}", v_w, v_s);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! boils synth    --input mult.aag --ops "balance;rewrite;fraig" --output opt.aag
 //! boils map      --input opt.aag [--lut-size 6]
 //! boils check    --golden mult.aag --revised opt.aag
-//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4] [--cache-dir .boils-cache]
+//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4] [--surrogate-window 32] [--cache-dir .boils-cache]
 //! ```
 //!
 //! Flags may be written `--flag value` or `--flag=value`.
@@ -120,7 +120,7 @@ fn print_help() {
          \x20 check     --golden <file> --revised <file>\n\
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
          \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
-         \x20           [--threads N] [--batch-size Q] [--cache-dir DIR]\n\n\
+         \x20           [--threads N] [--batch-size Q] [--surrogate-window W] [--cache-dir DIR]\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
 }
@@ -248,6 +248,22 @@ fn check(args: &Args) -> Result<(), String> {
     }
 }
 
+/// One human-readable line summarising a BO run's surrogate lifecycle.
+fn describe_surrogate(diagnostics: &boils::core::RunDiagnostics, window: Option<usize>) -> String {
+    let s = &diagnostics.surrogate;
+    let window = match window {
+        Some(w) => format!("window {w}"),
+        None => String::from("unbounded"),
+    };
+    format!(
+        "{window}, {} retrains, {} extends, {} downdates, {} fallback refits",
+        s.retrains_at.len(),
+        s.extends,
+        s.downdates,
+        s.fallback_refits
+    )
+}
+
 fn optimize(args: &Args) -> Result<(), String> {
     let aig = circuit_from_flags(args)?;
     let budget: usize = args.parse_or("budget", 40)?;
@@ -255,6 +271,13 @@ fn optimize(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parse_or("seed", 0)?;
     let threads: usize = args.parse_or("threads", 1)?;
     let batch_size: usize = args.parse_or("batch-size", 1)?;
+    let surrogate_window: Option<usize> = match args.get("surrogate-window") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--surrogate-window takes a window size; got {v:?}"))?,
+        ),
+    };
     let method = args.get("method").unwrap_or("boils");
     let space = SequenceSpace::new(k, 11);
     let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
@@ -270,29 +293,42 @@ fn optimize(args: &Args) -> Result<(), String> {
     println!("{aig}");
     println!("reference (resyn2 + if -K 6): {}", evaluator.reference());
     let init = (budget / 5).clamp(4, budget.saturating_sub(1).max(1));
+    // Surrogate-lifecycle counters of the BO methods, surfaced below:
+    // extends/downdates say how the model was updated, and a non-zero
+    // fallback count flags numerically-degenerate incremental updates
+    // that silently fell back to full refits.
+    let mut surrogate_line: Option<String> = None;
     let result = match method {
-        "boils" => Boils::new(BoilsConfig {
-            max_evaluations: budget,
-            initial_samples: init,
-            space,
-            threads,
-            batch_size,
-            seed,
-            ..BoilsConfig::default()
-        })
-        .run(&evaluator)
-        .map_err(|e| e.to_string())?,
-        "sbo" => Sbo::new(SboConfig {
-            max_evaluations: budget,
-            initial_samples: init,
-            space,
-            threads,
-            batch_size,
-            seed,
-            ..SboConfig::default()
-        })
-        .run(&evaluator)
-        .map_err(|e| e.to_string())?,
+        "boils" => {
+            let mut boils = Boils::new(BoilsConfig {
+                max_evaluations: budget,
+                initial_samples: init,
+                space,
+                threads,
+                batch_size,
+                surrogate_window,
+                seed,
+                ..BoilsConfig::default()
+            });
+            let result = boils.run(&evaluator).map_err(|e| e.to_string())?;
+            surrogate_line = Some(describe_surrogate(boils.diagnostics(), surrogate_window));
+            result
+        }
+        "sbo" => {
+            let mut sbo = Sbo::new(SboConfig {
+                max_evaluations: budget,
+                initial_samples: init,
+                space,
+                threads,
+                batch_size,
+                surrogate_window,
+                seed,
+                ..SboConfig::default()
+            });
+            let result = sbo.run(&evaluator).map_err(|e| e.to_string())?;
+            surrogate_line = Some(describe_surrogate(sbo.diagnostics(), surrogate_window));
+            result
+        }
         "ga" => genetic_algorithm(
             &evaluator,
             space,
@@ -321,6 +357,9 @@ fn optimize(args: &Args) -> Result<(), String> {
     println!("method        : {method}");
     println!("threads       : {threads}");
     println!("evaluations   : {}", result.num_evaluations());
+    if let Some(line) = surrogate_line {
+        println!("surrogate     : {line}");
+    }
     println!(
         "unique/cached : {} unique, {} cache hits",
         evaluator.num_evaluations(),

@@ -120,6 +120,59 @@ fn optimize_runs_a_small_budget() {
 }
 
 #[test]
+fn optimize_with_a_surrogate_window_reports_the_lifecycle() {
+    let out = boils()
+        .args([
+            "optimize",
+            "--circuit",
+            "max",
+            "--bits",
+            "4",
+            "--budget",
+            "14",
+            "--k",
+            "5",
+            "--method",
+            "boils",
+            "--surrogate-window",
+            "6",
+            "--seed",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("evaluations   : 14"), "output: {text}");
+    // The surrogate stats line carries the window and the lifecycle
+    // counters, including the extend-fallback count.
+    assert!(text.contains("surrogate     : window 6"), "output: {text}");
+    assert!(text.contains("downdates"), "output: {text}");
+    assert!(text.contains("fallback refits"), "output: {text}");
+    // A malformed window is rejected with the flag's name.
+    let bad = boils()
+        .args([
+            "optimize",
+            "--circuit",
+            "max",
+            "--bits",
+            "4",
+            "--budget",
+            "6",
+            "--surrogate-window",
+            "lots",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--surrogate-window"));
+}
+
+#[test]
 fn optimize_with_a_cache_dir_is_bit_identical_across_processes() {
     let cache = tmp("persist-cache");
     let _ = std::fs::remove_dir_all(&cache);
