@@ -411,31 +411,18 @@ impl Aig {
     /// table (`words_per_node` u64 words per node). Used by fraiging and
     /// resubstitution, which need signatures for internal nodes.
     ///
+    /// Thin wrapper over the flat [`crate::SimTable`] (one allocation for
+    /// the whole table); callers that re-simulate incrementally should use
+    /// `SimTable` directly.
+    ///
     /// # Panics
     ///
     /// Panics if any input row has a length different from `words_per_node`.
     pub fn simulate_nodes(&self, pi_words: &[Vec<u64>], words_per_node: usize) -> Vec<Vec<u64>> {
-        assert_eq!(pi_words.len(), self.num_pis);
-        let mut table = vec![vec![0u64; words_per_node]; self.nodes.len()];
-        for (i, row) in pi_words.iter().enumerate() {
-            assert_eq!(row.len(), words_per_node, "ragged simulation input");
-            table[1 + i].copy_from_slice(row);
-        }
-        for var in self.ands() {
-            let n = self.nodes[var];
-            let (m0, m1) = (mask(n.fanin0), mask(n.fanin1));
-            let (v0, v1) = (n.fanin0.var(), n.fanin1.var());
-            // Fanins precede `var` in arena order, so the split borrows the
-            // target row mutably and the fanin rows immutably.
-            let (sources, targets) = table.split_at_mut(var);
-            for (dst, (&w0, &w1)) in targets[0]
-                .iter_mut()
-                .zip(sources[v0].iter().zip(&sources[v1]))
-            {
-                *dst = (w0 ^ m0) & (w1 ^ m1);
-            }
-        }
-        table
+        let table = crate::SimTable::from_patterns(self, pi_words, words_per_node);
+        (0..self.num_nodes())
+            .map(|v| table.row(v).to_vec())
+            .collect()
     }
 
     /// Exhaustively simulates all `2^num_pis` input combinations, returning

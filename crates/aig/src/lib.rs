@@ -36,9 +36,11 @@ mod export;
 mod hash;
 mod lit;
 mod random;
+mod sim;
 
 pub use crate::aig::{input_pattern, Aig};
 pub use crate::error::{CheckAigError, ParseAagError};
 pub use crate::hash::{fnv1a64, splitmix64};
 pub use crate::lit::Lit;
 pub use crate::random::random_aig;
+pub use crate::sim::SimTable;

@@ -1,0 +1,405 @@
+//! The bit-parallel simulation tier: a flat, single-allocation signature
+//! table over every node of an [`Aig`].
+//!
+//! One `u64` word packs 64 independent test vectors, so simulating a node
+//! on a word costs two XORs and an AND — the trick behind fraig candidate
+//! collection since the original FRAIG work. [`SimTable`] arranges the
+//! signatures of all nodes in **one** allocation (`stride` words per node,
+//! amortised-doubling capacity), instead of the one-`Vec`-per-node layout
+//! of the legacy [`Aig::simulate_nodes`] (now a thin wrapper over this
+//! type). Two properties make it the substrate for SAT sweeping and cheap
+//! equivalence refutation:
+//!
+//! * **Append-only incremental re-simulation.** Refinement loops keep
+//!   feeding counterexamples back as new patterns. Appending simulates
+//!   *only the new word columns* — O(nodes × new_words) per round instead
+//!   of O(nodes × total_words) — and [`SimTable::append_counterexamples`]
+//!   packs single-bit counterexamples into the last partially-used word
+//!   before allocating fresh ones, so a 1-counterexample round no longer
+//!   burns a full 64-pattern word across every input.
+//! * **Hashed canonical signatures.** [`SimTable::sig_hash`] reduces a
+//!   node's signature, canonicalised up to complement, to a 64-bit key
+//!   plus a phase bit, so candidate equivalence classes partition through
+//!   an integer hash map instead of cloned `Vec<u64>` keys. Collisions are
+//!   resolved exactly with [`SimTable::rows_equal`], which compares rows
+//!   in place.
+//!
+//! Unused bits of a partially-filled last word are kept zero on the input
+//! rows, so the padding columns simulate the all-zeroes input pattern —
+//! a real (if redundant) pattern, which keeps signatures of different
+//! nodes comparable word-by-word without masking.
+
+use crate::{Aig, Lit};
+
+/// A flat bit-parallel signature table: `stride` (capacity) words per
+/// node, one allocation for the whole AIG.
+///
+/// ```
+/// use boils_aig::{Aig, SimTable};
+///
+/// let mut aig = Aig::new(2);
+/// let (a, b) = (aig.pi(0), aig.pi(1));
+/// let ab = aig.and(a, b);
+/// aig.add_po(ab);
+///
+/// // One word per input: 64 patterns in a single allocation.
+/// let table = SimTable::from_patterns(&aig, &[vec![0b1100], vec![0b1010]], 1);
+/// assert_eq!(table.row(ab.var()), &[0b1000]);
+/// assert_eq!(table.num_bits(), 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimTable {
+    /// `num_nodes × cap` words; node `v`'s row is `words[v*cap .. v*cap+used]`.
+    words: Vec<u64>,
+    num_nodes: usize,
+    /// Allocated words per node (the row stride).
+    cap: usize,
+    /// Valid patterns; `bits.div_ceil(64)` words of every row are in use.
+    bits: usize,
+}
+
+impl SimTable {
+    /// Simulates every node of `aig` on `words` pattern words per input
+    /// (`pi_words[i]` drives input `i`), in one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != aig.num_pis()` or any row's length
+    /// differs from `words`.
+    pub fn from_patterns(aig: &Aig, pi_words: &[Vec<u64>], words: usize) -> SimTable {
+        assert_eq!(
+            pi_words.len(),
+            aig.num_pis(),
+            "one pattern row per input required"
+        );
+        let num_nodes = aig.num_nodes();
+        let cap = words.max(1);
+        let mut table = SimTable {
+            words: vec![0u64; num_nodes * cap],
+            num_nodes,
+            cap,
+            bits: words * 64,
+        };
+        for (i, row) in pi_words.iter().enumerate() {
+            assert_eq!(row.len(), words, "ragged simulation input");
+            let base = (1 + i) * cap;
+            table.words[base..base + words].copy_from_slice(row);
+        }
+        table.simulate_columns(aig, 0, words);
+        table
+    }
+
+    /// The number of nodes (rows) in the table.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The number of valid patterns (bits per row).
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Words per row currently in use (`num_bits` rounded up to words).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.bits.div_ceil(64)
+    }
+
+    /// Node `node`'s signature: its value under every pattern, one bit
+    /// per pattern, trailing bits of the last word simulating the
+    /// all-zeroes input.
+    #[inline]
+    pub fn row(&self, node: usize) -> &[u64] {
+        let base = node * self.cap;
+        &self.words[base..base + self.num_words()]
+    }
+
+    /// Node `node`'s value under pattern `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= num_bits()`.
+    #[inline]
+    pub fn value(&self, node: usize, bit: usize) -> bool {
+        assert!(bit < self.bits, "pattern index {bit} out of range");
+        self.words[node * self.cap + bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Literal `lit`'s value under pattern `bit` (complement applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= num_bits()`.
+    #[inline]
+    pub fn lit_value(&self, lit: Lit, bit: usize) -> bool {
+        self.value(lit.var(), bit) ^ lit.is_complement()
+    }
+
+    /// Word `w` of the signature of literal `lit` (complement applied).
+    #[inline]
+    pub fn lit_word(&self, lit: Lit, w: usize) -> u64 {
+        self.words[lit.var() * self.cap + w] ^ complement_mask(lit)
+    }
+
+    /// Appends whole pattern words (64 patterns each) and re-simulates
+    /// **only the new columns** of every gate. If the current pattern
+    /// count is not word-aligned, the zero padding of the last word is
+    /// promoted to real (all-zeroes-input) patterns first, so appended
+    /// words always start on a word boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_pi_words.len() != aig.num_pis()` or the rows are
+    /// ragged.
+    pub fn append_pattern_words(&mut self, aig: &Aig, new_pi_words: &[Vec<u64>]) {
+        assert_eq!(
+            new_pi_words.len(),
+            aig.num_pis(),
+            "one pattern row per input required"
+        );
+        let add = new_pi_words.first().map_or(0, Vec::len);
+        if add == 0 {
+            self.bits = self.num_words() * 64;
+            return;
+        }
+        let used = self.num_words();
+        self.reserve(aig, used + add);
+        for (i, row) in new_pi_words.iter().enumerate() {
+            assert_eq!(row.len(), add, "ragged simulation input");
+            let base = (1 + i) * self.cap + used;
+            self.words[base..base + add].copy_from_slice(row);
+        }
+        self.bits = (used + add) * 64;
+        self.simulate_columns(aig, used, used + add);
+    }
+
+    /// Appends one pattern per counterexample (`cexes[j][i]` is input `i`
+    /// of counterexample `j`), packing bits into the last partially-used
+    /// word before allocating fresh words, then re-simulates only the
+    /// touched word columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counterexample's length differs from `aig.num_pis()`.
+    pub fn append_counterexamples(&mut self, aig: &Aig, cexes: &[Vec<bool>]) {
+        if cexes.is_empty() {
+            return;
+        }
+        let first_word = self.bits / 64;
+        let new_bits = self.bits + cexes.len();
+        self.reserve(aig, new_bits.div_ceil(64));
+        for (j, cex) in cexes.iter().enumerate() {
+            assert_eq!(cex.len(), aig.num_pis(), "counterexample arity");
+            let bit = self.bits + j;
+            let (w, b) = (bit / 64, bit % 64);
+            for (i, &v) in cex.iter().enumerate() {
+                if v {
+                    self.words[(1 + i) * self.cap + w] |= 1u64 << b;
+                }
+            }
+        }
+        self.bits = new_bits;
+        let end = self.num_words();
+        self.simulate_columns(aig, first_word, end);
+    }
+
+    /// A 64-bit hash of the node's signature canonicalised up to
+    /// complement, plus the phase that canonicalisation chose (`true`
+    /// means the complemented signature is the canonical one — the same
+    /// convention as taking the lexicographic minimum of the signature
+    /// and its complement).
+    ///
+    /// Two nodes with equal (or exactly complementary) signatures always
+    /// produce the same hash; unequal signatures collide with ordinary
+    /// 64-bit-hash probability, so callers partitioning candidate classes
+    /// should confirm bucket members with [`SimTable::rows_equal`].
+    pub fn sig_hash(&self, node: usize) -> (u64, bool) {
+        let row = self.row(node);
+        // Lexicographic min(sig, !sig) is decided by the first word (a
+        // word never equals its own complement): sig wins iff its top
+        // bit is clear.
+        let phase = row.first().is_some_and(|w| w >> 63 == 1);
+        let flip = if phase { !0u64 } else { 0u64 };
+        let mut hash = 0x9E37_79B9_7F4A_7C15u64 ^ row.len() as u64;
+        for &w in row {
+            hash = crate::splitmix64(hash ^ (w ^ flip));
+        }
+        (hash, phase)
+    }
+
+    /// Whether two rows are equal (`complement == false`) or exactly
+    /// complementary (`complement == true`), compared in place.
+    pub fn rows_equal(&self, a: usize, b: usize, complement: bool) -> bool {
+        let flip = if complement { !0u64 } else { 0u64 };
+        self.row(a)
+            .iter()
+            .zip(self.row(b))
+            .all(|(&wa, &wb)| wa == wb ^ flip)
+    }
+
+    /// Simulates word columns `w0..w1` of every gate (inputs must already
+    /// hold their pattern words in that range).
+    fn simulate_columns(&mut self, aig: &Aig, w0: usize, w1: usize) {
+        debug_assert!(w1 <= self.cap);
+        for var in aig.ands() {
+            let (f0, f1) = (aig.fanin0(var), aig.fanin1(var));
+            let (m0, m1) = (complement_mask(f0), complement_mask(f1));
+            let (b0, b1) = (f0.var() * self.cap, f1.var() * self.cap);
+            // Fanins precede `var` in arena order, so their rows end
+            // before this node's row begins.
+            let (sources, target) = self.words.split_at_mut(var * self.cap);
+            for w in w0..w1 {
+                target[w] = (sources[b0 + w] ^ m0) & (sources[b1 + w] ^ m1);
+            }
+        }
+    }
+
+    /// Grows the row stride to at least `words` (amortised doubling),
+    /// repacking every row into the new layout.
+    fn reserve(&mut self, aig: &Aig, words: usize) {
+        if words <= self.cap {
+            return;
+        }
+        let new_cap = words.max(self.cap * 2);
+        let mut grown = vec![0u64; self.num_nodes * new_cap];
+        let used = self.num_words();
+        for node in 0..self.num_nodes {
+            grown[node * new_cap..node * new_cap + used]
+                .copy_from_slice(&self.words[node * self.cap..node * self.cap + used]);
+        }
+        debug_assert_eq!(self.num_nodes, aig.num_nodes());
+        self.words = grown;
+        self.cap = new_cap;
+    }
+}
+
+#[inline]
+fn complement_mask(lit: Lit) -> u64 {
+    if lit.is_complement() {
+        !0u64
+    } else {
+        0u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gate_aig() -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        let ab = aig.and(a, b);
+        let f = aig.or(ab, !c);
+        aig.add_po(f);
+        (aig, ab, f)
+    }
+
+    #[test]
+    fn from_patterns_matches_scalar_simulation() {
+        let (aig, _, _) = two_gate_aig();
+        let patterns = vec![
+            vec![0xF0F0, 0x1234],
+            vec![0xCCCC, 0xFFFF],
+            vec![0xAAAA, 0x0000],
+        ];
+        let table = SimTable::from_patterns(&aig, &patterns, 2);
+        for w in 0..2 {
+            let word_inputs: Vec<u64> = patterns.iter().map(|row| row[w]).collect();
+            let outs = aig.simulate(&word_inputs);
+            for (o, &po) in aig.pos().iter().enumerate() {
+                assert_eq!(table.lit_word(po, w), outs[o], "output {o} word {w}");
+            }
+        }
+        assert_eq!(table.num_bits(), 128);
+        assert_eq!(table.num_words(), 2);
+    }
+
+    #[test]
+    fn append_words_simulates_only_new_columns_identically() {
+        let (aig, ab, f) = two_gate_aig();
+        let first = vec![vec![0x00FF], vec![0x0F0F], vec![0x3333]];
+        let second = vec![
+            vec![0xDEAD, 0xBEEF],
+            vec![0xFACE, 0x0123],
+            vec![0x4567, 0x89AB],
+        ];
+        let mut incremental = SimTable::from_patterns(&aig, &first, 1);
+        incremental.append_pattern_words(&aig, &second);
+
+        let full: Vec<Vec<u64>> = first
+            .iter()
+            .zip(&second)
+            .map(|(a, b)| a.iter().chain(b).copied().collect())
+            .collect();
+        let scratch = SimTable::from_patterns(&aig, &full, 3);
+        for node in [ab.var(), f.var()] {
+            assert_eq!(incremental.row(node), scratch.row(node));
+        }
+        assert_eq!(incremental.num_bits(), scratch.num_bits());
+    }
+
+    #[test]
+    fn counterexamples_pack_into_the_partial_word() {
+        let (aig, _, f) = two_gate_aig();
+        let mut table = SimTable::from_patterns(&aig, &[vec![0], vec![0], vec![0]], 1);
+        // Three single-pattern rounds: all land in the same fresh word.
+        table.append_counterexamples(&aig, &[vec![true, true, false]]);
+        assert_eq!(table.num_bits(), 65);
+        assert_eq!(table.num_words(), 2);
+        table.append_counterexamples(&aig, &[vec![false, false, true]]);
+        table.append_counterexamples(&aig, &[vec![true, true, true]]);
+        assert_eq!(table.num_bits(), 67);
+        assert_eq!(table.num_words(), 2, "bits must pack, not open new words");
+        // f = (a & b) | !c on the three appended patterns.
+        assert!(table.lit_value(f, 64)); // (1&1)|!0
+        assert!(!table.lit_value(f, 65)); // (0&0)|!1
+        assert!(table.lit_value(f, 66)); // (1&1)|!1
+
+        // Padding columns of the last word carry the all-zeroes input:
+        // f(0,0,0) = (0&0)|!0 = 1 at the node behind the literal.
+        let pad_word = table.lit_word(f, 1);
+        assert_eq!(pad_word >> 3 & 1, 1, "padding simulates all-zero input");
+    }
+
+    #[test]
+    fn capacity_growth_preserves_rows() {
+        let (aig, ab, f) = two_gate_aig();
+        let mut table = SimTable::from_patterns(&aig, &[vec![7], vec![9], vec![5]], 1);
+        // 200 counterexamples forces several capacity doublings.
+        let cexes: Vec<Vec<bool>> = (0..200)
+            .map(|j| vec![j % 2 == 0, j % 3 == 0, j % 5 == 0])
+            .collect();
+        table.append_counterexamples(&aig, &cexes);
+        assert_eq!(table.num_bits(), 264);
+        for (j, cex) in cexes.iter().enumerate() {
+            let expect_ab = cex[0] && cex[1];
+            let expect_f = expect_ab || !cex[2];
+            assert_eq!(table.lit_value(ab, 64 + j), expect_ab, "ab at {j}");
+            assert_eq!(table.lit_value(f, 64 + j), expect_f, "f at {j}");
+        }
+    }
+
+    #[test]
+    fn sig_hash_canonicalises_complements() {
+        // Two inputs driven by exactly complementary patterns hash
+        // identically with opposite phases.
+        let mut aig = Aig::new(2);
+        let g = aig.and(aig.pi(0), aig.pi(1));
+        aig.add_po(g);
+        let w = 0x8123_4567_89AB_CDEFu64; // top bit set: complemented canonical
+        let table = SimTable::from_patterns(&aig, &[vec![w], vec![!w]], 1);
+        let (h0, p0) = table.sig_hash(1);
+        let (h1, p1) = table.sig_hash(2);
+        assert_eq!(h0, h1);
+        assert_ne!(p0, p1);
+        assert!(
+            p0,
+            "top bit set means the complemented signature is canonical"
+        );
+        assert!(table.rows_equal(1, 2, true));
+        assert!(!table.rows_equal(1, 2, false));
+    }
+}

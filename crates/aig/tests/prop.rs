@@ -2,8 +2,23 @@
 //! the structural invariants, survive an AIGER round trip unchanged, and be
 //! functionally invariant under cleanup.
 
-use boils_aig::{random_aig, Aig, Lit};
+use boils_aig::{random_aig, splitmix64, Aig, Lit, SimTable};
 use proptest::prelude::*;
+
+/// Deterministic pseudo-random pattern words for simulation tests.
+fn pattern_words(seed: u64, pis: usize, words: usize) -> Vec<Vec<u64>> {
+    let mut state = seed;
+    (0..pis)
+        .map(|_| {
+            (0..words)
+                .map(|_| {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    splitmix64(state)
+                })
+                .collect()
+        })
+        .collect()
+}
 
 /// Structural identity (stronger than functional equivalence): same inputs,
 /// same AND gates with the same fanin literals in the same arena order, same
@@ -128,6 +143,88 @@ proptest! {
         let tts = aig.simulate_exhaustive();
         for (w, tt) in words.iter().zip(&tts) {
             prop_assert_eq!(*w, tt[0]);
+        }
+    }
+
+    #[test]
+    fn flat_sim_table_matches_legacy_node_simulation(
+        seed in 0u64..10_000,
+        pis in 1usize..9,
+        gates in 0usize..150,
+        words in 1usize..5,
+        pat_seed in any::<u64>(),
+    ) {
+        let aig = random_aig(seed, pis, gates, 2);
+        let pi_words = pattern_words(pat_seed, pis, words);
+        // Independent oracle: the pre-SimTable per-node layout, computed
+        // gate by gate exactly as the legacy simulate_nodes did.
+        let mut legacy = vec![vec![0u64; words]; aig.num_nodes()];
+        for (i, row) in pi_words.iter().enumerate() {
+            legacy[1 + i].copy_from_slice(row);
+        }
+        for var in aig.ands() {
+            let (f0, f1) = (aig.fanin0(var), aig.fanin1(var));
+            let (m0, m1) = (
+                if f0.is_complement() { !0u64 } else { 0 },
+                if f1.is_complement() { !0u64 } else { 0 },
+            );
+            legacy[var] = (0..words)
+                .map(|w| (legacy[f0.var()][w] ^ m0) & (legacy[f1.var()][w] ^ m1))
+                .collect();
+        }
+        let table = SimTable::from_patterns(&aig, &pi_words, words);
+        let wrapper = aig.simulate_nodes(&pi_words, words);
+        for v in 0..aig.num_nodes() {
+            prop_assert_eq!(table.row(v), &legacy[v][..], "flat row of node {}", v);
+            prop_assert_eq!(&wrapper[v], &legacy[v], "wrapper row of node {}", v);
+        }
+    }
+
+    #[test]
+    fn incremental_append_matches_from_scratch_simulation(
+        seed in 0u64..10_000,
+        pis in 1usize..8,
+        gates in 0usize..150,
+        first in 1usize..3,
+        second in 1usize..3,
+        pat_seed in any::<u64>(),
+        cex_seed in any::<u64>(),
+    ) {
+        let aig = random_aig(seed, pis, gates, 2);
+        let all = pattern_words(pat_seed, pis, first + second);
+        let head: Vec<Vec<u64>> = all.iter().map(|r| r[..first].to_vec()).collect();
+        let tail: Vec<Vec<u64>> = all.iter().map(|r| r[first..].to_vec()).collect();
+
+        // Whole words appended incrementally = one-shot simulation.
+        let mut incremental = SimTable::from_patterns(&aig, &head, first);
+        incremental.append_pattern_words(&aig, &tail);
+        let scratch = SimTable::from_patterns(&aig, &all, first + second);
+        for v in 0..aig.num_nodes() {
+            prop_assert_eq!(incremental.row(v), scratch.row(v), "node {}", v);
+        }
+
+        // Single-pattern counterexamples packed into partial words agree
+        // with plain per-pattern simulation of the same assignments.
+        let cexes: Vec<Vec<bool>> = (0..5)
+            .map(|j| {
+                (0..pis)
+                    .map(|i| splitmix64(cex_seed ^ (j * 131 + i) as u64) & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        let base_bits = incremental.num_bits();
+        incremental.append_counterexamples(&aig, &cexes);
+        prop_assert_eq!(incremental.num_bits(), base_bits + 5);
+        for (j, cex) in cexes.iter().enumerate() {
+            let inputs: Vec<u64> = cex.iter().map(|&v| v as u64).collect();
+            let outs = aig.simulate(&inputs);
+            for (o, &po) in aig.pos().iter().enumerate() {
+                prop_assert_eq!(
+                    incremental.lit_value(po, base_bits + j),
+                    outs[o] & 1 == 1,
+                    "output {} of cex {}", o, j
+                );
+            }
         }
     }
 

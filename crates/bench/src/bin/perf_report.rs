@@ -79,6 +79,7 @@ fn main() {
     ));
 
     sections.push(eval_throughput(&aig, threads, smoke));
+    sections.push(sim_section(&aig, smoke));
     sections.push(greedy_section(&aig, smoke));
     sections.push(boils_section(&aig, smoke));
     sections.push(gp_fit_section(smoke));
@@ -154,6 +155,148 @@ fn eval_throughput(aig: &boils_aig::Aig, threads: usize, smoke: bool) -> String 
         }
     }
     format!("  \"eval_throughput\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+/// The bit-parallel simulation tier, isolated from the optimisers:
+///
+/// * **Fraig old vs new.** Every intermediate state of the persist
+///   harness's fixed K = 20 trajectory on the adder is swept by both the
+///   rewritten fraig (incremental `SimTable`, hashed signature classes,
+///   packed counterexample words, lazy cone-of-influence CNF) and the
+///   kept-verbatim reference implementation; the outputs are asserted
+///   byte-identical under the binary AIGER codec, so the speedup cannot
+///   come from concluding anything different.
+/// * **Equivalence refute/prove split.** The trajectory states are pushed
+///   through `check_equivalence_with` three ways — against their own
+///   cleanup (SAT-proved), against an output-complemented copy
+///   (sim-refuted, zero CNF), and against a needle that only differs on
+///   the all-ones input (random simulation all but surely misses it, so
+///   the SAT phase must refute through a cone-restricted encoding).
+///   Aggregated `EquivStats` prove every check lands in exactly one
+///   bucket and that the lazy encoding stays below the full miter.
+fn sim_section(aig: &boils_aig::Aig, smoke: bool) -> String {
+    use boils_sat::{check_equivalence_with, EquivConfig, EquivResult, EquivStats};
+    use boils_synth::{fraig_reference_with, fraig_with_stats, FraigConfig, Transform};
+
+    // The persist harness's fixed trajectory over the full alphabet.
+    const TRAJECTORY: [u8; 20] = [6, 0, 2, 7, 4, 1, 3, 6, 5, 8, 9, 10, 0, 6, 2, 4, 7, 1, 3, 6];
+    let steps = if smoke { 6 } else { TRAJECTORY.len() };
+    let mut states = vec![aig.clone()];
+    for &token in &TRAJECTORY[..steps - 1] {
+        let next = Transform::from_index(token as usize).apply(states.last().expect("seeded"));
+        states.push(next);
+    }
+
+    let config = FraigConfig::default();
+    let mut new_seconds = 0.0;
+    let mut ref_seconds = 0.0;
+    let mut unknown_pairs = 0usize;
+    let mut proven = 0usize;
+    for (i, state) in states.iter().enumerate() {
+        let start = Instant::now();
+        let (new, stats) = fraig_with_stats(state, &config);
+        new_seconds += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let reference = fraig_reference_with(state, &config);
+        ref_seconds += start.elapsed().as_secs_f64();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        new.write_aig_binary(&mut a).expect("write");
+        reference.write_aig_binary(&mut b).expect("write");
+        assert_eq!(a, b, "sim-tier fraig diverged at trajectory step {i}");
+        unknown_pairs += stats.unknown_pairs;
+        proven += stats.proven;
+    }
+    let fraig_speedup = ref_seconds / new_seconds;
+    if !smoke {
+        assert!(
+            fraig_speedup > 1.0,
+            "sim-tier fraig must beat the reference: {new_seconds:.3}s vs {ref_seconds:.3}s"
+        );
+    }
+    eprintln!(
+        "  fraig over {steps} trajectory states: {new_seconds:.3}s sim-tier vs \
+         {ref_seconds:.3}s reference — {fraig_speedup:.2}x, bit-identical"
+    );
+
+    // Equivalence split over the same states.
+    let equiv_config = EquivConfig::default();
+    let mut agg = EquivStats::default();
+    let mut checks = 0usize;
+    let start = Instant::now();
+    for state in &states {
+        let (result, stats) = check_equivalence_with(state, &state.cleanup(), &equiv_config);
+        assert_eq!(result, EquivResult::Equivalent);
+        agg.absorb(&stats);
+        checks += 1;
+
+        let mut flipped = state.clone();
+        flipped.set_po(0, !flipped.po(0));
+        let (result, stats) = check_equivalence_with(state, &flipped, &equiv_config);
+        assert!(matches!(result, EquivResult::NotEquivalent { .. }));
+        agg.absorb(&stats);
+        checks += 1;
+    }
+    // The needle: xor output 0 with the AND of every input, so the two
+    // circuits differ only on the all-ones assignment — random simulation
+    // all but surely misses it and the SAT phase must find it, through a
+    // cone-restricted encoding the bare trailing gates never enter.
+    let mut needle = aig.clone();
+    let all_inputs: Vec<boils_aig::Lit> = (0..needle.num_pis()).map(|i| needle.pi(i)).collect();
+    let ones = needle.and_many(&all_inputs);
+    let po0 = needle.po(0);
+    let flipped0 = needle.xor(po0, ones);
+    needle.set_po(0, flipped0);
+    let (result, needle_stats) = check_equivalence_with(aig, &needle, &equiv_config);
+    let needle_cex = match result {
+        EquivResult::NotEquivalent { counterexample } => counterexample,
+        other => panic!("the needle must be refuted, got {other:?}"),
+    };
+    assert!(
+        needle_cex.iter().all(|&v| v),
+        "only the all-ones input distinguishes the needle"
+    );
+    assert_eq!(needle_stats.sat_refuted, 1, "{needle_stats:?}");
+    assert!(
+        needle_stats.vars_encoded < needle_stats.vars_full,
+        "the needle's encoding must be cone-restricted: {needle_stats:?}"
+    );
+    agg.absorb(&needle_stats);
+    checks += 1;
+    let equiv_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        agg.sim_refuted + agg.sat_proved + agg.sat_refuted,
+        checks,
+        "every check must land in exactly one bucket: {agg:?}"
+    );
+    eprintln!(
+        "  equivalence split over {checks} checks: {} sim-refuted, {} SAT-proved, \
+         {} SAT-refuted ({equiv_seconds:.3}s; {}/{} vars encoded)",
+        agg.sim_refuted, agg.sat_proved, agg.sat_refuted, agg.vars_encoded, agg.vars_full
+    );
+
+    format!(
+        "  \"sim\": {{\"trajectory_states\": {}, \"fraig_new_seconds\": {:.6}, \
+         \"fraig_reference_seconds\": {:.6}, \"fraig_speedup\": {:.3}, \
+         \"fraig_proven_merges\": {}, \"fraig_unknown_pairs\": {}, \"bit_identical\": true, \
+         \"equiv_checks\": {}, \"equiv_sim_refuted\": {}, \"equiv_sat_proved\": {}, \
+         \"equiv_sat_refuted\": {}, \"equiv_vars_encoded\": {}, \"equiv_vars_full\": {}, \
+         \"equiv_seconds\": {:.6}, \"needle_vars_encoded\": {}, \"needle_vars_full\": {}}}",
+        steps,
+        new_seconds,
+        ref_seconds,
+        fraig_speedup,
+        proven,
+        unknown_pairs,
+        checks,
+        agg.sim_refuted,
+        agg.sat_proved,
+        agg.sat_refuted,
+        agg.vars_encoded,
+        agg.vars_full,
+        equiv_seconds,
+        needle_stats.vars_encoded,
+        needle_stats.vars_full
+    )
 }
 
 /// The greedy per-position action sweep: the prefix cache's best case —

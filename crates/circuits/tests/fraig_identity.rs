@@ -1,0 +1,32 @@
+//! Trajectory-level bit-identity of the sim-tier fraig sweep: along a full
+//! K = 20 synthesis trajectory (the persist harness's fixed sequence over
+//! the whole transform alphabet) every intermediate state must fraig to
+//! byte-identical AIGs under the rewritten and the reference sweep.
+//!
+//! This is the end-to-end guarantee the persistent prefix store relies on:
+//! cached intermediates produced before this optimisation remain valid
+//! after it.
+
+use boils_circuits::{Benchmark, CircuitSpec};
+use boils_synth::{fraig_reference_with, fraig_with, FraigConfig, Transform};
+
+/// The persist harness's fixed K = 20 trajectory over the full alphabet.
+const TRAJECTORY: [u8; 20] = [6, 0, 2, 7, 4, 1, 3, 6, 5, 8, 9, 10, 0, 6, 2, 4, 7, 1, 3, 6];
+
+#[test]
+fn fraig_is_bit_identical_along_the_full_adder_trajectory() {
+    let config = FraigConfig::default();
+    let mut state = CircuitSpec::new(Benchmark::Adder).bits(8).build();
+    for (len, &token) in TRAJECTORY.iter().enumerate() {
+        let new = fraig_with(&state, &config);
+        let old = fraig_reference_with(&state, &config);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        new.write_aig_binary(&mut a).expect("write new");
+        old.write_aig_binary(&mut b).expect("write old");
+        assert_eq!(
+            a, b,
+            "prefix of length {len}: sim-tier fraig diverged from reference"
+        );
+        state = Transform::from_index(token as usize).apply(&state);
+    }
+}

@@ -31,7 +31,7 @@ use boils_core::{
     SboConfig, SequenceSpace,
 };
 use boils_gp::TrainConfig;
-use boils_sat::{check_equivalence, EquivResult};
+use boils_sat::{check_equivalence_with, EquivConfig, EquivResult, EquivStats};
 use boils_synth::Transform;
 
 /// A store directory that survives across test processes when
@@ -59,6 +59,15 @@ const TRAJECTORY: [u8; 20] = [6, 0, 2, 7, 4, 1, 3, 6, 5, 8, 9, 10, 0, 6, 2, 4, 7
 /// trajectory, the cache-restored intermediate must be (a) byte-identical
 /// to the from-scratch synthesis under the binary AIGER codec and (b)
 /// proved functionally equivalent by mitering the two with the SAT solver.
+///
+/// The checks ride the refute-before-prove path: the harness aggregates
+/// each check's [`EquivStats`] and asserts that simulation refutation plus
+/// SAT proof accounted for every single check (`Unknown` never leaks), and
+/// that the lazy cone-of-influence encoding stayed within the full-miter
+/// budget. Two controls sharpen this: the final intermediate is re-checked
+/// against a version grown with dangling gates (the COI restriction must
+/// skip them) and against an output-complemented version (which must die
+/// in the simulation phase without building any CNF).
 fn prove_every_restored_prefix(circuit: Benchmark, bits: usize) {
     let base = CircuitSpec::new(circuit).bits(bits).build();
     let dir = shared_store_dir(&format!("sat-{}", circuit.name()));
@@ -70,6 +79,13 @@ fn prove_every_restored_prefix(circuit: Benchmark, bits: usize) {
         .expect("store directory is writable");
     evaluator.evaluate_tokens(&TRAJECTORY);
     drop(evaluator);
+
+    let config = EquivConfig {
+        conflict_budget: Some(1_000_000),
+        ..EquivConfig::default()
+    };
+    let mut harness_stats = EquivStats::default();
+    let mut checks = 0usize;
 
     // A fresh handle — as a separate process would see it.
     let store = PersistentPrefixStore::open_for(&dir, &base).expect("reopen store");
@@ -93,13 +109,70 @@ fn prove_every_restored_prefix(circuit: Benchmark, bits: usize) {
         );
 
         // Independent functional proof: miter restored vs fresh.
+        let (result, stats) = check_equivalence_with(&restored, &fresh, &config);
         assert_eq!(
-            check_equivalence(&restored, &fresh, Some(1_000_000)),
+            result,
             EquivResult::Equivalent,
             "{}: restored prefix of length {len} not SAT-equivalent",
             circuit.name()
         );
+        harness_stats.absorb(&stats);
+        checks += 1;
     }
+
+    // Every check must be answered by the cheap path or a completed proof;
+    // budget exhaustion never leaks through the harness.
+    assert_eq!(
+        harness_stats.sim_refuted + harness_stats.sat_proved,
+        checks,
+        "{}: refute-before-prove did not cover every check: {harness_stats:?}",
+        circuit.name()
+    );
+    assert!(
+        harness_stats.vars_encoded <= harness_stats.vars_full,
+        "{}: encoded more than the full miter: {harness_stats:?}",
+        circuit.name()
+    );
+
+    // COI control: dangling gates bolted onto one side must stay outside
+    // the encoding, making it strictly smaller than the full miter.
+    let mut padded = fresh.clone();
+    let (x, y) = (padded.pi(0), padded.pi(1));
+    let mut chain = padded.and(x, !y);
+    for _ in 0..16 {
+        chain = padded.and(chain, y);
+    }
+    let dangling = padded.num_ands() - fresh.num_ands();
+    assert!(dangling >= 1, "the dangling chain must add gates");
+    let sat_only = EquivConfig {
+        sim_words: 0, // force the SAT path so cones actually get encoded
+        ..config.clone()
+    };
+    let (result, stats) = check_equivalence_with(&fresh, &padded, &sat_only);
+    assert_eq!(result, EquivResult::Equivalent, "{}", circuit.name());
+    assert!(
+        stats.vars_encoded + dangling <= stats.vars_full,
+        "{}: COI encoding did not skip the dangling gates: {stats:?}",
+        circuit.name()
+    );
+
+    // Negative control: a complemented output differs everywhere, so the
+    // simulation phase must refute it without building any CNF.
+    let mut flipped = fresh.clone();
+    flipped.set_po(0, !flipped.po(0));
+    let (result, stats) = check_equivalence_with(&fresh, &flipped, &config);
+    assert!(
+        matches!(result, EquivResult::NotEquivalent { .. }),
+        "{}: flipped output must be refuted",
+        circuit.name()
+    );
+    assert_eq!(stats.sim_refuted, 1, "{}: {stats:?}", circuit.name());
+    assert_eq!(
+        stats.vars_encoded,
+        0,
+        "{}: sim refutation must not build CNF: {stats:?}",
+        circuit.name()
+    );
 }
 
 #[test]

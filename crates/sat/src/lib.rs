@@ -27,6 +27,8 @@ mod cnf;
 mod lit;
 mod solver;
 
-pub use crate::cnf::{check_equivalence, AigCnf, EquivResult};
+pub use crate::cnf::{
+    check_equivalence, check_equivalence_with, AigCnf, EquivConfig, EquivResult, EquivStats,
+};
 pub use crate::lit::{Lit, Var};
 pub use crate::solver::{SatResult, Solver};

@@ -3,7 +3,9 @@
 //! checker and exhaustive simulation on random AIGs.
 
 use boils_aig::random_aig;
-use boils_sat::{check_equivalence, EquivResult, Lit, SatResult, Solver};
+use boils_sat::{
+    check_equivalence, check_equivalence_with, EquivConfig, EquivResult, Lit, SatResult, Solver,
+};
 use proptest::prelude::*;
 
 /// Brute-force satisfiability over `num_vars ≤ 16` variables.
@@ -72,6 +74,74 @@ proptest! {
             EquivResult::NotEquivalent { counterexample } => {
                 prop_assert!(!sim_equal);
                 let words: Vec<u64> = counterexample.iter().map(|&x| x as u64).collect();
+                prop_assert_ne!(a.simulate(&words), b.simulate(&words));
+            }
+            EquivResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn sim_refutation_agrees_with_the_pure_sat_miter(
+        seed in 0u64..2_000,
+        gates in 5usize..80,
+        flip in 0usize..2,
+    ) {
+        // A complemented output differs on every input, so the default
+        // config must refute by simulation alone while the sim_words = 0
+        // config must reach the same verdict through the SAT miter — and
+        // both counterexamples must distinguish the circuits when
+        // replayed through plain simulation.
+        let a = random_aig(seed, 7, gates, 2);
+        let mut b = a.clone();
+        b.set_po(flip, !b.po(flip));
+        let (sim_result, sim_stats) =
+            check_equivalence_with(&a, &b, &EquivConfig::default());
+        let (sat_result, sat_stats) = check_equivalence_with(
+            &a,
+            &b,
+            &EquivConfig { sim_words: 0, ..EquivConfig::default() },
+        );
+        prop_assert_eq!(sim_stats.sim_refuted, 1);
+        prop_assert_eq!(sim_stats.vars_encoded, 0, "sim refutation built CNF");
+        prop_assert_eq!(sat_stats.sim_refuted, 0);
+        prop_assert_eq!(sat_stats.sat_refuted, 1);
+        for result in [&sim_result, &sat_result] {
+            match result {
+                EquivResult::NotEquivalent { counterexample } => {
+                    let words: Vec<u64> =
+                        counterexample.iter().map(|&x| x as u64).collect();
+                    prop_assert_ne!(a.simulate(&words), b.simulate(&words));
+                }
+                other => prop_assert!(false, "expected NotEquivalent, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_classify_every_check_exactly_once(
+        seed_a in 0u64..500,
+        seed_b in 0u64..500,
+        gates in 5usize..60,
+    ) {
+        let a = random_aig(seed_a, 5, gates, 2);
+        let b = random_aig(seed_b, 5, gates, 2);
+        let sim_equal = a.simulate_exhaustive() == b.simulate_exhaustive();
+        let (result, stats) = check_equivalence_with(&a, &b, &EquivConfig::default());
+        prop_assert_eq!(
+            stats.sim_refuted + stats.sat_proved + stats.sat_refuted,
+            1,
+            "each unbounded check must be classified exactly once: {:?}", stats
+        );
+        prop_assert!(stats.vars_encoded <= stats.vars_full);
+        match result {
+            EquivResult::Equivalent => {
+                prop_assert!(sim_equal);
+                prop_assert_eq!(stats.sat_proved, 1);
+            }
+            EquivResult::NotEquivalent { counterexample } => {
+                prop_assert!(!sim_equal);
+                let words: Vec<u64> =
+                    counterexample.iter().map(|&x| x as u64).collect();
                 prop_assert_ne!(a.simulate(&words), b.simulate(&words));
             }
             EquivResult::Unknown => prop_assert!(false, "no budget was set"),

@@ -4,10 +4,25 @@
 //! (up to complement); a SAT solver then proves or refutes each candidate
 //! merge. Counterexamples from refutations are fed back as simulation
 //! patterns, refining the classes, until no candidates remain unproven.
+//!
+//! The sweep rides the bit-parallel simulation tier ([`SimTable`]): each
+//! refinement round re-simulates only the freshly appended counterexample
+//! words (O(nodes × new_words) instead of O(nodes × total_words)),
+//! counterexample bits pack into the last partially-used pattern word,
+//! classes partition through 64-bit canonical signature hashes instead of
+//! cloned vector keys (hash buckets are confirmed with exact row
+//! comparison), and CNF is encoded lazily so SAT only ever sees the fanin
+//! cones of sim-indistinguishable candidate pairs. A budget-exhausted
+//! query is tracked as *unknown* — not refuted — and retried in later
+//! rounds once learned clauses or refined classes give it another chance.
+//!
+//! The pre-tier implementation is kept verbatim as
+//! [`fraig_reference_with`]; property tests assert the two produce
+//! bit-identical output AIGs.
 
 use std::collections::{HashMap, HashSet};
 
-use boils_aig::{Aig, Lit};
+use boils_aig::{Aig, Lit, SimTable};
 use boils_sat::AigCnf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,6 +51,25 @@ impl Default for FraigConfig {
     }
 }
 
+/// What one fraig sweep did and what it cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FraigStats {
+    /// Refinement rounds executed.
+    pub rounds: usize,
+    /// Nodes merged into an equivalent representative.
+    pub proven: usize,
+    /// Candidate pairs refuted with a counterexample.
+    pub refuted_pairs: usize,
+    /// Candidate pairs still unresolved when the sweep stopped (conflict
+    /// budget exhausted and never settled by a later retry).
+    pub unknown_pairs: usize,
+    /// Total simulation patterns accumulated (initial + counterexamples).
+    pub sim_patterns: usize,
+    /// AIG nodes Tseitin-encoded — the union of the queried fanin cones,
+    /// at most `aig.num_nodes()`.
+    pub vars_encoded: usize,
+}
+
 /// Merges functionally equivalent nodes (up to complement), SAT-proven.
 ///
 /// ```
@@ -62,6 +96,140 @@ pub fn fraig(aig: &Aig) -> Aig {
 
 /// [`fraig`] with explicit configuration.
 pub fn fraig_with(aig: &Aig, config: &FraigConfig) -> Aig {
+    fraig_with_stats(aig, config).0
+}
+
+/// [`fraig`] with explicit configuration, reporting sweep statistics.
+pub fn fraig_with_stats(aig: &Aig, config: &FraigConfig) -> (Aig, FraigStats) {
+    let aig = aig.cleanup();
+    let mut stats = FraigStats::default();
+    if aig.num_ands() == 0 {
+        return (aig, stats);
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pi_words: Vec<Vec<u64>> = (0..aig.num_pis())
+        .map(|_| (0..config.sim_words).map(|_| rng.gen()).collect())
+        .collect();
+    let mut table = SimTable::from_patterns(&aig, &pi_words, config.sim_words);
+    let mut cnf = AigCnf::new_lazy(&aig);
+
+    // node → (replacement literal in old space)
+    let mut proven: HashMap<usize, Lit> = HashMap::new();
+    let mut refuted: HashSet<(usize, usize)> = HashSet::new();
+    // Budget-exhausted pairs: NOT refuted, eligible for retry once new
+    // counterexamples re-rank classes or learned clauses accumulate.
+    let mut unknown: HashSet<(usize, usize)> = HashSet::new();
+
+    for _round in 0..config.max_rounds {
+        stats.rounds += 1;
+        // Group nodes by hashed canonical signature (min of sig, ~sig).
+        // Buckets under one hash are confirmed by exact row comparison, so
+        // a hash collision costs a second bucket, never a wrong class.
+        let mut classes: HashMap<u64, Vec<Vec<(usize, bool)>>> = HashMap::new();
+        for var in (0..=aig.num_pis()).chain(aig.ands()) {
+            if proven.contains_key(&var) {
+                continue;
+            }
+            let (hash, phase) = table.sig_hash(var);
+            let buckets = classes.entry(hash).or_default();
+            let found = buckets.iter_mut().find(|bucket| {
+                let (repr, repr_phase) = bucket[0];
+                table.rows_equal(var, repr, phase != repr_phase)
+            });
+            match found {
+                Some(bucket) => bucket.push((var, phase)),
+                None => buckets.push(vec![(var, phase)]),
+            }
+        }
+        // Try to prove members equal to their class representative.
+        let mut new_cex: Vec<Vec<bool>> = Vec::new();
+        let mut settled = false;
+        for members in classes.values().flatten() {
+            if members.len() < 2 {
+                continue;
+            }
+            let (repr, repr_phase) = members[0];
+            for &(m, m_phase) in &members[1..] {
+                if refuted.contains(&(repr, m)) || proven.contains_key(&m) {
+                    continue;
+                }
+                let complement = repr_phase != m_phase;
+                let target = Lit::from_var(repr, complement);
+                cnf.solver_mut()
+                    .set_conflict_budget(Some(config.conflict_budget));
+                match cnf.prove_equal(Lit::from_var(m, false), target) {
+                    Some(true) => {
+                        proven.insert(m, target);
+                        unknown.remove(&(repr, m));
+                        settled = true;
+                    }
+                    Some(false) => {
+                        new_cex.push(cnf.counterexample());
+                        refuted.insert((repr, m));
+                        unknown.remove(&(repr, m));
+                        settled = true;
+                    }
+                    None => {
+                        unknown.insert((repr, m));
+                    }
+                }
+            }
+        }
+        if new_cex.is_empty() {
+            // Nothing left to refine. Spend remaining rounds retrying
+            // unknowns only while retries keep settling pairs.
+            if unknown.is_empty() || !settled {
+                break;
+            }
+        } else {
+            // Incremental re-simulation: only the word columns the new
+            // counterexamples land in are recomputed, packing into the
+            // last partially-used pattern word first.
+            table.append_counterexamples(&aig, &new_cex);
+        }
+    }
+
+    stats.proven = proven.len();
+    stats.refuted_pairs = refuted.len();
+    stats.unknown_pairs = unknown.len();
+    stats.sim_patterns = table.num_bits();
+    stats.vars_encoded = cnf.vars_encoded();
+
+    (rebuild_merged(&aig, &proven), stats)
+}
+
+/// Rebuilds `aig`, redirecting merged nodes to their surviving
+/// representative.
+fn rebuild_merged(aig: &Aig, proven: &HashMap<usize, Lit>) -> Aig {
+    let mut out = Aig::new(aig.num_pis());
+    out.set_name(aig.name().to_string());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..aig.num_pis() {
+        map[1 + i] = out.pi(i);
+    }
+    for var in aig.ands() {
+        if let Some(&target) = proven.get(&var) {
+            map[var] = map[target.var()].xor_complement(target.is_complement());
+        } else {
+            let (f0, f1) = (aig.fanin0(var), aig.fanin1(var));
+            let a = map[f0.var()].xor_complement(f0.is_complement());
+            let b = map[f1.var()].xor_complement(f1.is_complement());
+            map[var] = out.and(a, b);
+        }
+    }
+    for po in aig.pos() {
+        let lit = map[po.var()].xor_complement(po.is_complement());
+        out.add_po(lit);
+    }
+    out.cleanup()
+}
+
+/// The pre-simulation-tier fraig implementation, kept verbatim as the
+/// bit-identity oracle for the rewritten sweep: full re-simulation of the
+/// whole pattern set every round through [`Aig::simulate_nodes`], classes
+/// keyed by cloned canonical signature vectors, eager whole-AIG CNF, and
+/// budget-exhausted queries conflated with refutations.
+pub fn fraig_reference_with(aig: &Aig, config: &FraigConfig) -> Aig {
     let aig = aig.cleanup();
     if aig.num_ands() == 0 {
         return aig;
@@ -147,28 +315,7 @@ pub fn fraig_with(aig: &Aig, config: &FraigConfig) -> Aig {
         }
     }
 
-    // Rebuild, redirecting merged nodes to their surviving representative.
-    let mut out = Aig::new(aig.num_pis());
-    out.set_name(aig.name().to_string());
-    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..aig.num_pis() {
-        map[1 + i] = out.pi(i);
-    }
-    for var in aig.ands() {
-        if let Some(&target) = proven.get(&var) {
-            map[var] = map[target.var()].xor_complement(target.is_complement());
-        } else {
-            let (f0, f1) = (aig.fanin0(var), aig.fanin1(var));
-            let a = map[f0.var()].xor_complement(f0.is_complement());
-            let b = map[f1.var()].xor_complement(f1.is_complement());
-            map[var] = out.and(a, b);
-        }
-    }
-    for po in aig.pos() {
-        let lit = map[po.var()].xor_complement(po.is_complement());
-        out.add_po(lit);
-    }
-    out.cleanup()
+    rebuild_merged(&aig, &proven)
 }
 
 #[cfg(test)]
@@ -230,5 +377,54 @@ mod tests {
         let fr = fraig(&aig);
         assert_eq!(fr.simulate_exhaustive(), aig.simulate_exhaustive());
         assert_eq!(fr.num_ands(), 0, "fraig should collapse to the wire b");
+    }
+
+    #[test]
+    fn stats_report_the_sweep() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.pi(0), aig.pi(1));
+        let x1 = aig.xor(a, b);
+        let anb = aig.and(a, !b);
+        let nab = aig.and(!a, b);
+        let x2 = aig.or(anb, nab);
+        aig.add_po(x1);
+        aig.add_po(x2);
+        let (fr, stats) = fraig_with_stats(&aig, &FraigConfig::default());
+        assert!(fr.num_ands() < aig.num_ands());
+        assert!(stats.proven >= 1, "the xor twins must merge: {stats:?}");
+        assert_eq!(stats.unknown_pairs, 0);
+        assert!(stats.rounds >= 1);
+        assert!(stats.vars_encoded <= aig.cleanup().num_nodes());
+        assert!(stats.sim_patterns >= FraigConfig::default().sim_words * 64);
+    }
+
+    #[test]
+    fn exhausted_budget_lands_in_unknown_not_refuted() {
+        // A conflict budget of zero aborts on the very first conflict, so
+        // any query that needs real search comes back Unknown. The twins
+        // below are NOT provable by propagation alone: the sweep must
+        // leave them unmerged and report them as unknown pairs.
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        let ab = aig.xor(a, b);
+        let x1 = aig.xor(ab, c);
+        let bc = aig.xor(b, c);
+        let x2 = aig.xor(a, bc);
+        aig.add_po(x1);
+        aig.add_po(x2);
+        let config = FraigConfig {
+            conflict_budget: 0,
+            ..FraigConfig::default()
+        };
+        let (fr, stats) = fraig_with_stats(&aig, &config);
+        assert_eq!(fr.simulate_exhaustive(), aig.simulate_exhaustive());
+        assert!(
+            stats.unknown_pairs > 0,
+            "budget-starved queries must surface as unknown: {stats:?}"
+        );
+        // And with a real budget the same pairs settle.
+        let (_, settled) = fraig_with_stats(&aig, &FraigConfig::default());
+        assert_eq!(settled.unknown_pairs, 0);
+        assert!(settled.proven > 0);
     }
 }
