@@ -8,7 +8,8 @@
 //! thread count.
 
 use boils_core::{
-    BatchEvaluator, EvalRecord, OptimizationResult, SequenceObjective, SequenceSpace,
+    BatchEvaluator, EvalRecord, OptimizationResult, RunControl, SequenceObjective, SequenceSpace,
+    Termination,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,26 +70,50 @@ pub fn genetic_algorithm<O: SequenceObjective>(
     budget: usize,
     config: &GaConfig,
 ) -> OptimizationResult {
+    genetic_algorithm_controlled(objective, space, budget, config, &RunControl::new())
+        .expect("uncontrolled run cannot be interrupted")
+}
+
+/// [`genetic_algorithm`] under a [`RunControl`]: a cancel or deadline
+/// stops the evolution at the next evaluation boundary and returns
+/// best-so-far; `None` only when nothing at all was evaluated.
+pub fn genetic_algorithm_controlled<O: SequenceObjective>(
+    objective: &O,
+    space: SequenceSpace,
+    budget: usize,
+    config: &GaConfig,
+    control: &RunControl,
+) -> Option<OptimizationResult> {
     assert!(budget >= 2, "budget too small for a population");
     let engine = BatchEvaluator::new(config.threads);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let pop_size = config.population.clamp(2, budget);
     let mut history: Vec<EvalRecord> = Vec::with_capacity(budget);
+    let mut quarantined: Vec<Vec<u8>> = Vec::new();
 
     // Initial population via Latin hypercube, scored as one batch.
     let mut seeds: Vec<Vec<u8>> = space.latin_hypercube(pop_size, &mut rng);
     seeds.truncate(budget);
-    let points = engine.evaluate(objective, &seeds);
+    let outcome = engine.evaluate_controlled(objective, &seeds, control);
+    quarantined.extend(outcome.quarantined.iter().cloned());
+    let mut stop = outcome.stopped;
     let mut population: Vec<(Vec<u8>, f64)> = Vec::with_capacity(pop_size);
-    for (tokens, point) in seeds.into_iter().zip(points) {
+    for (tokens, point) in outcome.resolved_prefix(&seeds) {
         history.push(EvalRecord {
             tokens: tokens.clone(),
             point,
         });
         population.push((tokens, point.qor));
     }
+    if history.is_empty() {
+        return None;
+    }
 
-    while history.len() < budget {
+    while stop.is_none() && history.len() < budget {
+        if let Some(reason) = control.stop_reason() {
+            stop = Some(reason);
+            break;
+        }
         population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite QoR"));
         let mut next: Vec<(Vec<u8>, f64)> = population
             .iter()
@@ -116,8 +141,9 @@ pub fn genetic_algorithm<O: SequenceObjective>(
             };
             offspring.push(mutate(&space, &child, config.mutation_rate, &mut rng));
         }
-        let points = engine.evaluate(objective, &offspring);
-        for (mutated, point) in offspring.into_iter().zip(points) {
+        let outcome = engine.evaluate_controlled(objective, &offspring, control);
+        quarantined.extend(outcome.quarantined.iter().cloned());
+        for (mutated, point) in outcome.resolved_prefix(&offspring) {
             history.push(EvalRecord {
                 tokens: mutated.clone(),
                 point,
@@ -125,8 +151,15 @@ pub fn genetic_algorithm<O: SequenceObjective>(
             next.push((mutated, point.qor));
         }
         population = next;
+        if outcome.stopped.is_some() {
+            stop = outcome.stopped;
+            break;
+        }
     }
-    OptimizationResult::from_history(&space, history)
+    let termination = stop.map(Termination::from).unwrap_or_default();
+    let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+    result.quarantined = quarantined;
+    Some(result)
 }
 
 fn tournament<R: Rng>(population: &[(Vec<u8>, f64)], k: usize, rng: &mut R) -> usize {

@@ -10,7 +10,10 @@
 //! substitution; see `DESIGN.md`.
 
 use boils_aig::Aig;
-use boils_core::{EvalRecord, OptimizationResult, SequenceObjective, SequenceSpace};
+use boils_core::{
+    BatchEvaluator, EvalRecord, OptimizationResult, RunControl, SequenceObjective, SequenceSpace,
+    Termination,
+};
 use boils_synth::Transform;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,7 +114,27 @@ pub fn reinforcement_learning<O: SequenceObjective + RolloutCircuit>(
     budget: usize,
     config: &RlConfig,
 ) -> OptimizationResult {
+    reinforcement_learning_controlled(objective, space, budget, config, &RunControl::new())
+        .expect("uncontrolled run cannot be interrupted")
+}
+
+/// [`reinforcement_learning`] under a [`RunControl`]: the control is
+/// polled before each episode (and inside the official evaluation), so a
+/// cancel or deadline stops the run at an episode boundary with
+/// best-so-far; `None` only when no episode completed.
+pub fn reinforcement_learning_controlled<O: SequenceObjective + RolloutCircuit>(
+    objective: &O,
+    space: SequenceSpace,
+    budget: usize,
+    config: &RlConfig,
+    control: &RunControl,
+) -> Option<OptimizationResult> {
     assert!(budget >= 1);
+    // Episodes are sequential; the engine is a degenerate 1-element batch
+    // that buys the shared interruption and panic-quarantine semantics.
+    let engine = BatchEvaluator::new(1);
+    let mut quarantined: Vec<Vec<u8>> = Vec::new();
+    let mut stop = None;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let base = objective.rollout_circuit().cleanup();
     let norm = (base.num_ands().max(1) as f64, base.depth().max(1) as f64);
@@ -123,6 +146,10 @@ pub fn reinforcement_learning<O: SequenceObjective + RolloutCircuit>(
     let mut history: Vec<EvalRecord> = Vec::with_capacity(budget);
 
     for _episode in 0..budget {
+        if let Some(reason) = control.stop_reason() {
+            stop = Some(reason);
+            break;
+        }
         // --- Roll out one episode.
         let mut aig = base.clone();
         let mut tokens: Vec<u8> = Vec::with_capacity(space.length());
@@ -151,7 +178,12 @@ pub fn reinforcement_learning<O: SequenceObjective + RolloutCircuit>(
             probs.push(pi);
         }
         // --- Official evaluation (one tested sequence).
-        let point = objective.evaluate_tokens(&tokens);
+        let outcome = engine.evaluate_controlled(objective, std::slice::from_ref(&tokens), control);
+        quarantined.extend(outcome.quarantined.iter().cloned());
+        let Some(point) = outcome.points[0] else {
+            stop = outcome.stopped;
+            break;
+        };
         history.push(EvalRecord {
             tokens: tokens.clone(),
             point,
@@ -225,7 +257,13 @@ pub fn reinforcement_learning<O: SequenceObjective + RolloutCircuit>(
             }
         }
     }
-    OptimizationResult::from_history(&space, history)
+    if history.is_empty() {
+        return None;
+    }
+    let termination = stop.map(Termination::from).unwrap_or_default();
+    let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+    result.quarantined = quarantined;
+    Some(result)
 }
 
 fn feature_dim(features: RlFeatures, alphabet: usize) -> usize {

@@ -5,7 +5,8 @@
 //! greedy) evaluate in parallel without changing the search trajectory.
 
 use boils_core::{
-    BatchEvaluator, EvalRecord, OptimizationResult, SequenceObjective, SequenceSpace,
+    BatchEvaluator, EvalRecord, OptimizationResult, RunControl, SequenceObjective, SequenceSpace,
+    Termination,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,18 +36,39 @@ pub fn random_search<O: SequenceObjective>(
     seed: u64,
     threads: usize,
 ) -> OptimizationResult {
+    random_search_controlled(objective, space, budget, seed, threads, &RunControl::new())
+        .expect("uncontrolled run cannot be interrupted")
+}
+
+/// [`random_search`] under a [`RunControl`]: returns `None` when the
+/// control fires before a single evaluation completes, best-so-far (an
+/// exact prefix of the uncancelled trajectory) otherwise.
+pub fn random_search_controlled<O: SequenceObjective>(
+    objective: &O,
+    space: SequenceSpace,
+    budget: usize,
+    seed: u64,
+    threads: usize,
+    control: &RunControl,
+) -> Option<OptimizationResult> {
     assert!(budget >= 1, "need at least one evaluation");
     let mut rng = StdRng::seed_from_u64(seed);
     let samples = space.latin_hypercube(budget, &mut rng);
     // The whole design is one independent batch — random search is the
     // embarrassingly parallel end of the method spectrum.
-    let points = BatchEvaluator::new(threads).evaluate(objective, &samples);
-    let history = samples
+    let outcome = BatchEvaluator::new(threads).evaluate_controlled(objective, &samples, control);
+    let history: Vec<EvalRecord> = outcome
+        .resolved_prefix(&samples)
         .into_iter()
-        .zip(points)
         .map(|(tokens, point)| EvalRecord { tokens, point })
         .collect();
-    OptimizationResult::from_history(&space, history)
+    if history.is_empty() {
+        return None;
+    }
+    let termination = outcome.stopped.map(Termination::from).unwrap_or_default();
+    let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+    result.quarantined = outcome.quarantined;
+    Some(result)
 }
 
 /// The greedy constructor: grows one sequence by appending, at each
@@ -62,9 +84,25 @@ pub fn greedy<O: SequenceObjective>(
     budget: usize,
     threads: usize,
 ) -> OptimizationResult {
+    greedy_controlled(objective, space, budget, threads, &RunControl::new())
+        .expect("uncontrolled run cannot be interrupted")
+}
+
+/// [`greedy`] under a [`RunControl`]: a cancel or deadline stops the
+/// sweep at the next evaluation boundary and returns best-so-far; `None`
+/// only when nothing at all was evaluated.
+pub fn greedy_controlled<O: SequenceObjective>(
+    objective: &O,
+    space: SequenceSpace,
+    budget: usize,
+    threads: usize,
+    control: &RunControl,
+) -> Option<OptimizationResult> {
     assert!(budget >= space.alphabet(), "budget below one greedy step");
     let engine = BatchEvaluator::new(threads);
     let mut history: Vec<EvalRecord> = Vec::new();
+    let mut quarantined: Vec<Vec<u8>> = Vec::new();
+    let mut stop = None;
     let mut prefix: Vec<u8> = Vec::new();
     for _pos in 0..space.length() {
         let remaining = budget - history.len();
@@ -80,9 +118,12 @@ pub fn greedy<O: SequenceObjective>(
             })
             .collect();
         let truncated = candidates.len() < space.alphabet();
-        let points = engine.evaluate(objective, &candidates);
+        let outcome = engine.evaluate_controlled(objective, &candidates, control);
+        quarantined.extend(outcome.quarantined.iter().cloned());
+        let resolved = outcome.resolved_prefix(&candidates);
+        let interrupted = outcome.stopped.is_some();
         let mut best: Option<(f64, u8)> = None;
-        for (cand, point) in candidates.into_iter().zip(points) {
+        for (cand, point) in resolved {
             let action = *cand.last().expect("non-empty candidate");
             if best.is_none_or(|(q, _)| point.qor < q) {
                 best = Some((point.qor, action));
@@ -91,6 +132,10 @@ pub fn greedy<O: SequenceObjective>(
                 tokens: cand,
                 point,
             });
+        }
+        if interrupted {
+            stop = outcome.stopped;
+            break;
         }
         if truncated {
             // Budget ran out mid-sweep: the partial comparison is not a
@@ -102,7 +147,13 @@ pub fn greedy<O: SequenceObjective>(
             None => break,
         }
     }
-    OptimizationResult::from_history(&space, history)
+    if history.is_empty() {
+        return None;
+    }
+    let termination = stop.map(Termination::from).unwrap_or_default();
+    let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+    result.quarantined = quarantined;
+    Some(result)
 }
 
 #[cfg(test)]

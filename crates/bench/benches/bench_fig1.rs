@@ -23,6 +23,8 @@ fn bench_fig1_pipeline(c: &mut Criterion) {
         batch_size: 1,
         surrogate_window: None,
         cache_dir: None,
+        deadline_secs: None,
+        fault_plan: None,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig1_sample_efficiency_report", |bencher| {

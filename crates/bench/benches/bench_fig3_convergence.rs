@@ -21,6 +21,8 @@ fn bench_convergence_pipeline(c: &mut Criterion) {
         batch_size: 1,
         surrogate_window: None,
         cache_dir: None,
+        deadline_secs: None,
+        fault_plan: None,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig3_convergence_csv", |bencher| {

@@ -25,6 +25,8 @@ fn bench_qor_table_pipeline(c: &mut Criterion) {
                 batch_size: 1,
                 surrogate_window: None,
                 cache_dir: None,
+                deadline_secs: None,
+                fault_plan: None,
             };
             let sweep = Sweep::run(&cfg);
             black_box(qor_table(&sweep, cfg.budget))

@@ -17,8 +17,13 @@
 //!
 //! ```text
 //! perf_report [--out BENCH_eval.json] [--smoke] [--threads N] [--batch-size Q]
-//!             [--surrogate-window W]
+//!             [--surrogate-window W] [--deadline-secs S]
 //! ```
+//!
+//! `--deadline-secs` arms a wall-clock [`RunControl`] deadline on the
+//! BOiLS section and asserts it did **not** fire (the run must still
+//! terminate with `budget-exhausted`) — exercising the fault-tolerant
+//! control path at zero trajectory cost.
 //!
 //! `--smoke` shrinks every workload for CI; the committed numbers come
 //! from a full run.
@@ -28,7 +33,7 @@ use std::time::Instant;
 use boils_baselines::greedy;
 use boils_bench::cli::BenchArgs;
 use boils_circuits::{Benchmark, CircuitSpec};
-use boils_core::{Boils, BoilsConfig, QorEvaluator, SequenceSpace};
+use boils_core::{Boils, BoilsConfig, QorEvaluator, RunControl, SequenceSpace, Termination};
 use boils_gp::{Gp, SskKernel, Surrogate, SurrogateConfig, TrainConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +63,10 @@ fn main() {
         surrogate_window >= 2,
         "--surrogate-window takes a window of at least 2"
     );
+    let deadline_secs: Option<f64> = args.parse("--deadline-secs");
+    if let Some(secs) = deadline_secs {
+        assert!(secs > 0.0, "--deadline-secs takes a positive duration");
+    }
 
     let circuit = Benchmark::Adder;
     let aig = CircuitSpec::new(circuit).build();
@@ -81,7 +90,7 @@ fn main() {
     sections.push(eval_throughput(&aig, threads, smoke));
     sections.push(sim_section(&aig, smoke));
     sections.push(greedy_section(&aig, smoke));
-    sections.push(boils_section(&aig, smoke));
+    sections.push(boils_section(&aig, smoke, deadline_secs));
     sections.push(gp_fit_section(smoke));
     sections.push(qei_section(&aig, threads, smoke, batch_size));
     sections.push(persist_section(&aig, smoke));
@@ -341,7 +350,7 @@ fn greedy_section(aig: &boils_aig::Aig, smoke: bool) -> String {
 /// A default-config BOiLS run with the full incremental engine (prefix
 /// cache + incremental SSK Gram/Cholesky updates) against the
 /// from-scratch baseline.
-fn boils_section(aig: &boils_aig::Aig, smoke: bool) -> String {
+fn boils_section(aig: &boils_aig::Aig, smoke: bool, deadline_secs: Option<f64>) -> String {
     let config = |incremental: bool| BoilsConfig {
         max_evaluations: if smoke { 30 } else { 200 },
         initial_samples: if smoke { 10 } else { 20 },
@@ -355,10 +364,27 @@ fn boils_section(aig: &boils_aig::Aig, smoke: bool) -> String {
         ..BoilsConfig::default()
     };
 
+    // When a deadline is armed it must be generous enough not to fire:
+    // the section then also proves the control path is free — same
+    // trajectory, `budget-exhausted` termination.
+    let control = match deadline_secs {
+        Some(secs) => RunControl::with_deadline(std::time::Duration::from_secs_f64(secs)),
+        None => RunControl::new(),
+    };
     let fast_eval = QorEvaluator::new(aig).expect("ok");
     let start = Instant::now();
-    let fast = Boils::new(config(true)).run(&fast_eval).expect("run");
+    let fast = Boils::new(config(true))
+        .run_with_control(&fast_eval, &control)
+        .expect("run");
     let optimised_seconds = start.elapsed().as_secs_f64();
+    if deadline_secs.is_some() {
+        assert_eq!(
+            fast.termination,
+            Termination::BudgetExhausted,
+            "the --deadline-secs deadline fired mid-run; raise it so the perf numbers \
+             cover the full budget"
+        );
+    }
 
     let slow_eval = QorEvaluator::new(aig).expect("ok").without_prefix_cache();
     let start = Instant::now();

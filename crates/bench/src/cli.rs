@@ -70,7 +70,7 @@ impl BenchArgs {
 /// Builds a sweep config from a parsed argument view, reading the common
 /// flags `--budget N --seeds N --multiplier N --k N --bits N --threads N
 /// --batch-size N --surrogate-window W --cache-dir DIR --circuits a,b
-/// --methods rs,boils --paper`.
+/// --methods rs,boils --deadline-secs S --fault-plan PLAN --paper`.
 pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     let mut cfg = if args.flag("--paper") {
         SweepConfig::paper()
@@ -103,6 +103,12 @@ pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     }
     if let Some(v) = args.value("--cache-dir") {
         cfg.cache_dir = Some(std::path::PathBuf::from(v));
+    }
+    if let Some(v) = args.parse("--deadline-secs") {
+        cfg.deadline_secs = Some(v);
+    }
+    if let Some(v) = args.value("--fault-plan") {
+        cfg.fault_plan = Some(v.to_string());
     }
     if let Some(v) = args.value("--circuits") {
         cfg.circuits = v
@@ -178,6 +184,8 @@ mod tests {
             "--batch-size=4",
             "--surrogate-window=32",
             "--cache-dir=/tmp/boils-cache",
+            "--deadline-secs=2.5",
+            "--fault-plan=write:enospc@3",
             "--methods",
             "rs,boils",
         ]);
@@ -194,12 +202,15 @@ mod tests {
             Some(std::path::Path::new("/tmp/boils-cache"))
         );
         assert_eq!(cfg.methods, vec![Method::Rs, Method::Boils]);
-        // Absent flags leave the store off and the window unbounded.
-        assert_eq!(sweep_config_from(&args(&["--budget=1"])).cache_dir, None);
-        assert_eq!(
-            sweep_config_from(&args(&["--budget=1"])).surrogate_window,
-            None
-        );
+        assert_eq!(cfg.deadline_secs, Some(2.5));
+        assert_eq!(cfg.fault_plan.as_deref(), Some("write:enospc@3"));
+        // Absent flags leave the store off, the window unbounded, and the
+        // fault layer fully inert.
+        let bare = sweep_config_from(&args(&["--budget=1"]));
+        assert_eq!(bare.cache_dir, None);
+        assert_eq!(bare.surrogate_window, None);
+        assert_eq!(bare.deadline_secs, None);
+        assert_eq!(bare.fault_plan, None);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! A uniform interface over every optimiser in the paper's comparison.
 
 use boils_baselines::{
-    genetic_algorithm, greedy, random_search, reinforcement_learning, GaConfig, RlAlgorithm,
-    RlConfig, RlFeatures, RolloutCircuit,
+    genetic_algorithm_controlled, greedy_controlled, random_search_controlled,
+    reinforcement_learning_controlled, GaConfig, RlAlgorithm, RlConfig, RlFeatures, RolloutCircuit,
 };
 use boils_core::{
-    Boils, BoilsConfig, OptimizationResult, Sbo, SboConfig, SequenceObjective, SequenceSpace,
+    Boils, BoilsConfig, OptimizationResult, RunBoilsError, RunControl, Sbo, SboConfig,
+    SequenceObjective, SequenceSpace,
 };
 use boils_gp::TrainConfig;
 
@@ -144,10 +145,42 @@ impl Method {
         batch_size: usize,
         surrogate_window: Option<usize>,
     ) -> OptimizationResult {
+        self.run_controlled(
+            objective,
+            space,
+            budget,
+            seed,
+            threads,
+            batch_size,
+            surrogate_window,
+            &RunControl::new(),
+        )
+        .expect("uncontrolled run cannot be interrupted")
+    }
+
+    /// [`Method::run_configured`] under a [`RunControl`]: a cancel or
+    /// deadline stops the method at the next evaluation boundary and
+    /// returns best-so-far (an exact prefix of the uncancelled
+    /// trajectory); `None` only when the control fired before a single
+    /// evaluation completed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_controlled<O: SequenceObjective + RolloutCircuit>(
+        self,
+        objective: &O,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+        surrogate_window: Option<usize>,
+        control: &RunControl,
+    ) -> Option<OptimizationResult> {
         match self {
-            Method::Rs => random_search(objective, space, budget, seed, threads),
-            Method::Greedy => greedy(objective, space, budget, threads),
-            Method::Ga => genetic_algorithm(
+            Method::Rs => {
+                random_search_controlled(objective, space, budget, seed, threads, control)
+            }
+            Method::Greedy => greedy_controlled(objective, space, budget, threads, control),
+            Method::Ga => genetic_algorithm_controlled(
                 objective,
                 space,
                 budget,
@@ -156,8 +189,9 @@ impl Method {
                     threads,
                     ..GaConfig::default()
                 },
+                control,
             ),
-            Method::DrillsPpo => reinforcement_learning(
+            Method::DrillsPpo => reinforcement_learning_controlled(
                 objective,
                 space,
                 budget,
@@ -167,8 +201,9 @@ impl Method {
                     seed,
                     ..RlConfig::default()
                 },
+                control,
             ),
-            Method::DrillsA2c => reinforcement_learning(
+            Method::DrillsA2c => reinforcement_learning_controlled(
                 objective,
                 space,
                 budget,
@@ -178,8 +213,9 @@ impl Method {
                     seed,
                     ..RlConfig::default()
                 },
+                control,
             ),
-            Method::GraphRl => reinforcement_learning(
+            Method::GraphRl => reinforcement_learning_controlled(
                 objective,
                 space,
                 budget,
@@ -189,6 +225,7 @@ impl Method {
                     seed,
                     ..RlConfig::default()
                 },
+                control,
             ),
             Method::Sbo => {
                 let mut sbo = Sbo::new(SboConfig {
@@ -205,7 +242,11 @@ impl Method {
                     },
                     ..SboConfig::default()
                 });
-                sbo.run(objective).expect("SBO run failed")
+                match sbo.run_with_control(objective, control) {
+                    Ok(result) => Some(result),
+                    Err(RunBoilsError::Interrupted(_)) => None,
+                    Err(err) => panic!("SBO run failed: {err}"),
+                }
             }
             Method::Boils => {
                 let mut boils = Boils::new(BoilsConfig {
@@ -222,7 +263,11 @@ impl Method {
                     },
                     ..BoilsConfig::default()
                 });
-                boils.run(objective).expect("BOiLS run failed")
+                match boils.run_with_control(objective, control) {
+                    Ok(result) => Some(result),
+                    Err(RunBoilsError::Interrupted(_)) => None,
+                    Err(err) => panic!("BOiLS run failed: {err}"),
+                }
             }
         }
     }

@@ -5,9 +5,11 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use boils_circuits::{Benchmark, CircuitSpec};
-use boils_core::{QorEvaluator, SequenceSpace};
+use boils_core::{FaultInjector, FaultPlan, QorEvaluator, RunControl, SequenceSpace, Termination};
 
 use crate::method::Method;
 
@@ -48,6 +50,16 @@ pub struct SweepConfig {
     /// `threads`, this only changes wall-clock time: traces are
     /// bit-identical with the store cold, warm, or absent.
     pub cache_dir: Option<PathBuf>,
+    /// Wall-clock deadline per run, in seconds. When it fires the run
+    /// stops at the next evaluation boundary and keeps best-so-far (an
+    /// exact prefix of the undisturbed trajectory). `None` = no deadline.
+    pub deadline_secs: Option<f64>,
+    /// Deterministic fault plan (see [`boils_core::FaultPlan::parse`])
+    /// injected into every evaluator of the sweep — storage faults
+    /// degrade the persistent store without changing traces; `eval:panic`
+    /// clauses quarantine the hit sequences. `None` = no injection
+    /// (beyond any `BOILS_FAULT_PLAN` environment plan).
+    pub fault_plan: Option<String>,
 }
 
 impl Default for SweepConfig {
@@ -64,6 +76,8 @@ impl Default for SweepConfig {
             batch_size: 1,
             surrogate_window: None,
             cache_dir: None,
+            deadline_secs: None,
+            fault_plan: None,
         }
     }
 }
@@ -155,6 +169,13 @@ impl Sweep {
     pub fn run(config: &SweepConfig) -> Sweep {
         let mut runs = Vec::new();
         let space = SequenceSpace::new(config.sequence_length, 11);
+        // One injector for the whole sweep: its operation ordinals span
+        // every circuit, method and seed, so a plan like `write:enospc@10+`
+        // means "the tenth disk write of the sweep", wherever it lands.
+        let injector: Option<Arc<FaultInjector>> = config.fault_plan.as_deref().map(|spec| {
+            let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("--fault-plan: {e}"));
+            Arc::new(FaultInjector::new(plan))
+        });
         for &circuit in &config.circuits {
             let mut spec = CircuitSpec::new(circuit);
             if let Some(bits) = config.bits {
@@ -167,6 +188,10 @@ impl Sweep {
             // a cache directory, the prefix store extends that sharing
             // across sweep *processes* (other seeds, methods, restarts).
             let evaluator = QorEvaluator::new(&aig).expect("benchmark circuits are non-trivial");
+            let evaluator = match &injector {
+                Some(fault) => evaluator.with_fault_injector(Some(fault.clone())),
+                None => evaluator,
+            };
             let evaluator = match &config.cache_dir {
                 Some(dir) => evaluator.with_persistent_store(dir).unwrap_or_else(|e| {
                     panic!("--cache-dir {}: {e}", dir.display());
@@ -177,7 +202,11 @@ impl Sweep {
                 let budget = config.budget_for(method);
                 for seed in 0..config.seeds as u64 {
                     let t0 = std::time::Instant::now();
-                    let result = method.run_configured(
+                    let control = match config.deadline_secs {
+                        Some(secs) => RunControl::with_deadline(Duration::from_secs_f64(secs)),
+                        None => RunControl::new(),
+                    };
+                    let Some(result) = method.run_controlled(
                         &evaluator,
                         space,
                         budget,
@@ -185,14 +214,30 @@ impl Sweep {
                         config.threads,
                         config.batch_size,
                         config.surrogate_window,
-                    );
+                        &control,
+                    ) else {
+                        eprintln!(
+                            "[sweep] {:<10} {:<12} seed {}  interrupted before first evaluation",
+                            circuit.name(),
+                            method.id(),
+                            seed,
+                        );
+                        continue;
+                    };
                     let trace: Vec<(f64, usize, u32)> = result
                         .history
                         .iter()
                         .map(|r| (r.point.qor, r.point.area, r.point.delay))
                         .collect();
+                    let mut notes = String::new();
+                    if result.termination != Termination::BudgetExhausted {
+                        let _ = write!(notes, "  [{}]", result.termination);
+                    }
+                    if !result.quarantined.is_empty() {
+                        let _ = write!(notes, "  [{} quarantined]", result.quarantined.len());
+                    }
                     eprintln!(
-                        "[sweep] {:<10} {:<12} seed {}  best {:.4}  ({:.1}s)",
+                        "[sweep] {:<10} {:<12} seed {}  best {:.4}  ({:.1}s){notes}",
                         circuit.name(),
                         method.id(),
                         seed,
@@ -209,12 +254,19 @@ impl Sweep {
             }
             if config.cache_dir.is_some() {
                 let stats = evaluator.prefix_stats();
+                let degraded = match stats.store_disabled_at {
+                    Some(op) => format!(", memory-only after op {op}"),
+                    None => String::new(),
+                };
                 eprintln!(
-                    "[sweep] {:<10} persistent store: {} disk hits, {} writes, {} corrupt dropped",
+                    "[sweep] {:<10} persistent store: {} disk hits, {} writes, \
+                     {} corrupt dropped, {} write failures, {} retries{degraded}",
                     circuit.name(),
                     stats.disk_hits,
                     stats.disk_writes,
-                    stats.disk_corrupt_dropped
+                    stats.disk_corrupt_dropped,
+                    stats.disk_write_failures,
+                    stats.disk_retries,
                 );
             }
         }

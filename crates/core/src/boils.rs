@@ -10,8 +10,9 @@ use boils_gp::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::control::{RunControl, StopReason};
 use crate::eval::{BatchEvaluator, SequenceObjective};
-use crate::result::{EvalRecord, OptimizationResult};
+use crate::result::{EvalRecord, OptimizationResult, Termination};
 use crate::space::SequenceSpace;
 
 /// Random resamples the freshness guard tries before falling back to the
@@ -166,6 +167,9 @@ pub enum RunBoilsError {
     },
     /// The GP surrogate could not be fitted.
     SurrogateFit(NotPositiveDefiniteError),
+    /// The run was cancelled (or its deadline passed) before a single
+    /// evaluation completed, so there is no best-so-far to report.
+    Interrupted(StopReason),
 }
 
 impl std::fmt::Display for RunBoilsError {
@@ -176,6 +180,11 @@ impl std::fmt::Display for RunBoilsError {
                 "evaluation budget {budget} is smaller than the initial design {initial}"
             ),
             RunBoilsError::SurrogateFit(e) => write!(f, "failed to fit the GP surrogate: {e}"),
+            RunBoilsError::Interrupted(reason) => write!(
+                f,
+                "run interrupted ({}) before any evaluation completed",
+                Termination::from(*reason)
+            ),
         }
     }
 }
@@ -218,6 +227,12 @@ pub struct RunDiagnostics {
     /// Evaluations spent on already-memoised sequences. Non-zero only when
     /// the space was genuinely exhausted (every sequence evaluated).
     pub duplicate_evals: usize,
+    /// Sequences whose evaluation panicked and was quarantined (the
+    /// history holds worst-case sentinels in their place).
+    pub quarantined: Vec<Vec<u8>>,
+    /// Why the run ended (mirrors
+    /// [`OptimizationResult::termination`](crate::OptimizationResult)).
+    pub termination: Termination,
 }
 
 /// Outcome of the freshness guard around one proposed candidate.
@@ -346,6 +361,25 @@ impl Boils {
         &mut self,
         objective: &O,
     ) -> Result<OptimizationResult, RunBoilsError> {
+        self.run_with_control(objective, &RunControl::new())
+    }
+
+    /// [`Boils::run`] under a [`RunControl`]: the control is polled before
+    /// every batch and every evaluation, so a cancel or deadline stops the
+    /// run within one synthesis pass and returns best-so-far with the
+    /// matching [`Termination`]. An interrupted run's history is an exact
+    /// prefix of the uncancelled trajectory (values are pure functions of
+    /// their tokens; only *where* the cut lands depends on timing).
+    ///
+    /// # Errors
+    ///
+    /// Additionally fails with [`RunBoilsError::Interrupted`] when the
+    /// control fires before a single evaluation completes.
+    pub fn run_with_control<O: SequenceObjective>(
+        &mut self,
+        objective: &O,
+        control: &RunControl,
+    ) -> Result<OptimizationResult, RunBoilsError> {
         let cfg = &self.config;
         self.diagnostics = RunDiagnostics::default();
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
@@ -371,9 +405,18 @@ impl Boils {
             }
             initial.push(tokens);
         }
-        let points = engine.evaluate_grouped(objective, &initial);
-        for (tokens, point) in initial.into_iter().zip(points) {
+        let outcome = engine.evaluate_grouped_controlled(objective, &initial, control);
+        self.diagnostics
+            .quarantined
+            .extend(outcome.quarantined.iter().cloned());
+        let mut stop = outcome.stopped;
+        for (tokens, point) in outcome.resolved_prefix(&initial) {
             history.push(EvalRecord { tokens, point });
+        }
+        if history.is_empty() {
+            return Err(RunBoilsError::Interrupted(
+                stop.unwrap_or(StopReason::Cancelled),
+            ));
         }
 
         // -- Trust-region state (line 4): radius starts at K.
@@ -424,7 +467,11 @@ impl Boils {
         }
 
         // -- Optimisation loop (lines 6-11).
-        while history.len() < cfg.max_evaluations {
+        while stop.is_none() && history.len() < cfg.max_evaluations {
+            if let Some(reason) = control.stop_reason() {
+                stop = Some(reason);
+                break;
+            }
             let incumbent = history
                 .iter()
                 .map(|r| -r.point.qor)
@@ -493,11 +540,21 @@ impl Boils {
             // through the engine as one prefix-aware parallel evaluation;
             // the constant-liar fantasies above are discarded (`liar` held
             // them, the surrogate's GP was never touched).
-            let points = engine.evaluate_grouped(objective, &batch);
+            let outcome = engine.evaluate_grouped_controlled(objective, &batch, control);
+            self.diagnostics
+                .quarantined
+                .extend(outcome.quarantined.iter().cloned());
             let batch_start = history.len();
-            for (tokens, point) in batch.into_iter().zip(points) {
+            for (tokens, point) in outcome.resolved_prefix(&batch) {
                 surrogate.observe(tokens.clone(), -point.qor);
                 history.push(EvalRecord { tokens, point });
+            }
+            if outcome.stopped.is_some() {
+                // The run is ending: the (possibly partial) resolved prefix
+                // is already in the history; the trust-region state below
+                // would never be read again.
+                stop = outcome.stopped;
+                break;
             }
 
             // -- Trust-region schedule (line 10): the batch is one
@@ -536,17 +593,33 @@ impl Boils {
                 if history.len() < cfg.max_evaluations {
                     let tokens = space.sample(&mut rng);
                     if !objective.is_cached(&tokens) {
-                        let point = engine.evaluate(objective, std::slice::from_ref(&tokens))[0];
-                        surrogate.observe(tokens.clone(), -point.qor);
-                        history.push(EvalRecord { tokens, point });
-                        center = history.last().expect("just pushed").clone();
+                        let outcome = engine.evaluate_controlled(
+                            objective,
+                            std::slice::from_ref(&tokens),
+                            control,
+                        );
+                        self.diagnostics
+                            .quarantined
+                            .extend(outcome.quarantined.iter().cloned());
+                        match outcome.points[0] {
+                            Some(point) => {
+                                surrogate.observe(tokens.clone(), -point.qor);
+                                history.push(EvalRecord { tokens, point });
+                                center = history.last().expect("just pushed").clone();
+                            }
+                            None => stop = outcome.stopped,
+                        }
                     }
                 }
             }
         }
         self.diagnostics.retrains_at = surrogate.diagnostics().retrains_at.clone();
         self.diagnostics.surrogate = surrogate.diagnostics().clone();
-        Ok(OptimizationResult::from_history(&space, history))
+        let termination = stop.map(Termination::from).unwrap_or_default();
+        self.diagnostics.termination = termination;
+        let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+        result.quarantined = self.diagnostics.quarantined.clone();
+        Ok(result)
     }
 }
 
@@ -663,6 +736,35 @@ mod tests {
         let r2 = Boils::new(small_config(10)).run(&e2).expect("run");
         assert_eq!(r1.best_tokens, r2.best_tokens);
         assert_eq!(r1.best_qor, r2.best_qor);
+    }
+
+    #[test]
+    fn pre_cancelled_control_reports_interrupted() {
+        let aig = random_aig(23, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("ok");
+        let control = RunControl::new();
+        control.cancel();
+        let mut boils = Boils::new(small_config(10));
+        assert!(matches!(
+            boils.run_with_control(&evaluator, &control),
+            Err(RunBoilsError::Interrupted(StopReason::Cancelled))
+        ));
+        // Nothing was evaluated: the budget was never touched.
+        assert_eq!(evaluator.num_evaluations(), 0);
+    }
+
+    #[test]
+    fn uncontrolled_run_reports_budget_exhausted() {
+        let aig = random_aig(11, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("ok");
+        let mut boils = Boils::new(small_config(8));
+        let result = boils.run(&evaluator).expect("run");
+        assert_eq!(result.termination, Termination::BudgetExhausted);
+        assert!(result.quarantined.is_empty());
+        assert_eq!(
+            boils.diagnostics().termination,
+            Termination::BudgetExhausted
+        );
     }
 
     #[test]

@@ -21,10 +21,27 @@
 //!   so intra-batch prefix-cache reuse is guaranteed rather than racy.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::control::{RunControl, StopReason};
 use crate::qor::QorPoint;
+
+/// Read-locks ignoring poisoning. Every lock in this crate guards memo
+/// data whose values are pure functions of their keys, so the worst a
+/// panicked writer can leave behind is a missing entry — recomputed, never
+/// trusted wrong. Unwrapping the poison here is what keeps one quarantined
+/// evaluation from cascading into `PoisonError` panics on every sibling
+/// worker that touches the same shard.
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks ignoring poisoning (see [`read_lock`]).
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A black-box objective over token-encoded synthesis sequences.
 ///
@@ -45,6 +62,22 @@ pub trait SequenceObjective: Sync {
     /// The number of unique (non-memoised) evaluations so far — the
     /// sample-complexity measure reported in the paper's figures.
     fn num_evaluations(&self) -> usize;
+
+    /// [`SequenceObjective::evaluate_tokens`] with a cancellation check.
+    ///
+    /// Returns `None` when `control` fired before (or — for objectives
+    /// overriding this, like [`QorEvaluator`](crate::QorEvaluator), which
+    /// polls between synthesis passes — during) the evaluation; an
+    /// interrupted evaluation is not memoised and does not advance the
+    /// unique-evaluation count. The default checks once up front, which is
+    /// correct for any objective; overriding only tightens the latency
+    /// between a cancel and the engine observing it.
+    fn evaluate_tokens_controlled(&self, tokens: &[u8], control: &RunControl) -> Option<QorPoint> {
+        if control.stop_reason().is_some() {
+            return None;
+        }
+        Some(self.evaluate_tokens(tokens))
+    }
 }
 
 /// Number of lock shards. A small power of two: contention is light (a QoR
@@ -132,12 +165,7 @@ impl ShardedCache {
 
     /// Returns the memoised point for `key`, recording a hit on success.
     pub fn get(&self, key: &[u8]) -> Option<QorPoint> {
-        let hit = self
-            .shard(key)
-            .read()
-            .expect("cache lock")
-            .get(key)
-            .copied();
+        let hit = read_lock(self.shard(key)).get(key).copied();
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -146,10 +174,7 @@ impl ShardedCache {
 
     /// Whether `key` is memoised, without touching hit accounting.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.shard(key)
-            .read()
-            .expect("cache lock")
-            .contains_key(key)
+        read_lock(self.shard(key)).contains_key(key)
     }
 
     /// Inserts a result, returning `true` if the key was newly memoised.
@@ -159,7 +184,7 @@ impl ShardedCache {
     /// identical and is simply dropped.
     pub fn insert(&self, key: Vec<u8>, value: QorPoint) -> bool {
         use std::collections::hash_map::Entry;
-        match self.shard(&key).write().expect("cache lock").entry(key) {
+        match write_lock(self.shard(&key)).entry(key) {
             Entry::Occupied(_) => false,
             Entry::Vacant(v) => {
                 v.insert(value);
@@ -170,10 +195,7 @@ impl ShardedCache {
 
     /// Number of memoised sequences.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache lock").len())
-            .sum()
+        self.shards.iter().map(|s| read_lock(s).len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -189,10 +211,88 @@ impl ShardedCache {
     /// Forgets every memoised result and resets hit accounting.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache lock").clear();
+            write_lock(shard).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
     }
+}
+
+/// The worst-case sentinel recorded for a quarantined (panicked)
+/// evaluation. Large enough that no real sequence can beat it (real QoR
+/// values sit near 2), finite so GP fits and `partial_cmp` stay sound.
+pub const QUARANTINE_QOR: f64 = 1.0e3;
+
+/// The outcome of a controlled batch evaluation.
+///
+/// `points` is in input order; a `None` means the engine stopped before
+/// that sequence was evaluated. Whenever `stopped` is `None`, every point
+/// is `Some` — interruption is the only way a batch resolves partially.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Input-ordered results; `None` = not evaluated before the stop.
+    pub points: Vec<Option<QorPoint>>,
+    /// Why the batch stopped early, if it did.
+    pub stopped: Option<StopReason>,
+    /// Sequences whose evaluation panicked; their `points` entries hold
+    /// the [`QUARANTINE_QOR`] sentinel instead of the run aborting.
+    pub quarantined: Vec<Vec<u8>>,
+}
+
+impl BatchOutcome {
+    /// The longest contiguous input-order run of resolved points, paired
+    /// with their sequences. This is the prefix an interrupted optimiser
+    /// keeps: evaluation values are pure functions of the tokens, so any
+    /// contiguous resolved prefix is an exact prefix of the uncancelled
+    /// trajectory regardless of which workers had finished at the stop.
+    pub fn resolved_prefix(&self, batch: &[Vec<u8>]) -> Vec<(Vec<u8>, QorPoint)> {
+        self.points
+            .iter()
+            .zip(batch)
+            .map_while(|(point, tokens)| point.map(|p| (tokens.clone(), p)))
+            .collect()
+    }
+}
+
+/// One evaluation's outcome inside the engine.
+enum EvalOutcome {
+    Point(QorPoint),
+    Quarantined,
+    Interrupted(StopReason),
+}
+
+/// Evaluates one sequence under a control, isolating panics. A panicking
+/// objective (a misbehaving cost function, an injected fault) becomes a
+/// quarantined sequence instead of unwinding through the worker — which,
+/// together with the poison-proof shard locks, is what makes one bad
+/// evaluation cost one sentinel rather than the whole sweep.
+fn evaluate_one<O: SequenceObjective + ?Sized>(
+    objective: &O,
+    tokens: &[u8],
+    control: &RunControl,
+) -> EvalOutcome {
+    if let Some(reason) = control.stop_reason() {
+        return EvalOutcome::Interrupted(reason);
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        objective.evaluate_tokens_controlled(tokens, control)
+    })) {
+        Ok(Some(point)) => EvalOutcome::Point(point),
+        // The objective observed the control mid-compute.
+        Ok(None) => {
+            EvalOutcome::Interrupted(control.stop_reason().unwrap_or(StopReason::Cancelled))
+        }
+        Err(_) => EvalOutcome::Quarantined,
+    }
+}
+
+/// What one worker hands back to the merge: computed points (quarantine
+/// sentinels included), the sequences it quarantined, and whether it
+/// observed a stop.
+#[derive(Default)]
+struct WorkerReport {
+    computed: Vec<(usize, QorPoint)>,
+    quarantined: Vec<Vec<u8>>,
+    stopped: Option<StopReason>,
 }
 
 /// Evaluates batches of candidate sequences in parallel.
@@ -239,13 +339,32 @@ impl BatchEvaluator {
     }
 
     /// Evaluates every sequence in `batch`, returning points in input
-    /// order. See the type-level guarantees.
+    /// order. See the type-level guarantees. A panicking evaluation is
+    /// quarantined to the [`QUARANTINE_QOR`] sentinel (use
+    /// [`BatchEvaluator::evaluate_controlled`] to also learn *which*
+    /// sequences were quarantined).
     pub fn evaluate<O: SequenceObjective + ?Sized>(
         &self,
         objective: &O,
         batch: &[Vec<u8>],
     ) -> Vec<QorPoint> {
-        self.run_batch(objective, batch, false)
+        resolve_all(self.run_batch(objective, batch, false, &RunControl::new()))
+    }
+
+    /// [`BatchEvaluator::evaluate`] under a [`RunControl`]: the control is
+    /// polled before every evaluation (and between synthesis passes by
+    /// objectives that override
+    /// [`SequenceObjective::evaluate_tokens_controlled`]); once it fires,
+    /// no further evaluations start and the outcome reports which
+    /// positions resolved. With a default control this is exactly
+    /// [`BatchEvaluator::evaluate`] plus quarantine reporting.
+    pub fn evaluate_controlled<O: SequenceObjective + ?Sized>(
+        &self,
+        objective: &O,
+        batch: &[Vec<u8>],
+        control: &RunControl,
+    ) -> BatchOutcome {
+        self.run_batch(objective, batch, false, control)
     }
 
     /// [`BatchEvaluator::evaluate`] with **prefix-aware scheduling**: the
@@ -273,7 +392,18 @@ impl BatchEvaluator {
         objective: &O,
         batch: &[Vec<u8>],
     ) -> Vec<QorPoint> {
-        self.run_batch(objective, batch, true)
+        resolve_all(self.run_batch(objective, batch, true, &RunControl::new()))
+    }
+
+    /// [`BatchEvaluator::evaluate_grouped`] under a [`RunControl`] (see
+    /// [`BatchEvaluator::evaluate_controlled`]).
+    pub fn evaluate_grouped_controlled<O: SequenceObjective + ?Sized>(
+        &self,
+        objective: &O,
+        batch: &[Vec<u8>],
+        control: &RunControl,
+    ) -> BatchOutcome {
+        self.run_batch(objective, batch, true, control)
     }
 
     fn run_batch<O: SequenceObjective + ?Sized>(
@@ -281,7 +411,8 @@ impl BatchEvaluator {
         objective: &O,
         batch: &[Vec<u8>],
         prefix_aware: bool,
-    ) -> Vec<QorPoint> {
+        control: &RunControl,
+    ) -> BatchOutcome {
         // Map each batch position onto its first occurrence so duplicate
         // candidates are computed once (exactly what a serial loop's cache
         // would do, minus the redundant probes).
@@ -314,14 +445,26 @@ impl BatchEvaluator {
             pending.sort_by_key(|&i| unique[i]);
         }
 
+        let mut quarantined: Vec<Vec<u8>> = Vec::new();
+        let mut stopped: Option<StopReason> = None;
         let workers = self.threads.min(pending.len());
         if workers <= 1 {
             for &i in &pending {
-                points[i] = Some(objective.evaluate_tokens(unique[i]));
+                match evaluate_one(objective, unique[i], control) {
+                    EvalOutcome::Point(point) => points[i] = Some(point),
+                    EvalOutcome::Quarantined => {
+                        points[i] = Some(QorPoint::quarantined());
+                        quarantined.push(unique[i].to_vec());
+                    }
+                    EvalOutcome::Interrupted(reason) => {
+                        stopped = Some(reason);
+                        break;
+                    }
+                }
             }
         } else {
             // Contiguous chunks, one scoped worker per chunk. Each worker
-            // returns (unique index, point) pairs; joining in spawn order
+            // reports (unique index, point) pairs; joining in spawn order
             // keeps the merge deterministic (not that it matters for
             // values — evaluation is pure — but it keeps accounting and
             // instrumentation reproducible too). Prefix-aware scheduling
@@ -338,33 +481,78 @@ impl BatchEvaluator {
                     .collect()
             };
             let unique = &unique;
-            let computed: Vec<(usize, QorPoint)> = std::thread::scope(|scope| {
+            let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .into_iter()
                     .map(|range| {
                         let ids = &pending[range];
                         scope.spawn(move || {
-                            ids.iter()
-                                .map(|&i| (i, objective.evaluate_tokens(unique[i])))
-                                .collect::<Vec<_>>()
+                            let mut report = WorkerReport::default();
+                            for &i in ids {
+                                match evaluate_one(objective, unique[i], control) {
+                                    EvalOutcome::Point(point) => report.computed.push((i, point)),
+                                    EvalOutcome::Quarantined => {
+                                        report.computed.push((i, QorPoint::quarantined()));
+                                        report.quarantined.push(unique[i].to_vec());
+                                    }
+                                    EvalOutcome::Interrupted(reason) => {
+                                        report.stopped = Some(reason);
+                                        break;
+                                    }
+                                }
+                            }
+                            report
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect()
+                // Join *every* worker before deciding anything: a panic
+                // escaping one worker (an engine bug — per-evaluation
+                // panics are quarantined above) must not discard sibling
+                // workers' completed results, which are merged (and live
+                // in the objective's cache) before the panic resumes.
+                let mut reports = Vec::new();
+                let mut engine_panic = None;
+                for handle in handles {
+                    match handle.join() {
+                        Ok(report) => reports.push(report),
+                        Err(payload) => {
+                            if engine_panic.is_none() {
+                                engine_panic = Some(payload);
+                            }
+                        }
+                    }
+                }
+                if let Some(payload) = engine_panic {
+                    std::panic::resume_unwind(payload);
+                }
+                reports
             });
-            for (i, point) in computed {
-                points[i] = Some(point);
+            for report in reports {
+                for (i, point) in report.computed {
+                    points[i] = Some(point);
+                }
+                quarantined.extend(report.quarantined);
+                stopped = stopped.or(report.stopped);
             }
         }
 
-        unique_of
-            .iter()
-            .map(|&u| points[u].expect("every unique sequence resolved"))
-            .collect()
+        BatchOutcome {
+            points: unique_of.iter().map(|&u| points[u]).collect(),
+            stopped,
+            quarantined,
+        }
     }
+}
+
+/// Unwraps an outcome of an uncontrolled batch, where every position must
+/// have resolved (quarantined positions hold their sentinel).
+fn resolve_all(outcome: BatchOutcome) -> Vec<QorPoint> {
+    debug_assert!(outcome.stopped.is_none());
+    outcome
+        .points
+        .into_iter()
+        .map(|point| point.expect("uncontrolled batch resolves every sequence"))
+        .collect()
 }
 
 impl Default for BatchEvaluator {
@@ -608,6 +796,117 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    /// A fake objective that panics on one poison sequence.
+    #[derive(Debug, Default)]
+    struct PanickyObjective {
+        inner: FakeObjective,
+        poison: Vec<u8>,
+    }
+
+    impl SequenceObjective for PanickyObjective {
+        fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
+            assert_ne!(tokens, self.poison.as_slice(), "injected evaluation panic");
+            self.inner.evaluate_tokens(tokens)
+        }
+
+        fn lookup(&self, tokens: &[u8]) -> Option<QorPoint> {
+            self.inner.lookup(tokens)
+        }
+
+        fn is_cached(&self, tokens: &[u8]) -> bool {
+            self.inner.is_cached(tokens)
+        }
+
+        fn num_evaluations(&self) -> usize {
+            self.inner.num_evaluations()
+        }
+    }
+
+    #[test]
+    fn panicking_evaluation_is_quarantined_not_fatal() {
+        // One poisoned sequence out of 20: every sibling result must be
+        // exact, the poisoned position must carry the sentinel, and the
+        // batch must complete — at any thread count.
+        let batch = batch_of(20);
+        let poison = batch[7].clone();
+        for threads in [1, 2, 8] {
+            let objective = PanickyObjective {
+                inner: FakeObjective::default(),
+                poison: poison.clone(),
+            };
+            let control = RunControl::new();
+            let outcome =
+                BatchEvaluator::new(threads).evaluate_controlled(&objective, &batch, &control);
+            assert_eq!(outcome.stopped, None, "threads = {threads}");
+            assert_eq!(outcome.quarantined, vec![poison.clone()]);
+            for (i, (tokens, point)) in batch.iter().zip(&outcome.points).enumerate() {
+                let point = point.expect("uncontrolled batch resolves everything");
+                if i == 7 {
+                    assert_eq!(point.qor, QUARANTINE_QOR, "threads = {threads}");
+                } else {
+                    assert_eq!(point, fake_point(tokens), "threads = {threads}, i = {i}");
+                }
+            }
+            // The quarantined sequence never reached the memo cache.
+            assert_eq!(objective.num_evaluations(), 19, "threads = {threads}");
+            assert!(!objective.is_cached(&poison));
+        }
+    }
+
+    #[test]
+    fn plain_evaluate_substitutes_the_quarantine_sentinel() {
+        let batch = batch_of(6);
+        let objective = PanickyObjective {
+            inner: FakeObjective::default(),
+            poison: batch[2].clone(),
+        };
+        let points = BatchEvaluator::new(4).evaluate(&objective, &batch);
+        assert_eq!(points[2].qor, QUARANTINE_QOR);
+        assert_eq!(points[3], fake_point(&batch[3]));
+    }
+
+    #[test]
+    fn cancelled_control_stops_the_batch_before_any_evaluation() {
+        for threads in [1, 8] {
+            let objective = FakeObjective::default();
+            let control = RunControl::new();
+            control.cancel();
+            let outcome = BatchEvaluator::new(threads).evaluate_controlled(
+                &objective,
+                &batch_of(10),
+                &control,
+            );
+            assert_eq!(outcome.stopped, Some(StopReason::Cancelled));
+            assert!(outcome.points.iter().all(Option::is_none));
+            assert_eq!(objective.num_evaluations(), 0, "threads = {threads}");
+            assert!(outcome.resolved_prefix(&batch_of(10)).is_empty());
+        }
+    }
+
+    #[test]
+    fn memoised_results_survive_a_cancelled_batch() {
+        // Sequences already memoised resolve via lookup even under a fired
+        // control; the resolved prefix is still contiguous from the front.
+        let objective = FakeObjective::default();
+        let engine = BatchEvaluator::new(2);
+        let batch = batch_of(6);
+        engine.evaluate(&objective, &batch[..3]);
+        let control = RunControl::new();
+        control.cancel();
+        let outcome = engine.evaluate_controlled(&objective, &batch, &control);
+        assert_eq!(outcome.stopped, Some(StopReason::Cancelled));
+        let resolved = outcome.resolved_prefix(&batch);
+        assert_eq!(resolved.len(), 3);
+        for (tokens, point) in &resolved {
+            assert_eq!(*point, fake_point(tokens));
+        }
+        assert_eq!(
+            objective.num_evaluations(),
+            3,
+            "no new work under a fired control"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //! ```
 
 mod boils;
+pub mod control;
 pub mod eval;
+pub mod fault;
 pub mod prefix;
 mod qor;
 mod result;
@@ -43,12 +45,16 @@ mod sbo;
 mod space;
 
 pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError, RunDiagnostics};
-pub use crate::eval::{BatchEvaluator, SequenceObjective, ShardedCache};
+pub use crate::control::{RunControl, StopReason};
+pub use crate::eval::{
+    BatchEvaluator, BatchOutcome, SequenceObjective, ShardedCache, QUARANTINE_QOR,
+};
+pub use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FAULT_PLAN_ENV};
 pub use crate::prefix::{
     PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PERSIST_BYTE_BUDGET,
     DEFAULT_PREFIX_CAPACITY,
 };
 pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};
-pub use crate::result::{EvalRecord, OptimizationResult};
+pub use crate::result::{EvalRecord, OptimizationResult, Termination};
 pub use crate::sbo::{one_hot, IsotropicSe, Sbo, SboConfig};
 pub use crate::space::SequenceSpace;

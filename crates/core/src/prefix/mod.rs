@@ -65,6 +65,18 @@ pub struct PrefixStats {
     pub disk_corrupt_dropped: usize,
     /// Persistent entries evicted to respect the store's byte budget.
     pub disk_evictions: usize,
+    /// Disk writes (entries or index) that ultimately failed after
+    /// retries. The store degrades gracefully: a failed write is only a
+    /// lost reuse opportunity, never a wrong value.
+    pub disk_write_failures: usize,
+    /// Write attempts retried after a transient failure (torn/short
+    /// writes and I/O errors; each successful retry avoids counting a
+    /// failure).
+    pub disk_retries: usize,
+    /// If the store's circuit breaker tripped — too many consecutive hard
+    /// write failures — the 1-based disk-operation ordinal at which it
+    /// flipped to memory-only; `None` while the store is healthy.
+    pub store_disabled_at: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -112,7 +124,7 @@ impl PrefixCache {
     pub fn longest_prefix(&self, tokens: &[u8]) -> Option<(usize, Arc<Aig>)> {
         for len in (1..=tokens.len()).rev() {
             let key = &tokens[..len];
-            let shard = self.shard(key).read().expect("prefix cache lock");
+            let shard = crate::eval::read_lock(self.shard(key));
             if let Some(entry) = shard.get(key) {
                 entry.touched.store(
                     self.clock.fetch_add(1, Ordering::Relaxed),
@@ -132,7 +144,7 @@ impl PrefixCache {
     pub fn insert(&self, prefix: &[u8], aig: Arc<Aig>) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let per_shard = self.capacity.div_ceil(SHARD_COUNT);
-        let mut shard = self.shard(prefix).write().expect("prefix cache lock");
+        let mut shard = crate::eval::write_lock(self.shard(prefix));
         use std::collections::hash_map::Entry as MapEntry;
         match shard.entry(prefix.to_vec()) {
             MapEntry::Occupied(e) => {
@@ -171,7 +183,7 @@ impl PrefixCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("prefix cache lock").len())
+            .map(|s| crate::eval::read_lock(s).len())
             .sum()
     }
 
@@ -199,7 +211,7 @@ impl PrefixCache {
     /// Forgets every cached intermediate and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("prefix cache lock").clear();
+            crate::eval::write_lock(shard).clear();
         }
         self.prefix_hits.store(0, Ordering::Relaxed);
         self.passes_applied.store(0, Ordering::Relaxed);

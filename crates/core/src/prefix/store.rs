@@ -40,11 +40,12 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use boils_aig::Aig;
 
 use super::PrefixStats;
+use crate::fault::{FaultInjector, FaultKind, FaultOp};
 
 /// Default byte budget: generous enough to keep every intermediate of a
 /// paper-scale sweep on one circuit (≈ 4 000 prefixes × ~10 KiB each)
@@ -62,6 +63,18 @@ const INDEX_FILE: &str = "index.tsv";
 /// Below it (the paper's `K = 20` sits well under), a few `ENOENT` probes
 /// beat scanning a shared directory.
 const LISTING_PROBE_THRESHOLD: usize = 32;
+
+/// Write attempts per entry (one initial try plus bounded retries): enough
+/// to ride out a transient failure — a torn write, a blip — without
+/// hammering a genuinely full disk.
+const WRITE_ATTEMPTS: usize = 3;
+
+/// Consecutive hard write failures after which the circuit breaker trips
+/// and the store degrades to memory-only for the rest of its life.
+const BREAKER_THRESHOLD: usize = 3;
+
+/// Sentinel in `disabled_at` meaning "the breaker has not tripped".
+const ENABLED: usize = usize::MAX;
 
 /// Mutable state: the in-memory mirror of the on-disk index.
 #[derive(Debug, Default)]
@@ -90,6 +103,18 @@ pub struct PersistentPrefixStore {
     disk_writes: AtomicUsize,
     corrupt_dropped: AtomicUsize,
     evictions: AtomicUsize,
+    /// Deterministic fault injection for tests and resilience drills
+    /// (`None` in production: one branch per instrumented operation).
+    fault: Option<Arc<FaultInjector>>,
+    /// Writes (entry or index) that ultimately failed after retries.
+    write_failures: AtomicUsize,
+    /// Write attempts retried after a transient failure.
+    write_retries: AtomicUsize,
+    /// Consecutive hard entry-write failures; reset on any success.
+    consecutive_failures: AtomicUsize,
+    /// [`ENABLED`] while healthy; once the breaker trips, the 1-based
+    /// disk-operation ordinal it tripped at (reads and writes then skip).
+    disabled_at: AtomicUsize,
 }
 
 impl PersistentPrefixStore {
@@ -171,6 +196,11 @@ impl PersistentPrefixStore {
             disk_writes: AtomicUsize::new(0),
             corrupt_dropped: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            fault: None,
+            write_failures: AtomicUsize::new(0),
+            write_retries: AtomicUsize::new(0),
+            consecutive_failures: AtomicUsize::new(0),
+            disabled_at: AtomicUsize::new(ENABLED),
         })
     }
 
@@ -191,6 +221,38 @@ impl PersistentPrefixStore {
         self
     }
 
+    /// Arms (or disarms) deterministic fault injection on this store's
+    /// disk operations.
+    pub fn with_fault_injector(
+        mut self,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> PersistentPrefixStore {
+        self.fault = fault;
+        self
+    }
+
+    /// The index lock, proof against panicking holders: the index is a
+    /// cache of on-disk state that every reader re-validates, so observing
+    /// a poisoned snapshot costs at most a recomputation, never a wrong
+    /// value.
+    fn lock_index(&self) -> MutexGuard<'_, Index> {
+        self.index.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether the circuit breaker has flipped this store to memory-only.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled_at.load(Ordering::Relaxed) != ENABLED
+    }
+
+    /// The 1-based disk-operation ordinal (successful writes + failed
+    /// writes) at which the circuit breaker tripped; `None` while healthy.
+    pub fn disabled_at(&self) -> Option<usize> {
+        match self.disabled_at.load(Ordering::Relaxed) {
+            ENABLED => None,
+            at => Some(at),
+        }
+    }
+
     /// The directory backing this store.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -208,7 +270,7 @@ impl PersistentPrefixStore {
 
     /// Number of entries this instance currently believes are on disk.
     pub fn len(&self) -> usize {
-        self.index.lock().expect("store index lock").entries.len()
+        self.lock_index().entries.len()
     }
 
     /// Whether the store holds no entries.
@@ -218,14 +280,14 @@ impl PersistentPrefixStore {
 
     /// Total entry bytes this instance currently believes are on disk.
     pub fn total_bytes(&self) -> u64 {
-        self.index.lock().expect("store index lock").total_bytes
+        self.lock_index().total_bytes
     }
 
     /// Entry file name for a prefix under this store's circuit.
     fn entry_name(&self, prefix: &[u8]) -> String {
         let mut name = format!("{:016x}-", self.circuit_hash);
         for &token in prefix {
-            write!(name, "{token:02x}").expect("writing to a String cannot fail");
+            let _ = write!(name, "{token:02x}"); // writing to a String cannot fail
         }
         name.push_str(".aig");
         name
@@ -248,7 +310,7 @@ impl PersistentPrefixStore {
     /// if the directory cannot be listed, every length is probed directly
     /// as before. Hit behaviour is identical on both paths.
     pub fn longest_prefix(&self, tokens: &[u8], floor: usize) -> Option<(usize, Aig)> {
-        if tokens.len() <= floor {
+        if tokens.len() <= floor || self.is_disabled() {
             return None;
         }
         let listed = if tokens.len() - floor > LISTING_PROBE_THRESHOLD {
@@ -294,12 +356,16 @@ impl PersistentPrefixStore {
         let path = self.dir.join(&name);
         // Fast path: most probe lengths have no entry at all. A racing
         // eviction between this check and the read behaves like a miss.
-        let bytes = match fs::read(&path) {
+        let bytes = match self.faulted_read(&path) {
             Ok(bytes) => bytes,
-            Err(_) => {
-                // The file may have been evicted by another process while
-                // our index still lists it; reconcile lazily.
-                self.forget(&name);
+            Err(error) => {
+                // A missing file means another process evicted it while
+                // our index still lists it; reconcile lazily. Any other
+                // read error is transient — the entry may be perfectly
+                // healthy, so it stays indexed and this is a plain miss.
+                if error.kind() == io::ErrorKind::NotFound {
+                    self.forget(&name);
+                }
                 return None;
             }
         };
@@ -320,12 +386,20 @@ impl PersistentPrefixStore {
     }
 
     /// Serialises the intermediate reached after `prefix`, unless an entry
-    /// for it already exists. Failures to write are silently ignored — the
-    /// store is an accelerator, and a full disk must not fail evaluation.
+    /// for it already exists. Failures never fail evaluation — the store
+    /// is an accelerator — but they are *counted*, not swallowed: each
+    /// write gets bounded retries (`WRITE_ATTEMPTS`), a write that still
+    /// fails lands in `disk_write_failures`, and `BREAKER_THRESHOLD`
+    /// consecutive hard failures trip the circuit breaker, flipping the
+    /// store to memory-only for the rest of the run (a dead disk costs
+    /// one failed syscall per write forever otherwise).
     pub fn store(&self, prefix: &[u8], aig: &Aig) {
+        if self.is_disabled() {
+            return;
+        }
         let name = self.entry_name(prefix);
         {
-            let index = self.index.lock().expect("store index lock");
+            let index = self.lock_index();
             if index.entries.contains_key(&name) {
                 return;
             }
@@ -343,21 +417,38 @@ impl PersistentPrefixStore {
         // temporary name unique among concurrent writers, and the rename
         // is atomic, so no reader ever sees a partial entry.
         let stamp = {
-            let mut index = self.index.lock().expect("store index lock");
+            let mut index = self.lock_index();
             index.clock += 1;
             index.clock
         };
         let tmp = self
             .dir
             .join(format!(".{}.{}.{}.tmp", std::process::id(), stamp, name));
-        if fs::write(&tmp, &bytes).is_err() {
-            let _ = fs::remove_file(&tmp);
+        let mut wrote = false;
+        for attempt in 1..=WRITE_ATTEMPTS {
+            match self.try_write(&tmp, &bytes) {
+                Ok(()) => {
+                    wrote = true;
+                    break;
+                }
+                Err(_) => {
+                    let _ = fs::remove_file(&tmp);
+                    if attempt < WRITE_ATTEMPTS {
+                        self.write_retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if !wrote {
+            self.record_write_failure();
             return;
         }
-        if fs::rename(&tmp, &path).is_err() {
+        if self.faulted_rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
+            self.record_write_failure();
             return;
         }
+        self.consecutive_failures.store(0, Ordering::Relaxed);
         let writes = self.disk_writes.fetch_add(1, Ordering::Relaxed) + 1;
         self.touch(&name, bytes.len() as u64);
         self.enforce_budget();
@@ -369,12 +460,86 @@ impl PersistentPrefixStore {
         }
     }
 
+    /// One write attempt with post-write verification: a short write —
+    /// real `ENOSPC` behaviour on some filesystems, or injected — must
+    /// surface as a failure *now*, at write time where it can be retried,
+    /// not later as a corrupt entry.
+    fn try_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self
+            .fault
+            .as_ref()
+            .and_then(|injector| injector.next_fault(FaultOp::Write))
+        {
+            // A torn write: part of the payload lands, the call "succeeds".
+            Some(FaultKind::Torn) => fs::write(path, &bytes[..bytes.len() / 2])?,
+            Some(kind) => return Err(kind.io_error()),
+            None => fs::write(path, bytes)?,
+        }
+        let written = fs::metadata(path)?.len();
+        if written != bytes.len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("short write: {written} of {} bytes", bytes.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// An atomic rename, subject to fault injection.
+    fn faulted_rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if let Some(kind) = self
+            .fault
+            .as_ref()
+            .and_then(|injector| injector.next_fault(FaultOp::Rename))
+        {
+            return Err(kind.io_error());
+        }
+        fs::rename(from, to)
+    }
+
+    /// A whole-file read, subject to fault injection.
+    fn faulted_read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if let Some(kind) = self
+            .fault
+            .as_ref()
+            .and_then(|injector| injector.next_fault(FaultOp::Read))
+        {
+            return Err(kind.io_error());
+        }
+        fs::read(path)
+    }
+
+    /// Books one hard write failure and trips the circuit breaker after
+    /// [`BREAKER_THRESHOLD`] consecutive ones. The recorded ordinal counts
+    /// every disk write outcome (successes + failures) so operators can
+    /// line it up with a fault plan's write ordinals.
+    fn record_write_failure(&self) {
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
+        let consecutive = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if consecutive >= BREAKER_THRESHOLD {
+            let ordinal = self.disk_writes.load(Ordering::Relaxed)
+                + self.write_failures.load(Ordering::Relaxed);
+            // First tripper wins; later failures keep the original ordinal.
+            let _ = self.disabled_at.compare_exchange(
+                ENABLED,
+                ordinal,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
     /// Folds this store's counters into an evaluator-level stats snapshot.
     pub(crate) fn merge_into(&self, stats: &mut PrefixStats) {
         stats.disk_hits += self.disk_hits.load(Ordering::Relaxed);
         stats.disk_writes += self.disk_writes.load(Ordering::Relaxed);
         stats.disk_corrupt_dropped += self.corrupt_dropped.load(Ordering::Relaxed);
         stats.disk_evictions += self.evictions.load(Ordering::Relaxed);
+        stats.disk_write_failures += self.write_failures.load(Ordering::Relaxed);
+        stats.disk_retries += self.write_retries.load(Ordering::Relaxed);
+        if let Some(at) = self.disabled_at() {
+            stats.store_disabled_at = Some(stats.store_disabled_at.map_or(at, |prev| prev.min(at)));
+        }
     }
 
     /// This store's own counters as a stats snapshot (disk fields only).
@@ -388,20 +553,21 @@ impl PersistentPrefixStore {
     /// binary AIGER serialisation of the intermediate AIG.
     fn encode(&self, prefix: &[u8], aig: &Aig) -> Vec<u8> {
         let mut payload = Vec::new();
-        aig.write_aig_binary(&mut payload)
-            .expect("in-memory write cannot fail");
+        // Writing to a Vec cannot fail; were it somehow cut short, the
+        // checksum below covers exactly the bytes present, and the AIGER
+        // parse on read drops the entry — corrupt, never wrong.
+        let _ = aig.write_aig_binary(&mut payload);
         let mut out = Vec::with_capacity(payload.len() + 96);
         let mut header = format!("{ENTRY_MAGIC} {:016x} ", self.circuit_hash);
         for &token in prefix {
-            write!(header, "{token:02x}").expect("writing to a String cannot fail");
+            let _ = write!(header, "{token:02x}");
         }
-        write!(
+        let _ = write!(
             header,
             " {} {:016x}",
             payload.len(),
             boils_aig::fnv1a64(&payload)
-        )
-        .expect("writing to a String cannot fail");
+        );
         header.push('\n');
         out.extend_from_slice(header.as_bytes());
         out.extend_from_slice(&payload);
@@ -445,7 +611,7 @@ impl PersistentPrefixStore {
 
     /// Records (or refreshes) an entry in the in-memory index.
     fn touch(&self, name: &str, bytes: u64) {
-        let mut index = self.index.lock().expect("store index lock");
+        let mut index = self.lock_index();
         index.clock += 1;
         let stamp = index.clock;
         let previous = index.entries.insert(name.to_string(), (bytes, stamp));
@@ -457,7 +623,7 @@ impl PersistentPrefixStore {
 
     /// Drops an entry from the in-memory index (the file is already gone).
     fn forget(&self, name: &str) {
-        let mut index = self.index.lock().expect("store index lock");
+        let mut index = self.lock_index();
         if let Some((bytes, _)) = index.entries.remove(name) {
             index.total_bytes -= bytes;
         }
@@ -467,7 +633,7 @@ impl PersistentPrefixStore {
     fn enforce_budget(&self) {
         let mut victims: Vec<String> = Vec::new();
         {
-            let mut index = self.index.lock().expect("store index lock");
+            let mut index = self.lock_index();
             if index.total_bytes <= self.byte_budget {
                 return;
             }
@@ -496,17 +662,21 @@ impl PersistentPrefixStore {
         // index merely lists files the next open's scan will not find.
     }
 
-    /// Writes the advisory index file (tempfile + atomic rename; a failure
-    /// is ignored — the directory scan on the next open recovers).
+    /// Writes the advisory index file (tempfile + atomic rename). A
+    /// failure is counted in `disk_write_failures` but does not feed the
+    /// circuit breaker: the index is advisory (the directory scan on the
+    /// next open recovers), so losing it must not cost entry writes.
     fn persist_index(&self) {
+        if self.is_disabled() {
+            return;
+        }
         let (text, stamp) = {
-            let index = self.index.lock().expect("store index lock");
+            let index = self.lock_index();
             let mut lines: Vec<(&String, &(u64, u64))> = index.entries.iter().collect();
             lines.sort();
             let mut text = String::new();
             for (name, (bytes, stamp)) in lines {
-                writeln!(text, "{name}\t{bytes}\t{stamp}")
-                    .expect("writing to a String cannot fail");
+                let _ = writeln!(text, "{name}\t{bytes}\t{stamp}");
             }
             (text, index.clock)
         };
@@ -515,8 +685,13 @@ impl PersistentPrefixStore {
             .join(format!(".{}.{}.index.tmp", std::process::id(), stamp));
         // Clean the tempfile up on either failure: a failed write can
         // still leave a partial file behind (e.g. ENOSPC mid-write).
-        if fs::write(&tmp, text).is_err() || fs::rename(&tmp, self.dir.join(INDEX_FILE)).is_err() {
+        let ok = self.try_write(&tmp, text.as_bytes()).is_ok()
+            && self
+                .faulted_rename(&tmp, &self.dir.join(INDEX_FILE))
+                .is_ok();
+        if !ok {
             let _ = fs::remove_file(&tmp);
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -653,6 +828,97 @@ mod tests {
         let (len, _) = store.longest_prefix(&tokens, 0).expect("shorter hit");
         assert_eq!(len, 41, "corrupt 60 and 57 must fall back to 41");
         assert!(store.stats().disk_corrupt_dropped >= 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn injector(spec: &str) -> Option<Arc<FaultInjector>> {
+        Some(Arc::new(FaultInjector::new(
+            crate::fault::FaultPlan::parse(spec).expect("valid plan"),
+        )))
+    }
+
+    #[test]
+    fn enospc_writes_trip_the_circuit_breaker() {
+        let dir = temp_store_dir("breaker");
+        let base = random_aig(70, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_fault_injector(injector("write:enospc@1+"));
+        for i in 0..5u8 {
+            store.store(&[i], &random_aig(71 + u64::from(i), 6, 50, 2));
+        }
+        assert_eq!(store.len(), 0);
+        let stats = store.stats();
+        // Each failed store burns WRITE_ATTEMPTS attempts (2 retries) and
+        // books one hard failure; the third consecutive failure trips the
+        // breaker, so stores 4 and 5 never touch the disk at all.
+        assert_eq!(stats.disk_write_failures, 3);
+        assert_eq!(stats.disk_retries, 6);
+        assert_eq!(stats.store_disabled_at, Some(3));
+        assert!(store.is_disabled());
+        // Memory-only degradation: reads are skipped too.
+        assert!(store.longest_prefix(&[0, 1], 0).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_caught_at_write_time_and_retried() {
+        let dir = temp_store_dir("torn");
+        let base = random_aig(80, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_fault_injector(injector("write:torn@1"));
+        store.store(&[2, 4], &random_aig(81, 6, 60, 2));
+        // The short write was detected by post-write verification and the
+        // retry landed the full entry: no failure, no corrupt entry.
+        let stats = store.stats();
+        assert_eq!(stats.disk_retries, 1);
+        assert_eq!(stats.disk_write_failures, 0);
+        assert_eq!(stats.store_disabled_at, None);
+        assert_eq!(stats.disk_writes, 1);
+        assert!(store.load(&[2, 4]).is_some());
+        assert_eq!(store.stats().disk_corrupt_dropped, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_read_fault_is_a_miss_that_keeps_the_entry() {
+        let dir = temp_store_dir("readfault");
+        let base = random_aig(90, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        store.store(&[5], &random_aig(91, 6, 60, 2));
+        let store = store.with_fault_injector(injector("read:denied@1"));
+        // First read hits the injected EACCES: a plain miss...
+        assert!(store.load(&[5]).is_none());
+        // ...that does not forget the (perfectly healthy) entry.
+        assert_eq!(store.len(), 1);
+        assert!(store.load(&[5]).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rename_failure_counts_without_breaking_a_recovering_store() {
+        let dir = temp_store_dir("renamefault");
+        let base = random_aig(95, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_fault_injector(injector("rename:enospc@1"));
+        store.store(&[1], &random_aig(96, 6, 60, 2));
+        assert_eq!(store.stats().disk_write_failures, 1);
+        assert_eq!(store.len(), 0);
+        // The next store succeeds and resets the consecutive counter.
+        store.store(&[2], &random_aig(97, 6, 60, 2));
+        let stats = store.stats();
+        assert_eq!(stats.disk_writes, 1);
+        assert_eq!(stats.store_disabled_at, None);
+        assert!(!store.is_disabled());
+        // No stray tempfiles linger after the failed rename.
+        let leftovers = fs::read_dir(&dir)
+            .expect("list")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(leftovers, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

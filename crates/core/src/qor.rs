@@ -11,7 +11,9 @@ use boils_aig::Aig;
 use boils_mapper::{map_stats, MapStats, MapperConfig};
 use boils_synth::{resyn2, Transform};
 
+use crate::control::RunControl;
 use crate::eval::{SequenceObjective, ShardedCache};
+use crate::fault::{FaultInjector, FaultOp};
 use crate::prefix::{PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
 
 /// What the black box optimises — Eq. 1 by default; the paper's conclusion
@@ -62,6 +64,24 @@ impl QorPoint {
     /// `(QoR(resyn2) − QoR) / QoR(resyn2) × 100`, with `QoR(resyn2) = 2`.
     pub fn improvement_percent(&self) -> f64 {
         (2.0 - self.qor) / 2.0 * 100.0
+    }
+
+    /// The worst-case sentinel recorded for a quarantined (panicked)
+    /// evaluation: a finite QoR no real sequence can beat
+    /// ([`QUARANTINE_QOR`](crate::eval::QUARANTINE_QOR)), so surrogate
+    /// fits and comparisons stay sound while the sequence can never be
+    /// selected as a best point.
+    pub fn quarantined() -> QorPoint {
+        QorPoint {
+            qor: crate::eval::QUARANTINE_QOR,
+            area: 0,
+            delay: 0,
+        }
+    }
+
+    /// Whether this point is the quarantine sentinel.
+    pub fn is_quarantined(&self) -> bool {
+        self.qor == crate::eval::QUARANTINE_QOR
     }
 }
 
@@ -124,6 +144,11 @@ pub struct QorEvaluator {
     /// Disk-backed second tier consulted behind the in-memory cache;
     /// `None` keeps everything process-local (the default).
     store: Option<PersistentPrefixStore>,
+    /// Deterministic fault injection (off by default; armed by
+    /// `BOILS_FAULT_PLAN` or [`QorEvaluator::with_fault_injector`]).
+    /// Shared with the attached store so one plan's operation ordinals
+    /// span the whole stack.
+    fault: Option<Arc<FaultInjector>>,
     unique_evaluations: AtomicUsize,
 }
 
@@ -160,8 +185,26 @@ impl QorEvaluator {
             cache: ShardedCache::new(),
             prefix: Some(PrefixCache::new(DEFAULT_PREFIX_CAPACITY)),
             store: None,
+            fault: FaultInjector::from_env(),
             unique_evaluations: AtomicUsize::new(0),
         })
+    }
+
+    /// Arms (or, with `None`, disarms) deterministic fault injection,
+    /// overriding any `BOILS_FAULT_PLAN` environment plan. The injector is
+    /// propagated into an attached persistent store — attach it first or
+    /// after, either order works.
+    pub fn with_fault_injector(mut self, fault: Option<Arc<FaultInjector>>) -> QorEvaluator {
+        self.fault = fault;
+        self.store = self
+            .store
+            .map(|s| s.with_fault_injector(self.fault.clone()));
+        self
+    }
+
+    /// The active fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
     }
 
     /// Bounds the prefix cache to `capacity` intermediate AIGs.
@@ -203,7 +246,10 @@ impl QorEvaluator {
         mut self,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<QorEvaluator> {
-        self.store = Some(PersistentPrefixStore::open_for(dir, &self.base)?);
+        self.store = Some(
+            PersistentPrefixStore::open_for(dir, &self.base)?
+                .with_fault_injector(self.fault.clone()),
+        );
         Ok(self)
     }
 
@@ -311,6 +357,26 @@ impl QorEvaluator {
     /// bit-identical to a full replay — with the store on, off, or
     /// pre-warmed by a different process.
     fn compute(&self, tokens: &[u8]) -> QorPoint {
+        self.compute_controlled(tokens, None)
+            .expect("uncontrolled compute always completes")
+    }
+
+    /// [`QorEvaluator::compute`] with cooperative interruption: the control
+    /// (when present) is polled between synthesis passes, so even a long
+    /// sequence on a large circuit stops within one transform of the
+    /// cancellation. Returns `None` only when interrupted — nothing partial
+    /// is published to the value cache, though intermediates synthesised
+    /// before the stop stay in the prefix tiers (they are pure functions of
+    /// their token prefix, so a later replay reuses them bit-identically).
+    fn compute_controlled(&self, tokens: &[u8], control: Option<&RunControl>) -> Option<QorPoint> {
+        if let Some(injector) = &self.fault {
+            if let Some(kind) = injector.next_fault(FaultOp::Eval) {
+                panic!(
+                    "injected fault: eval {kind:?} (op {})",
+                    injector.op_count(FaultOp::Eval)
+                );
+            }
+        }
         // Deepest in-memory prefix first (cheapest tier).
         let (mut start, mut current) = match self
             .prefix
@@ -336,6 +402,11 @@ impl QorEvaluator {
             }
         }
         for (applied, &t) in tokens.iter().enumerate().skip(start) {
+            if let Some(control) = control {
+                if control.stop_reason().is_some() {
+                    return None;
+                }
+            }
             current = Arc::new(Transform::from_index(t as usize).apply(&current));
             if let Some(cache) = &self.prefix {
                 cache.insert(&tokens[..=applied], Arc::clone(&current));
@@ -348,14 +419,14 @@ impl QorEvaluator {
             cache.record_replay(start, tokens.len() - start);
         }
         let stats = map_stats(&current, &self.mapper_config);
-        QorPoint {
+        Some(QorPoint {
             qor: self.objective.combine(
                 stats.luts as f64 / self.reference.luts as f64,
                 stats.levels as f64 / self.reference.levels as f64,
             ),
             area: stats.luts,
             delay: stats.levels,
-        }
+        })
     }
 
     /// The number of unique (non-cached) black-box evaluations so far.
@@ -390,6 +461,17 @@ impl QorEvaluator {
 impl SequenceObjective for QorEvaluator {
     fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
         QorEvaluator::evaluate_tokens(self, tokens)
+    }
+
+    fn evaluate_tokens_controlled(&self, tokens: &[u8], control: &RunControl) -> Option<QorPoint> {
+        if let Some(hit) = self.cache.get(tokens) {
+            return Some(hit);
+        }
+        let point = self.compute_controlled(tokens, Some(control))?;
+        if self.cache.insert(tokens.to_vec(), point) {
+            self.unique_evaluations.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(point)
     }
 
     fn lookup(&self, tokens: &[u8]) -> Option<QorPoint> {

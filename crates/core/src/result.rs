@@ -1,7 +1,40 @@
 //! Optimisation traces shared by BOiLS, SBO and every baseline.
 
+use crate::control::StopReason;
 use crate::qor::QorPoint;
 use crate::space::SequenceSpace;
+
+/// Why an optimisation run ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Termination {
+    /// The full evaluation budget was spent — the normal outcome.
+    #[default]
+    BudgetExhausted,
+    /// [`RunControl::cancel`](crate::RunControl::cancel) fired mid-run;
+    /// the result holds the best-so-far prefix of the trajectory.
+    Cancelled,
+    /// The run's wall-clock deadline passed mid-run.
+    DeadlineExceeded,
+}
+
+impl From<StopReason> for Termination {
+    fn from(reason: StopReason) -> Termination {
+        match reason {
+            StopReason::Cancelled => Termination::Cancelled,
+            StopReason::DeadlineExceeded => Termination::DeadlineExceeded,
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Termination::BudgetExhausted => "budget-exhausted",
+            Termination::Cancelled => "cancelled",
+            Termination::DeadlineExceeded => "deadline-exceeded",
+        })
+    }
+}
 
 /// One black-box evaluation in an optimisation run.
 #[derive(Clone, Debug)]
@@ -25,15 +58,38 @@ pub struct OptimizationResult {
     pub history: Vec<EvalRecord>,
     /// The best QoR value after the optimiser's own run.
     pub best_qor: f64,
+    /// Why the run ended. An interrupted run's `history` is an exact
+    /// prefix of what the uncancelled run would have produced.
+    pub termination: Termination,
+    /// Sequences whose evaluation panicked and was quarantined: the
+    /// history holds [`QorPoint::quarantined`](crate::QorPoint) sentinels
+    /// in their place instead of the run aborting.
+    pub quarantined: Vec<Vec<u8>>,
 }
 
 impl OptimizationResult {
-    /// Assembles a result from an evaluation trace.
+    /// Assembles a result from an evaluation trace (the full-budget case:
+    /// termination is [`Termination::BudgetExhausted`]).
     ///
     /// # Panics
     ///
     /// Panics if the history is empty.
     pub fn from_history(space: &SequenceSpace, history: Vec<EvalRecord>) -> OptimizationResult {
+        OptimizationResult::from_history_terminated(space, history, Termination::default())
+    }
+
+    /// Assembles a result from a (possibly interrupted) evaluation trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty — an interrupted run with no
+    /// completed evaluation has no result to assemble (the optimisers
+    /// report that case as an error instead).
+    pub fn from_history_terminated(
+        space: &SequenceSpace,
+        history: Vec<EvalRecord>,
+        termination: Termination,
+    ) -> OptimizationResult {
         assert!(!history.is_empty(), "optimiser produced no evaluations");
         let best = history
             .iter()
@@ -50,6 +106,8 @@ impl OptimizationResult {
             best_sequence: space.display(&best.tokens),
             best_qor: best.point.qor,
             history,
+            termination,
+            quarantined: Vec::new(),
         }
     }
 
@@ -113,5 +171,23 @@ mod tests {
         assert_eq!(result.evaluations_to_reach(1.5), Some(2));
         assert_eq!(result.evaluations_to_reach(1.0), None);
         assert_eq!(result.num_evaluations(), 3);
+        assert_eq!(result.termination, Termination::BudgetExhausted);
+        assert!(result.quarantined.is_empty());
+    }
+
+    #[test]
+    fn terminated_constructor_records_the_reason() {
+        let space = SequenceSpace::new(2, 11);
+        let result = OptimizationResult::from_history_terminated(
+            &space,
+            vec![record(vec![0, 0], 2.0)],
+            Termination::from(StopReason::DeadlineExceeded),
+        );
+        assert_eq!(result.termination, Termination::DeadlineExceeded);
+        assert_eq!(
+            Termination::from(StopReason::Cancelled),
+            Termination::Cancelled
+        );
+        assert_eq!(Termination::default().to_string(), "budget-exhausted");
     }
 }

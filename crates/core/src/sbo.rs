@@ -8,8 +8,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::boils::{fresh_candidate, hill_climb, FreshOutcome, RunDiagnostics};
+use crate::control::{RunControl, StopReason};
 use crate::eval::{BatchEvaluator, SequenceObjective};
-use crate::result::{EvalRecord, OptimizationResult};
+use crate::result::{EvalRecord, OptimizationResult, Termination};
 use crate::space::SequenceSpace;
 
 /// Configuration of the SBO baseline.
@@ -118,6 +119,24 @@ impl Sbo {
         &mut self,
         objective: &O,
     ) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
+        self.run_with_control(objective, &RunControl::new())
+    }
+
+    /// [`Sbo::run`] under a [`RunControl`] — same contract as
+    /// [`Boils::run_with_control`](crate::Boils::run_with_control): an
+    /// interrupted run returns best-so-far (an exact prefix of the
+    /// uncancelled trajectory) with the matching [`Termination`].
+    ///
+    /// # Errors
+    ///
+    /// Additionally fails with
+    /// [`RunBoilsError::Interrupted`](crate::RunBoilsError) when the
+    /// control fires before a single evaluation completes.
+    pub fn run_with_control<O: SequenceObjective>(
+        &mut self,
+        objective: &O,
+        control: &RunControl,
+    ) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
         let cfg = &self.config;
         self.diagnostics = RunDiagnostics::default();
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
@@ -140,9 +159,18 @@ impl Sbo {
             }
             initial.push(tokens);
         }
-        let points = engine.evaluate_grouped(objective, &initial);
-        for (tokens, point) in initial.into_iter().zip(points) {
+        let outcome = engine.evaluate_grouped_controlled(objective, &initial, control);
+        self.diagnostics
+            .quarantined
+            .extend(outcome.quarantined.iter().cloned());
+        let mut stop = outcome.stopped;
+        for (tokens, point) in outcome.resolved_prefix(&initial) {
             history.push(EvalRecord { tokens, point });
+        }
+        if history.is_empty() {
+            return Err(crate::boils::RunBoilsError::Interrupted(
+                stop.unwrap_or(StopReason::Cancelled),
+            ));
         }
 
         // The shared surrogate subsystem (see `Boils::run`): it owns the
@@ -163,7 +191,11 @@ impl Sbo {
         for record in &history {
             surrogate.observe(one_hot(&record.tokens, space.alphabet()), -record.point.qor);
         }
-        while history.len() < cfg.max_evaluations {
+        while stop.is_none() && history.len() < cfg.max_evaluations {
+            if let Some(reason) = control.stop_reason() {
+                stop = Some(reason);
+                break;
+            }
             let incumbent = history
                 .iter()
                 .map(|r| -r.point.qor)
@@ -208,15 +240,26 @@ impl Sbo {
             }
             drop(liar);
             self.diagnostics.batches += 1;
-            let points = engine.evaluate_grouped(objective, &batch);
-            for (tokens, point) in batch.into_iter().zip(points) {
+            let outcome = engine.evaluate_grouped_controlled(objective, &batch, control);
+            self.diagnostics
+                .quarantined
+                .extend(outcome.quarantined.iter().cloned());
+            for (tokens, point) in outcome.resolved_prefix(&batch) {
                 surrogate.observe(one_hot(&tokens, space.alphabet()), -point.qor);
                 history.push(EvalRecord { tokens, point });
+            }
+            if outcome.stopped.is_some() {
+                stop = outcome.stopped;
+                break;
             }
         }
         self.diagnostics.retrains_at = surrogate.diagnostics().retrains_at.clone();
         self.diagnostics.surrogate = surrogate.diagnostics().clone();
-        Ok(OptimizationResult::from_history(&space, history))
+        let termination = stop.map(Termination::from).unwrap_or_default();
+        self.diagnostics.termination = termination;
+        let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+        result.quarantined = self.diagnostics.quarantined.clone();
+        Ok(result)
     }
 }
 

@@ -6,7 +6,7 @@
 //! boils synth    --input mult.aag --ops "balance;rewrite;fraig" --output opt.aag
 //! boils map      --input opt.aag [--lut-size 6]
 //! boils check    --golden mult.aag --revised opt.aag
-//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4] [--surrogate-window 32] [--cache-dir .boils-cache]
+//! boils optimize --input mult.aag [--budget 40] [--method boils] [--seed 0] [--threads 8] [--batch-size 4] [--surrogate-window 32] [--cache-dir .boils-cache] [--deadline-secs 300] [--fault-plan "write:enospc@3"]
 //! ```
 //!
 //! Flags may be written `--flag value` or `--flag=value`.
@@ -18,11 +18,14 @@ use std::process::ExitCode;
 
 use boils::aig::Aig;
 use boils::baselines::{
-    genetic_algorithm, greedy, random_search, reinforcement_learning, GaConfig, RlAlgorithm,
-    RlConfig, RlFeatures,
+    genetic_algorithm_controlled, greedy_controlled, random_search_controlled,
+    reinforcement_learning_controlled, GaConfig, RlAlgorithm, RlConfig, RlFeatures,
 };
 use boils::circuits::{Benchmark, CircuitSpec};
-use boils::core::{Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
+use boils::core::{
+    Boils, BoilsConfig, FaultInjector, FaultPlan, QorEvaluator, RunControl, Sbo, SboConfig,
+    SequenceSpace, Termination,
+};
 use boils::mapper::{map_stats, MapperConfig};
 use boils::sat::{check_equivalence, EquivResult};
 use boils::synth::{apply_sequence, Transform};
@@ -120,7 +123,12 @@ fn print_help() {
          \x20 check     --golden <file> --revised <file>\n\
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
          \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
-         \x20           [--threads N] [--batch-size Q] [--surrogate-window W] [--cache-dir DIR]\n\n\
+         \x20           [--threads N] [--batch-size Q] [--surrogate-window W] [--cache-dir DIR]\n\
+         \x20           [--deadline-secs S] [--fault-plan PLAN]\n\n\
+         \x20           --deadline-secs stops the run at the next evaluation boundary once the\n\
+         \x20           wall-clock budget elapses (best-so-far is kept); --fault-plan injects\n\
+         \x20           deterministic storage/eval faults, e.g. \"seed=1;write:enospc@3+\"\n\
+         \x20           (also read from BOILS_FAULT_PLAN).\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
 }
@@ -278,9 +286,27 @@ fn optimize(args: &Args) -> Result<(), String> {
                 .map_err(|_| format!("--surrogate-window takes a window size; got {v:?}"))?,
         ),
     };
+    let deadline_secs: Option<f64> = match args.get("deadline-secs") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--deadline-secs takes seconds; got {v:?}"))?,
+        ),
+    };
+    let fault = match args.get("fault-plan") {
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            Some(std::sync::Arc::new(FaultInjector::new(plan)))
+        }
+        None => None,
+    };
     let method = args.get("method").unwrap_or("boils");
     let space = SequenceSpace::new(k, 11);
     let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
+    let evaluator = match fault {
+        Some(fault) => evaluator.with_fault_injector(Some(fault)),
+        None => evaluator,
+    };
     // Disk-backed prefix store: repeated invocations (other seeds, other
     // methods, interrupted runs) on the same circuit resume from the
     // synthesis work earlier processes already did — bit-identically.
@@ -290,6 +316,13 @@ fn optimize(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
         None => evaluator,
     };
+    // A deadline stops the run at the next evaluation boundary; what has
+    // been evaluated by then is an exact prefix of the undisturbed
+    // trajectory, so best-so-far is well-defined and reproducible.
+    let control = match deadline_secs {
+        Some(secs) => RunControl::with_deadline(std::time::Duration::from_secs_f64(secs)),
+        None => RunControl::new(),
+    };
     println!("{aig}");
     println!("reference (resyn2 + if -K 6): {}", evaluator.reference());
     let init = (budget / 5).clamp(4, budget.saturating_sub(1).max(1));
@@ -298,6 +331,7 @@ fn optimize(args: &Args) -> Result<(), String> {
     // fallback count flags numerically-degenerate incremental updates
     // that silently fell back to full refits.
     let mut surrogate_line: Option<String> = None;
+    let interrupted = || String::from("run interrupted before any evaluation completed");
     let result = match method {
         "boils" => {
             let mut boils = Boils::new(BoilsConfig {
@@ -310,7 +344,9 @@ fn optimize(args: &Args) -> Result<(), String> {
                 seed,
                 ..BoilsConfig::default()
             });
-            let result = boils.run(&evaluator).map_err(|e| e.to_string())?;
+            let result = boils
+                .run_with_control(&evaluator, &control)
+                .map_err(|e| e.to_string())?;
             surrogate_line = Some(describe_surrogate(boils.diagnostics(), surrogate_window));
             result
         }
@@ -325,11 +361,13 @@ fn optimize(args: &Args) -> Result<(), String> {
                 seed,
                 ..SboConfig::default()
             });
-            let result = sbo.run(&evaluator).map_err(|e| e.to_string())?;
+            let result = sbo
+                .run_with_control(&evaluator, &control)
+                .map_err(|e| e.to_string())?;
             surrogate_line = Some(describe_surrogate(sbo.diagnostics(), surrogate_window));
             result
         }
-        "ga" => genetic_algorithm(
+        "ga" => genetic_algorithm_controlled(
             &evaluator,
             space,
             budget,
@@ -338,10 +376,14 @@ fn optimize(args: &Args) -> Result<(), String> {
                 threads,
                 ..GaConfig::default()
             },
-        ),
-        "rs" => random_search(&evaluator, space, budget, seed, threads),
-        "greedy" => greedy(&evaluator, space, budget, threads),
-        "rl" => reinforcement_learning(
+            &control,
+        )
+        .ok_or_else(interrupted)?,
+        "rs" => random_search_controlled(&evaluator, space, budget, seed, threads, &control)
+            .ok_or_else(interrupted)?,
+        "greedy" => greedy_controlled(&evaluator, space, budget, threads, &control)
+            .ok_or_else(interrupted)?,
+        "rl" => reinforcement_learning_controlled(
             &evaluator,
             space,
             budget,
@@ -351,12 +393,24 @@ fn optimize(args: &Args) -> Result<(), String> {
                 seed,
                 ..RlConfig::default()
             },
-        ),
+            &control,
+        )
+        .ok_or_else(interrupted)?,
         other => return Err(format!("unknown method {other:?}")),
     };
     println!("method        : {method}");
     println!("threads       : {threads}");
     println!("evaluations   : {}", result.num_evaluations());
+    if result.termination != Termination::BudgetExhausted {
+        println!("termination   : {} (best-so-far below)", result.termination);
+    }
+    if !result.quarantined.is_empty() {
+        println!(
+            "quarantined   : {} sequence(s) hit a panicking evaluation and were \
+             pinned to the worst-case QoR sentinel",
+            result.quarantined.len()
+        );
+    }
     if let Some(line) = surrogate_line {
         println!("surrogate     : {line}");
     }
@@ -367,13 +421,20 @@ fn optimize(args: &Args) -> Result<(), String> {
     );
     if let Some(store) = evaluator.persistent_store() {
         let stats = evaluator.prefix_stats();
+        let degraded = match stats.store_disabled_at {
+            Some(op) => format!(", memory-only after op {op}"),
+            None => String::new(),
+        };
         println!(
-            "cache dir     : {} ({} disk hits, {} writes, {} entries, {} KiB)",
+            "cache dir     : {} ({} disk hits, {} writes, {} entries, {} KiB, \
+             {} write failures, {} retries{degraded})",
             store.dir().display(),
             stats.disk_hits,
             stats.disk_writes,
             store.len(),
-            store.total_bytes() / 1024
+            store.total_bytes() / 1024,
+            stats.disk_write_failures,
+            stats.disk_retries,
         );
     }
     println!("best sequence : {}", result.best_sequence);
