@@ -159,6 +159,7 @@ pub fn genetic_algorithm_controlled<O: SequenceObjective>(
     let termination = stop.map(Termination::from).unwrap_or_default();
     let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
     result.quarantined = quarantined;
+    result.objective = objective.cost_name();
     Some(result)
 }
 

@@ -263,6 +263,7 @@ pub fn reinforcement_learning_controlled<O: SequenceObjective + RolloutCircuit>(
     let termination = stop.map(Termination::from).unwrap_or_default();
     let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
     result.quarantined = quarantined;
+    result.objective = objective.cost_name();
     Some(result)
 }
 

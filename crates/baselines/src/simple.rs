@@ -68,6 +68,7 @@ pub fn random_search_controlled<O: SequenceObjective>(
     let termination = outcome.stopped.map(Termination::from).unwrap_or_default();
     let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
     result.quarantined = outcome.quarantined;
+    result.objective = objective.cost_name();
     Some(result)
 }
 
@@ -153,6 +154,7 @@ pub fn greedy_controlled<O: SequenceObjective>(
     let termination = stop.map(Termination::from).unwrap_or_default();
     let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
     result.quarantined = quarantined;
+    result.objective = objective.cost_name();
     Some(result)
 }
 

@@ -25,6 +25,8 @@ fn bench_fig1_pipeline(c: &mut Criterion) {
         cache_dir: None,
         deadline_secs: None,
         fault_plan: None,
+        objective: None,
+        multi_objective: false,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig1_sample_efficiency_report", |bencher| {

@@ -23,6 +23,8 @@ fn bench_pareto_pipeline(c: &mut Criterion) {
         cache_dir: None,
         deadline_secs: None,
         fault_plan: None,
+        objective: None,
+        multi_objective: false,
     };
     let sweep = Sweep::run(&cfg);
     c.bench_function("fig3_pareto_report", |bencher| {

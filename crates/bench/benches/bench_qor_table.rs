@@ -27,6 +27,8 @@ fn bench_qor_table_pipeline(c: &mut Criterion) {
                 cache_dir: None,
                 deadline_secs: None,
                 fault_plan: None,
+                objective: None,
+                multi_objective: false,
             };
             let sweep = Sweep::run(&cfg);
             black_box(qor_table(&sweep, cfg.budget))

@@ -1,14 +1,18 @@
 //! Regenerates the paper's Figure 3 **bottom row**: the (area, delay)
-//! profiles of each method's best per-seed solutions and their
-//! Pareto-front membership.
+//! profiles of each method's best per-seed solutions, their Pareto-front
+//! membership with per-method dominated hypervolume, and the
+//! per-evaluation hypervolume convergence trace. With `--mo` the sweep's
+//! BO methods optimise the front directly (ParEGO acquisition); with
+//! `--objective NAME` every method optimises that cost function.
 //!
 //! ```text
 //! cargo run -p boils-bench --bin fig3_pareto --release -- \
+//!     [--mo] [--objective qor] \
 //!     [--circuits hyp,div,log2,multiplier] [--from results/raw.csv]
 //! ```
 
 use boils_bench::cli::{self, BenchArgs};
-use boils_bench::figures::pareto_report;
+use boils_bench::figures::{hypervolume_trace, pareto_report};
 use boils_circuits::Benchmark;
 
 fn main() {
@@ -32,5 +36,6 @@ fn main() {
     };
     for c in circuits {
         println!("{}", pareto_report(&sweep, c, budget));
+        println!("{}", hypervolume_trace(&sweep, c, budget));
     }
 }

@@ -3,10 +3,11 @@
 //! wall-clock (greedy sweep and a default-config BOiLS run, with and
 //! without the incremental machinery), GP fit latency (from-scratch vs
 //! incremental extension), batched q-EI acquisition (q = 1 vs
-//! `--batch-size`), the persistent prefix store (cold vs warm process)
-//! and the surrogate lifecycle (windowed vs unbounded per-step cost at
-//! budget ≥ 500, match-cached warm retrains vs cold DP recomputation),
-//! then writes `BENCH_eval.json`.
+//! `--batch-size`), the persistent prefix store (cold vs warm process),
+//! the surrogate lifecycle (windowed vs unbounded per-step cost at
+//! budget ≥ 500, match-cached warm retrains vs cold DP recomputation)
+//! and the cost-generic objective layer (cross-objective store reuse,
+//! multi-objective hypervolume trace), then writes `BENCH_eval.json`.
 //!
 //! This is the repo's perf trajectory: every entry also re-checks the
 //! accelerated path against its baseline — bit-identical where the
@@ -17,7 +18,8 @@
 //!
 //! ```text
 //! perf_report [--out BENCH_eval.json] [--smoke] [--threads N] [--batch-size Q]
-//!             [--surrogate-window W] [--deadline-secs S]
+//!             [--surrogate-window W] [--deadline-secs S] [--objective NAME]
+//!             [--mo]
 //! ```
 //!
 //! `--deadline-secs` arms a wall-clock [`RunControl`] deadline on the
@@ -33,8 +35,10 @@ use std::time::Instant;
 use boils_baselines::greedy;
 use boils_bench::cli::BenchArgs;
 use boils_circuits::{Benchmark, CircuitSpec};
-use boils_core::{Boils, BoilsConfig, QorEvaluator, RunControl, SequenceSpace, Termination};
-use boils_gp::{Gp, SskKernel, Surrogate, SurrogateConfig, TrainConfig};
+use boils_core::{
+    Boils, BoilsConfig, Objective, QorEvaluator, RunControl, SequenceSpace, Termination,
+};
+use boils_gp::{hypervolume_2d, Gp, SskKernel, Surrogate, SurrogateConfig, TrainConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -67,6 +71,17 @@ fn main() {
     if let Some(secs) = deadline_secs {
         assert!(secs > 0.0, "--deadline-secs takes a positive duration");
     }
+    let switched = {
+        let name = args.value("--objective").unwrap_or("lut");
+        let objective = Objective::parse(name).unwrap_or_else(|e| panic!("--objective: {e}"));
+        assert!(
+            objective != Objective::Qor,
+            "--objective names the cost the switched warm-store leg optimises; \
+             qor is the leg that warms the store"
+        );
+        objective
+    };
+    let mo_deep = args.flag("--mo");
 
     let circuit = Benchmark::Adder;
     let aig = CircuitSpec::new(circuit).build();
@@ -95,6 +110,7 @@ fn main() {
     sections.push(qei_section(&aig, threads, smoke, batch_size));
     sections.push(persist_section(&aig, smoke));
     sections.push(surrogate_section(smoke, surrogate_window));
+    sections.push(objectives_section(&aig, smoke, switched, mo_deep));
 
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
@@ -776,4 +792,146 @@ fn gp_fit_section(smoke: bool) -> String {
         ));
     }
     format!("  \"gp_fit\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+/// The cost-generic objective layer:
+///
+/// * **Cross-objective cache reuse.** A greedy sweep under the default
+///   Eq. 1 QoR fills a persistent store; a fresh evaluator optimising a
+///   *different* cost function (`--objective`, default the raw LUT
+///   count) then sweeps the same circuit against that store. Because
+///   every cache tier is keyed on the cost-independent synthesis
+///   artifact, the switched run must be served from disk wherever its
+///   frontier overlaps — the reported ratio is its disk hits over the
+///   QoR run's disk writes.
+/// * **MO hypervolume trace.** A multi-objective BOiLS run (ParEGO
+///   scalarisation over the q-EI machinery) on the `(area, delay)`
+///   plane; the per-evaluation dominated-hypervolume trace must be
+///   monotone non-decreasing and end positive, and the final archive's
+///   hypervolume must equal the trace's last value. `--mo` doubles the
+///   multi-objective budget for a deeper trace.
+fn objectives_section(
+    aig: &boils_aig::Aig,
+    smoke: bool,
+    switched: Objective,
+    mo_deep: bool,
+) -> String {
+    let k = if smoke { 5 } else { 12 };
+    let space = SequenceSpace::new(k, 11);
+    let budget = k * space.alphabet();
+    let dir = std::env::temp_dir().join(format!("boils-perf-objectives-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let qor_eval = QorEvaluator::new(aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir is writable");
+    let start = Instant::now();
+    let qor_run = greedy(&qor_eval, space, budget, 1);
+    let qor_seconds = start.elapsed().as_secs_f64();
+    let qor_stats = qor_eval.prefix_stats();
+    drop(qor_eval);
+
+    let switched_name = switched.name();
+    let switched_eval = QorEvaluator::new(aig)
+        .expect("ok")
+        .with_objective(switched)
+        .with_persistent_store(&dir)
+        .expect("store dir is writable");
+    let start = Instant::now();
+    let switched_run = greedy(&switched_eval, space, budget, 1);
+    let switched_seconds = start.elapsed().as_secs_f64();
+    let switched_stats = switched_eval.prefix_stats();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(qor_run.objective, "qor");
+    assert_eq!(switched_run.objective, switched_name);
+    assert!(
+        switched_stats.disk_hits > 0,
+        "switching the cost function lost the store warmed under qor"
+    );
+    let reuse_ratio = switched_stats.disk_hits as f64 / qor_stats.disk_writes.max(1) as f64;
+    eprintln!(
+        "  objectives (greedy K={k}, budget {budget}): qor {qor_seconds:.3}s ({} writes) then \
+         {switched_name} {switched_seconds:.3}s ({} disk hits) — cross-objective reuse \
+         {reuse_ratio:.2}",
+        qor_stats.disk_writes, switched_stats.disk_hits
+    );
+
+    let mo_budget = (if smoke { 12 } else { 28 }) * if mo_deep { 2 } else { 1 };
+    let evaluator = QorEvaluator::new(aig).expect("ok");
+    let mut boils = Boils::new(BoilsConfig {
+        max_evaluations: mo_budget,
+        initial_samples: 8.min(mo_budget - 2),
+        space: SequenceSpace::new(if smoke { 5 } else { 10 }, 11),
+        acq_restarts: 2,
+        acq_steps: 3,
+        acq_neighbors: 8,
+        train: TrainConfig {
+            steps: 3,
+            ..TrainConfig::default()
+        },
+        seed: 17,
+        multi_objective: true,
+        ..BoilsConfig::default()
+    });
+    let start = Instant::now();
+    let mo_run = boils.run(&evaluator).expect("multi-objective run");
+    let mo_seconds = start.elapsed().as_secs_f64();
+
+    let points: Vec<(f64, f64)> = mo_run
+        .history
+        .iter()
+        .filter(|r| !r.point.is_quarantined())
+        .map(|r| (r.point.area as f64, r.point.delay as f64))
+        .collect();
+    let reference = points.iter().fold((0.0f64, 0.0f64), |acc, p| {
+        (acc.0.max(p.0 * 1.1 + 1e-9), acc.1.max(p.1 * 1.1 + 1e-9))
+    });
+    let trace: Vec<f64> = (1..=points.len())
+        .map(|n| hypervolume_2d(&points[..n], reference))
+        .collect();
+    assert!(
+        trace.windows(2).all(|w| w[1] >= w[0]),
+        "hypervolume trace regressed"
+    );
+    let final_hv = *trace.last().expect("non-empty trace");
+    assert!(final_hv > 0.0, "multi-objective run dominated nothing");
+    let front_points: Vec<(f64, f64)> = mo_run
+        .pareto_front
+        .iter()
+        .map(|r| (r.point.area as f64, r.point.delay as f64))
+        .collect();
+    let front_hv = hypervolume_2d(&front_points, reference);
+    assert!(
+        (front_hv - final_hv).abs() < 1e-9,
+        "archive hypervolume {front_hv} disagrees with the trace's {final_hv}"
+    );
+    eprintln!(
+        "  objectives (mo budget {mo_budget}): {mo_seconds:.3}s, front {} point(s), \
+         hypervolume {final_hv:.3}",
+        mo_run.pareto_front.len()
+    );
+
+    let trace_json: Vec<String> = trace.iter().map(|h| format!("{h:.4}")).collect();
+    format!(
+        "  \"objectives\": {{\"k\": {}, \"budget\": {}, \"switched_objective\": \"{}\", \
+         \"qor_seconds\": {:.6}, \"switched_seconds\": {:.6}, \"qor_disk_writes\": {}, \
+         \"switched_disk_hits\": {}, \"cross_objective_reuse_ratio\": {:.4}, \
+         \"mo\": {{\"budget\": {}, \"seconds\": {:.6}, \"front_size\": {}, \
+         \"final_hypervolume\": {:.4}, \"hypervolume_trace\": [{}]}}}}",
+        k,
+        budget,
+        switched_name,
+        qor_seconds,
+        switched_seconds,
+        qor_stats.disk_writes,
+        switched_stats.disk_hits,
+        reuse_ratio,
+        mo_budget,
+        mo_seconds,
+        mo_run.pareto_front.len(),
+        final_hv,
+        trace_json.join(", ")
+    )
 }

@@ -70,7 +70,8 @@ impl BenchArgs {
 /// Builds a sweep config from a parsed argument view, reading the common
 /// flags `--budget N --seeds N --multiplier N --k N --bits N --threads N
 /// --batch-size N --surrogate-window W --cache-dir DIR --circuits a,b
-/// --methods rs,boils --deadline-secs S --fault-plan PLAN --paper`.
+/// --methods rs,boils --deadline-secs S --fault-plan PLAN
+/// --objective NAME --mo --paper`.
 pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     let mut cfg = if args.flag("--paper") {
         SweepConfig::paper()
@@ -109,6 +110,14 @@ pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
     }
     if let Some(v) = args.value("--fault-plan") {
         cfg.fault_plan = Some(v.to_string());
+    }
+    if let Some(v) = args.value("--objective") {
+        // Validate eagerly so a typo fails before any circuit is built.
+        boils_core::Objective::parse(v).unwrap_or_else(|e| panic!("--objective: {e}"));
+        cfg.objective = Some(v.to_string());
+    }
+    if args.flag("--mo") {
+        cfg.multi_objective = true;
     }
     if let Some(v) = args.value("--circuits") {
         cfg.circuits = v
@@ -186,6 +195,8 @@ mod tests {
             "--cache-dir=/tmp/boils-cache",
             "--deadline-secs=2.5",
             "--fault-plan=write:enospc@3",
+            "--objective=lut",
+            "--mo",
             "--methods",
             "rs,boils",
         ]);
@@ -204,6 +215,8 @@ mod tests {
         assert_eq!(cfg.methods, vec![Method::Rs, Method::Boils]);
         assert_eq!(cfg.deadline_secs, Some(2.5));
         assert_eq!(cfg.fault_plan.as_deref(), Some("write:enospc@3"));
+        assert_eq!(cfg.objective.as_deref(), Some("lut"));
+        assert!(cfg.multi_objective);
         // Absent flags leave the store off, the window unbounded, and the
         // fault layer fully inert.
         let bare = sweep_config_from(&args(&["--budget=1"]));
@@ -211,6 +224,14 @@ mod tests {
         assert_eq!(bare.surrogate_window, None);
         assert_eq!(bare.deadline_secs, None);
         assert_eq!(bare.fault_plan, None);
+        assert_eq!(bare.objective, None);
+        assert!(!bare.multi_objective);
+    }
+
+    #[test]
+    #[should_panic(expected = "--objective")]
+    fn unknown_objectives_panic_before_any_run() {
+        sweep_config_from(&args(&["--objective=bogus"]));
     }
 
     #[test]

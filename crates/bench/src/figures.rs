@@ -5,7 +5,9 @@
 use std::fmt::Write as _;
 
 use boils_circuits::Benchmark;
-use boils_gp::{sample_gaussian, Gp, Kernel, Matrix, SquaredExponential, SskKernel};
+use boils_gp::{
+    hypervolume_2d, sample_gaussian, Gp, Kernel, Matrix, SquaredExponential, SskKernel,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -208,17 +210,36 @@ pub fn pareto_report(sweep: &Sweep, circuit: Benchmark, budget: usize) -> String
                 .any(|&(_, _, a2, d2)| (a2 <= a && d2 < d) || (a2 < a && d2 <= d))
         })
         .collect();
+    // A shared hypervolume reference (componentwise 1.1× the worst point,
+    // matching the MO loop's convention) makes the per-method volumes
+    // comparable within the circuit.
+    let reference = hv_reference(points.iter().map(|&(_, _, a, d)| (a as f64, d as f64)));
     let mut out = format!("# {} — best solutions at N={budget}\n", circuit.name());
-    out.push_str("method,seed,area,delay,pareto\n");
+    out.push_str("method,seed,area,delay,pareto,hypervolume\n");
     for (p, f) in points.iter().zip(&on_front) {
-        writeln!(out, "{},{},{},{},{}", p.0.id(), p.1, p.2, p.3, *f as u8).expect("string write");
+        let hv = hypervolume_2d(&[(p.2 as f64, p.3 as f64)], reference);
+        writeln!(
+            out,
+            "{},{},{},{},{},{hv:.3}",
+            p.0.id(),
+            p.1,
+            p.2,
+            p.3,
+            *f as u8
+        )
+        .expect("string write");
     }
     out.push_str("\n# Pareto membership\n");
     for m in Method::ALL {
-        let total = points.iter().filter(|p| p.0 == m).count();
-        if total == 0 {
+        let method_points: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.0 == m)
+            .map(|&(_, _, a, d)| (a as f64, d as f64))
+            .collect();
+        if method_points.is_empty() {
             continue;
         }
+        let total = method_points.len();
         let hits = points
             .iter()
             .zip(&on_front)
@@ -226,11 +247,65 @@ pub fn pareto_report(sweep: &Sweep, circuit: Benchmark, budget: usize) -> String
             .count();
         writeln!(
             out,
-            "{:<12} {:>5.1}% ({hits}/{total})",
+            "{:<12} {:>5.1}% ({hits}/{total})  hv {:.3}",
             m.name(),
-            100.0 * hits as f64 / total as f64
+            100.0 * hits as f64 / total as f64,
+            hypervolume_2d(&method_points, reference),
         )
         .expect("string write");
+    }
+    out
+}
+
+/// The shared hypervolume reference for a point cloud: componentwise 1.1×
+/// the worst (largest) observed cost, mirroring the multi-objective loop's
+/// fixed-reference convention. Quarantined sentinels (`area == delay == 0`
+/// with worst-case QoR) are excluded by their callers.
+fn hv_reference(points: impl IntoIterator<Item = (f64, f64)>) -> (f64, f64) {
+    let mut reference = (0.0f64, 0.0f64);
+    for (a, d) in points {
+        reference.0 = reference.0.max(a);
+        reference.1 = reference.1.max(d);
+    }
+    (reference.0 * 1.1 + 1e-9, reference.1 * 1.1 + 1e-9)
+}
+
+/// The multi-objective convergence trace: after each evaluation, the 2-D
+/// hypervolume the run's nondominated `(area, delay)` archive dominates
+/// with respect to the circuit's shared reference — the quantity the MO
+/// trust region optimises, as CSV (`method,seed,eval,hypervolume`).
+pub fn hypervolume_trace(sweep: &Sweep, circuit: Benchmark, budget: usize) -> String {
+    let runs: Vec<&crate::suite::RunRecord> =
+        sweep.runs.iter().filter(|r| r.circuit == circuit).collect();
+    let reference = hv_reference(
+        runs.iter()
+            .flat_map(|r| r.trace.iter().take(budget))
+            .filter(|&&(q, _, _)| q < boils_core::QUARANTINE_QOR)
+            .map(|&(_, a, d)| (a as f64, d as f64)),
+    );
+    let mut out = format!(
+        "# {} — dominated hypervolume per evaluation (reference {:.1},{:.1})\n",
+        circuit.name(),
+        reference.0,
+        reference.1
+    );
+    out.push_str("method,seed,eval,hypervolume\n");
+    for run in runs {
+        let mut front: Vec<(f64, f64)> = Vec::new();
+        for (i, &(q, a, d)) in run.trace.iter().take(budget).enumerate() {
+            if q < boils_core::QUARANTINE_QOR {
+                front.push((a as f64, d as f64));
+            }
+            writeln!(
+                out,
+                "{},{},{},{:.3}",
+                run.method.id(),
+                run.seed,
+                i + 1,
+                hypervolume_2d(&front, reference)
+            )
+            .expect("string write");
+        }
     }
     out
 }
@@ -378,6 +453,38 @@ mod tests {
         assert!(report.contains("boils,0,40,14,1"));
         assert!(report.contains("rs,0,43,15,0"));
         assert!(report.contains("100.0% (1/1)"));
+        // The hypervolume column is present and the dominating point
+        // dominates strictly more volume than the dominated one.
+        assert!(report.contains("method,seed,area,delay,pareto,hypervolume"));
+        let hv_of = |needle: &str| -> f64 {
+            report
+                .lines()
+                .find(|l| l.starts_with(needle))
+                .and_then(|l| l.rsplit(',').next())
+                .expect("row present")
+                .parse()
+                .expect("numeric hypervolume")
+        };
+        assert!(hv_of("boils,0,") > hv_of("rs,0,"));
+    }
+
+    #[test]
+    fn hypervolume_trace_is_monotone_per_run() {
+        let csv = hypervolume_trace(&tiny_sweep(), Benchmark::Adder, 4);
+        assert!(csv.contains("method,seed,eval,hypervolume"));
+        for method in ["boils", "rs"] {
+            let values: Vec<f64> = csv
+                .lines()
+                .filter(|l| l.starts_with(&format!("{method},0,")))
+                .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+                .collect();
+            assert!(!values.is_empty(), "{method} rows missing");
+            assert!(
+                values.windows(2).all(|w| w[1] >= w[0]),
+                "{method} hypervolume shrank: {values:?}"
+            );
+            assert!(*values.last().unwrap() > 0.0);
+        }
     }
 
     #[test]

@@ -175,6 +175,38 @@ impl Method {
         surrogate_window: Option<usize>,
         control: &RunControl,
     ) -> Option<OptimizationResult> {
+        self.run_mo_controlled(
+            objective,
+            space,
+            budget,
+            seed,
+            threads,
+            batch_size,
+            surrogate_window,
+            false,
+            control,
+        )
+    }
+
+    /// [`Method::run_controlled`] with an opt-in multi-objective mode for
+    /// the BO methods: BOiLS and SBO switch to the ParEGO random-weight
+    /// Chebyshev acquisition over the objective's cost *vector* (see
+    /// [`BoilsConfig::multi_objective`]). The non-BO methods have no
+    /// acquisition to steer and ignore the flag — their
+    /// [`OptimizationResult::pareto_front`] archive is still maintained.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mo_controlled<O: SequenceObjective + RolloutCircuit>(
+        self,
+        objective: &O,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+        surrogate_window: Option<usize>,
+        multi_objective: bool,
+        control: &RunControl,
+    ) -> Option<OptimizationResult> {
         match self {
             Method::Rs => {
                 random_search_controlled(objective, space, budget, seed, threads, control)
@@ -236,6 +268,7 @@ impl Method {
                     threads,
                     batch_size,
                     surrogate_window,
+                    multi_objective,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()
@@ -257,6 +290,7 @@ impl Method {
                     threads,
                     batch_size,
                     surrogate_window,
+                    multi_objective,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()

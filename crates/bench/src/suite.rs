@@ -9,7 +9,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use boils_circuits::{Benchmark, CircuitSpec};
-use boils_core::{FaultInjector, FaultPlan, QorEvaluator, RunControl, SequenceSpace, Termination};
+use boils_core::{
+    FaultInjector, FaultPlan, Objective, QorEvaluator, RunControl, SequenceSpace, Termination,
+};
 
 use crate::method::Method;
 
@@ -60,6 +62,18 @@ pub struct SweepConfig {
     /// clauses quarantine the hit sequences. `None` = no injection
     /// (beyond any `BOILS_FAULT_PLAN` environment plan).
     pub fault_plan: Option<String>,
+    /// The cost function optimised by every run (see
+    /// [`boils_core::Objective::parse`]): `"qor"`, `"area"`, `"delay"`,
+    /// `"levels"`, `"lut"` or `"weighted:W"`. `None` = the paper's Eq. 1
+    /// QoR. Switching the objective against a warm cache or persistent
+    /// store reuses every synthesised result — only the scalarisation of
+    /// the cached [`boils_core::SynthStats`] changes.
+    pub objective: Option<String>,
+    /// Run the BO methods in multi-objective mode (ParEGO random-weight
+    /// Chebyshev acquisition over the cost vector; see
+    /// [`boils_core::BoilsConfig::multi_objective`]). Non-BO methods
+    /// ignore the flag but still report their nondominated archive.
+    pub multi_objective: bool,
 }
 
 impl Default for SweepConfig {
@@ -78,6 +92,8 @@ impl Default for SweepConfig {
             cache_dir: None,
             deadline_secs: None,
             fault_plan: None,
+            objective: None,
+            multi_objective: false,
         }
     }
 }
@@ -169,6 +185,10 @@ impl Sweep {
     pub fn run(config: &SweepConfig) -> Sweep {
         let mut runs = Vec::new();
         let space = SequenceSpace::new(config.sequence_length, 11);
+        let objective = config
+            .objective
+            .as_deref()
+            .map(|name| Objective::parse(name).unwrap_or_else(|e| panic!("--objective: {e}")));
         // One injector for the whole sweep: its operation ordinals span
         // every circuit, method and seed, so a plan like `write:enospc@10+`
         // means "the tenth disk write of the sweep", wherever it lands.
@@ -188,6 +208,10 @@ impl Sweep {
             // a cache directory, the prefix store extends that sharing
             // across sweep *processes* (other seeds, methods, restarts).
             let evaluator = QorEvaluator::new(&aig).expect("benchmark circuits are non-trivial");
+            let evaluator = match objective {
+                Some(objective) => evaluator.with_objective(objective),
+                None => evaluator,
+            };
             let evaluator = match &injector {
                 Some(fault) => evaluator.with_fault_injector(Some(fault.clone())),
                 None => evaluator,
@@ -206,7 +230,7 @@ impl Sweep {
                         Some(secs) => RunControl::with_deadline(Duration::from_secs_f64(secs)),
                         None => RunControl::new(),
                     };
-                    let Some(result) = method.run_controlled(
+                    let Some(result) = method.run_mo_controlled(
                         &evaluator,
                         space,
                         budget,
@@ -214,6 +238,7 @@ impl Sweep {
                         config.threads,
                         config.batch_size,
                         config.surrogate_window,
+                        config.multi_objective,
                         &control,
                     ) else {
                         eprintln!(

@@ -4,14 +4,14 @@
 //! centred on the incumbent.
 
 use boils_gp::{
-    expected_improvement, ConstantLiar, NotPositiveDefiniteError, SskKernel, Surrogate,
-    SurrogateConfig, SurrogateDiagnostics, TrainConfig,
+    expected_improvement, hypervolume_improvement_2d, ConstantLiar, Gp, NotPositiveDefiniteError,
+    Scalarisation, SskKernel, Surrogate, SurrogateConfig, SurrogateDiagnostics, TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::control::{RunControl, StopReason};
-use crate::eval::{BatchEvaluator, SequenceObjective};
+use crate::eval::{BatchEvaluator, SequenceObjective, QUARANTINE_QOR};
 use crate::result::{EvalRecord, OptimizationResult, Termination};
 use crate::space::SequenceSpace;
 
@@ -116,6 +116,15 @@ pub struct BoilsConfig {
     pub noise: f64,
     /// The acquisition function (paper: expected improvement).
     pub acquisition: Acquisition,
+    /// Multi-objective mode: instead of the scalar cost, optimise the
+    /// objective's cost *vector* (the paper's `(area ratio, delay ratio)`
+    /// pair for the built-ins) with random-weight Chebyshev scalarisations
+    /// over the constant-liar batch path, judging trust-region progress by
+    /// 2-D hypervolume improvement of the nondominated archive
+    /// ([`OptimizationResult::pareto_front`](crate::OptimizationResult)).
+    /// `false` (the default) is the paper's scalar Algorithm 2,
+    /// bit-identical to previous releases.
+    pub multi_objective: bool,
     /// Worker threads for batched black-box evaluations (the initial
     /// design). The search trajectory is thread-count invariant: the same
     /// seed yields the same best sequence and evaluation count at any
@@ -149,6 +158,7 @@ impl Default for BoilsConfig {
             },
             noise: 1e-4,
             acquisition: Acquisition::ExpectedImprovement,
+            multi_objective: false,
             threads: 1,
             seed: 0,
         }
@@ -233,6 +243,54 @@ pub struct RunDiagnostics {
     /// Why the run ended (mirrors
     /// [`OptimizationResult::termination`](crate::OptimizationResult)).
     pub termination: Termination,
+    /// The active cost function's name (mirrors
+    /// [`OptimizationResult::objective`](crate::OptimizationResult)).
+    pub objective: String,
+}
+
+/// The multi-objective cost vector of one evaluated record: the
+/// objective's own vector when it can produce one, otherwise the raw
+/// `(area, delay)` pair; quarantined sentinels map to a worst-case vector
+/// so they can never join (or distort) the nondominated archive.
+pub(crate) fn mo_vector<O: SequenceObjective + ?Sized>(
+    objective: &O,
+    record: &EvalRecord,
+) -> Vec<f64> {
+    if record.point.is_quarantined() {
+        return vec![QUARANTINE_QOR; 2];
+    }
+    objective
+        .vector_of(&record.tokens)
+        .unwrap_or_else(|| vec![record.point.area as f64, record.point.delay as f64])
+}
+
+/// A fixed hypervolume reference for a run: componentwise 1.1× the worst
+/// non-quarantined cost of the initial design. Fixed after the design so
+/// hypervolume gains are comparable across the whole run.
+pub(crate) fn mo_reference(vectors: &[Vec<f64>]) -> (f64, f64) {
+    let mut reference = (0.0f64, 0.0f64);
+    let mut seen = false;
+    for v in vectors {
+        if v.len() != 2 || v[0] >= QUARANTINE_QOR {
+            continue;
+        }
+        reference.0 = reference.0.max(v[0]);
+        reference.1 = reference.1.max(v[1]);
+        seen = true;
+    }
+    if !seen {
+        return (QUARANTINE_QOR, QUARANTINE_QOR);
+    }
+    (reference.0 * 1.1 + 1e-9, reference.1 * 1.1 + 1e-9)
+}
+
+/// The 2-D projections of the non-quarantined cost vectors in `vectors`.
+pub(crate) fn mo_points(vectors: &[Vec<f64>]) -> Vec<(f64, f64)> {
+    vectors
+        .iter()
+        .filter(|v| v.len() == 2 && v[0] < QUARANTINE_QOR)
+        .map(|v| (v[0], v[1]))
+        .collect()
 }
 
 /// Outcome of the freshness guard around one proposed candidate.
@@ -380,8 +438,14 @@ impl Boils {
         objective: &O,
         control: &RunControl,
     ) -> Result<OptimizationResult, RunBoilsError> {
+        if self.config.multi_objective {
+            // A separate loop: the scalar path below stays bit-identical
+            // to the frozen pre-refactor trajectories.
+            return self.run_multi_objective(objective, control);
+        }
         let cfg = &self.config;
         self.diagnostics = RunDiagnostics::default();
+        self.diagnostics.objective = objective.cost_name();
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
             return Err(RunBoilsError::BudgetTooSmall {
                 budget: cfg.max_evaluations,
@@ -619,6 +683,215 @@ impl Boils {
         self.diagnostics.termination = termination;
         let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
         result.quarantined = self.diagnostics.quarantined.clone();
+        result.objective = self.diagnostics.objective.clone();
+        Ok(result)
+    }
+
+    /// The multi-objective BOiLS loop (ParEGO-style): each iteration draws
+    /// a fresh random-weight augmented-Chebyshev [`Scalarisation`] of the
+    /// cost vectors, fits a GP on the scalarised history, and proposes a
+    /// constant-liar q-EI batch against it — across iterations the weight
+    /// ensemble sweeps the whole Pareto front, including its non-convex
+    /// regions. Trust-region progress is judged by 2-D hypervolume
+    /// improvement of the evaluated front; the result's
+    /// [`pareto_front`](OptimizationResult::pareto_front) is the
+    /// nondominated archive over every evaluation.
+    fn run_multi_objective<O: SequenceObjective>(
+        &mut self,
+        objective: &O,
+        control: &RunControl,
+    ) -> Result<OptimizationResult, RunBoilsError> {
+        let cfg = &self.config;
+        self.diagnostics = RunDiagnostics::default();
+        self.diagnostics.objective = objective.cost_name();
+        if cfg.max_evaluations < cfg.initial_samples.max(2) {
+            return Err(RunBoilsError::BudgetTooSmall {
+                budget: cfg.max_evaluations,
+                initial: cfg.initial_samples,
+            });
+        }
+        let space = cfg.space;
+        let engine = BatchEvaluator::new(cfg.threads);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut history: Vec<EvalRecord> = Vec::with_capacity(cfg.max_evaluations);
+
+        let mut initial: Vec<Vec<u8>> = Vec::with_capacity(cfg.initial_samples);
+        for tokens in space.latin_hypercube(cfg.initial_samples, &mut rng) {
+            if initial.len() >= cfg.max_evaluations {
+                break;
+            }
+            if initial.contains(&tokens) {
+                continue;
+            }
+            initial.push(tokens);
+        }
+        let outcome = engine.evaluate_grouped_controlled(objective, &initial, control);
+        self.diagnostics
+            .quarantined
+            .extend(outcome.quarantined.iter().cloned());
+        let mut stop = outcome.stopped;
+        for (tokens, point) in outcome.resolved_prefix(&initial) {
+            history.push(EvalRecord { tokens, point });
+        }
+        if history.is_empty() {
+            return Err(RunBoilsError::Interrupted(
+                stop.unwrap_or(StopReason::Cancelled),
+            ));
+        }
+        let mut vectors: Vec<Vec<f64>> = history
+            .iter()
+            .map(|record| mo_vector(objective, record))
+            .collect();
+        let dim = vectors
+            .iter()
+            .find(|v| v.first().copied().unwrap_or(QUARANTINE_QOR) < QUARANTINE_QOR)
+            .map_or(2, Vec::len);
+        let reference = mo_reference(&vectors);
+
+        let kernel_template = {
+            let k = SskKernel::new(cfg.ssk_order);
+            let k = if cfg.normalize_kernel {
+                k
+            } else {
+                k.without_normalization()
+            };
+            // Scalarised targets change every iteration, so the GP is
+            // refitted per iteration rather than extended; the shared
+            // match-structure cache keeps each refit's Gram fill warm.
+            if cfg.incremental_surrogate {
+                k.with_match_caching()
+            } else {
+                k.without_info_caching()
+            }
+        };
+
+        let mut radius = space.length();
+        let mut successes = 0usize;
+        let mut failures = 0usize;
+        while stop.is_none() && history.len() < cfg.max_evaluations {
+            if let Some(reason) = control.stop_reason() {
+                stop = Some(reason);
+                break;
+            }
+            // One random scalarisation per acquisition decision (ParEGO).
+            let scalarisation = Scalarisation::sample(dim, &mut rng);
+            let ys: Vec<f64> = vectors
+                .iter()
+                .map(|v| -scalarisation.scalarise(v))
+                .collect();
+            let xs: Vec<Vec<u8>> = history.iter().map(|r| r.tokens.clone()).collect();
+            let gp: Gp<SskKernel, Vec<u8>> =
+                Gp::fit(kernel_template.clone(), xs, ys.clone(), cfg.noise)?;
+            let incumbent = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            // The trust region re-centres on the current scalarisation's
+            // best point: each weight draw explores around a different
+            // part of the front.
+            let center_tokens = ys
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scalarised cost"))
+                .map(|(i, _)| history[i].tokens.clone())
+                .expect("non-empty history");
+            let tr = if cfg.use_trust_region {
+                Some((center_tokens.as_slice(), radius))
+            } else {
+                None
+            };
+            let acquisition = cfg.acquisition;
+            let q = cfg
+                .batch_size
+                .max(1)
+                .min(cfg.max_evaluations - history.len());
+            let mut liar = ConstantLiar::new(&gp, incumbent);
+            let mut batch: Vec<Vec<u8>> = Vec::with_capacity(q);
+            for proposed in 0..q {
+                let model = liar.model();
+                let ei = |tokens: &Vec<u8>| {
+                    let (mean, var) = model.predict(tokens);
+                    match acquisition {
+                        Acquisition::ExpectedImprovement => {
+                            expected_improvement(mean, var, incumbent)
+                        }
+                        Acquisition::UpperConfidenceBound { beta } => {
+                            mean + beta * var.max(0.0).sqrt()
+                        }
+                    }
+                };
+                let candidate = hill_climb(
+                    &space,
+                    tr,
+                    &ei,
+                    cfg.acq_restarts,
+                    cfg.acq_steps,
+                    cfg.acq_neighbors,
+                    &mut rng,
+                );
+                let (candidate, outcome) =
+                    fresh_candidate(objective, &space, tr, &batch, candidate, &mut rng);
+                match outcome {
+                    FreshOutcome::Swept => self.diagnostics.sweep_rescues += 1,
+                    FreshOutcome::Exhausted => self.diagnostics.duplicate_evals += 1,
+                    FreshOutcome::Direct | FreshOutcome::Resampled => {}
+                }
+                if proposed + 1 < q {
+                    let _ = liar.accept(candidate.clone());
+                }
+                batch.push(candidate);
+            }
+            drop(liar);
+            drop(gp);
+            self.diagnostics.batches += 1;
+
+            let outcome = engine.evaluate_grouped_controlled(objective, &batch, control);
+            self.diagnostics
+                .quarantined
+                .extend(outcome.quarantined.iter().cloned());
+            let batch_start = history.len();
+            for (tokens, point) in outcome.resolved_prefix(&batch) {
+                history.push(EvalRecord { tokens, point });
+            }
+            for record in &history[batch_start..] {
+                vectors.push(mo_vector(objective, record));
+            }
+            if outcome.stopped.is_some() {
+                stop = outcome.stopped;
+                break;
+            }
+
+            // The batch counts as one acquisition decision; it succeeds if
+            // any of its points grows the dominated hypervolume of the
+            // pre-batch front.
+            let front_before = mo_points(&vectors[..batch_start]);
+            let improved = dim == 2
+                && mo_points(&vectors[batch_start..])
+                    .into_iter()
+                    .any(|p| hypervolume_improvement_2d(&front_before, p, reference) > 0.0);
+            if improved {
+                successes += 1;
+                failures = 0;
+                if successes >= cfg.success_tolerance {
+                    radius = (radius + 1).min(space.length());
+                    successes = 0;
+                }
+            } else {
+                successes = 0;
+                failures += 1;
+                if failures >= cfg.fail_tolerance {
+                    radius = radius.saturating_sub(1);
+                    failures = 0;
+                }
+            }
+            if radius == 0 {
+                radius = space.length();
+                successes = 0;
+                failures = 0;
+            }
+        }
+        let termination = stop.map(Termination::from).unwrap_or_default();
+        self.diagnostics.termination = termination;
+        let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+        result.quarantined = self.diagnostics.quarantined.clone();
+        result.objective = self.diagnostics.objective.clone();
         Ok(result)
     }
 }
@@ -765,6 +1038,47 @@ mod tests {
             boils.diagnostics().termination,
             Termination::BudgetExhausted
         );
+    }
+
+    #[test]
+    fn multi_objective_run_maintains_a_nondominated_archive() {
+        let aig = random_aig(29, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("ok");
+        let mut boils = Boils::new(BoilsConfig {
+            multi_objective: true,
+            ..small_config(12)
+        });
+        let result = boils.run(&evaluator).expect("mo run");
+        assert_eq!(result.num_evaluations(), 12);
+        assert_eq!(result.objective, "qor");
+        assert_eq!(boils.diagnostics().objective, "qor");
+        assert!(!result.pareto_front.is_empty());
+        // Every archive entry sits in the history and is nondominated.
+        for kept in &result.pareto_front {
+            assert!(result.history.iter().any(|r| r.tokens == kept.tokens));
+            for seen in &result.history {
+                let dominates = seen.point.area <= kept.point.area
+                    && seen.point.delay <= kept.point.delay
+                    && (seen.point.area < kept.point.area || seen.point.delay < kept.point.delay);
+                assert!(!dominates, "archived point dominated by an evaluation");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_objective_run_is_deterministic_given_seed() {
+        let aig = random_aig(31, 8, 300, 3);
+        let e1 = QorEvaluator::new(&aig).expect("ok");
+        let e2 = QorEvaluator::new(&aig).expect("ok");
+        let config = BoilsConfig {
+            multi_objective: true,
+            ..small_config(10)
+        };
+        let r1 = Boils::new(config.clone()).run(&e1).expect("run");
+        let r2 = Boils::new(config).run(&e2).expect("run");
+        let t1: Vec<&[u8]> = r1.history.iter().map(|r| r.tokens.as_slice()).collect();
+        let t2: Vec<&[u8]> = r2.history.iter().map(|r| r.tokens.as_slice()).collect();
+        assert_eq!(t1, t2);
     }
 
     #[test]

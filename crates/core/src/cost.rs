@@ -1,0 +1,118 @@
+//! Pluggable cost functions over raw synthesis statistics.
+//!
+//! The evaluation stack caches one [`SynthStats`] record per sequence — a
+//! pure function of the circuit and the sequence, independent of what is
+//! being optimised — and derives the scalar (or vector) cost on lookup
+//! through a [`CostFn`]. Switching cost functions therefore reuses every
+//! cached synthesis result, in memory and on disk.
+//!
+//! The built-in costs live on [`Objective`]; a custom
+//! [`CostFn`] (attached with
+//! [`QorEvaluator::with_cost_fn`](crate::QorEvaluator::with_cost_fn))
+//! can optimise any quantity derivable from the synthesised artifact.
+
+use std::fmt;
+
+use boils_mapper::SynthStats;
+
+use crate::qor::Objective;
+
+/// A cost over one synthesised-and-mapped circuit.
+///
+/// Implementations must be pure functions of the statistics: the engine
+/// caches `SynthStats` per sequence and re-derives costs on every lookup,
+/// so an impure cost would see a different value than the optimiser did.
+/// Lower is better, both for [`CostFn::cost`] and per component of
+/// [`CostFn::vector`].
+pub trait CostFn: Send + Sync + fmt::Debug {
+    /// A short identifier (reported in diagnostics and result traces).
+    fn name(&self) -> String;
+
+    /// The scalar cost of one synthesis result (lower is better).
+    fn cost(&self, stats: &SynthStats) -> f64;
+
+    /// The multi-objective cost vector (lower is better per component).
+    ///
+    /// The default wraps the scalar cost; override for true
+    /// multi-objective optimisation (the built-ins expose the paper's
+    /// `(area ratio, delay ratio)` pair).
+    fn vector(&self, stats: &SynthStats) -> Vec<f64> {
+        vec![self.cost(stats)]
+    }
+}
+
+/// A built-in [`Objective`] bound to its reference statistics — the
+/// [`CostFn`] the [`QorEvaluator`](crate::QorEvaluator) applies by default.
+#[derive(Clone, Copy, Debug)]
+pub struct BuiltinCost {
+    /// The optimised quantity.
+    pub objective: Objective,
+    /// The `resyn2` reference statistics normalising the ratios.
+    pub reference: SynthStats,
+}
+
+impl CostFn for BuiltinCost {
+    fn name(&self) -> String {
+        self.objective.name()
+    }
+
+    fn cost(&self, stats: &SynthStats) -> f64 {
+        self.objective.cost(stats, &self.reference)
+    }
+
+    fn vector(&self, stats: &SynthStats) -> Vec<f64> {
+        self.objective.vector(stats, &self.reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(luts: usize, levels: u32) -> SynthStats {
+        SynthStats {
+            luts,
+            levels,
+            aig_nodes: luts * 3,
+            aig_levels: levels + 2,
+        }
+    }
+
+    #[test]
+    fn builtin_qor_matches_eq1() {
+        let cost = BuiltinCost {
+            objective: Objective::Qor,
+            reference: stats(100, 10),
+        };
+        let s = stats(50, 5);
+        assert_eq!(cost.cost(&s), 50.0 / 100.0 + 5.0 / 10.0);
+        assert_eq!(cost.vector(&s), vec![0.5, 0.5]);
+        assert_eq!(cost.name(), "qor");
+    }
+
+    #[test]
+    fn lut_count_is_the_raw_area() {
+        let cost = BuiltinCost {
+            objective: Objective::LutCount,
+            reference: stats(100, 10),
+        };
+        assert_eq!(cost.cost(&stats(42, 9)), 42.0);
+        assert_eq!(cost.name(), "lut");
+    }
+
+    #[test]
+    fn default_vector_wraps_the_scalar() {
+        #[derive(Debug)]
+        struct NodeCount;
+        impl CostFn for NodeCount {
+            fn name(&self) -> String {
+                "nodes".into()
+            }
+            fn cost(&self, stats: &SynthStats) -> f64 {
+                stats.aig_nodes as f64
+            }
+        }
+        let s = stats(10, 4);
+        assert_eq!(NodeCount.vector(&s), vec![30.0]);
+    }
+}

@@ -78,6 +78,19 @@ pub trait SequenceObjective: Sync {
         }
         Some(self.evaluate_tokens(tokens))
     }
+
+    /// The name of the active cost function (the paper's Eq. 1 by default).
+    fn cost_name(&self) -> String {
+        String::from("qor")
+    }
+
+    /// The multi-objective cost vector of an already-evaluated sequence,
+    /// if the objective can produce one (lower is better per component).
+    /// The default — `None` — makes the engine fall back to the raw
+    /// `(area, delay)` pair of the memoised [`QorPoint`].
+    fn vector_of(&self, _tokens: &[u8]) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// Number of lock shards. A small power of two: contention is light (a QoR
@@ -147,24 +160,39 @@ pub(crate) fn prefix_chunk_ranges(seqs: &[&[u8]], workers: usize) -> Vec<std::op
 /// each behind its own `RwLock`, selected by a deterministic FNV-1a hash of
 /// the key (deliberately not the per-instance-seeded std hasher, so shard
 /// assignment — and therefore lock interleaving — is reproducible).
-#[derive(Debug, Default)]
-pub struct ShardedCache {
-    shards: [RwLock<HashMap<Vec<u8>, QorPoint>>; SHARD_COUNT],
+///
+/// The value type is generic so the same table can memoise derived points
+/// (`QorPoint`, the default) or the cost-independent raw synthesis record
+/// ([`SynthStats`](boils_mapper::SynthStats)) the
+/// [`QorEvaluator`](crate::QorEvaluator) caches — the representation that
+/// lets one cache serve every [`CostFn`](crate::CostFn).
+#[derive(Debug)]
+pub struct ShardedCache<V = QorPoint> {
+    shards: [RwLock<HashMap<Vec<u8>, V>>; SHARD_COUNT],
     hits: AtomicUsize,
 }
 
-impl ShardedCache {
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        ShardedCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V: Copy> ShardedCache<V> {
     /// An empty cache.
-    pub fn new() -> ShardedCache {
+    pub fn new() -> ShardedCache<V> {
         ShardedCache::default()
     }
 
-    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Vec<u8>, QorPoint>> {
+    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Vec<u8>, V>> {
         &self.shards[shard_index(key, SHARD_COUNT)]
     }
 
-    /// Returns the memoised point for `key`, recording a hit on success.
-    pub fn get(&self, key: &[u8]) -> Option<QorPoint> {
+    /// Returns the memoised value for `key`, recording a hit on success.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
         let hit = read_lock(self.shard(key)).get(key).copied();
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -177,12 +205,19 @@ impl ShardedCache {
         read_lock(self.shard(key)).contains_key(key)
     }
 
+    /// [`ShardedCache::get`] without hit accounting — for derived reads of
+    /// entries already counted (e.g. re-projecting a memoised synthesis
+    /// record under a different cost function).
+    pub fn peek(&self, key: &[u8]) -> Option<V> {
+        read_lock(self.shard(key)).get(key).copied()
+    }
+
     /// Inserts a result, returning `true` if the key was newly memoised.
     ///
     /// When two workers race on the same key the first insert wins; the
     /// value is a pure function of the key, so the loser's result is
     /// identical and is simply dropped.
-    pub fn insert(&self, key: Vec<u8>, value: QorPoint) -> bool {
+    pub fn insert(&self, key: Vec<u8>, value: V) -> bool {
         use std::collections::hash_map::Entry;
         match write_lock(self.shard(&key)).entry(key) {
             Entry::Occupied(_) => false,

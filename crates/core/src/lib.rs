@@ -36,6 +36,7 @@
 
 mod boils;
 pub mod control;
+pub mod cost;
 pub mod eval;
 pub mod fault;
 pub mod prefix;
@@ -46,6 +47,7 @@ mod space;
 
 pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError, RunDiagnostics};
 pub use crate::control::{RunControl, StopReason};
+pub use crate::cost::{BuiltinCost, CostFn};
 pub use crate::eval::{
     BatchEvaluator, BatchOutcome, SequenceObjective, ShardedCache, QUARANTINE_QOR,
 };
@@ -58,3 +60,4 @@ pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint
 pub use crate::result::{EvalRecord, OptimizationResult, Termination};
 pub use crate::sbo::{one_hot, IsotropicSe, Sbo, SboConfig};
 pub use crate::space::SequenceSpace;
+pub use boils_mapper::SynthStats;

@@ -115,6 +115,12 @@ pub struct PersistentPrefixStore {
     /// [`ENABLED`] while healthy; once the breaker trips, the 1-based
     /// disk-operation ordinal it tripped at (reads and writes then skip).
     disabled_at: AtomicUsize,
+    /// Persist a prefix only once it has been reached this many times
+    /// (see [`PersistentPrefixStore::with_persist_threshold`]).
+    persist_threshold: usize,
+    /// Per-prefix reach counts feeding the persist threshold (only
+    /// consulted when the threshold exceeds 1).
+    touch_counts: Mutex<HashMap<String, usize>>,
 }
 
 impl PersistentPrefixStore {
@@ -201,6 +207,8 @@ impl PersistentPrefixStore {
             write_retries: AtomicUsize::new(0),
             consecutive_failures: AtomicUsize::new(0),
             disabled_at: AtomicUsize::new(ENABLED),
+            persist_threshold: 1,
+            touch_counts: Mutex::new(HashMap::new()),
         })
     }
 
@@ -219,6 +227,24 @@ impl PersistentPrefixStore {
         self.byte_budget = bytes;
         self.enforce_budget();
         self
+    }
+
+    /// Persists a prefix only once [`store`](PersistentPrefixStore::store)
+    /// has been asked to write it `threshold` times: a write-policy knob
+    /// for shared cache directories, keeping one-off intermediates (most
+    /// of a random search's prefixes are never reached twice) from
+    /// churning the byte budget. The default `1` writes on first touch —
+    /// today's behaviour; `0` is treated as `1`. Reach counts are
+    /// per-instance: a fresh process starts counting from zero.
+    pub fn with_persist_threshold(mut self, threshold: usize) -> PersistentPrefixStore {
+        self.persist_threshold = threshold.max(1);
+        self
+    }
+
+    /// The configured persist threshold (touches before an entry is
+    /// written to disk).
+    pub fn persist_threshold(&self) -> usize {
+        self.persist_threshold
     }
 
     /// Arms (or disarms) deterministic fault injection on this store's
@@ -401,6 +427,20 @@ impl PersistentPrefixStore {
         {
             let index = self.lock_index();
             if index.entries.contains_key(&name) {
+                return;
+            }
+        }
+        if self.persist_threshold > 1 {
+            // First touches stay memory-only (the in-process PrefixCache
+            // tier already covers them); the threshold-th touch earns the
+            // prefix its disk entry.
+            let mut counts = self
+                .touch_counts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let count = counts.entry(name.clone()).or_insert(0);
+            *count += 1;
+            if *count < self.persist_threshold {
                 return;
             }
         }
@@ -919,6 +959,39 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .count();
         assert_eq!(leftovers, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_threshold_defers_first_touch_to_memory_only() {
+        let dir = temp_store_dir("threshold");
+        let base = random_aig(100, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_persist_threshold(2);
+        assert_eq!(store.persist_threshold(), 2);
+        let intermediate = random_aig(101, 6, 60, 2);
+        // First touch: counted, nothing on disk.
+        store.store(&[4, 2], &intermediate);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.stats().disk_writes, 0);
+        assert!(store.load(&[4, 2]).is_none());
+        // Second touch of the same prefix: the entry lands on disk.
+        store.store(&[4, 2], &intermediate);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().disk_writes, 1);
+        let back = store.load(&[4, 2]).expect("persisted on second touch");
+        assert_eq!(back.content_hash(), intermediate.content_hash());
+        // A different prefix starts its own count.
+        store.store(&[9], &random_aig(102, 6, 50, 2));
+        assert_eq!(store.len(), 1);
+        // Threshold 0 behaves like the default write-on-first-touch.
+        let eager = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_persist_threshold(0);
+        assert_eq!(eager.persist_threshold(), 1);
+        eager.store(&[8], &random_aig(103, 6, 50, 2));
+        assert!(eager.load(&[8]).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

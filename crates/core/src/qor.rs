@@ -8,17 +8,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use boils_aig::Aig;
-use boils_mapper::{map_stats, MapStats, MapperConfig};
+use boils_mapper::{synth_stats, MapStats, MapperConfig, SynthStats};
 use boils_synth::{resyn2, Transform};
 
 use crate::control::RunControl;
+use crate::cost::CostFn;
 use crate::eval::{SequenceObjective, ShardedCache};
 use crate::fault::{FaultInjector, FaultOp};
 use crate::prefix::{PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PREFIX_CAPACITY};
 
 /// What the black box optimises — Eq. 1 by default; the paper's conclusion
 /// notes BOiLS "can be utilised with other quantities of interest, e.g.,
-/// area or delay disjointly", which these variants provide.
+/// area or delay disjointly", which these variants provide. Every variant
+/// is a pure function of the cached [`SynthStats`], so switching objectives
+/// reuses every cached synthesis result (see [`crate::cost`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Objective {
     /// The paper's Eq. 1: `area/area_ref + delay/delay_ref`.
@@ -27,6 +30,10 @@ pub enum Objective {
     Area,
     /// Delay only: `2 · delay/delay_ref`.
     Delay,
+    /// Pre-mapping AIG depth: `2 · levels/levels_ref` over AND levels.
+    Levels,
+    /// The raw 6-LUT count, unnormalised (absolute-area minimisation).
+    LutCount,
     /// Convex combination: `2·(w·area/area_ref + (1−w)·delay/delay_ref)`.
     Weighted {
         /// The area weight `w ∈ [0, 1]`.
@@ -35,14 +42,78 @@ pub enum Objective {
 }
 
 impl Objective {
-    fn combine(self, area_ratio: f64, delay_ratio: f64) -> f64 {
+    /// The scalar cost of `stats` under this objective, normalised by the
+    /// `resyn2` `reference`. For [`Objective::Qor`] the arithmetic is
+    /// exactly Eq. 1 in the historical operation order, so default-objective
+    /// trajectories are bit-identical across refactors.
+    pub fn cost(self, stats: &SynthStats, reference: &SynthStats) -> f64 {
         match self {
-            Objective::Qor => area_ratio + delay_ratio,
-            Objective::Area => 2.0 * area_ratio,
-            Objective::Delay => 2.0 * delay_ratio,
-            Objective::Weighted { area_weight } => {
-                2.0 * (area_weight * area_ratio + (1.0 - area_weight) * delay_ratio)
+            Objective::Qor => {
+                stats.luts as f64 / reference.luts as f64
+                    + stats.levels as f64 / reference.levels as f64
             }
+            Objective::Area => 2.0 * (stats.luts as f64 / reference.luts as f64),
+            Objective::Delay => 2.0 * (stats.levels as f64 / reference.levels as f64),
+            Objective::Levels => {
+                2.0 * (stats.aig_levels as f64 / reference.aig_levels.max(1) as f64)
+            }
+            Objective::LutCount => stats.luts as f64,
+            Objective::Weighted { area_weight } => {
+                2.0 * (area_weight * (stats.luts as f64 / reference.luts as f64)
+                    + (1.0 - area_weight) * (stats.levels as f64 / reference.levels as f64))
+            }
+        }
+    }
+
+    /// The multi-objective cost vector: the paper's normalised
+    /// `(area ratio, delay ratio)` pair, identical for every built-in —
+    /// the 2-D front every scalarisation of Eq. 1 trades over.
+    pub fn vector(self, stats: &SynthStats, reference: &SynthStats) -> Vec<f64> {
+        vec![
+            stats.luts as f64 / reference.luts as f64,
+            stats.levels as f64 / reference.levels as f64,
+        ]
+    }
+
+    /// The identifier accepted by [`Objective::parse`].
+    pub fn name(self) -> String {
+        match self {
+            Objective::Qor => String::from("qor"),
+            Objective::Area => String::from("area"),
+            Objective::Delay => String::from("delay"),
+            Objective::Levels => String::from("levels"),
+            Objective::LutCount => String::from("lut"),
+            Objective::Weighted { area_weight } => format!("weighted:{area_weight}"),
+        }
+    }
+
+    /// Parses an objective name: `qor`, `area`, `delay`, `levels`, `lut`,
+    /// or `weighted:W` with an area weight `W ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names or bad weights.
+    pub fn parse(name: &str) -> Result<Objective, String> {
+        match name {
+            "qor" => Ok(Objective::Qor),
+            "area" => Ok(Objective::Area),
+            "delay" => Ok(Objective::Delay),
+            "levels" => Ok(Objective::Levels),
+            "lut" => Ok(Objective::LutCount),
+            other => match other.strip_prefix("weighted:") {
+                Some(w) => {
+                    let area_weight: f64 = w
+                        .parse()
+                        .map_err(|_| format!("bad weighted objective weight {w:?}"))?;
+                    if !(0.0..=1.0).contains(&area_weight) {
+                        return Err(format!("area weight {area_weight} outside [0, 1]"));
+                    }
+                    Ok(Objective::Weighted { area_weight })
+                }
+                None => Err(format!(
+                    "unknown objective {other:?} (expected qor|area|delay|levels|lut|weighted:W)"
+                )),
+            },
         }
     }
 }
@@ -134,10 +205,16 @@ impl std::error::Error for DegenerateReferenceError {}
 #[derive(Debug)]
 pub struct QorEvaluator {
     base: Aig,
-    reference: MapStats,
+    reference: SynthStats,
     mapper_config: MapperConfig,
     objective: Objective,
-    cache: ShardedCache,
+    /// A custom cost overriding the built-in `objective` arithmetic
+    /// (see [`QorEvaluator::with_cost_fn`]).
+    cost: Option<Arc<dyn CostFn>>,
+    /// The memo table holds cost-independent raw synthesis statistics;
+    /// costs are derived per lookup, so switching the objective (or the
+    /// custom cost) reuses every cached entry.
+    cache: ShardedCache<SynthStats>,
     /// Intermediate-AIG store keyed by token prefix; `None` disables
     /// prefix reuse (every evaluation replays from `base`).
     prefix: Option<PrefixCache>,
@@ -173,15 +250,18 @@ impl QorEvaluator {
         mapper_config: MapperConfig,
     ) -> Result<QorEvaluator, DegenerateReferenceError> {
         let reference_aig = resyn2(aig);
-        let reference = map_stats(&reference_aig, &mapper_config);
+        let reference = synth_stats(&reference_aig, &mapper_config);
         if reference.luts == 0 || reference.levels == 0 {
-            return Err(DegenerateReferenceError { reference });
+            return Err(DegenerateReferenceError {
+                reference: reference.map_stats(),
+            });
         }
         Ok(QorEvaluator {
             base: aig.clone(),
             reference,
             mapper_config,
             objective: Objective::Qor,
+            cost: None,
             cache: ShardedCache::new(),
             prefix: Some(PrefixCache::new(DEFAULT_PREFIX_CAPACITY)),
             store: None,
@@ -284,7 +364,12 @@ impl QorEvaluator {
         self.prefix.as_ref().map_or(0, PrefixCache::len)
     }
 
-    /// Switches the optimised quantity (clearing the cache).
+    /// Switches the optimised quantity.
+    ///
+    /// The cache is *kept*: it memoises cost-independent [`SynthStats`],
+    /// so every synthesis result computed under the previous objective is
+    /// reused by the new one (including an attached persistent store's
+    /// on-disk intermediates).
     ///
     /// # Panics
     ///
@@ -297,13 +382,28 @@ impl QorEvaluator {
             );
         }
         self.objective = objective;
-        self.reset();
+        self
+    }
+
+    /// Attaches a custom [`CostFn`], overriding the built-in objective
+    /// arithmetic. Like [`QorEvaluator::with_objective`], the cache is
+    /// kept — the cost is derived per lookup from the cached statistics.
+    pub fn with_cost_fn(mut self, cost: Arc<dyn CostFn>) -> QorEvaluator {
+        self.cost = Some(cost);
         self
     }
 
     /// The quantity being optimised.
     pub fn objective(&self) -> Objective {
         self.objective
+    }
+
+    /// The active cost function's name (`"qor"` unless reconfigured).
+    pub fn cost_name(&self) -> String {
+        match &self.cost {
+            Some(cost) => cost.name(),
+            None => self.objective.name(),
+        }
     }
 
     /// The circuit being optimised.
@@ -313,7 +413,37 @@ impl QorEvaluator {
 
     /// The `resyn2` reference statistics normalising Eq. 1.
     pub fn reference(&self) -> MapStats {
+        self.reference.map_stats()
+    }
+
+    /// The full `resyn2` reference record, including AIG structure.
+    pub fn reference_stats(&self) -> SynthStats {
         self.reference
+    }
+
+    /// Derives the active cost of one synthesis record.
+    fn cost_of(&self, stats: &SynthStats) -> f64 {
+        match &self.cost {
+            Some(cost) => cost.cost(stats),
+            None => self.objective.cost(stats, &self.reference),
+        }
+    }
+
+    /// Derives the multi-objective cost vector of one synthesis record.
+    fn vector_of_stats(&self, stats: &SynthStats) -> Vec<f64> {
+        match &self.cost {
+            Some(cost) => cost.vector(stats),
+            None => self.objective.vector(stats, &self.reference),
+        }
+    }
+
+    /// Projects a synthesis record onto the active cost.
+    fn point_of(&self, stats: &SynthStats) -> QorPoint {
+        QorPoint {
+            qor: self.cost_of(stats),
+            area: stats.luts,
+            delay: stats.levels,
+        }
     }
 
     /// Evaluates a sequence of transforms.
@@ -328,19 +458,30 @@ impl QorEvaluator {
     ///
     /// Panics if a token is outside `0..11`.
     pub fn evaluate_tokens(&self, tokens: &[u8]) -> QorPoint {
+        self.point_of(&self.stats_of(tokens))
+    }
+
+    /// Evaluates a token-encoded sequence to its raw, cost-independent
+    /// synthesis statistics — the value actually memoised; every cost is
+    /// derived from this record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token is outside `0..11`.
+    pub fn stats_of(&self, tokens: &[u8]) -> SynthStats {
         if let Some(hit) = self.cache.get(tokens) {
             return hit;
         }
-        let point = self.compute(tokens);
+        let stats = self.compute(tokens);
         // The value is a pure function of the tokens, so a concurrent
         // duplicate computation is harmless — but only the thread whose
         // insert lands first may bump the unique-evaluation count, keeping
         // the paper's sample-efficiency accounting exact under any
         // interleaving.
-        if self.cache.insert(tokens.to_vec(), point) {
+        if self.cache.insert(tokens.to_vec(), stats) {
             self.unique_evaluations.fetch_add(1, Ordering::Relaxed);
         }
-        point
+        stats
     }
 
     /// Applies the sequence and maps the result — the uncached hot path.
@@ -356,7 +497,7 @@ impl QorEvaluator {
     /// structurally identical to what was written, so the mapped result is
     /// bit-identical to a full replay — with the store on, off, or
     /// pre-warmed by a different process.
-    fn compute(&self, tokens: &[u8]) -> QorPoint {
+    fn compute(&self, tokens: &[u8]) -> SynthStats {
         self.compute_controlled(tokens, None)
             .expect("uncontrolled compute always completes")
     }
@@ -368,7 +509,11 @@ impl QorEvaluator {
     /// is published to the value cache, though intermediates synthesised
     /// before the stop stay in the prefix tiers (they are pure functions of
     /// their token prefix, so a later replay reuses them bit-identically).
-    fn compute_controlled(&self, tokens: &[u8], control: Option<&RunControl>) -> Option<QorPoint> {
+    fn compute_controlled(
+        &self,
+        tokens: &[u8],
+        control: Option<&RunControl>,
+    ) -> Option<SynthStats> {
         if let Some(injector) = &self.fault {
             if let Some(kind) = injector.next_fault(FaultOp::Eval) {
                 panic!(
@@ -418,15 +563,7 @@ impl QorEvaluator {
         if let Some(cache) = &self.prefix {
             cache.record_replay(start, tokens.len() - start);
         }
-        let stats = map_stats(&current, &self.mapper_config);
-        Some(QorPoint {
-            qor: self.objective.combine(
-                stats.luts as f64 / self.reference.luts as f64,
-                stats.levels as f64 / self.reference.levels as f64,
-            ),
-            area: stats.luts,
-            delay: stats.levels,
-        })
+        Some(synth_stats(&current, &self.mapper_config))
     }
 
     /// The number of unique (non-cached) black-box evaluations so far.
@@ -465,17 +602,17 @@ impl SequenceObjective for QorEvaluator {
 
     fn evaluate_tokens_controlled(&self, tokens: &[u8], control: &RunControl) -> Option<QorPoint> {
         if let Some(hit) = self.cache.get(tokens) {
-            return Some(hit);
+            return Some(self.point_of(&hit));
         }
-        let point = self.compute_controlled(tokens, Some(control))?;
-        if self.cache.insert(tokens.to_vec(), point) {
+        let stats = self.compute_controlled(tokens, Some(control))?;
+        if self.cache.insert(tokens.to_vec(), stats) {
             self.unique_evaluations.fetch_add(1, Ordering::Relaxed);
         }
-        Some(point)
+        Some(self.point_of(&stats))
     }
 
     fn lookup(&self, tokens: &[u8]) -> Option<QorPoint> {
-        self.cache.get(tokens)
+        self.cache.get(tokens).map(|stats| self.point_of(&stats))
     }
 
     fn is_cached(&self, tokens: &[u8]) -> bool {
@@ -484,6 +621,18 @@ impl SequenceObjective for QorEvaluator {
 
     fn num_evaluations(&self) -> usize {
         QorEvaluator::num_evaluations(self)
+    }
+
+    fn cost_name(&self) -> String {
+        QorEvaluator::cost_name(self)
+    }
+
+    fn vector_of(&self, tokens: &[u8]) -> Option<Vec<f64>> {
+        // `peek` instead of `get`: re-projecting an already-evaluated
+        // sequence is not a fresh cache hit.
+        self.cache
+            .peek(tokens)
+            .map(|stats| self.vector_of_stats(&stats))
     }
 }
 

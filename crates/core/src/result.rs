@@ -65,6 +65,41 @@ pub struct OptimizationResult {
     /// history holds [`QorPoint::quarantined`](crate::QorPoint) sentinels
     /// in their place instead of the run aborting.
     pub quarantined: Vec<Vec<u8>>,
+    /// The nondominated archive over the evaluated `(area, delay)` points:
+    /// every history entry not dominated by any other (quarantined
+    /// sentinels excluded), in evaluation order. Always maintained — in
+    /// multi-objective mode it is the optimised front; in scalar mode it
+    /// reports the trade-off the run explored for free.
+    pub pareto_front: Vec<EvalRecord>,
+    /// The active cost function's name (`"qor"` unless reconfigured).
+    pub objective: String,
+}
+
+/// Whether point `a` Pareto-dominates point `b` on `(area, delay)`:
+/// no worse in both coordinates and strictly better in at least one.
+fn dominates(a: &QorPoint, b: &QorPoint) -> bool {
+    a.area <= b.area && a.delay <= b.delay && (a.area < b.area || a.delay < b.delay)
+}
+
+/// The nondominated subset of a history on `(area, delay)`, in evaluation
+/// order, excluding quarantined sentinels and duplicate objective points
+/// (the first occurrence represents its equivalence class).
+fn pareto_front(history: &[EvalRecord]) -> Vec<EvalRecord> {
+    let mut front: Vec<EvalRecord> = Vec::new();
+    for record in history {
+        if record.point.is_quarantined() {
+            continue;
+        }
+        if front.iter().any(|kept| {
+            dominates(&kept.point, &record.point)
+                || (kept.point.area, kept.point.delay) == (record.point.area, record.point.delay)
+        }) {
+            continue;
+        }
+        front.retain(|kept| !dominates(&record.point, &kept.point));
+        front.push(record.clone());
+    }
+    front
 }
 
 impl OptimizationResult {
@@ -105,9 +140,11 @@ impl OptimizationResult {
             best_point: best.point,
             best_sequence: space.display(&best.tokens),
             best_qor: best.point.qor,
+            pareto_front: pareto_front(&history),
             history,
             termination,
             quarantined: Vec::new(),
+            objective: String::from("qor"),
         }
     }
 
@@ -173,6 +210,60 @@ mod tests {
         assert_eq!(result.num_evaluations(), 3);
         assert_eq!(result.termination, Termination::BudgetExhausted);
         assert!(result.quarantined.is_empty());
+    }
+
+    fn point_record(tokens: Vec<u8>, area: usize, delay: u32) -> EvalRecord {
+        EvalRecord {
+            tokens,
+            point: QorPoint {
+                qor: area as f64 + delay as f64,
+                area,
+                delay,
+            },
+        }
+    }
+
+    #[test]
+    fn pareto_front_keeps_exactly_the_nondominated_points() {
+        let space = SequenceSpace::new(2, 11);
+        // The quarantine sentinel has area 0, delay 0 — it would dominate
+        // everything if it were not excluded.
+        let quarantined_best = EvalRecord {
+            tokens: vec![9, 9],
+            point: QorPoint::quarantined(),
+        };
+        let result = OptimizationResult::from_history(
+            &space,
+            vec![
+                point_record(vec![0, 0], 40, 14), // on the front
+                point_record(vec![1, 1], 43, 15), // dominated by [0,0]
+                point_record(vec![2, 2], 38, 16), // on the front
+                point_record(vec![3, 3], 40, 14), // duplicate of [0,0]
+                quarantined_best,
+                point_record(vec![4, 4], 39, 14), // dominates [0,0]
+            ],
+        );
+        let front: Vec<&[u8]> = result
+            .pareto_front
+            .iter()
+            .map(|r| r.tokens.as_slice())
+            .collect();
+        assert_eq!(front, vec![&[2u8, 2][..], &[4u8, 4][..]]);
+        assert_eq!(result.objective, "qor");
+        // No archived point is dominated by any evaluated point.
+        for kept in &result.pareto_front {
+            for seen in &result.history {
+                if seen.point.is_quarantined() {
+                    continue;
+                }
+                assert!(
+                    !dominates(&seen.point, &kept.point),
+                    "{:?} dominates archived {:?}",
+                    seen.tokens,
+                    kept.tokens
+                );
+            }
+        }
     }
 
     #[test]

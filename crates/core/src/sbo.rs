@@ -3,13 +3,15 @@
 //! exponential kernel instead of the SSK, and no trust region — isolating
 //! the contribution of the sequence-aware machinery.
 
-use boils_gp::{expected_improvement, ConstantLiar, Surrogate, SurrogateConfig, TrainConfig};
+use boils_gp::{
+    expected_improvement, ConstantLiar, Gp, Scalarisation, Surrogate, SurrogateConfig, TrainConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::boils::{fresh_candidate, hill_climb, FreshOutcome, RunDiagnostics};
+use crate::boils::{fresh_candidate, hill_climb, mo_vector, FreshOutcome, RunDiagnostics};
 use crate::control::{RunControl, StopReason};
-use crate::eval::{BatchEvaluator, SequenceObjective};
+use crate::eval::{BatchEvaluator, SequenceObjective, QUARANTINE_QOR};
 use crate::result::{EvalRecord, OptimizationResult, Termination};
 use crate::space::SequenceSpace;
 
@@ -56,6 +58,11 @@ pub struct SboConfig {
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optimise the objective's cost *vector* instead of its scalar cost
+    /// (see [`BoilsConfig::multi_objective`](crate::BoilsConfig)): ParEGO
+    /// random-weight Chebyshev scalarisations over the same one-hot
+    /// embedding, refitting the SE surrogate per iteration.
+    pub multi_objective: bool,
 }
 
 impl Default for SboConfig {
@@ -78,6 +85,7 @@ impl Default for SboConfig {
             noise: 1e-4,
             threads: 1,
             seed: 0,
+            multi_objective: false,
         }
     }
 }
@@ -137,8 +145,12 @@ impl Sbo {
         objective: &O,
         control: &RunControl,
     ) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
+        if self.config.multi_objective {
+            return self.run_multi_objective(objective, control);
+        }
         let cfg = &self.config;
         self.diagnostics = RunDiagnostics::default();
+        self.diagnostics.objective = objective.cost_name();
         if cfg.max_evaluations < cfg.initial_samples.max(2) {
             return Err(crate::boils::RunBoilsError::BudgetTooSmall {
                 budget: cfg.max_evaluations,
@@ -259,6 +271,143 @@ impl Sbo {
         self.diagnostics.termination = termination;
         let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
         result.quarantined = self.diagnostics.quarantined.clone();
+        result.objective = self.diagnostics.objective.clone();
+        Ok(result)
+    }
+
+    /// The multi-objective SBO loop: the ParEGO scheme of
+    /// [`Boils`](crate::Boils) (a fresh random-weight augmented-Chebyshev
+    /// [`Scalarisation`] per iteration, constant-liar q-EI against a GP on
+    /// the scalarised history) over the one-hot embedding and
+    /// squared-exponential kernel, with no trust region — the same
+    /// ablation relationship the scalar baselines have.
+    fn run_multi_objective<O: SequenceObjective>(
+        &mut self,
+        objective: &O,
+        control: &RunControl,
+    ) -> Result<OptimizationResult, crate::boils::RunBoilsError> {
+        let cfg = &self.config;
+        self.diagnostics = RunDiagnostics::default();
+        self.diagnostics.objective = objective.cost_name();
+        if cfg.max_evaluations < cfg.initial_samples.max(2) {
+            return Err(crate::boils::RunBoilsError::BudgetTooSmall {
+                budget: cfg.max_evaluations,
+                initial: cfg.initial_samples,
+            });
+        }
+        let space = cfg.space;
+        let engine = BatchEvaluator::new(cfg.threads);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut history: Vec<EvalRecord> = Vec::with_capacity(cfg.max_evaluations);
+        let mut initial: Vec<Vec<u8>> = Vec::with_capacity(cfg.initial_samples);
+        for tokens in space.latin_hypercube(cfg.initial_samples, &mut rng) {
+            if initial.len() >= cfg.max_evaluations {
+                break;
+            }
+            if initial.contains(&tokens) {
+                continue;
+            }
+            initial.push(tokens);
+        }
+        let outcome = engine.evaluate_grouped_controlled(objective, &initial, control);
+        self.diagnostics
+            .quarantined
+            .extend(outcome.quarantined.iter().cloned());
+        let mut stop = outcome.stopped;
+        for (tokens, point) in outcome.resolved_prefix(&initial) {
+            history.push(EvalRecord { tokens, point });
+        }
+        if history.is_empty() {
+            return Err(crate::boils::RunBoilsError::Interrupted(
+                stop.unwrap_or(StopReason::Cancelled),
+            ));
+        }
+        let mut vectors: Vec<Vec<f64>> = history
+            .iter()
+            .map(|record| mo_vector(objective, record))
+            .collect();
+        let dim = vectors
+            .iter()
+            .find(|v| v.first().copied().unwrap_or(QUARANTINE_QOR) < QUARANTINE_QOR)
+            .map_or(2, Vec::len);
+        while stop.is_none() && history.len() < cfg.max_evaluations {
+            if let Some(reason) = control.stop_reason() {
+                stop = Some(reason);
+                break;
+            }
+            // One random scalarisation per acquisition decision (ParEGO);
+            // scalarised targets change every draw, so the GP is refitted
+            // from scratch each iteration.
+            let scalarisation = Scalarisation::sample(dim, &mut rng);
+            let ys: Vec<f64> = vectors
+                .iter()
+                .map(|v| -scalarisation.scalarise(v))
+                .collect();
+            let xs: Vec<Vec<f64>> = history
+                .iter()
+                .map(|r| one_hot(&r.tokens, space.alphabet()))
+                .collect();
+            let gp: Gp<IsotropicSe, Vec<f64>> =
+                Gp::fit(isotropic_kernel(), xs, ys.clone(), cfg.noise)?;
+            let incumbent = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let q = cfg
+                .batch_size
+                .max(1)
+                .min(cfg.max_evaluations - history.len());
+            let mut liar = ConstantLiar::new(&gp, incumbent);
+            let mut batch: Vec<Vec<u8>> = Vec::with_capacity(q);
+            for proposed in 0..q {
+                let model = liar.model();
+                let ei = |tokens: &Vec<u8>| {
+                    let x = one_hot(tokens, space.alphabet());
+                    let (mean, var) = model.predict(&x);
+                    expected_improvement(mean, var, incumbent)
+                };
+                let candidate = hill_climb(
+                    &space,
+                    None,
+                    &ei,
+                    cfg.acq_restarts,
+                    cfg.acq_steps,
+                    cfg.acq_neighbors,
+                    &mut rng,
+                );
+                let (candidate, outcome) =
+                    fresh_candidate(objective, &space, None, &batch, candidate, &mut rng);
+                match outcome {
+                    FreshOutcome::Swept => self.diagnostics.sweep_rescues += 1,
+                    FreshOutcome::Exhausted => self.diagnostics.duplicate_evals += 1,
+                    FreshOutcome::Direct | FreshOutcome::Resampled => {}
+                }
+                if proposed + 1 < q {
+                    let _ = liar.accept(one_hot(&candidate, space.alphabet()));
+                }
+                batch.push(candidate);
+            }
+            drop(liar);
+            drop(gp);
+            self.diagnostics.batches += 1;
+            let outcome = engine.evaluate_grouped_controlled(objective, &batch, control);
+            self.diagnostics
+                .quarantined
+                .extend(outcome.quarantined.iter().cloned());
+            let batch_start = history.len();
+            for (tokens, point) in outcome.resolved_prefix(&batch) {
+                history.push(EvalRecord { tokens, point });
+            }
+            for record in &history[batch_start..] {
+                vectors.push(mo_vector(objective, record));
+            }
+            if outcome.stopped.is_some() {
+                stop = outcome.stopped;
+                break;
+            }
+        }
+        let termination = stop.map(Termination::from).unwrap_or_default();
+        self.diagnostics.termination = termination;
+        let mut result = OptimizationResult::from_history_terminated(&space, history, termination);
+        result.quarantined = self.diagnostics.quarantined.clone();
+        result.objective = self.diagnostics.objective.clone();
         Ok(result)
     }
 }
@@ -351,5 +500,26 @@ mod tests {
         assert_eq!(result.num_evaluations(), 10);
         let curve = result.best_so_far();
         assert!(curve.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn sbo_multi_objective_runs_and_archives_the_front() {
+        let aig = random_aig(37, 8, 300, 3);
+        let evaluator = QorEvaluator::new(&aig).expect("ok");
+        let mut sbo = Sbo::new(SboConfig {
+            max_evaluations: 9,
+            initial_samples: 5,
+            space: SequenceSpace::new(5, 11),
+            acq_restarts: 2,
+            acq_steps: 3,
+            acq_neighbors: 8,
+            multi_objective: true,
+            seed: 3,
+            ..SboConfig::default()
+        });
+        let result = sbo.run(&evaluator).expect("mo run");
+        assert_eq!(result.num_evaluations(), 9);
+        assert_eq!(result.objective, "qor");
+        assert!(!result.pareto_front.is_empty());
     }
 }

@@ -2,7 +2,10 @@
 //! sequence-space geometry and optimiser budget discipline on random AIGs.
 
 use boils_aig::random_aig;
-use boils_core::{BatchEvaluator, Boils, BoilsConfig, QorEvaluator, Sbo, SboConfig, SequenceSpace};
+use boils_core::{
+    BatchEvaluator, Boils, BoilsConfig, EvalRecord, OptimizationResult, QorEvaluator, QorPoint,
+    Sbo, SboConfig, SequenceSpace,
+};
 use boils_gp::TrainConfig;
 use boils_synth::Transform;
 use proptest::prelude::*;
@@ -159,6 +162,76 @@ proptest! {
         let b = engine.evaluate(&plain, &batch);
         prop_assert_eq!(a, b);
         prop_assert_eq!(grouped.num_evaluations(), plain.num_evaluations());
+    }
+
+    #[test]
+    fn stats_derived_qor_matches_the_point_arithmetic(
+        seed in 0u64..150,
+        tokens in prop::collection::vec(0u8..11, 0..8),
+    ) {
+        // The cost-generic layer caches one `SynthStats` per sequence and
+        // derives costs on lookup; Eq. 1 recomputed from those stats must
+        // be bit-identical to the `QorPoint` the optimisers observe.
+        let aig = random_aig(seed + 60_000, 8, 250, 3);
+        let Ok(evaluator) = QorEvaluator::new(&aig) else { return Ok(()); };
+        let point = evaluator.evaluate_tokens(&tokens);
+        let stats = evaluator.stats_of(&tokens);
+        let reference = evaluator.reference_stats();
+        let expected = stats.luts as f64 / reference.luts as f64
+            + stats.levels as f64 / reference.levels as f64;
+        prop_assert_eq!(point.qor.to_bits(), expected.to_bits());
+        prop_assert_eq!(point.area, stats.luts);
+        prop_assert_eq!(point.delay, stats.levels);
+    }
+
+    #[test]
+    fn archive_is_exactly_the_nondominated_history(
+        points in prop::collection::vec((1usize..60, 1u32..20), 1..40),
+    ) {
+        let space = SequenceSpace::new(2, 11);
+        let history: Vec<EvalRecord> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(area, delay))| EvalRecord {
+                tokens: vec![(i % 11) as u8, (i / 11 % 11) as u8],
+                point: QorPoint {
+                    qor: area as f64 + delay as f64,
+                    area,
+                    delay,
+                },
+            })
+            .collect();
+        let result = OptimizationResult::from_history(&space, history.clone());
+        let dominates = |a: &QorPoint, b: &QorPoint| {
+            a.area <= b.area && a.delay <= b.delay && (a.area < b.area || a.delay < b.delay)
+        };
+        // Soundness: nothing in the archive is dominated by any evaluation.
+        for kept in &result.pareto_front {
+            for seen in &history {
+                prop_assert!(
+                    !dominates(&seen.point, &kept.point),
+                    "({}, {}) dominates archived ({}, {})",
+                    seen.point.area, seen.point.delay, kept.point.area, kept.point.delay
+                );
+            }
+        }
+        // Completeness: every evaluation is represented — dominated by an
+        // archive point or sharing its exact objective coordinates.
+        for seen in &history {
+            prop_assert!(
+                result.pareto_front.iter().any(|kept| {
+                    dominates(&kept.point, &seen.point)
+                        || (kept.point.area, kept.point.delay)
+                            == (seen.point.area, seen.point.delay)
+                }),
+                "({}, {}) unrepresented", seen.point.area, seen.point.delay
+            );
+        }
+        // Uniqueness: one archive entry per objective point.
+        let mut coords = std::collections::HashSet::new();
+        for kept in &result.pareto_front {
+            prop_assert!(coords.insert((kept.point.area, kept.point.delay)));
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod acquisition;
 mod gp;
 mod kernel;
 mod linalg;
+mod pareto;
 mod qei;
 mod ssk;
 mod surrogate;
@@ -39,6 +40,9 @@ pub use crate::acquisition::{erf, expected_improvement, normal_cdf, normal_pdf};
 pub use crate::gp::{sample_gaussian, standard_normal, Gp, TrainConfig, UpdateOutcome};
 pub use crate::kernel::{Kernel, SquaredExponential};
 pub use crate::linalg::{Cholesky, Matrix, NotPositiveDefiniteError};
+pub use crate::pareto::{
+    dominates, hypervolume_2d, hypervolume_improvement_2d, nondominated_indices, Scalarisation,
+};
 pub use crate::qei::{qei_monte_carlo, ConstantLiar};
 pub use crate::ssk::{MatchState, MatchStore, MatchStoreStats, SskKernel};
 pub use crate::surrogate::{Surrogate, SurrogateConfig, SurrogateDiagnostics};

@@ -182,6 +182,14 @@ where
         &self.diagnostics
     }
 
+    /// The kernel template every fit clones. Shared state attached to the
+    /// template — e.g. an SSK [`crate::MatchStore`] — is held here for the
+    /// surrogate's whole life, so per-pair work survives across retrains;
+    /// this accessor exposes it for diagnostics and tests.
+    pub fn template(&self) -> &K {
+        &self.template
+    }
+
     /// Brings the model up to date with every observation and returns it.
     ///
     /// Decides the whole lifecycle internally:
@@ -432,6 +440,47 @@ mod tests {
             assert!((m_w - m_s).abs() < 1e-8, "mean {m_w} vs {m_s}");
             assert!((v_w - v_s).abs() < 1e-8, "var {v_w} vs {v_s}");
         }
+    }
+
+    #[test]
+    fn match_store_is_pinned_across_retrains() {
+        let mut s: Surrogate<SskKernel, Vec<u8>> = Surrogate::new(
+            SskKernel::new(3).with_match_caching(),
+            config(None, 4, false),
+        );
+        for i in 0..4 {
+            s.observe(seq(i), i as f64 * 0.1);
+        }
+        s.maybe_retrain().expect("fit");
+        let after_first = s
+            .template()
+            .match_store()
+            .expect("match caching on")
+            .stats();
+        assert!(
+            after_first.misses > 0,
+            "first Gram fill populates the store"
+        );
+        for i in 4..8 {
+            s.observe(seq(i), i as f64 * 0.1);
+        }
+        s.maybe_retrain().expect("fit");
+        let after_second = s
+            .template()
+            .match_store()
+            .expect("match caching on")
+            .stats();
+        // The store lives on the surrogate's template, not on the per-fit
+        // kernel clones, so the second retrain's Gram fill hits the match
+        // structures the first retrain built.
+        assert!(
+            after_second.hits > after_first.hits,
+            "second retrain never hit the pinned store: {after_second:?}"
+        );
+        // And it only builds structures for pairs involving the four new
+        // observations: every pair of the original training set is warm.
+        let unique_pairs = |n: usize| n * (n + 1) / 2;
+        assert_eq!(after_second.misses, unique_pairs(8));
     }
 
     #[test]

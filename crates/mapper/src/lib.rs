@@ -28,4 +28,6 @@ mod cut;
 mod mapper;
 
 pub use crate::cut::{cut_function, Cut};
-pub use crate::mapper::{map_aig, map_stats, MapStats, MappedLut, MapperConfig, Mapping};
+pub use crate::mapper::{
+    map_aig, map_stats, synth_stats, MapStats, MappedLut, MapperConfig, Mapping, SynthStats,
+};

@@ -90,6 +90,43 @@ impl std::fmt::Display for MapStats {
     }
 }
 
+/// Cost-function-independent statistics of one synthesised AIG: the mapped
+/// quality numbers of [`MapStats`] plus the structural AIG measures. This is
+/// the value cached per sequence by the evaluation stack — every pluggable
+/// cost function is a pure function of these numbers, so switching cost
+/// functions reuses every cached synthesis result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Number of `K`-LUTs after mapping (the paper's `Area`).
+    pub luts: usize,
+    /// LUT levels on the critical path (the paper's `Delay`).
+    pub levels: u32,
+    /// AND-node count of the synthesised AIG (pre-mapping structure).
+    pub aig_nodes: usize,
+    /// AND-level depth of the synthesised AIG.
+    pub aig_levels: u32,
+}
+
+impl SynthStats {
+    /// The mapped-quality projection of these statistics.
+    pub fn map_stats(&self) -> MapStats {
+        MapStats {
+            luts: self.luts,
+            levels: self.levels,
+        }
+    }
+}
+
+impl std::fmt::Display for SynthStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nd = {:6}  lev = {:4}  and = {:6}  depth = {:4}",
+            self.luts, self.levels, self.aig_nodes, self.aig_levels
+        )
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Depth,
@@ -126,6 +163,19 @@ pub fn map_stats(aig: &Aig, config: &MapperConfig) -> MapStats {
     MapStats {
         luts: mapping.area,
         levels: mapping.delay,
+    }
+}
+
+/// Maps the AIG and augments the mapped statistics with the structural AIG
+/// measures — the full cost-function-independent record of one synthesis
+/// result (see [`SynthStats`]).
+pub fn synth_stats(aig: &Aig, config: &MapperConfig) -> SynthStats {
+    let mapped = map_stats(aig, config);
+    SynthStats {
+        luts: mapped.luts,
+        levels: mapped.levels,
+        aig_nodes: aig.num_ands(),
+        aig_levels: aig.depth(),
     }
 }
 
@@ -562,6 +612,20 @@ mod tests {
         let m = map_aig(&aig, &MapperConfig::default());
         assert_eq!(m.area, 2);
         assert_eq!(m.delay, 2);
+    }
+
+    #[test]
+    fn synth_stats_agrees_with_map_stats_and_aig_structure() {
+        let aig = random_aig(17, 8, 150, 3);
+        let config = MapperConfig::default();
+        let mapped = map_stats(&aig, &config);
+        let stats = synth_stats(&aig, &config);
+        assert_eq!(stats.luts, mapped.luts);
+        assert_eq!(stats.levels, mapped.levels);
+        assert_eq!(stats.aig_nodes, aig.num_ands());
+        assert_eq!(stats.aig_levels, aig.depth());
+        assert_eq!(stats.map_stats(), mapped);
+        assert!(stats.to_string().contains("and ="));
     }
 
     #[test]

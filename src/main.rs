@@ -23,8 +23,8 @@ use boils::baselines::{
 };
 use boils::circuits::{Benchmark, CircuitSpec};
 use boils::core::{
-    Boils, BoilsConfig, FaultInjector, FaultPlan, QorEvaluator, RunControl, Sbo, SboConfig,
-    SequenceSpace, Termination,
+    Boils, BoilsConfig, FaultInjector, FaultPlan, Objective, QorEvaluator, RunControl, Sbo,
+    SboConfig, SequenceSpace, Termination,
 };
 use boils::mapper::{map_stats, MapperConfig};
 use boils::sat::{check_equivalence, EquivResult};
@@ -46,6 +46,7 @@ impl Args {
         let mut iter = args.into_iter();
         let command = iter.next().unwrap_or_else(|| String::from("help"));
         let mut values = HashMap::new();
+        let mut iter = iter.peekable();
         while let Some(arg) = iter.next() {
             let Some(flag) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument {arg:?}"));
@@ -53,9 +54,12 @@ impl Args {
             let (name, value) = match flag.split_once('=') {
                 Some((name, value)) => (name.to_string(), value.to_string()),
                 None => {
-                    let value = iter
-                        .next()
-                        .ok_or_else(|| format!("flag --{flag} is missing its value"))?;
+                    // `--flag value`, or a bare boolean (`--mo`) when the
+                    // next token is itself a flag or the line ends.
+                    let value = match iter.peek() {
+                        Some(next) if !next.starts_with("--") => iter.next().expect("peeked value"),
+                        _ => String::from("true"),
+                    };
                     (flag.to_string(), value)
                 }
             };
@@ -124,7 +128,12 @@ fn print_help() {
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
          \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
          \x20           [--threads N] [--batch-size Q] [--surrogate-window W] [--cache-dir DIR]\n\
-         \x20           [--deadline-secs S] [--fault-plan PLAN]\n\n\
+         \x20           [--deadline-secs S] [--fault-plan PLAN]\n\
+         \x20           [--objective qor|area|delay|levels|lut|weighted:W] [--mo]\n\n\
+         \x20           --objective swaps the cost function scored over the synthesised\n\
+         \x20           netlist (cached synthesis results are reused across objectives);\n\
+         \x20           --mo makes the BO methods optimise the (area, delay) front\n\
+         \x20           directly and print the nondominated archive.\n\n\
          \x20           --deadline-secs stops the run at the next evaluation boundary once the\n\
          \x20           wall-clock budget elapses (best-so-far is kept); --fault-plan injects\n\
          \x20           deterministic storage/eval faults, e.g. \"seed=1;write:enospc@3+\"\n\
@@ -301,8 +310,17 @@ fn optimize(args: &Args) -> Result<(), String> {
         None => None,
     };
     let method = args.get("method").unwrap_or("boils");
+    let multi_objective: bool = args.parse_or("mo", false)?;
+    let objective = match args.get("objective") {
+        Some(name) => Some(Objective::parse(name).map_err(|e| format!("--objective: {e}"))?),
+        None => None,
+    };
     let space = SequenceSpace::new(k, 11);
     let evaluator = QorEvaluator::new(&aig).map_err(|e| e.to_string())?;
+    let evaluator = match objective {
+        Some(objective) => evaluator.with_objective(objective),
+        None => evaluator,
+    };
     let evaluator = match fault {
         Some(fault) => evaluator.with_fault_injector(Some(fault)),
         None => evaluator,
@@ -341,6 +359,7 @@ fn optimize(args: &Args) -> Result<(), String> {
                 threads,
                 batch_size,
                 surrogate_window,
+                multi_objective,
                 seed,
                 ..BoilsConfig::default()
             });
@@ -358,6 +377,7 @@ fn optimize(args: &Args) -> Result<(), String> {
                 threads,
                 batch_size,
                 surrogate_window,
+                multi_objective,
                 seed,
                 ..SboConfig::default()
             });
@@ -398,7 +418,19 @@ fn optimize(args: &Args) -> Result<(), String> {
         .ok_or_else(interrupted)?,
         other => return Err(format!("unknown method {other:?}")),
     };
+    if multi_objective && !matches!(method, "boils" | "sbo") {
+        eprintln!("note: --mo only steers the BO methods; {method} ran unchanged");
+    }
     println!("method        : {method}");
+    println!(
+        "objective     : {}{}",
+        result.objective,
+        if multi_objective {
+            " (multi-objective)"
+        } else {
+            ""
+        }
+    );
     println!("threads       : {threads}");
     println!("evaluations   : {}", result.num_evaluations());
     if result.termination != Termination::BudgetExhausted {
@@ -438,12 +470,34 @@ fn optimize(args: &Args) -> Result<(), String> {
         );
     }
     println!("best sequence : {}", result.best_sequence);
+    // The "vs resyn2" percentage is a statement about Eq. 1 QoR (resyn2
+    // scores exactly 2 there); other cost functions have no such anchor.
+    let vs_resyn2 = if result.objective == "qor" {
+        format!(
+            ", {:+.2}% vs resyn2",
+            result.best_point.improvement_percent()
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "best QoR      : {:.4}  (area {} LUTs, delay {} levels, {:+.2}% vs resyn2)",
-        result.best_qor,
-        result.best_point.area,
-        result.best_point.delay,
-        result.best_point.improvement_percent()
+        "best cost     : {:.4}  (area {} LUTs, delay {} levels{vs_resyn2})",
+        result.best_qor, result.best_point.area, result.best_point.delay,
     );
+    if multi_objective {
+        println!(
+            "pareto front  : {} nondominated point(s)",
+            result.pareto_front.len()
+        );
+        for record in &result.pareto_front {
+            println!(
+                "  area {:>5}  delay {:>3}  cost {:.4}  {}",
+                record.point.area,
+                record.point.delay,
+                record.point.qor,
+                space.display(&record.tokens)
+            );
+        }
+    }
     Ok(())
 }

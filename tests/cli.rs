@@ -115,7 +115,9 @@ fn optimize_runs_a_small_budget() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("best QoR"), "output: {text}");
+    assert!(text.contains("best cost"), "output: {text}");
+    assert!(text.contains("vs resyn2"), "output: {text}");
+    assert!(text.contains("objective     : qor"), "output: {text}");
     assert!(text.contains("evaluations   : 12"));
 }
 
@@ -207,8 +209,8 @@ fn optimize_with_a_cache_dir_is_bit_identical_across_processes() {
     let warm = run();
     let best = |text: &str| {
         text.lines()
-            .find(|l| l.starts_with("best QoR"))
-            .expect("best QoR line")
+            .find(|l| l.starts_with("best cost"))
+            .expect("best cost line")
             .to_string()
     };
     // A separate warmed process reproduces the cold run exactly and
@@ -219,6 +221,83 @@ fn optimize_with_a_cache_dir_is_bit_identical_across_processes() {
         "warm process never read the store: {warm}"
     );
     let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn switching_the_objective_reuses_the_warm_store() {
+    let cache = tmp("objective-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let run = |objective: &str| {
+        let out = boils()
+            .args([
+                "optimize",
+                "--circuit",
+                "max",
+                "--bits",
+                "4",
+                "--k",
+                "5",
+                "--method",
+                "greedy",
+                "--budget",
+                "22",
+                "--objective",
+                objective,
+                "--cache-dir",
+            ])
+            .arg(&cache)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // Cold run under Eq. 1 QoR fills the store; the re-run with a
+    // different cost function replays the same greedy frontier and must
+    // find every synthesis result already on disk — the cache is keyed on
+    // cost-fn-independent synthesis stats.
+    let cold = run("qor");
+    assert!(cold.contains("objective     : qor"), "output: {cold}");
+    let warm = run("lut");
+    assert!(warm.contains("objective     : lut"), "output: {warm}");
+    assert!(
+        !warm.contains("(0 disk hits"),
+        "lut re-run never read the store warmed by the qor run: {warm}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn multi_objective_mode_prints_the_pareto_front() {
+    let out = boils()
+        .args([
+            "optimize",
+            "--circuit",
+            "max",
+            "--bits",
+            "4",
+            "--budget",
+            "10",
+            "--k",
+            "5",
+            "--method",
+            "boils",
+            "--mo",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("(multi-objective)"), "output: {text}");
+    assert!(text.contains("pareto front"), "output: {text}");
+    assert!(text.contains("nondominated point(s)"), "output: {text}");
 }
 
 #[test]
