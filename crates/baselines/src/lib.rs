@@ -16,13 +16,17 @@
 //! the shared [`BatchEvaluator`](boils_core::BatchEvaluator) engine, and
 //! emit the same [`OptimizationResult`](boils_core::OptimizationResult)
 //! trace as BOiLS itself, so the experiment harness treats every method
-//! uniformly.
+//! uniformly. [`Method`] wraps the whole comparison — baselines plus the
+//! BO methods from `boils-core` — behind one id-addressable enum, which is
+//! what the experiment harness and the optimisation daemon dispatch on.
 
 mod ga;
+mod method;
 mod rl;
 mod simple;
 
 pub use crate::ga::{genetic_algorithm, genetic_algorithm_controlled, GaConfig};
+pub use crate::method::Method;
 pub use crate::rl::{
     reinforcement_learning, reinforcement_learning_controlled, RlAlgorithm, RlConfig, RlFeatures,
     RolloutCircuit,

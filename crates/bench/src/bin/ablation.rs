@@ -34,7 +34,7 @@ fn base_config(budget: usize, init: usize, space: SequenceSpace, seed: u64) -> B
 
 fn main() {
     let args = BenchArgs::from_env();
-    let cfg = cli::sweep_config_from(&args);
+    let cfg = cli::run_or_exit(cli::sweep_config_from(&args));
     let budget = cfg.budget;
     let init = (budget / 5).clamp(4, budget - 1);
     let space = SequenceSpace::new(cfg.sequence_length, 11);

@@ -12,9 +12,9 @@ use boils_bench::figures::sample_efficiency;
 
 fn main() {
     let args = BenchArgs::from_env();
-    let cfg = cli::sweep_config_from(&args);
+    let cfg = cli::run_or_exit(cli::sweep_config_from(&args));
     let budget = cfg.budget;
-    let sweep = cli::sweep_from(&args);
+    let sweep = cli::run_or_exit(cli::sweep_from(&args));
     println!("\n== Figure 1: sample efficiency (target = 97.5% of BOiLS@{budget}) ==\n");
     println!("{}", sample_efficiency(&sweep, budget));
 }

@@ -5,11 +5,11 @@
 //! cargo run -p boils-bench --bin fig2_gp --release -- [--seed 0]
 //! ```
 
-use boils_bench::cli::BenchArgs;
+use boils_bench::cli::{run_or_exit, BenchArgs};
 use boils_bench::figures::gp_figure;
 
 fn main() {
-    let seed: u64 = BenchArgs::from_env().parse("--seed").unwrap_or(0);
+    let seed: u64 = run_or_exit(BenchArgs::from_env().parse("--seed")).unwrap_or(0);
     println!("== Figure 2: GP prior and posterior samples (SE kernel) ==");
     println!("{}", gp_figure(seed));
 }

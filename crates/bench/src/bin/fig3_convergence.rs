@@ -13,8 +13,8 @@ use boils_circuits::Benchmark;
 
 fn main() {
     let args = BenchArgs::from_env();
-    let cfg = cli::sweep_config_from(&args);
-    let sweep = cli::sweep_from(&args);
+    let cfg = cli::run_or_exit(cli::sweep_config_from(&args));
+    let sweep = cli::run_or_exit(cli::sweep_from(&args));
     // The paper plots the four largest circuits by default.
     let default_circuits = [
         Benchmark::Hypotenuse,

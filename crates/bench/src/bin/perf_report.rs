@@ -5,9 +5,11 @@
 //! incremental extension), batched q-EI acquisition (q = 1 vs
 //! `--batch-size`), the persistent prefix store (cold vs warm process),
 //! the surrogate lifecycle (windowed vs unbounded per-step cost at
-//! budget ≥ 500, match-cached warm retrains vs cold DP recomputation)
-//! and the cost-generic objective layer (cross-objective store reuse,
-//! multi-objective hypervolume trace), then writes `BENCH_eval.json`.
+//! budget ≥ 500, match-cached warm retrains vs cold DP recomputation),
+//! the cost-generic objective layer (cross-objective store reuse,
+//! multi-objective hypervolume trace) and the multi-tenant daemon
+//! (N jobs through one shared evaluator pool vs N isolated runs),
+//! then writes `BENCH_eval.json`.
 //!
 //! This is the repo's perf trajectory: every entry also re-checks the
 //! accelerated path against its baseline — bit-identical where the
@@ -33,7 +35,7 @@
 use std::time::Instant;
 
 use boils_baselines::greedy;
-use boils_bench::cli::BenchArgs;
+use boils_bench::cli::{run_or_exit, BenchArgs};
 use boils_circuits::{Benchmark, CircuitSpec};
 use boils_core::{
     Boils, BoilsConfig, Objective, QorEvaluator, RunControl, SequenceSpace, Termination,
@@ -46,34 +48,33 @@ fn main() {
     let args = BenchArgs::from_env();
     let smoke = args.flag("--smoke");
     let out = args.value("--out").unwrap_or("BENCH_eval.json").to_string();
-    let threads = args
-        .parse("--threads")
+    let threads = run_or_exit(args.parse("--threads"))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
         })
         .max(1);
-    let batch_size: usize = args.parse("--batch-size").unwrap_or(4);
+    let batch_size: usize = run_or_exit(args.parse("--batch-size")).unwrap_or(4);
     assert!(
         batch_size >= 2,
         "--batch-size takes a q-EI batch size of at least 2 (q = 1 is the baseline it is \
          compared against)"
     );
     let surrogate_window: usize =
-        args.parse("--surrogate-window")
-            .unwrap_or(if smoke { 16 } else { 64 });
+        run_or_exit(args.parse("--surrogate-window")).unwrap_or(if smoke { 16 } else { 64 });
     assert!(
         surrogate_window >= 2,
         "--surrogate-window takes a window of at least 2"
     );
-    let deadline_secs: Option<f64> = args.parse("--deadline-secs");
+    let deadline_secs: Option<f64> = run_or_exit(args.parse("--deadline-secs"));
     if let Some(secs) = deadline_secs {
         assert!(secs > 0.0, "--deadline-secs takes a positive duration");
     }
     let switched = {
         let name = args.value("--objective").unwrap_or("lut");
-        let objective = Objective::parse(name).unwrap_or_else(|e| panic!("--objective: {e}"));
+        let objective =
+            run_or_exit(Objective::parse(name).map_err(|e| format!("--objective: {e}")));
         assert!(
             objective != Objective::Qor,
             "--objective names the cost the switched warm-store leg optimises; \
@@ -111,6 +112,7 @@ fn main() {
     sections.push(persist_section(&aig, smoke));
     sections.push(surrogate_section(smoke, surrogate_window));
     sections.push(objectives_section(&aig, smoke, switched, mo_deep));
+    sections.push(daemon_section(circuit, threads, smoke));
 
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
@@ -792,6 +794,131 @@ fn gp_fit_section(smoke: bool) -> String {
         ));
     }
     format!("  \"gp_fit\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+/// The multi-tenant daemon: N jobs — same circuit, same seed, different
+/// objectives — submitted concurrently to one [`Daemon`](boils_daemon::Daemon) whose tenants
+/// draw forks of a shared evaluator template, vs the same N runs each
+/// performed in isolation with a private evaluator.
+///
+/// Shared tiers mean each distinct sequence is synthesised once across
+/// the whole tenant set (combined unique work ≤ one job's budget),
+/// while isolation pays N × budget; the speedup is that deduplication.
+/// Each daemon job's trajectory is asserted bit-identical to its
+/// isolated counterpart — multi-tenancy changes *who pays* for a
+/// synthesis result, never what any tenant observes.
+fn daemon_section(circuit: Benchmark, threads: usize, smoke: bool) -> String {
+    use boils_baselines::Method;
+    use boils_daemon::{Daemon, DaemonConfig, Event};
+
+    let k = if smoke { 6 } else { 12 };
+    let budget = if smoke { 8 } else { 40 };
+    let seed = 23;
+    let bits = CircuitSpec::new(circuit).num_bits();
+    let objectives = ["qor", "area", "delay", "lut"];
+
+    let request = |name: &str| boils_daemon::JobRequest {
+        circuit,
+        bits: Some(bits),
+        method: Method::Rs,
+        objective: Objective::parse(name).expect("built-in objective"),
+        budget,
+        seed,
+        sequence_length: k,
+        priority: boils_core::Priority::Normal,
+        deadline_secs: None,
+        multi_objective: false,
+    };
+
+    // Shared: one daemon, all jobs concurrently, one evaluator template.
+    let daemon = Daemon::new(DaemonConfig {
+        workers: threads.clamp(1, objectives.len()),
+        queue_cap: objectives.len(),
+        cache_dir: None,
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    let start = Instant::now();
+    let jobs: Vec<(boils_core::JobId, &str)> = objectives
+        .iter()
+        .map(|name| (daemon.submit(request(name), &tx).expect("accepted"), *name))
+        .collect();
+    let mut shared_unique = 0usize;
+    let mut shared_hits = 0usize;
+    let mut finished = 0usize;
+    while finished < jobs.len() {
+        match rx.recv().expect("daemon event") {
+            Event::Finished { outcome, .. } => {
+                assert_eq!(outcome.evaluations, budget);
+                shared_unique += outcome.unique_evaluations;
+                shared_hits += outcome.shared_hits;
+                finished += 1;
+            }
+            Event::Failed { job, reason } => panic!("{job} failed: {reason}"),
+            _ => {}
+        }
+    }
+    let shared_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        shared_unique <= budget,
+        "tenants re-synthesised shared sequences: {shared_unique} unique for {budget} distinct"
+    );
+
+    // Isolated: the same runs with nothing shared.
+    let aig = CircuitSpec::new(circuit).build();
+    let space = SequenceSpace::new(k, 11);
+    let start = Instant::now();
+    let mut isolated_unique = 0usize;
+    for (job, name) in &jobs {
+        let evaluator = QorEvaluator::new(&aig)
+            .expect("ok")
+            .with_objective(Objective::parse(name).expect("built-in objective"));
+        let solo = Method::Rs
+            .run_mo_controlled(
+                &evaluator,
+                space,
+                budget,
+                seed,
+                1,
+                1,
+                None,
+                false,
+                &RunControl::new(),
+            )
+            .expect("uncontrolled run completes");
+        isolated_unique += evaluator.num_evaluations();
+        let shared = daemon.take_result(*job).expect("result retained");
+        assert_eq!(shared.history.len(), solo.history.len());
+        for (a, b) in shared.history.iter().zip(&solo.history) {
+            assert_eq!(a.tokens, b.tokens, "multi-tenancy changed a trajectory");
+            assert_eq!(a.point, b.point, "multi-tenancy changed a value");
+        }
+        assert_eq!(shared.best_qor.to_bits(), solo.best_qor.to_bits());
+    }
+    let isolated_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(isolated_unique, objectives.len() * budget);
+
+    let speedup = isolated_seconds / shared_seconds;
+    eprintln!(
+        "  daemon ({} jobs, budget {budget} each): shared {shared_seconds:.3}s \
+         ({shared_unique} unique, {shared_hits} shared hits) vs isolated \
+         {isolated_seconds:.3}s ({isolated_unique} unique) — {speedup:.2}x",
+        jobs.len()
+    );
+    format!(
+        "  \"daemon\": {{\"jobs\": {}, \"k\": {}, \"budget_each\": {}, \
+         \"shared_seconds\": {:.6}, \"isolated_seconds\": {:.6}, \"speedup\": {:.3}, \
+         \"shared_unique_evals\": {}, \"shared_hits\": {}, \"isolated_unique_evals\": {}, \
+         \"bit_identical\": true}}",
+        jobs.len(),
+        k,
+        budget,
+        shared_seconds,
+        isolated_seconds,
+        speedup,
+        shared_unique,
+        shared_hits,
+        isolated_unique
+    )
 }
 
 /// The cost-generic objective layer:

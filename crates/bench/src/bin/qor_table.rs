@@ -12,9 +12,9 @@ use boils_bench::figures::qor_table;
 
 fn main() {
     let args = BenchArgs::from_env();
-    let cfg = cli::sweep_config_from(&args);
+    let cfg = cli::run_or_exit(cli::sweep_config_from(&args));
     let budget = cfg.budget;
-    let sweep = cli::sweep_from(&args);
+    let sweep = cli::run_or_exit(cli::sweep_from(&args));
     println!("\n== Figure 3 (top): QoR improvement % at N = {budget} ==\n");
     println!("{}", qor_table(&sweep, budget));
 }

@@ -57,14 +57,29 @@ impl BenchArgs {
         self.entries.iter().any(|(flag, _)| flag == name)
     }
 
-    /// Parses the value of `--name`, panicking with a usage message on
-    /// malformed input (binaries are developer tools; panics are fine).
-    pub fn parse<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
-        self.value(name).map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("{name} takes a {}", std::any::type_name::<T>()))
-        })
+    /// Parses the value of `--name`. `Ok(None)` when the flag is absent;
+    /// `Err` with a one-line usage message on malformed input — never a
+    /// panic, so a daemon can relay the diagnostic instead of unwinding a
+    /// worker.
+    pub fn parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name} takes a {}, got {v:?}", std::any::type_name::<T>())),
+        }
     }
+}
+
+/// Unwraps a CLI-layer result, printing `error: <msg>` to stderr and
+/// exiting nonzero on failure — the shared `main` shim that turns every
+/// malformed flag into a one-line diagnostic instead of a backtrace.
+pub fn run_or_exit<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    })
 }
 
 /// Builds a sweep config from a parsed argument view, reading the common
@@ -72,88 +87,89 @@ impl BenchArgs {
 /// --batch-size N --surrogate-window W --cache-dir DIR --circuits a,b
 /// --methods rs,boils --deadline-secs S --fault-plan PLAN
 /// --objective NAME --mo --paper`.
-pub fn sweep_config_from(args: &BenchArgs) -> SweepConfig {
+pub fn sweep_config_from(args: &BenchArgs) -> Result<SweepConfig, String> {
     let mut cfg = if args.flag("--paper") {
         SweepConfig::paper()
     } else {
         SweepConfig::default()
     };
-    if let Some(v) = args.parse("--budget") {
+    if let Some(v) = args.parse("--budget")? {
         cfg.budget = v;
     }
-    if let Some(v) = args.parse("--seeds") {
+    if let Some(v) = args.parse("--seeds")? {
         cfg.seeds = v;
     }
-    if let Some(v) = args.parse("--multiplier") {
+    if let Some(v) = args.parse("--multiplier")? {
         cfg.others_multiplier = v;
     }
-    if let Some(v) = args.parse("--k") {
+    if let Some(v) = args.parse("--k")? {
         cfg.sequence_length = v;
     }
-    if let Some(v) = args.parse("--bits") {
+    if let Some(v) = args.parse("--bits")? {
         cfg.bits = Some(v);
     }
-    if let Some(v) = args.parse("--threads") {
+    if let Some(v) = args.parse("--threads")? {
         cfg.threads = v;
     }
-    if let Some(v) = args.parse("--batch-size") {
+    if let Some(v) = args.parse("--batch-size")? {
         cfg.batch_size = v;
     }
-    if let Some(v) = args.parse("--surrogate-window") {
+    if let Some(v) = args.parse("--surrogate-window")? {
         cfg.surrogate_window = Some(v);
     }
     if let Some(v) = args.value("--cache-dir") {
         cfg.cache_dir = Some(std::path::PathBuf::from(v));
     }
-    if let Some(v) = args.parse("--deadline-secs") {
+    if let Some(v) = args.parse("--deadline-secs")? {
         cfg.deadline_secs = Some(v);
     }
     if let Some(v) = args.value("--fault-plan") {
         cfg.fault_plan = Some(v.to_string());
     }
     if let Some(v) = args.value("--objective") {
-        // Validate eagerly so a typo fails before any circuit is built.
-        boils_core::Objective::parse(v).unwrap_or_else(|e| panic!("--objective: {e}"));
         cfg.objective = Some(v.to_string());
     }
     if args.flag("--mo") {
         cfg.multi_objective = true;
     }
     if let Some(v) = args.value("--circuits") {
-        cfg.circuits = v
-            .split(',')
-            .map(|name| {
-                Benchmark::ALL
-                    .into_iter()
-                    .find(|b| b.name() == name)
-                    .unwrap_or_else(|| panic!("unknown circuit {name:?}"))
-            })
-            .collect();
+        cfg.circuits = v.split(',').map(parse_circuit).collect::<Result<_, _>>()?;
     }
     if let Some(v) = args.value("--methods") {
-        cfg.methods = v
-            .split(',')
-            .map(|id| Method::from_id(id).unwrap_or_else(|| panic!("unknown method {id:?}")))
-            .collect();
+        cfg.methods = v.split(',').map(parse_method).collect::<Result<_, _>>()?;
     }
-    cfg
+    // Validate the config-level fields (objective grammar, fault-plan
+    // grammar) eagerly so a typo fails before any circuit is built — the
+    // same check a daemon runs before accepting a job.
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Resolves a benchmark name, listing the valid names on failure.
+pub fn parse_circuit(name: &str) -> Result<Benchmark, String> {
+    Benchmark::parse(name)
+}
+
+/// Resolves a method id, listing the valid ids on failure.
+pub fn parse_method(id: &str) -> Result<Method, String> {
+    Method::parse(id)
 }
 
 /// Loads a sweep from `--from <csv>` or runs one with the flag-derived
 /// config, saving to `--out <csv>` when requested.
-pub fn sweep_from(args: &BenchArgs) -> crate::suite::Sweep {
+pub fn sweep_from(args: &BenchArgs) -> Result<crate::suite::Sweep, String> {
     if let Some(path) = args.value("--from") {
         return crate::suite::Sweep::load(std::path::Path::new(path))
-            .expect("failed to load sweep CSV");
+            .map_err(|e| format!("--from {path}: {e}"));
     }
-    let cfg = sweep_config_from(args);
-    let sweep = crate::suite::Sweep::run(&cfg);
+    let cfg = sweep_config_from(args)?;
+    let sweep = crate::suite::Sweep::try_run(&cfg)?;
     if let Some(path) = args.value("--out") {
         sweep
             .save(std::path::Path::new(path))
-            .expect("failed to save sweep CSV");
+            .map_err(|e| format!("--out {path}: {e}"))?;
     }
-    sweep
+    Ok(sweep)
 }
 
 #[cfg(test)]
@@ -179,7 +195,7 @@ mod tests {
     fn boolean_flag_does_not_swallow_the_next_flag() {
         let a = args(&["--paper", "--budget", "9"]);
         assert!(a.flag("--paper"));
-        assert_eq!(a.parse::<usize>("--budget"), Some(9));
+        assert_eq!(a.parse::<usize>("--budget"), Ok(Some(9)));
     }
 
     #[test]
@@ -200,7 +216,7 @@ mod tests {
             "--methods",
             "rs,boils",
         ]);
-        let cfg = sweep_config_from(&a);
+        let cfg = sweep_config_from(&a).expect("valid flags");
         assert_eq!(cfg.budget, 12);
         assert_eq!(cfg.seeds, 3);
         assert_eq!(cfg.others_multiplier, 2);
@@ -219,7 +235,7 @@ mod tests {
         assert!(cfg.multi_objective);
         // Absent flags leave the store off, the window unbounded, and the
         // fault layer fully inert.
-        let bare = sweep_config_from(&args(&["--budget=1"]));
+        let bare = sweep_config_from(&args(&["--budget=1"])).expect("valid flags");
         assert_eq!(bare.cache_dir, None);
         assert_eq!(bare.surrogate_window, None);
         assert_eq!(bare.deadline_secs, None);
@@ -229,14 +245,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--objective")]
-    fn unknown_objectives_panic_before_any_run() {
-        sweep_config_from(&args(&["--objective=bogus"]));
+    fn unknown_objectives_error_before_any_run() {
+        let err = sweep_config_from(&args(&["--objective=bogus"])).unwrap_err();
+        assert!(err.contains("--objective"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "--budget takes a")]
-    fn malformed_numbers_panic_with_the_flag_name() {
-        args(&["--budget", "lots"]).parse::<usize>("--budget");
+    fn malformed_numbers_error_with_the_flag_name() {
+        let err = args(&["--budget", "lots"])
+            .parse::<usize>("--budget")
+            .unwrap_err();
+        assert!(err.contains("--budget takes a usize"), "{err}");
+        assert!(err.contains("lots"), "{err}");
+    }
+
+    #[test]
+    fn unknown_circuits_and_methods_list_the_valid_names() {
+        let err = sweep_config_from(&args(&["--circuits", "adder,bogus"])).unwrap_err();
+        assert!(err.contains("unknown circuit \"bogus\""), "{err}");
+        assert!(err.contains("adder"), "{err}");
+        let err = sweep_config_from(&args(&["--methods", "rs,bogus"])).unwrap_err();
+        assert!(err.contains("unknown method \"bogus\""), "{err}");
+        assert!(err.contains("boils"), "{err}");
+    }
+
+    #[test]
+    fn malformed_fault_plans_error_before_any_run() {
+        let err = sweep_config_from(&args(&["--fault-plan", "write:bogus@1"])).unwrap_err();
+        assert!(err.contains("--fault-plan"), "{err}");
     }
 }

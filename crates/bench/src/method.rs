@@ -1,412 +1,6 @@
-//! A uniform interface over every optimiser in the paper's comparison.
+//! Re-export of the uniform optimiser interface, which moved to
+//! `boils-baselines` so the daemon can dispatch methods without linking
+//! the experiment harness. Kept as a module so `boils_bench::method::
+//! Method` paths stay valid.
 
-use boils_baselines::{
-    genetic_algorithm_controlled, greedy_controlled, random_search_controlled,
-    reinforcement_learning_controlled, GaConfig, RlAlgorithm, RlConfig, RlFeatures, RolloutCircuit,
-};
-use boils_core::{
-    Boils, BoilsConfig, OptimizationResult, RunBoilsError, RunControl, Sbo, SboConfig,
-    SequenceObjective, SequenceSpace,
-};
-use boils_gp::TrainConfig;
-
-/// Every method of the paper's evaluation (Figure 3 top row columns).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Method {
-    /// DRiLLS with PPO updates.
-    DrillsPpo,
-    /// DRiLLS with A2C updates.
-    DrillsA2c,
-    /// Graph-feature RL.
-    GraphRl,
-    /// Genetic algorithm.
-    Ga,
-    /// Random search.
-    Rs,
-    /// Greedy constructor.
-    Greedy,
-    /// Standard Bayesian optimisation.
-    Sbo,
-    /// The paper's contribution.
-    Boils,
-}
-
-impl Method {
-    /// All methods in the paper's column order.
-    pub const ALL: [Method; 8] = [
-        Method::DrillsPpo,
-        Method::DrillsA2c,
-        Method::GraphRl,
-        Method::Ga,
-        Method::Rs,
-        Method::Greedy,
-        Method::Sbo,
-        Method::Boils,
-    ];
-
-    /// The paper's column label.
-    pub fn name(self) -> &'static str {
-        match self {
-            Method::DrillsPpo => "DRiLLS (PPO)",
-            Method::DrillsA2c => "DRiLLS (A2C)",
-            Method::GraphRl => "Graph-RL",
-            Method::Ga => "GA",
-            Method::Rs => "RS",
-            Method::Greedy => "Greedy",
-            Method::Sbo => "SBO",
-            Method::Boils => "BOiLS",
-        }
-    }
-
-    /// A file-system friendly identifier.
-    pub fn id(self) -> &'static str {
-        match self {
-            Method::DrillsPpo => "ppo",
-            Method::DrillsA2c => "a2c",
-            Method::GraphRl => "graphrl",
-            Method::Ga => "ga",
-            Method::Rs => "rs",
-            Method::Greedy => "greedy",
-            Method::Sbo => "sbo",
-            Method::Boils => "boils",
-        }
-    }
-
-    /// Parses an identifier (as printed by [`Method::id`]).
-    pub fn from_id(id: &str) -> Option<Method> {
-        Method::ALL.into_iter().find(|m| m.id() == id)
-    }
-
-    /// Whether this is one of the two sample-efficient BO methods (run at
-    /// the smaller budget in the paper's protocol).
-    pub fn is_bayesian(self) -> bool {
-        matches!(self, Method::Sbo | Method::Boils)
-    }
-
-    /// Runs the method against an objective with a single worker thread.
-    pub fn run<O: SequenceObjective + RolloutCircuit>(
-        self,
-        objective: &O,
-        space: SequenceSpace,
-        budget: usize,
-        seed: u64,
-    ) -> OptimizationResult {
-        self.run_threaded(objective, space, budget, seed, 1)
-    }
-
-    /// Runs the method against an objective, spending black-box
-    /// evaluations through the shared engine with `threads` workers.
-    ///
-    /// Budgets are spent as whole black-box evaluations; every method uses
-    /// the same [`SequenceObjective`] and produces the same trace format,
-    /// and each trajectory is thread-count invariant.
-    pub fn run_threaded<O: SequenceObjective + RolloutCircuit>(
-        self,
-        objective: &O,
-        space: SequenceSpace,
-        budget: usize,
-        seed: u64,
-        threads: usize,
-    ) -> OptimizationResult {
-        self.run_batched(objective, space, budget, seed, threads, 1)
-    }
-
-    /// [`Method::run_threaded`] with a q-EI acquisition batch size for the
-    /// BO methods: BOiLS and SBO propose `batch_size` candidates per
-    /// iteration (constant liar) and evaluate them as one prefix-aware
-    /// parallel batch. The other methods have no acquisition loop to batch
-    /// and ignore the knob (their existing batching — GA generations,
-    /// greedy sweeps, RS designs — already saturates the engine).
-    pub fn run_batched<O: SequenceObjective + RolloutCircuit>(
-        self,
-        objective: &O,
-        space: SequenceSpace,
-        budget: usize,
-        seed: u64,
-        threads: usize,
-        batch_size: usize,
-    ) -> OptimizationResult {
-        self.run_configured(objective, space, budget, seed, threads, batch_size, None)
-    }
-
-    /// [`Method::run_batched`] with a bounded-history surrogate window for
-    /// the BO methods: `Some(w)` caps the GP training set at `w`
-    /// observations with incumbent-pinned sliding-window eviction (see
-    /// [`BoilsConfig::surrogate_window`]). The non-BO methods have no
-    /// surrogate and ignore the knob.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_configured<O: SequenceObjective + RolloutCircuit>(
-        self,
-        objective: &O,
-        space: SequenceSpace,
-        budget: usize,
-        seed: u64,
-        threads: usize,
-        batch_size: usize,
-        surrogate_window: Option<usize>,
-    ) -> OptimizationResult {
-        self.run_controlled(
-            objective,
-            space,
-            budget,
-            seed,
-            threads,
-            batch_size,
-            surrogate_window,
-            &RunControl::new(),
-        )
-        .expect("uncontrolled run cannot be interrupted")
-    }
-
-    /// [`Method::run_configured`] under a [`RunControl`]: a cancel or
-    /// deadline stops the method at the next evaluation boundary and
-    /// returns best-so-far (an exact prefix of the uncancelled
-    /// trajectory); `None` only when the control fired before a single
-    /// evaluation completed.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_controlled<O: SequenceObjective + RolloutCircuit>(
-        self,
-        objective: &O,
-        space: SequenceSpace,
-        budget: usize,
-        seed: u64,
-        threads: usize,
-        batch_size: usize,
-        surrogate_window: Option<usize>,
-        control: &RunControl,
-    ) -> Option<OptimizationResult> {
-        self.run_mo_controlled(
-            objective,
-            space,
-            budget,
-            seed,
-            threads,
-            batch_size,
-            surrogate_window,
-            false,
-            control,
-        )
-    }
-
-    /// [`Method::run_controlled`] with an opt-in multi-objective mode for
-    /// the BO methods: BOiLS and SBO switch to the ParEGO random-weight
-    /// Chebyshev acquisition over the objective's cost *vector* (see
-    /// [`BoilsConfig::multi_objective`]). The non-BO methods have no
-    /// acquisition to steer and ignore the flag — their
-    /// [`OptimizationResult::pareto_front`] archive is still maintained.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_mo_controlled<O: SequenceObjective + RolloutCircuit>(
-        self,
-        objective: &O,
-        space: SequenceSpace,
-        budget: usize,
-        seed: u64,
-        threads: usize,
-        batch_size: usize,
-        surrogate_window: Option<usize>,
-        multi_objective: bool,
-        control: &RunControl,
-    ) -> Option<OptimizationResult> {
-        match self {
-            Method::Rs => {
-                random_search_controlled(objective, space, budget, seed, threads, control)
-            }
-            Method::Greedy => greedy_controlled(objective, space, budget, threads, control),
-            Method::Ga => genetic_algorithm_controlled(
-                objective,
-                space,
-                budget,
-                &GaConfig {
-                    seed,
-                    threads,
-                    ..GaConfig::default()
-                },
-                control,
-            ),
-            Method::DrillsPpo => reinforcement_learning_controlled(
-                objective,
-                space,
-                budget,
-                &RlConfig {
-                    algorithm: RlAlgorithm::Ppo,
-                    features: RlFeatures::Stats,
-                    seed,
-                    ..RlConfig::default()
-                },
-                control,
-            ),
-            Method::DrillsA2c => reinforcement_learning_controlled(
-                objective,
-                space,
-                budget,
-                &RlConfig {
-                    algorithm: RlAlgorithm::A2c,
-                    features: RlFeatures::Stats,
-                    seed,
-                    ..RlConfig::default()
-                },
-                control,
-            ),
-            Method::GraphRl => reinforcement_learning_controlled(
-                objective,
-                space,
-                budget,
-                &RlConfig {
-                    algorithm: RlAlgorithm::A2c,
-                    features: RlFeatures::Graph,
-                    seed,
-                    ..RlConfig::default()
-                },
-                control,
-            ),
-            Method::Sbo => {
-                let mut sbo = Sbo::new(SboConfig {
-                    max_evaluations: budget,
-                    initial_samples: initial_design(budget),
-                    space,
-                    seed,
-                    threads,
-                    batch_size,
-                    surrogate_window,
-                    multi_objective,
-                    train: TrainConfig {
-                        steps: 10,
-                        ..TrainConfig::default()
-                    },
-                    ..SboConfig::default()
-                });
-                match sbo.run_with_control(objective, control) {
-                    Ok(result) => Some(result),
-                    Err(RunBoilsError::Interrupted(_)) => None,
-                    Err(err) => panic!("SBO run failed: {err}"),
-                }
-            }
-            Method::Boils => {
-                let mut boils = Boils::new(BoilsConfig {
-                    max_evaluations: budget,
-                    initial_samples: initial_design(budget),
-                    space,
-                    seed,
-                    threads,
-                    batch_size,
-                    surrogate_window,
-                    multi_objective,
-                    train: TrainConfig {
-                        steps: 10,
-                        ..TrainConfig::default()
-                    },
-                    ..BoilsConfig::default()
-                });
-                match boils.run_with_control(objective, control) {
-                    Ok(result) => Some(result),
-                    Err(RunBoilsError::Interrupted(_)) => None,
-                    Err(err) => panic!("BOiLS run failed: {err}"),
-                }
-            }
-        }
-    }
-}
-
-impl std::fmt::Display for Method {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Initial design size: 20% of the budget, at least 4.
-fn initial_design(budget: usize) -> usize {
-    (budget / 5).clamp(4, budget.saturating_sub(1).max(1))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use boils_aig::random_aig;
-
-    #[test]
-    fn ids_round_trip() {
-        for m in Method::ALL {
-            assert_eq!(Method::from_id(m.id()), Some(m));
-        }
-        assert_eq!(Method::from_id("nope"), None);
-    }
-
-    #[test]
-    fn every_method_respects_the_budget() {
-        let evaluator = boils_core::QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
-        let space = SequenceSpace::new(4, 11);
-        for m in Method::ALL {
-            let budget = if m == Method::Greedy { 22 } else { 12 };
-            let r = m.run(&evaluator, space, budget, 0);
-            assert_eq!(r.num_evaluations(), budget, "{m}");
-        }
-    }
-
-    #[test]
-    fn batched_bo_methods_respect_the_budget() {
-        let evaluator = boils_core::QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
-        let space = SequenceSpace::new(4, 11);
-        for m in [Method::Sbo, Method::Boils] {
-            let r = m.run_batched(&evaluator, space, 13, 0, 2, 4);
-            assert_eq!(r.num_evaluations(), 13, "{m}");
-        }
-    }
-
-    #[test]
-    fn windowed_bo_methods_respect_the_budget() {
-        let evaluator = boils_core::QorEvaluator::new(&random_aig(61, 8, 250, 3)).expect("ok");
-        let space = SequenceSpace::new(4, 11);
-        for m in [Method::Sbo, Method::Boils] {
-            let r = m.run_configured(&evaluator, space, 14, 0, 1, 1, Some(5));
-            assert_eq!(r.num_evaluations(), 14, "{m}");
-        }
-    }
-
-    #[test]
-    fn no_window_matches_run_batched() {
-        let aig = random_aig(61, 8, 250, 3);
-        let space = SequenceSpace::new(4, 11);
-        for m in [Method::Sbo, Method::Boils] {
-            let a_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
-            let b_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
-            let a = m.run_batched(&a_eval, space, 12, 1, 1, 1);
-            let b = m.run_configured(&b_eval, space, 12, 1, 1, 1, None);
-            assert_eq!(a.best_tokens, b.best_tokens, "{m}");
-            assert_eq!(a.best_qor, b.best_qor, "{m}");
-        }
-    }
-
-    #[test]
-    fn batch_size_one_matches_run_threaded() {
-        let aig = random_aig(61, 8, 250, 3);
-        let space = SequenceSpace::new(4, 11);
-        for m in [Method::Sbo, Method::Boils] {
-            let a_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
-            let b_eval = boils_core::QorEvaluator::new(&aig).expect("ok");
-            let a = m.run_threaded(&a_eval, space, 12, 1, 1);
-            let b = m.run_batched(&b_eval, space, 12, 1, 1, 1);
-            assert_eq!(a.best_tokens, b.best_tokens, "{m}");
-            assert_eq!(a.best_qor, b.best_qor, "{m}");
-        }
-    }
-
-    #[test]
-    fn every_method_is_thread_count_invariant() {
-        let aig = random_aig(61, 8, 250, 3);
-        let space = SequenceSpace::new(4, 11);
-        for m in Method::ALL {
-            let budget = if m == Method::Greedy { 22 } else { 12 };
-            let serial = boils_core::QorEvaluator::new(&aig).expect("ok");
-            let parallel = boils_core::QorEvaluator::new(&aig).expect("ok");
-            let a = m.run_threaded(&serial, space, budget, 1, 1);
-            let b = m.run_threaded(&parallel, space, budget, 1, 8);
-            assert_eq!(a.best_tokens, b.best_tokens, "{m}");
-            assert_eq!(a.best_qor, b.best_qor, "{m}");
-            assert_eq!(
-                serial.num_evaluations(),
-                parallel.num_evaluations(),
-                "{m}: unique-evaluation accounting drifted with threads"
-            );
-        }
-    }
-}
+pub use boils_baselines::Method;

@@ -117,6 +117,35 @@ impl SweepConfig {
             self.budget * self.others_multiplier
         }
     }
+
+    /// Checks every field with a grammar (`objective`, `fault_plan`) and
+    /// the basic run-shape invariants, returning a one-line diagnostic on
+    /// the first violation. Both the CLI layer and the daemon's job
+    /// decoder run this before any circuit is built, so a typo costs a
+    /// `Rejected`/nonzero-exit instead of a worker backtrace.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.budget == 0 {
+            return Err("--budget takes a positive evaluation count".to_string());
+        }
+        if self.seeds == 0 {
+            return Err("--seeds takes a positive seed count".to_string());
+        }
+        if self.sequence_length == 0 {
+            return Err("--k takes a positive sequence length".to_string());
+        }
+        if let Some(name) = self.objective.as_deref() {
+            Objective::parse(name).map_err(|e| format!("--objective: {e}"))?;
+        }
+        if let Some(spec) = self.fault_plan.as_deref() {
+            FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        }
+        if let Some(secs) = self.deadline_secs {
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err("--deadline-secs takes a positive duration".to_string());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One optimisation run's trace.
@@ -181,19 +210,28 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Runs the sweep, printing one progress line per run to stderr.
+    /// Runs the sweep, panicking on a malformed config (callers that need
+    /// a diagnostic instead use [`Sweep::try_run`]).
     pub fn run(config: &SweepConfig) -> Sweep {
+        Sweep::try_run(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the sweep, printing one progress line per run to stderr.
+    /// Returns a one-line diagnostic if the config fails
+    /// [`SweepConfig::validate`] or the cache directory cannot be opened.
+    pub fn try_run(config: &SweepConfig) -> Result<Sweep, String> {
+        config.validate()?;
         let mut runs = Vec::new();
         let space = SequenceSpace::new(config.sequence_length, 11);
         let objective = config
             .objective
             .as_deref()
-            .map(|name| Objective::parse(name).unwrap_or_else(|e| panic!("--objective: {e}")));
+            .map(|name| Objective::parse(name).expect("validated above"));
         // One injector for the whole sweep: its operation ordinals span
         // every circuit, method and seed, so a plan like `write:enospc@10+`
         // means "the tenth disk write of the sweep", wherever it lands.
         let injector: Option<Arc<FaultInjector>> = config.fault_plan.as_deref().map(|spec| {
-            let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("--fault-plan: {e}"));
+            let plan = FaultPlan::parse(spec).expect("validated above");
             Arc::new(FaultInjector::new(plan))
         });
         for &circuit in &config.circuits {
@@ -217,9 +255,9 @@ impl Sweep {
                 None => evaluator,
             };
             let evaluator = match &config.cache_dir {
-                Some(dir) => evaluator.with_persistent_store(dir).unwrap_or_else(|e| {
-                    panic!("--cache-dir {}: {e}", dir.display());
-                }),
+                Some(dir) => evaluator
+                    .with_persistent_store(dir)
+                    .map_err(|e| format!("--cache-dir {}: {e}", dir.display()))?,
                 None => evaluator,
             };
             for &method in &config.methods {
@@ -295,7 +333,7 @@ impl Sweep {
                 );
             }
         }
-        Sweep { runs }
+        Ok(Sweep { runs })
     }
 
     /// Runs of one circuit/method pair.

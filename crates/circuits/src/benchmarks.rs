@@ -86,6 +86,26 @@ impl Benchmark {
         }
     }
 
+    /// Resolves a short name (as printed by [`Benchmark::name`]), listing
+    /// the valid names in the diagnostic — the shared validation used by
+    /// both the experiment CLI and the daemon's job decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for unknown names.
+    pub fn parse(name: &str) -> Result<Benchmark, String> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+                format!(
+                    "unknown circuit {name:?} (expected one of: {})",
+                    known.join(", ")
+                )
+            })
+    }
+
     /// Operand width of the original EPFL benchmark, for reference.
     pub fn paper_bits(self) -> usize {
         match self {

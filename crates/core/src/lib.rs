@@ -39,6 +39,7 @@ pub mod control;
 pub mod cost;
 pub mod eval;
 pub mod fault;
+pub mod job;
 pub mod prefix;
 mod qor;
 mod result;
@@ -52,6 +53,7 @@ pub use crate::eval::{
     BatchEvaluator, BatchOutcome, SequenceObjective, ShardedCache, QUARANTINE_QOR,
 };
 pub use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FAULT_PLAN_ENV};
+pub use crate::job::{EvaluatorPool, JobId, Priority, QueueFull, WorkerPool};
 pub use crate::prefix::{
     PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PERSIST_BYTE_BUDGET,
     DEFAULT_PREFIX_CAPACITY,

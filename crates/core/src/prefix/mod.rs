@@ -75,8 +75,12 @@ pub struct PrefixStats {
     pub disk_retries: usize,
     /// If the store's circuit breaker tripped — too many consecutive hard
     /// write failures — the 1-based disk-operation ordinal at which it
-    /// flipped to memory-only; `None` while the store is healthy.
+    /// flipped to memory-only; `None` while the store is healthy
+    /// (including after a successful half-open probe re-enabled it).
     pub store_disabled_at: Option<usize>,
+    /// Times a half-open probe write landed on a recovered disk and
+    /// re-enabled a breaker-tripped store.
+    pub store_reenables: usize,
 }
 
 #[derive(Debug)]

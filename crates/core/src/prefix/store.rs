@@ -70,11 +70,29 @@ const LISTING_PROBE_THRESHOLD: usize = 32;
 const WRITE_ATTEMPTS: usize = 3;
 
 /// Consecutive hard write failures after which the circuit breaker trips
-/// and the store degrades to memory-only for the rest of its life.
+/// and the store degrades to memory-only.
 const BREAKER_THRESHOLD: usize = 3;
+
+/// Half-open probation: while the breaker is open, this many store
+/// requests are absorbed memory-only before a single probe write is let
+/// through. A recovered disk (ENOSPC cleared, permissions fixed)
+/// re-enables persistence on the first successful probe; a probe that
+/// fails keeps the breaker open and restarts the count — a dead disk
+/// costs one failed write burst per `BREAKER_PROBE_AFTER` stores instead
+/// of one per store, and a daemon-lifetime store is never permanently
+/// degraded by a transient outage.
+const BREAKER_PROBE_AFTER: usize = 16;
 
 /// Sentinel in `disabled_at` meaning "the breaker has not tripped".
 const ENABLED: usize = usize::MAX;
+
+/// Bound on the persist-threshold touch-count map. Most prefixes of a
+/// long random search are touched once and never again; without a cap
+/// their counts would accumulate for the life of the store — a slow leak
+/// in a long-lived daemon. When the map exceeds the cap, the
+/// smallest-count half is dropped (those prefixes restart their count —
+/// at worst a deferred disk write, never a wrong value).
+const TOUCH_COUNT_CAP: usize = 8192;
 
 /// Mutable state: the in-memory mirror of the on-disk index.
 #[derive(Debug, Default)]
@@ -113,8 +131,14 @@ pub struct PersistentPrefixStore {
     /// Consecutive hard entry-write failures; reset on any success.
     consecutive_failures: AtomicUsize,
     /// [`ENABLED`] while healthy; once the breaker trips, the 1-based
-    /// disk-operation ordinal it tripped at (reads and writes then skip).
+    /// disk-operation ordinal it tripped at (reads and writes then skip,
+    /// except for half-open probe writes — see [`BREAKER_PROBE_AFTER`]).
     disabled_at: AtomicUsize,
+    /// Store requests absorbed memory-only since the breaker tripped (or
+    /// since the last failed probe); drives the half-open probe cadence.
+    disabled_skips: AtomicUsize,
+    /// Times a successful half-open probe re-enabled the store.
+    reenables: AtomicUsize,
     /// Persist a prefix only once it has been reached this many times
     /// (see [`PersistentPrefixStore::with_persist_threshold`]).
     persist_threshold: usize,
@@ -207,6 +231,8 @@ impl PersistentPrefixStore {
             write_retries: AtomicUsize::new(0),
             consecutive_failures: AtomicUsize::new(0),
             disabled_at: AtomicUsize::new(ENABLED),
+            disabled_skips: AtomicUsize::new(0),
+            reenables: AtomicUsize::new(0),
             persist_threshold: 1,
             touch_counts: Mutex::new(HashMap::new()),
         })
@@ -417,10 +443,12 @@ impl PersistentPrefixStore {
     /// write gets bounded retries (`WRITE_ATTEMPTS`), a write that still
     /// fails lands in `disk_write_failures`, and `BREAKER_THRESHOLD`
     /// consecutive hard failures trip the circuit breaker, flipping the
-    /// store to memory-only for the rest of the run (a dead disk costs
-    /// one failed syscall per write forever otherwise).
+    /// store to memory-only (a dead disk costs one failed syscall per
+    /// write forever otherwise). The breaker is *half-open*: after
+    /// `BREAKER_PROBE_AFTER` memory-only store requests one probe write
+    /// is let through, and a probe that lands re-enables the store.
     pub fn store(&self, prefix: &[u8], aig: &Aig) {
-        if self.is_disabled() {
+        if self.is_disabled() && !self.probe_due() {
             return;
         }
         let name = self.entry_name(prefix);
@@ -441,8 +469,15 @@ impl PersistentPrefixStore {
             let count = counts.entry(name.clone()).or_insert(0);
             *count += 1;
             if *count < self.persist_threshold {
+                if counts.len() > TOUCH_COUNT_CAP {
+                    Self::shed_touch_counts(&mut counts);
+                }
                 return;
             }
+            // The prefix has earned its disk entry; its count is spent
+            // (a successful write makes the index short-circuit future
+            // stores, so keeping the count would only leak).
+            counts.remove(&name);
         }
         let path = self.dir.join(&name);
         if path.exists() {
@@ -489,6 +524,12 @@ impl PersistentPrefixStore {
             return;
         }
         self.consecutive_failures.store(0, Ordering::Relaxed);
+        // A successful write while the breaker was open is a landed
+        // half-open probe: the disk recovered, close the breaker.
+        if self.disabled_at.swap(ENABLED, Ordering::Relaxed) != ENABLED {
+            self.reenables.fetch_add(1, Ordering::Relaxed);
+            self.disabled_skips.store(0, Ordering::Relaxed);
+        }
         let writes = self.disk_writes.fetch_add(1, Ordering::Relaxed) + 1;
         self.touch(&name, bytes.len() as u64);
         self.enforce_budget();
@@ -569,6 +610,41 @@ impl PersistentPrefixStore {
         }
     }
 
+    /// Whether a half-open probe write is due: counts store requests
+    /// absorbed memory-only while the breaker is open and grants one
+    /// probe every [`BREAKER_PROBE_AFTER`] of them. The counter reset on
+    /// granting means a failed probe restarts the count.
+    fn probe_due(&self) -> bool {
+        let skips = self.disabled_skips.fetch_add(1, Ordering::Relaxed) + 1;
+        if skips < BREAKER_PROBE_AFTER {
+            return false;
+        }
+        self.disabled_skips.store(0, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of prefixes currently holding a pending (below-threshold)
+    /// touch count — a diagnostic for the map's boundedness.
+    pub fn pending_touch_counts(&self) -> usize {
+        self.touch_counts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Sheds the smallest-count half of an over-cap touch-count map.
+    /// Ties are broken by name so concurrent instances shed identically.
+    fn shed_touch_counts(counts: &mut HashMap<String, usize>) {
+        let mut by_count: Vec<(usize, String)> = counts
+            .iter()
+            .map(|(name, &count)| (count, name.clone()))
+            .collect();
+        by_count.sort();
+        for (_, name) in by_count.into_iter().take(counts.len() / 2) {
+            counts.remove(&name);
+        }
+    }
+
     /// Folds this store's counters into an evaluator-level stats snapshot.
     pub(crate) fn merge_into(&self, stats: &mut PrefixStats) {
         stats.disk_hits += self.disk_hits.load(Ordering::Relaxed);
@@ -577,6 +653,7 @@ impl PersistentPrefixStore {
         stats.disk_evictions += self.evictions.load(Ordering::Relaxed);
         stats.disk_write_failures += self.write_failures.load(Ordering::Relaxed);
         stats.disk_retries += self.write_retries.load(Ordering::Relaxed);
+        stats.store_reenables += self.reenables.load(Ordering::Relaxed);
         if let Some(at) = self.disabled_at() {
             stats.store_disabled_at = Some(stats.store_disabled_at.map_or(at, |prev| prev.min(at)));
         }
@@ -690,6 +767,17 @@ impl PersistentPrefixStore {
                 index.total_bytes -= bytes;
                 index.entries.remove(&name);
                 victims.push(name);
+            }
+        }
+        if self.persist_threshold > 1 {
+            // Evicted entries lose their (already spent) touch counts too:
+            // nothing may reference a victim once it is gone.
+            let mut counts = self
+                .touch_counts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for name in &victims {
+                counts.remove(name);
             }
         }
         for name in victims {
@@ -898,6 +986,108 @@ mod tests {
         assert!(store.is_disabled());
         // Memory-only degradation: reads are skipped too.
         assert!(store.longest_prefix(&[0, 1], 0).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn half_open_probe_reenables_a_recovered_store() {
+        let dir = temp_store_dir("halfopen");
+        let base = random_aig(110, 6, 100, 2);
+        // A bounded failure burst: exactly the first nine write attempts
+        // fail (three stores x WRITE_ATTEMPTS), tripping the breaker;
+        // every write after that lands — the disk has recovered.
+        let plan = (1..=9)
+            .map(|i| format!("write:enospc@{i}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_fault_injector(injector(&plan));
+        for i in 0..3u8 {
+            store.store(&[i], &random_aig(111 + u64::from(i), 6, 50, 2));
+        }
+        assert!(store.is_disabled());
+        assert_eq!(store.stats().store_disabled_at, Some(3));
+        // Probation: the next BREAKER_PROBE_AFTER - 1 requests stay
+        // memory-only (successful memory-tier operations, no disk I/O).
+        for i in 0..(BREAKER_PROBE_AFTER - 1) as u8 {
+            store.store(&[10 + i], &random_aig(130 + u64::from(i), 6, 50, 2));
+            assert!(store.is_disabled(), "request {i} must stay memory-only");
+        }
+        assert_eq!(store.len(), 0);
+        // The BREAKER_PROBE_AFTER-th request is the probe; the recovered
+        // disk accepts it and the breaker closes.
+        store.store(&[99], &random_aig(150, 6, 50, 2));
+        assert!(!store.is_disabled());
+        let stats = store.stats();
+        assert_eq!(stats.store_disabled_at, None);
+        assert_eq!(stats.store_reenables, 1);
+        assert_eq!(stats.disk_writes, 1);
+        // Writes and reads are both live again.
+        assert!(store.load(&[99]).is_some());
+        store.store(&[42], &random_aig(151, 6, 50, 2));
+        assert!(store.longest_prefix(&[42, 1], 0).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_probe_keeps_the_breaker_open() {
+        let dir = temp_store_dir("probefail");
+        let base = random_aig(115, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_fault_injector(injector("write:enospc@1+"));
+        for i in 0..3u8 {
+            store.store(&[i], &random_aig(116 + u64::from(i), 6, 50, 2));
+        }
+        assert!(store.is_disabled());
+        // Ride through one full probation window plus the probe itself:
+        // the probe write fails (the disk is still dead), so the breaker
+        // stays open with its original trip ordinal.
+        for i in 0..BREAKER_PROBE_AFTER as u8 {
+            store.store(&[10 + i], &random_aig(140 + u64::from(i), 6, 50, 2));
+        }
+        let stats = store.stats();
+        assert!(store.is_disabled());
+        assert_eq!(stats.store_disabled_at, Some(3));
+        assert_eq!(stats.store_reenables, 0);
+        // Exactly one extra failed write burst: the probe, nothing else.
+        assert_eq!(stats.disk_write_failures, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn touch_counts_stay_bounded_under_churn() {
+        let dir = temp_store_dir("touchbound");
+        let base = random_aig(120, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base)
+            .expect("open")
+            .with_persist_threshold(2);
+        let aig = random_aig(121, 6, 50, 2);
+        // A long stream of one-off prefixes (a random search's common
+        // case): each is touched once and never again, so without the cap
+        // every one would hold a pending count forever.
+        for i in 0..2 * TOUCH_COUNT_CAP {
+            let prefix = [(i >> 8) as u8, (i & 0xff) as u8, 7];
+            store.store(&prefix, &aig);
+        }
+        assert!(store.pending_touch_counts() <= TOUCH_COUNT_CAP);
+        assert_eq!(store.stats().disk_writes, 0);
+        let pending_before = store.pending_touch_counts();
+        // Budget-churned writes: entries earn their disk slot (second
+        // touch), the byte budget evicts older ones, and neither the
+        // written nor the evicted prefixes leave a count behind.
+        let store = store.with_byte_budget(1024);
+        for i in 0..10u8 {
+            let prefix = [255, i];
+            store.store(&prefix, &aig);
+            store.store(&prefix, &aig);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.disk_writes, 10);
+        assert!(stats.disk_evictions > 0, "budget never churned: {stats:?}");
+        assert!(store.pending_touch_counts() <= pending_before);
+        assert!(store.pending_touch_counts() <= TOUCH_COUNT_CAP);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -213,14 +213,15 @@ pub struct QorEvaluator {
     cost: Option<Arc<dyn CostFn>>,
     /// The memo table holds cost-independent raw synthesis statistics;
     /// costs are derived per lookup, so switching the objective (or the
-    /// custom cost) reuses every cached entry.
-    cache: ShardedCache<SynthStats>,
+    /// custom cost) reuses every cached entry. `Arc`-backed so forked
+    /// evaluators ([`QorEvaluator::fork`]) share one table.
+    cache: Arc<ShardedCache<SynthStats>>,
     /// Intermediate-AIG store keyed by token prefix; `None` disables
     /// prefix reuse (every evaluation replays from `base`).
-    prefix: Option<PrefixCache>,
+    prefix: Option<Arc<PrefixCache>>,
     /// Disk-backed second tier consulted behind the in-memory cache;
     /// `None` keeps everything process-local (the default).
-    store: Option<PersistentPrefixStore>,
+    store: Option<Arc<PersistentPrefixStore>>,
     /// Deterministic fault injection (off by default; armed by
     /// `BOILS_FAULT_PLAN` or [`QorEvaluator::with_fault_injector`]).
     /// Shared with the attached store so one plan's operation ordinals
@@ -262,8 +263,8 @@ impl QorEvaluator {
             mapper_config,
             objective: Objective::Qor,
             cost: None,
-            cache: ShardedCache::new(),
-            prefix: Some(PrefixCache::new(DEFAULT_PREFIX_CAPACITY)),
+            cache: Arc::new(ShardedCache::new()),
+            prefix: Some(Arc::new(PrefixCache::new(DEFAULT_PREFIX_CAPACITY))),
             store: None,
             fault: FaultInjector::from_env(),
             unique_evaluations: AtomicUsize::new(0),
@@ -278,8 +279,15 @@ impl QorEvaluator {
         self.fault = fault;
         self.store = self
             .store
-            .map(|s| s.with_fault_injector(self.fault.clone()));
+            .map(|s| Arc::new(Self::unshare_store(s).with_fault_injector(self.fault.clone())));
         self
+    }
+
+    /// Unwraps a store `Arc` for a build-time reconfiguration. Builders
+    /// run before the evaluator is forked, while the handle is unique.
+    fn unshare_store(store: Arc<PersistentPrefixStore>) -> PersistentPrefixStore {
+        Arc::try_unwrap(store)
+            .expect("store builders must run before the evaluator is forked/shared")
     }
 
     /// The active fault injector, if any.
@@ -294,7 +302,7 @@ impl QorEvaluator {
     /// circuit, with bit-identical results — so this knob only trades
     /// memory against replay work.
     pub fn with_prefix_capacity(mut self, capacity: usize) -> QorEvaluator {
-        self.prefix = Some(PrefixCache::new(capacity));
+        self.prefix = Some(Arc::new(PrefixCache::new(capacity)));
         self
     }
 
@@ -326,23 +334,25 @@ impl QorEvaluator {
         mut self,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<QorEvaluator> {
-        self.store = Some(
+        self.store = Some(Arc::new(
             PersistentPrefixStore::open_for(dir, &self.base)?
                 .with_fault_injector(self.fault.clone()),
-        );
+        ));
         Ok(self)
     }
 
     /// Caps the attached persistent store's byte budget (no-op without a
     /// store; see [`QorEvaluator::with_persistent_store`]).
     pub fn with_persistent_byte_budget(mut self, bytes: u64) -> QorEvaluator {
-        self.store = self.store.map(|s| s.with_byte_budget(bytes));
+        self.store = self
+            .store
+            .map(|s| Arc::new(Self::unshare_store(s).with_byte_budget(bytes)));
         self
     }
 
     /// The attached persistent store, if any.
     pub fn persistent_store(&self) -> Option<&PersistentPrefixStore> {
-        self.store.as_ref()
+        self.store.as_deref()
     }
 
     /// Replay-savings counters of the prefix cache (zeroes when disabled),
@@ -350,7 +360,7 @@ impl QorEvaluator {
     pub fn prefix_stats(&self) -> PrefixStats {
         let mut stats = self
             .prefix
-            .as_ref()
+            .as_deref()
             .map(PrefixCache::stats)
             .unwrap_or_default();
         if let Some(store) = &self.store {
@@ -361,7 +371,7 @@ impl QorEvaluator {
 
     /// Number of intermediate AIGs currently cached.
     pub fn prefix_len(&self) -> usize {
-        self.prefix.as_ref().map_or(0, PrefixCache::len)
+        self.prefix.as_deref().map_or(0, PrefixCache::len)
     }
 
     /// Switches the optimised quantity.
@@ -592,6 +602,50 @@ impl QorEvaluator {
             prefix_cache.clear();
         }
         self.unique_evaluations.store(0, Ordering::Relaxed);
+    }
+
+    /// A new evaluator handle sharing every cache tier with `self` — the
+    /// value memo table, the in-memory prefix cache, an attached
+    /// persistent store, and the fault injector — with a fresh
+    /// unique-evaluation counter.
+    ///
+    /// This is the multi-tenant seam: a daemon forks one template per job,
+    /// so concurrent jobs on the same circuit warm each other's caches
+    /// while each job's [`QorEvaluator::num_evaluations`] counts only the
+    /// synthesis work *that job's* insert won. Caching never changes
+    /// values (every tier is a pure accelerator), so a forked job's
+    /// trajectory is bit-identical to a solo run with the same seed.
+    pub fn fork(&self) -> QorEvaluator {
+        self.fork_with_objective(self.objective)
+    }
+
+    /// [`QorEvaluator::fork`] with a different optimised quantity. The
+    /// shared memo table holds cost-independent [`SynthStats`], so a
+    /// `lut`-objective fork reuses every synthesis result a `qor` job
+    /// already computed (and vice versa).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Objective::Weighted`] weight is outside `[0, 1]`.
+    pub fn fork_with_objective(&self, objective: Objective) -> QorEvaluator {
+        if let Objective::Weighted { area_weight } = objective {
+            assert!(
+                (0.0..=1.0).contains(&area_weight),
+                "area weight must be in [0, 1]"
+            );
+        }
+        QorEvaluator {
+            base: self.base.clone(),
+            reference: self.reference,
+            mapper_config: self.mapper_config.clone(),
+            objective,
+            cost: self.cost.clone(),
+            cache: Arc::clone(&self.cache),
+            prefix: self.prefix.clone(),
+            store: self.store.clone(),
+            fault: self.fault.clone(),
+            unique_evaluations: AtomicUsize::new(0),
+        }
     }
 }
 

@@ -1,0 +1,123 @@
+//! A blocking client for the daemon protocol, used by `boils submit`
+//! and the integration tests: write request lines, read event lines.
+
+use std::io::{BufRead, BufReader, Write};
+
+use boils_core::JobId;
+
+use crate::json::Value;
+use crate::protocol::JobRequest;
+use crate::server::{connect, Stream};
+
+/// One connection to a running daemon. The protocol is full-duplex on a
+/// single stream: requests go out on the write half while events for
+/// this connection's jobs stream back on the (cloned) read half.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to `unix:PATH` or a TCP `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// One-line diagnostics for connection failures.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let writer = connect(addr)?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line (an already-encoded JSON object).
+    ///
+    /// # Errors
+    ///
+    /// IO failures writing to the daemon.
+    pub fn send(&mut self, value: &Value) -> Result<(), String> {
+        let mut line = value.to_json();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Sends one raw line verbatim (the daemon, not this client, decides
+    /// whether it is well-formed — malformed lines come back as
+    /// `rejected` events).
+    ///
+    /// # Errors
+    ///
+    /// IO failures writing to the daemon.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
+        let mut line = line.trim_end().to_string();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// IO failures writing to the daemon.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<(), String> {
+        self.send(&request.to_json())
+    }
+
+    /// Requests cancellation of a job.
+    ///
+    /// # Errors
+    ///
+    /// IO failures writing to the daemon.
+    pub fn cancel(&mut self, job: JobId) -> Result<(), String> {
+        let mut obj = Value::object();
+        obj.set("op", Value::from("cancel"));
+        obj.set("job", Value::from(job.0));
+        self.send(&obj)
+    }
+
+    /// Asks the daemon to shut down (it drains running jobs first).
+    ///
+    /// # Errors
+    ///
+    /// IO failures writing to the daemon.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let mut obj = Value::object();
+        obj.set("op", Value::from("shutdown"));
+        self.send(&obj)
+    }
+
+    /// Reads the next event line. `Ok(None)` on a clean disconnect.
+    ///
+    /// # Errors
+    ///
+    /// IO failures, or an event line that is not valid JSON.
+    pub fn next_event(&mut self) -> Result<Option<Value>, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Value::parse(line.trim())
+                .map(Some)
+                .map_err(|e| format!("malformed event line: {e}"));
+        }
+    }
+}

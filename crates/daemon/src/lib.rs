@@ -1,0 +1,61 @@
+//! # boils-daemon — the multi-tenant optimisation daemon
+//!
+//! A long-lived server accepting optimisation jobs — circuit + method +
+//! objective + budget (+ optional deadline and priority) — over a
+//! line-delimited-JSON protocol on a TCP or Unix socket, scheduling
+//! them on a bounded shared worker pool.
+//!
+//! What makes it *multi-tenant* rather than a job runner: every job on
+//! the same circuit shares one [`QorEvaluator`] cache stack — the value
+//! memo, the in-memory prefix cache, and (with a cache directory) the
+//! persistent prefix store — so tenant B's random search warms tenant
+//! A's BO run, across objectives. Optimiser state stays job-private,
+//! which keeps each job's trajectory bit-identical to the same run
+//! performed solo against an equally warm store.
+//!
+//! Scheduling guarantees:
+//!
+//! - **Priority + FIFO**: high beats normal beats low; ties run in
+//!   submission order. No preemption.
+//! - **Backpressure**: the queue is bounded; a submission past the cap
+//!   is answered with an explicit `rejected` event (nothing evaluated),
+//!   never buffered without bound.
+//! - **Cancellation / deadlines**: jobs stop cooperatively and report
+//!   best-so-far with a `cancelled` / `deadline-exceeded` termination.
+//!   Deadlines are armed when the job starts, not while it queues.
+//! - **Isolation**: a malformed request rejects that request; a
+//!   panicking job emits `failed`; the daemon keeps serving either way.
+//!
+//! ```no_run
+//! use boils_daemon::{Client, DaemonConfig, JobRequest, Server};
+//!
+//! # fn main() -> Result<(), String> {
+//! let server = Server::bind(DaemonConfig::default(), "127.0.0.1:0")?;
+//! let addr = server.local_addr().to_string();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(&addr)?;
+//! let request = boils_daemon::Request::parse_line(
+//!     r#"{"op":"submit","circuit":"adder","method":"rs","budget":8}"#,
+//! )?;
+//! if let boils_daemon::Request::Submit(job) = request {
+//!     client.submit(&job)?;
+//! }
+//! while let Some(event) = client.next_event()? {
+//!     println!("{}", event.to_json());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`QorEvaluator`]: boils_core::QorEvaluator
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use crate::client::Client;
+pub use crate::json::Value;
+pub use crate::protocol::{Event, JobOutcome, JobRequest, Request};
+pub use crate::server::{Daemon, DaemonConfig, Server};

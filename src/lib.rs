@@ -40,6 +40,7 @@ pub use boils_aig as aig;
 pub use boils_baselines as baselines;
 pub use boils_circuits as circuits;
 pub use boils_core as core;
+pub use boils_daemon as daemon;
 pub use boils_gp as gp;
 pub use boils_mapper as mapper;
 pub use boils_sat as sat;

@@ -108,6 +108,8 @@ fn run(args: &Args) -> Result<(), String> {
         "map" => map_cmd(args),
         "check" => check(args),
         "optimize" => optimize(args),
+        "serve" => serve(args),
+        "submit" => submit(args),
         _ => {
             print_help();
             Ok(())
@@ -138,6 +140,15 @@ fn print_help() {
          \x20           wall-clock budget elapses (best-so-far is kept); --fault-plan injects\n\
          \x20           deterministic storage/eval faults, e.g. \"seed=1;write:enospc@3+\"\n\
          \x20           (also read from BOILS_FAULT_PLAN).\n\n\
+         \x20 serve     [--addr 127.0.0.1:7171|unix:/path.sock] [--workers N]\n\
+         \x20           [--queue-cap N] [--cache-dir DIR]\n\
+         \x20           multi-tenant daemon: jobs share each circuit's synthesis caches\n\
+         \x20 submit    --addr ADDR (--circuit <name> --method <id> --budget N\n\
+         \x20           [--objective NAME] [--seed N] [--k N] [--bits N]\n\
+         \x20           [--priority low|normal|high] [--deadline-secs S] [--mo]\n\
+         \x20           | --jobs <file with one submit JSON per line>)\n\
+         \x20           [--shutdown]  streams event JSON lines; nonzero exit on\n\
+         \x20           rejected/failed jobs\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
 }
@@ -263,6 +274,98 @@ fn check(args: &Args) -> Result<(), String> {
         }
         EquivResult::Unknown => Err(String::from("undecided within the conflict budget")),
     }
+}
+
+/// `boils serve`: run the multi-tenant optimisation daemon until a client
+/// sends `{"op":"shutdown"}`.
+fn serve(args: &Args) -> Result<(), String> {
+    let defaults = boils::daemon::DaemonConfig::default();
+    let config = boils::daemon::DaemonConfig {
+        workers: args.parse_or("workers", defaults.workers)?,
+        queue_cap: args.parse_or("queue-cap", defaults.queue_cap)?,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7171");
+    let server = boils::daemon::Server::bind(config, addr)?;
+    println!("listening on {}", server.local_addr());
+    server.run()
+}
+
+/// `boils submit`: send one job (from flags) or a batch (`--jobs FILE`,
+/// one submit JSON object per line) to a running daemon, stream its event
+/// lines to stdout, and exit nonzero if any job was rejected or failed.
+fn submit(args: &Args) -> Result<(), String> {
+    use boils::daemon::{Client, JobRequest, Value};
+    let addr = args.required("addr")?;
+    let mut client = Client::connect(addr)?;
+    let mut outstanding = 0usize;
+    if let Some(path) = args.get("jobs") {
+        let batch = std::fs::read_to_string(path).map_err(|e| format!("--jobs {path}: {e}"))?;
+        for line in batch.lines().filter(|l| !l.trim().is_empty()) {
+            // Sent verbatim: the daemon validates and answers a malformed
+            // line with a `rejected` event while continuing to serve.
+            client.send_raw(line)?;
+            outstanding += 1;
+        }
+    } else {
+        let mut job = Value::object();
+        job.set("op", Value::from("submit"));
+        job.set("circuit", Value::from(args.required("circuit")?));
+        job.set("method", Value::from(args.required("method")?));
+        job.set("budget", Value::Number(args.parse_or("budget", 40.0)?));
+        if let Some(v) = args.get("objective") {
+            job.set("objective", Value::from(v));
+        }
+        job.set("seed", Value::Number(args.parse_or("seed", 0.0)?));
+        job.set("k", Value::Number(args.parse_or("k", 20.0)?));
+        if let Some(bits) = args.get("bits") {
+            let bits: f64 = bits.parse().map_err(|_| "--bits takes an integer")?;
+            job.set("bits", Value::Number(bits));
+        }
+        if let Some(v) = args.get("priority") {
+            job.set("priority", Value::from(v));
+        }
+        if let Some(v) = args.get("deadline-secs") {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--deadline-secs takes seconds; got {v:?}"))?;
+            job.set("deadline_secs", Value::Number(secs));
+        }
+        if args.parse_or("mo", false)? {
+            job.set("mo", Value::from(true));
+        }
+        // Validate locally first — same code path the daemon runs — so a
+        // typo fails with the daemon's diagnostic before anything queues.
+        let request = JobRequest::from_json(&job)?;
+        client.submit(&request)?;
+        outstanding = 1;
+    }
+    // Every submitted line resolves to exactly one terminal event:
+    // rejected (nothing ran), finished, or failed.
+    let mut bad = 0usize;
+    while outstanding > 0 {
+        let Some(event) = client.next_event()? else {
+            return Err(format!(
+                "daemon disconnected with {outstanding} job(s) outstanding"
+            ));
+        };
+        println!("{}", event.to_json());
+        match event.get("event").and_then(Value::as_str) {
+            Some("rejected" | "failed") => {
+                outstanding -= 1;
+                bad += 1;
+            }
+            Some("finished") => outstanding -= 1,
+            _ => {}
+        }
+    }
+    if args.parse_or("shutdown", false)? {
+        client.shutdown()?;
+    }
+    if bad > 0 {
+        return Err(format!("{bad} job(s) rejected or failed"));
+    }
+    Ok(())
 }
 
 /// One human-readable line summarising a BO run's surrogate lifecycle.

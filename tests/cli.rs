@@ -301,6 +301,158 @@ fn multi_objective_mode_prints_the_pareto_front() {
 }
 
 #[test]
+fn serve_and_submit_run_a_mixed_batch_end_to_end() {
+    use std::io::BufRead;
+    // Port 0 lets the OS pick; the daemon prints the resolved address.
+    let mut server = boils()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("read listen banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("listen banner")
+        .to_string();
+
+    // A mixed-objective batch on one circuit: the jobs share the
+    // daemon's synthesis tiers, so combined unique work stays at the
+    // number of distinct sequences while every job sees a full history.
+    let jobs = tmp("daemon-batch.jsonl");
+    std::fs::write(
+        &jobs,
+        concat!(
+            r#"{"op":"submit","circuit":"adder","bits":4,"method":"rs","budget":6,"k":6,"seed":5,"objective":"qor"}"#,
+            "\n",
+            r#"{"op":"submit","circuit":"adder","bits":4,"method":"rs","budget":6,"k":6,"seed":5,"objective":"lut","priority":"high"}"#,
+            "\n",
+        ),
+    )
+    .expect("write batch");
+    let out = boils()
+        .args(["submit", "--addr", &addr, "--jobs"])
+        .arg(&jobs)
+        .output()
+        .expect("spawn submit");
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        events.matches("\"event\":\"finished\"").count(),
+        2,
+        "{events}"
+    );
+    assert!(
+        events.contains("\"termination\":\"budget-exhausted\""),
+        "{events}"
+    );
+    // Exact attribution across the two tenants: 6 distinct sequences,
+    // 12 history entries, so shared hits make up the other 6.
+    let mut unique = 0u64;
+    let mut shared = 0u64;
+    for line in events.lines().filter(|l| l.contains("\"finished\"")) {
+        let grab = |key: &str| -> u64 {
+            let at = line.find(key).unwrap_or_else(|| panic!("{key} in {line}"));
+            line[at + key.len()..]
+                .trim_start_matches(':')
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("counter")
+        };
+        unique += grab("\"unique_evaluations\"");
+        shared += grab("\"shared_hits\"");
+    }
+    assert!(
+        unique <= 6,
+        "sharing failed: {unique} unique, events {events}"
+    );
+    assert_eq!(unique + shared, 12, "{events}");
+
+    // A malformed job in a batch is rejected with a diagnostic (nonzero
+    // exit) while the daemon keeps serving.
+    let bad = tmp("daemon-bad.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"op\":\"submit\",\"circuit\":\"bogus\",\"method\":\"rs\",\"budget\":2}\n",
+    )
+    .expect("write batch");
+    let out = boils()
+        .args(["submit", "--addr", &addr, "--jobs"])
+        .arg(&bad)
+        .output()
+        .expect("spawn submit");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("unknown circuit"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    // Malformed submit flags fail locally with the daemon's diagnostic.
+    let out = boils()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--circuit",
+            "adder",
+            "--method",
+            "rs",
+            "--budget",
+            "lots",
+        ])
+        .output()
+        .expect("spawn submit");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget"));
+
+    // One last job proves the daemon survived the bad batch, then stops it.
+    let out = boils()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--circuit",
+            "adder",
+            "--bits",
+            "4",
+            "--method",
+            "greedy",
+            "--budget",
+            "100000",
+            "--k",
+            "6",
+            "--deadline-secs",
+            "0.3",
+            "--shutdown",
+        ])
+        .output()
+        .expect("spawn submit");
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"termination\":\"deadline-exceeded\""),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let status = server.wait().expect("server exits after shutdown");
+    assert!(status.success());
+}
+
+#[test]
 fn unknown_flags_and_circuits_fail_gracefully() {
     let out = boils()
         .args(["generate", "--circuit", "mystery", "--output", "/tmp/x.aag"])
