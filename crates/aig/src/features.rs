@@ -1,0 +1,185 @@
+//! Attributed-graph features for cross-circuit similarity.
+//!
+//! A [`CircuitFeatures`] vector summarises an AIG by cheap structural
+//! statistics — interface width, size, depth, level and fanout shape —
+//! the signal used by the semantic store's surrogate warm-start transfer:
+//! a new job's search is seeded from the recorded history of the most
+//! *similar* circuit, where similarity is a distance in this feature
+//! space. The features deliberately stay O(nodes) to compute (one
+//! [`levels`](crate::Aig::levels) and one
+//! [`fanout_counts`](crate::Aig::fanout_counts) pass), in the spirit of
+//! attributed-graph kernels over netlists: structure decides *where the
+//! search starts*, never what a cost is — every transferred sequence is
+//! re-evaluated exactly on the target circuit.
+
+use crate::Aig;
+
+/// Number of scalar features in the vector (the serialised width).
+pub const CIRCUIT_FEATURE_DIM: usize = 8;
+
+/// Structural feature vector of one circuit.
+///
+/// All fields are stored as `f64` so the vector serialises uniformly and
+/// distances need no per-field casts; counts are exact integers in `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitFeatures {
+    /// Primary inputs.
+    pub num_pis: f64,
+    /// Primary outputs.
+    pub num_pos: f64,
+    /// AND nodes.
+    pub num_ands: f64,
+    /// Longest PI→PO path (AND levels).
+    pub depth: f64,
+    /// Mean AND-node level: where the logic mass sits between the
+    /// interface and the critical path.
+    pub mean_level: f64,
+    /// Mean fanout over nodes with at least one fanout.
+    pub mean_fanout: f64,
+    /// Largest single-node fanout.
+    pub max_fanout: f64,
+    /// AND nodes per primary input: logic density relative to the
+    /// interface, separating wide-shallow from narrow-deep circuits of
+    /// equal size.
+    pub ands_per_pi: f64,
+}
+
+impl CircuitFeatures {
+    /// Computes the feature vector of `aig` in one pass over its nodes.
+    pub fn of(aig: &Aig) -> CircuitFeatures {
+        let num_pis = aig.num_pis() as f64;
+        let num_ands = aig.num_ands() as f64;
+        let levels = aig.levels();
+        let depth = aig
+            .pos()
+            .iter()
+            .map(|po| levels[po.var()])
+            .max()
+            .unwrap_or(0) as f64;
+        let and_levels: u64 = aig.ands().map(|var| u64::from(levels[var])).sum();
+        let mean_level = if aig.num_ands() == 0 {
+            0.0
+        } else {
+            and_levels as f64 / num_ands
+        };
+        let fanouts = aig.fanout_counts();
+        let driving: Vec<u32> = fanouts.iter().copied().filter(|&c| c > 0).collect();
+        let mean_fanout = if driving.is_empty() {
+            0.0
+        } else {
+            driving.iter().map(|&c| u64::from(c)).sum::<u64>() as f64 / driving.len() as f64
+        };
+        let max_fanout = f64::from(fanouts.iter().copied().max().unwrap_or(0));
+        CircuitFeatures {
+            num_pis,
+            num_pos: aig.num_pos() as f64,
+            num_ands,
+            depth,
+            mean_level,
+            mean_fanout,
+            max_fanout,
+            ands_per_pi: if num_pis == 0.0 {
+                0.0
+            } else {
+                num_ands / num_pis
+            },
+        }
+    }
+
+    /// The vector as a fixed-width slice (the serialisation order).
+    pub fn to_array(self) -> [f64; CIRCUIT_FEATURE_DIM] {
+        [
+            self.num_pis,
+            self.num_pos,
+            self.num_ands,
+            self.depth,
+            self.mean_level,
+            self.mean_fanout,
+            self.max_fanout,
+            self.ands_per_pi,
+        ]
+    }
+
+    /// Rebuilds a vector from its serialised order; `None` unless exactly
+    /// [`CIRCUIT_FEATURE_DIM`] finite values are given.
+    pub fn from_slice(values: &[f64]) -> Option<CircuitFeatures> {
+        if values.len() != CIRCUIT_FEATURE_DIM || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(CircuitFeatures {
+            num_pis: values[0],
+            num_pos: values[1],
+            num_ands: values[2],
+            depth: values[3],
+            mean_level: values[4],
+            mean_fanout: values[5],
+            max_fanout: values[6],
+            ands_per_pi: values[7],
+        })
+    }
+
+    /// Similarity to `other` in `(0, 1]`: `1` for identical vectors,
+    /// decaying with the root-mean-square distance in log-scaled feature
+    /// space. Log scaling (`ln(1 + x)`) makes the metric care about
+    /// *ratios* — a 100-AND and a 200-AND circuit are as far apart as a
+    /// 1 000-AND and a 2 000-AND one — which is the right invariance for
+    /// "does synthesis behave alike here".
+    pub fn similarity(&self, other: &CircuitFeatures) -> f64 {
+        let a = self.to_array();
+        let b = other.to_array();
+        let sq: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let d = x.max(0.0).ln_1p() - y.max(0.0).ln_1p();
+                d * d
+            })
+            .sum();
+        1.0 / (1.0 + (sq / CIRCUIT_FEATURE_DIM as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_aig;
+
+    #[test]
+    fn features_are_deterministic_and_self_similar() {
+        let aig = random_aig(7, 8, 200, 4);
+        let a = CircuitFeatures::of(&aig);
+        let b = CircuitFeatures::of(&aig);
+        assert_eq!(a, b);
+        assert_eq!(a.similarity(&b), 1.0);
+        assert_eq!(a.num_pis, 8.0);
+        assert_eq!(a.num_pos, 4.0);
+        assert!(a.num_ands > 0.0);
+        assert!(a.depth > 0.0);
+        assert!(a.mean_level > 0.0 && a.mean_level <= a.depth);
+        assert!(a.mean_fanout >= 1.0);
+        assert!(a.max_fanout >= a.mean_fanout);
+        assert_eq!(a.ands_per_pi, a.num_ands / 8.0);
+    }
+
+    #[test]
+    fn similar_circuits_score_above_dissimilar_ones() {
+        let base = CircuitFeatures::of(&random_aig(1, 8, 200, 4));
+        let near = CircuitFeatures::of(&random_aig(2, 8, 210, 4));
+        let far = CircuitFeatures::of(&random_aig(3, 32, 2000, 16));
+        assert!(base.similarity(&near) > base.similarity(&far));
+        // Symmetry and range.
+        assert_eq!(base.similarity(&near), near.similarity(&base));
+        assert!(base.similarity(&far) > 0.0 && base.similarity(&far) < 1.0);
+    }
+
+    #[test]
+    fn feature_vectors_round_trip_through_serialisation_order() {
+        let features = CircuitFeatures::of(&random_aig(9, 6, 120, 3));
+        let array = features.to_array();
+        assert_eq!(CircuitFeatures::from_slice(&array), Some(features));
+        assert!(CircuitFeatures::from_slice(&array[..7]).is_none());
+        let mut bad = array;
+        bad[2] = f64::NAN;
+        assert!(CircuitFeatures::from_slice(&bad).is_none());
+    }
+}

@@ -33,6 +33,7 @@ mod aig;
 mod aiger;
 mod error;
 mod export;
+mod features;
 mod hash;
 mod lit;
 mod random;
@@ -40,6 +41,7 @@ mod sim;
 
 pub use crate::aig::{input_pattern, Aig};
 pub use crate::error::{CheckAigError, ParseAagError};
+pub use crate::features::{CircuitFeatures, CIRCUIT_FEATURE_DIM};
 pub use crate::hash::{fnv1a64, splitmix64};
 pub use crate::lit::Lit;
 pub use crate::random::random_aig;

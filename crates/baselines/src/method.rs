@@ -6,7 +6,7 @@ use crate::{
 };
 use boils_core::{
     Boils, BoilsConfig, OptimizationResult, RunBoilsError, RunControl, Sbo, SboConfig,
-    SequenceObjective, SequenceSpace,
+    SequenceObjective, SequenceSpace, WarmStart,
 };
 use boils_gp::TrainConfig;
 
@@ -224,6 +224,40 @@ impl Method {
         multi_objective: bool,
         control: &RunControl,
     ) -> Option<OptimizationResult> {
+        self.run_warm_mo_controlled(
+            objective,
+            space,
+            budget,
+            seed,
+            threads,
+            batch_size,
+            surrogate_window,
+            multi_objective,
+            None,
+            control,
+        )
+    }
+
+    /// [`Method::run_mo_controlled`] with an opt-in cross-circuit
+    /// [`WarmStart`] for BOiLS: donor sequences from a similar circuit's
+    /// recorded history seed the initial design and the surrogate (see
+    /// [`BoilsConfig::warm_start`]). The other methods have no surrogate
+    /// to seed and ignore it; `None` is bit-identical to
+    /// [`Method::run_mo_controlled`] for every method.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_warm_mo_controlled<O: SequenceObjective + RolloutCircuit>(
+        self,
+        objective: &O,
+        space: SequenceSpace,
+        budget: usize,
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+        surrogate_window: Option<usize>,
+        multi_objective: bool,
+        warm_start: Option<WarmStart>,
+        control: &RunControl,
+    ) -> Option<OptimizationResult> {
         match self {
             Method::Rs => {
                 random_search_controlled(objective, space, budget, seed, threads, control)
@@ -308,6 +342,7 @@ impl Method {
                     batch_size,
                     surrogate_window,
                     multi_objective,
+                    warm_start,
                     train: TrainConfig {
                         steps: 10,
                         ..TrainConfig::default()

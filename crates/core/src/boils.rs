@@ -34,6 +34,59 @@ pub enum Acquisition {
     },
 }
 
+/// Opt-in cross-circuit warm start: the recorded history of a *similar*
+/// circuit (picked by [`CircuitFeatures`](boils_aig::CircuitFeatures)
+/// similarity, typically via
+/// [`PersistentPrefixStore::transfer_donor`](crate::PersistentPrefixStore::transfer_donor))
+/// biases where this run's search starts.
+///
+/// Two channels, both exactness-preserving:
+///
+/// * [`seeds`](WarmStart::seeds) replace initial-design rows
+///   *positionally* — the Latin hypercube is drawn first and donor
+///   sequences overwrite its leading rows, so the RNG consumes exactly
+///   the draws it would have without any warm start, and every seed is
+///   **re-evaluated on the target circuit** (its recorded donor cost is
+///   never trusted as a value).
+/// * [`observations`](WarmStart::observations) are donor `(tokens, QoR)`
+///   pairs injected into the GP via [`Surrogate::seed`] — prior shape
+///   only, never entering the history, the incumbent, or the result.
+///
+/// `warm_start: None` (the default) is bit-identical to a build without
+/// the feature.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WarmStart {
+    /// Donor sequences injected into the initial design (best-first). At
+    /// most half the design (rounded up) is replaced, so the LHS keeps
+    /// exploring; invalid and duplicate sequences are skipped.
+    pub seeds: Vec<Vec<u8>>,
+    /// Donor `(tokens, qor)` pairs seeded into the surrogate as prior
+    /// observations (the optimiser models `−qor` internally).
+    pub observations: Vec<(Vec<u8>, f64)>,
+}
+
+impl WarmStart {
+    /// A warm start from a transfer donor's recorded history: the
+    /// `max_seeds` best sequences become design seeds, the full history
+    /// becomes surrogate prior observations.
+    pub fn from_donor(donor: &crate::TransferDonor, max_seeds: usize) -> WarmStart {
+        WarmStart {
+            seeds: donor
+                .observations
+                .iter()
+                .take(max_seeds)
+                .map(|(tokens, _)| tokens.clone())
+                .collect(),
+            observations: donor.observations.clone(),
+        }
+    }
+
+    /// Whether there is anything to transfer.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty() && self.observations.is_empty()
+    }
+}
+
 /// Configuration of the BOiLS optimiser.
 ///
 /// The defaults mirror the paper's setting (`K = 20`, 11 actions,
@@ -125,6 +178,10 @@ pub struct BoilsConfig {
     /// `false` (the default) is the paper's scalar Algorithm 2,
     /// bit-identical to previous releases.
     pub multi_objective: bool,
+    /// Opt-in cross-circuit transfer (see [`WarmStart`]). `None` — the
+    /// default — leaves every RNG draw, design row and surrogate
+    /// observation bit-identical to a run without the feature.
+    pub warm_start: Option<WarmStart>,
     /// Worker threads for batched black-box evaluations (the initial
     /// design). The search trajectory is thread-count invariant: the same
     /// seed yields the same best sequence and evaluation count at any
@@ -159,6 +216,7 @@ impl Default for BoilsConfig {
             noise: 1e-4,
             acquisition: Acquisition::ExpectedImprovement,
             multi_objective: false,
+            warm_start: None,
             threads: 1,
             seed: 0,
         }
@@ -469,6 +527,29 @@ impl Boils {
             }
             initial.push(tokens);
         }
+        // -- Warm start (opt-in): donor sequences overwrite the leading
+        // design rows *after* the hypercube is drawn, so the RNG consumes
+        // exactly the draws an unseeded run would — `warm_start: None`
+        // stays bit-identical — and each seed is re-evaluated exactly on
+        // this circuit by the very same batch below.
+        if let Some(warm) = &cfg.warm_start {
+            let valid = |tokens: &[u8]| {
+                tokens.len() == space.length()
+                    && tokens.iter().all(|&t| usize::from(t) < space.alphabet())
+            };
+            let cap = initial.len().div_ceil(2);
+            let mut slot = 0usize;
+            for seed in &warm.seeds {
+                if slot >= cap {
+                    break;
+                }
+                if !valid(seed) || initial.contains(seed) {
+                    continue;
+                }
+                initial[slot] = seed.clone();
+                slot += 1;
+            }
+        }
         let outcome = engine.evaluate_grouped_controlled(objective, &initial, control);
         self.diagnostics
             .quarantined
@@ -526,6 +607,22 @@ impl Boils {
                 train: cfg.train.clone(),
             },
         );
+        // Donor observations enter the GP first (prior shape only — they
+        // never join the history or the incumbent). A sequence the design
+        // already evaluated on *this* circuit is skipped: the exact
+        // target value is in the history, and a conflicting donor value
+        // would only smear it.
+        if let Some(warm) = &cfg.warm_start {
+            for (tokens, qor) in &warm.observations {
+                if tokens.is_empty()
+                    || !qor.is_finite()
+                    || history.iter().any(|r| &r.tokens == tokens)
+                {
+                    continue;
+                }
+                surrogate.seed(tokens.clone(), -qor);
+            }
+        }
         for record in &history {
             surrogate.observe(record.tokens.clone(), -record.point.qor);
         }

@@ -340,6 +340,21 @@ impl EvaluatorPool {
     pub fn circuits(&self) -> usize {
         lock(&self.templates).len()
     }
+
+    /// Per-circuit shared-tier counters — `(circuit content hash,
+    /// stats)`, sorted by hash for a stable listing. The admin surface
+    /// behind the daemon's `store-stats` op: pointer entries, dedup
+    /// savings and disk traffic per tenant circuit without attaching a
+    /// debugger.
+    pub fn store_stats(&self) -> Vec<(u64, crate::PrefixStats)> {
+        let templates = lock(&self.templates);
+        let mut rows: Vec<(u64, crate::PrefixStats)> = templates
+            .iter()
+            .map(|(&hash, template)| (hash, template.prefix_stats()))
+            .collect();
+        rows.sort_by_key(|&(hash, _)| hash);
+        rows
+    }
 }
 
 impl Default for EvaluatorPool {

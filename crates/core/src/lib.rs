@@ -46,7 +46,7 @@ mod result;
 mod sbo;
 mod space;
 
-pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError, RunDiagnostics};
+pub use crate::boils::{Acquisition, Boils, BoilsConfig, RunBoilsError, RunDiagnostics, WarmStart};
 pub use crate::control::{RunControl, StopReason};
 pub use crate::cost::{BuiltinCost, CostFn};
 pub use crate::eval::{
@@ -55,7 +55,7 @@ pub use crate::eval::{
 pub use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FAULT_PLAN_ENV};
 pub use crate::job::{EvaluatorPool, JobId, Priority, QueueFull, WorkerPool};
 pub use crate::prefix::{
-    PersistentPrefixStore, PrefixCache, PrefixStats, DEFAULT_PERSIST_BYTE_BUDGET,
+    PersistentPrefixStore, PrefixCache, PrefixStats, TransferDonor, DEFAULT_PERSIST_BYTE_BUDGET,
     DEFAULT_PREFIX_CAPACITY,
 };
 pub use crate::qor::{DegenerateReferenceError, Objective, QorEvaluator, QorPoint};

@@ -33,7 +33,7 @@ use boils_aig::Aig;
 
 mod store;
 
-pub use store::{PersistentPrefixStore, DEFAULT_PERSIST_BYTE_BUDGET};
+pub use store::{PersistentPrefixStore, TransferDonor, DEFAULT_PERSIST_BYTE_BUDGET};
 
 /// Number of lock shards (same rationale as the value cache: synthesis
 /// passes dwarf a cache probe, the shards just keep writers apart).
@@ -81,6 +81,17 @@ pub struct PrefixStats {
     /// Times a half-open probe write landed on a recovered disk and
     /// re-enabled a breaker-tripped store.
     pub store_reenables: usize,
+    /// Stores that found their intermediate's payload already on disk —
+    /// written for another prefix, another circuit, or another process —
+    /// and only added a pointer (the content-addressed dedup tier).
+    pub dedup_hits: usize,
+    /// Payload bytes *not* written thanks to dedup: the on-disk size of
+    /// each already-present payload a store call would otherwise have
+    /// serialised again.
+    pub payload_bytes_saved: u64,
+    /// Per-(circuit, prefix) pointer entries the store currently tracks
+    /// (several pointers may share one content-addressed payload).
+    pub pointer_entries: usize,
 }
 
 #[derive(Debug)]

@@ -1,31 +1,48 @@
 //! Disk-backed prefix store: the cross-process tier of the prefix cache.
 //!
 //! Every intermediate AIG reached while replaying a synthesis sequence is
-//! serialised to a directory as binary AIGER, keyed by (content hash of
-//! the base circuit, token-prefix bytes). A `boils-bench` sweep runs the
-//! same circuit through many methods, seeds and *processes*; the in-memory
-//! [`PrefixCache`](super::PrefixCache) dies with each evaluator, but this
-//! store lets every later run — warm restarts, other seeds, other methods,
-//! other processes — resume from work any earlier run already did.
+//! serialised to a directory as binary AIGER. A `boils-bench` sweep runs
+//! the same circuit through many methods, seeds and *processes*; the
+//! in-memory [`PrefixCache`](super::PrefixCache) dies with each evaluator,
+//! but this store lets every later run — warm restarts, other seeds, other
+//! methods, other processes — resume from work any earlier run already did.
+//!
+//! The store is **content-addressed** and split in two layers:
+//!
+//! * a **payload store** — each intermediate AIG lives in one file named
+//!   by its own [`Aig::content_hash`] (`p<hash>.aig`), written once and
+//!   checksummed; two circuits (or two prefixes of one circuit) whose
+//!   synthesis trajectories pass through the same structure share one
+//!   payload on disk, and
+//! * a **pointer index** — one tiny file per (circuit, prefix) key mapping
+//!   the prefix to its payload hash, so lookups stay keyed exactly as
+//!   before while the bytes dedup underneath.
+//!
+//! Entries written by the pre-split format (`bps1`: header + payload in
+//! one file) are adopted on open and *re-pointed* — the payload is moved
+//! into the content-addressed layer and the old file atomically replaced
+//! by a pointer — never rewritten in place, so a directory shared with
+//! older runs keeps every warm hit.
 //!
 //! Design constraints, in order:
 //!
-//! * **Never trusted blindly.** Each entry file carries a self-describing
-//!   header (magic, circuit hash, prefix, payload length, checksum); any
-//!   mismatch — truncation, bit rot, a foreign file, a half-written entry
-//!   from a crashed process — drops the entry and falls back to
+//! * **Never trusted blindly.** Pointers and payloads each carry a
+//!   self-describing header (magic, key, length, checksum); any mismatch —
+//!   truncation, bit rot, a foreign file, a dangling pointer whose payload
+//!   was evicted by another process — drops the entry and falls back to
 //!   recomputation. A bad cache can cost time, never correctness.
-//! * **Crash- and concurrency-safe writes.** Entries are written to a
-//!   process-unique temporary file and atomically renamed into place, so
+//! * **Crash- and concurrency-safe writes.** Files are written to a
+//!   process-unique temporary name and atomically renamed into place, so
 //!   readers (in this or any other process) only ever observe complete
-//!   entries. Racing writers of the same prefix produce identical bytes
-//!   (the transform pipeline is deterministic), so either rename winning
-//!   is correct.
-//! * **Bounded.** A byte budget (default 256 MiB) is enforced by evicting
-//!   the least-recently-stamped entries. The `index.tsv` file persists
-//!   sizes and stamps across runs; it is advisory — stale lines (files
-//!   meanwhile evicted by another process) are dropped on load, and
-//!   entry files missing from the index are adopted from a directory scan.
+//!   files. Racing writers of the same payload produce identical bytes
+//!   (the name *is* the content hash), so either rename winning is correct.
+//! * **Bounded.** A byte budget (default 256 MiB) is enforced by a
+//!   refcount-weighted LRU: unreferenced payloads go first, then the
+//!   least-recently-stamped pointers — a payload is deleted only once no
+//!   live pointer references it. The `index.tsv` file persists sizes,
+//!   stamps and pointer→payload edges across runs; it is advisory — stale
+//!   lines are dropped on load, and files missing from the index are
+//!   adopted from a directory scan.
 //!
 //! Restoring an entry yields an AIG **structurally identical** to the one
 //! that was written (the binary AIGER codec is round-trip stable, property
@@ -33,16 +50,23 @@
 //! top of a restored intermediate is bit-identical to a from-scratch
 //! replay — the invariant `crates/core/tests/persist.rs` additionally
 //! proves by SAT-mitering restored intermediates against fresh syntheses.
+//!
+//! On the same machinery the store keeps per-circuit **transfer metadata**
+//! (`t<circuit>.meta`): a [`CircuitFeatures`] vector plus the best
+//! (sequence, QoR) observations recorded by finished runs, so a new job on
+//! a structurally similar circuit can warm-start its search (see
+//! [`PersistentPrefixStore::transfer_donor`]). Metadata is advisory and
+//! never part of the byte budget or the fault-accounted write path.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use boils_aig::Aig;
+use boils_aig::{Aig, CircuitFeatures, CIRCUIT_FEATURE_DIM};
 
 use super::PrefixStats;
 use crate::fault::{FaultInjector, FaultKind, FaultOp};
@@ -52,11 +76,26 @@ use crate::fault::{FaultInjector, FaultKind, FaultOp};
 /// resident many times over, while bounding unattended cache directories.
 pub const DEFAULT_PERSIST_BYTE_BUDGET: u64 = 256 * 1024 * 1024;
 
-/// Magic tag opening every entry file (versioned: bump on layout change).
-const ENTRY_MAGIC: &str = "bps1";
+/// Magic tag of the pre-split entry format (header + payload in one
+/// file). Still *read* — and migrated — never written.
+const LEGACY_MAGIC: &str = "bps1";
+
+/// Magic tag opening every pointer file (versioned: bump on change).
+const POINTER_MAGIC: &str = "bpt1";
+
+/// Magic tag opening every content-addressed payload file.
+const PAYLOAD_MAGIC: &str = "bpp1";
+
+/// Magic tag opening every transfer-metadata file.
+const META_MAGIC: &str = "bpm1";
 
 /// Name of the advisory index file inside the store directory.
 const INDEX_FILE: &str = "index.tsv";
+
+/// Most (sequence, QoR) observations kept per circuit in the transfer
+/// metadata: enough to seed an initial design several times over, small
+/// enough that a fleet of circuits stays kilobytes.
+const TRANSFER_OBSERVATION_CAP: usize = 64;
 
 /// Probe-range size above which [`PersistentPrefixStore::longest_prefix`]
 /// batches its per-length filesystem probes into one directory listing.
@@ -64,7 +103,7 @@ const INDEX_FILE: &str = "index.tsv";
 /// beat scanning a shared directory.
 const LISTING_PROBE_THRESHOLD: usize = 32;
 
-/// Write attempts per entry (one initial try plus bounded retries): enough
+/// Write attempts per file (one initial try plus bounded retries): enough
 /// to ride out a transient failure — a torn write, a blip — without
 /// hammering a genuinely full disk.
 const WRITE_ATTEMPTS: usize = 3;
@@ -94,15 +133,278 @@ const ENABLED: usize = usize::MAX;
 /// at worst a deferred disk write, never a wrong value).
 const TOUCH_COUNT_CAP: usize = 8192;
 
+/// One pointer entry: a (circuit, prefix) key resolving to a payload.
+#[derive(Debug, Clone, Copy)]
+struct PointerRec {
+    /// Pointer file size on disk.
+    bytes: u64,
+    /// Last-touch stamp (LRU recency).
+    stamp: u64,
+    /// Content hash of the payload this pointer resolves to.
+    payload: u64,
+}
+
+/// One content-addressed payload: an intermediate AIG, stored once.
+#[derive(Debug, Clone, Copy)]
+struct PayloadRec {
+    /// Payload file size on disk.
+    bytes: u64,
+    /// Last-touch stamp (LRU recency).
+    stamp: u64,
+    /// Live pointers resolving to this payload (this instance's view);
+    /// `0` marks an orphan — evicted first when the budget presses.
+    refs: usize,
+}
+
 /// Mutable state: the in-memory mirror of the on-disk index.
 #[derive(Debug, Default)]
 struct Index {
-    /// Entry file name → (payload bytes on disk, last-touch stamp).
-    entries: HashMap<String, (u64, u64)>,
+    /// Pointer file name → record.
+    pointers: HashMap<String, PointerRec>,
+    /// Payload file name → record.
+    payloads: HashMap<String, PayloadRec>,
     /// Logical clock; starts above the largest stamp found on load.
     clock: u64,
-    /// Sum of all entry sizes (maintained incrementally).
+    /// Sum of all pointer and payload sizes (maintained incrementally).
     total_bytes: u64,
+}
+
+impl Index {
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Records (or refreshes) a pointer, wiring its payload's refcount:
+    /// a new pointer gains its payload a reference, a re-pointed one
+    /// moves the reference.
+    fn touch_pointer(&mut self, name: &str, bytes: u64, payload: u64) {
+        let stamp = self.next_stamp();
+        let previous = self.pointers.insert(
+            name.to_string(),
+            PointerRec {
+                bytes,
+                stamp,
+                payload,
+            },
+        );
+        self.total_bytes += bytes;
+        let mut gained = true;
+        if let Some(old) = previous {
+            self.total_bytes -= old.bytes;
+            if old.payload == payload {
+                gained = false;
+            } else if let Some(rec) = self.payloads.get_mut(&payload_file_name(old.payload)) {
+                rec.refs = rec.refs.saturating_sub(1);
+            }
+        }
+        if gained {
+            if let Some(rec) = self.payloads.get_mut(&payload_file_name(payload)) {
+                rec.refs += 1;
+            }
+        }
+    }
+
+    /// Records (or refreshes) a payload. A newly adopted payload counts
+    /// its references from the pointers already indexed — the one scan
+    /// that keeps `refs` exact no matter which order this instance
+    /// discovered the files in.
+    fn touch_payload(&mut self, name: &str, bytes: u64) {
+        let stamp = self.next_stamp();
+        if let Some(rec) = self.payloads.get_mut(name) {
+            self.total_bytes += bytes;
+            self.total_bytes -= rec.bytes;
+            rec.bytes = bytes;
+            rec.stamp = stamp;
+            return;
+        }
+        let refs = match parse_payload_name(name) {
+            Some(hash) => self.pointers.values().filter(|p| p.payload == hash).count(),
+            None => 0,
+        };
+        self.payloads
+            .insert(name.to_string(), PayloadRec { bytes, stamp, refs });
+        self.total_bytes += bytes;
+    }
+
+    /// Drops a pointer record (its file is already gone), releasing its
+    /// payload reference. The payload itself stays — other pointers (or
+    /// other processes) may still resolve to it; an orphan is reclaimed
+    /// by the byte budget, never yanked from under a live reader.
+    fn forget_pointer(&mut self, name: &str) {
+        if let Some(rec) = self.pointers.remove(name) {
+            self.total_bytes -= rec.bytes;
+            if let Some(payload) = self.payloads.get_mut(&payload_file_name(rec.payload)) {
+                payload.refs = payload.refs.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Drops a payload record (its file is already gone).
+    fn forget_payload(&mut self, name: &str) {
+        if let Some(rec) = self.payloads.remove(name) {
+            self.total_bytes -= rec.bytes;
+        }
+    }
+}
+
+/// File name of a content-addressed payload. The `p` prefix cannot
+/// collide with pointer names (which open with 16 hex digits).
+fn payload_file_name(payload_hash: u64) -> String {
+    format!("p{payload_hash:016x}.aig")
+}
+
+/// Parses a payload file name back to its content hash.
+fn parse_payload_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix('p')?.strip_suffix(".aig")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Parses a pointer file name to `(circuit_hash, prefix_hex)`.
+fn parse_pointer_name(name: &str) -> Option<(u64, &str)> {
+    let stem = name.strip_suffix(".aig")?;
+    let (circuit_hex, prefix_hex) = stem.split_once('-')?;
+    if circuit_hex.len() != 16 {
+        return None;
+    }
+    let circuit = u64::from_str_radix(circuit_hex, 16).ok()?;
+    if prefix_hex.len() % 2 != 0 || !prefix_hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some((circuit, prefix_hex))
+}
+
+/// The hex spelling of a token prefix (the key spelling used in file
+/// names, pointer bodies and legacy headers alike).
+fn prefix_hex(prefix: &[u8]) -> String {
+    let mut hex = String::with_capacity(2 * prefix.len());
+    for &token in prefix {
+        let _ = write!(hex, "{token:02x}"); // writing to a String cannot fail
+    }
+    hex
+}
+
+/// Serialises one pointer file: a single self-describing line.
+fn encode_pointer(circuit: u64, prefix_hex: &str, payload_hash: u64) -> Vec<u8> {
+    format!("{POINTER_MAGIC} {circuit:016x} {prefix_hex} {payload_hash:016x}\n").into_bytes()
+}
+
+/// Validates a pointer file against its expected key; returns the payload
+/// hash. Strict whole-content validation: any flipped byte — including
+/// the trailing newline — makes the pointer untrusted.
+fn decode_pointer(bytes: &[u8], circuit: u64, expected_prefix_hex: &str) -> Option<u64> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let line = text.strip_suffix('\n')?;
+    if line.contains('\n') {
+        return None;
+    }
+    let mut fields = line.split(' ');
+    if fields.next()? != POINTER_MAGIC {
+        return None;
+    }
+    if u64::from_str_radix(fields.next()?, 16).ok()? != circuit {
+        return None;
+    }
+    if fields.next()? != expected_prefix_hex {
+        return None;
+    }
+    let payload = u64::from_str_radix(fields.next()?, 16).ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Serialises one payload file: a self-describing header naming the
+/// content hash, then the binary AIGER bytes.
+fn encode_payload(payload_hash: u64, aig: &Aig) -> Vec<u8> {
+    let mut payload = Vec::new();
+    // Writing to a Vec cannot fail; were it somehow cut short, the
+    // checksum below covers exactly the bytes present, and the AIGER
+    // parse on read drops the entry — corrupt, never wrong.
+    let _ = aig.write_aig_binary(&mut payload);
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    let header = format!(
+        "{PAYLOAD_MAGIC} {payload_hash:016x} {} {:016x}\n",
+        payload.len(),
+        boils_aig::fnv1a64(&payload)
+    );
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates and parses a payload file. Beyond the header checks the
+/// restored AIG must hash back to the name it was stored under — the
+/// content address *is* the contract.
+fn decode_payload(bytes: &[u8], payload_hash: u64) -> Option<Aig> {
+    let newline = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+    let mut fields = header.split(' ');
+    if fields.next()? != PAYLOAD_MAGIC {
+        return None;
+    }
+    if u64::from_str_radix(fields.next()?, 16).ok()? != payload_hash {
+        return None;
+    }
+    let payload_len: usize = fields.next()?.parse().ok()?;
+    let checksum = u64::from_str_radix(fields.next()?, 16).ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let payload = bytes.get(newline + 1..)?;
+    if payload.len() != payload_len || boils_aig::fnv1a64(payload) != checksum {
+        return None;
+    }
+    let aig = Aig::read_aig_binary(payload).ok()?;
+    if aig.content_hash() != payload_hash {
+        return None;
+    }
+    Some(aig)
+}
+
+/// Validates and parses a pre-split (`bps1`) entry against the key its
+/// file name spells. `None` means "do not trust this entry".
+fn decode_legacy(bytes: &[u8], circuit: u64, expected_prefix_hex: &str) -> Option<Aig> {
+    let newline = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+    let mut fields = header.split(' ');
+    if fields.next()? != LEGACY_MAGIC {
+        return None;
+    }
+    if u64::from_str_radix(fields.next()?, 16).ok()? != circuit {
+        return None;
+    }
+    if fields.next()? != expected_prefix_hex {
+        return None;
+    }
+    let payload_len: usize = fields.next()?.parse().ok()?;
+    let checksum = u64::from_str_radix(fields.next()?, 16).ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let payload = bytes.get(newline + 1..)?;
+    if payload.len() != payload_len || boils_aig::fnv1a64(payload) != checksum {
+        return None;
+    }
+    Aig::read_aig_binary(payload).ok()
+}
+
+/// A transfer donor: the most feature-similar circuit the store has
+/// recorded history for, with its best observations (QoR ascending).
+#[derive(Debug, Clone)]
+pub struct TransferDonor {
+    /// Content hash of the donor circuit.
+    pub circuit_hash: u64,
+    /// Feature-space similarity to the querying circuit, in `(0, 1]`.
+    pub similarity: f64,
+    /// The donor's recorded `(sequence, qor)` observations, best first.
+    /// Costs are the *donor's* — a warm-started run re-evaluates every
+    /// transferred sequence exactly on its own circuit.
+    pub observations: Vec<(Vec<u8>, f64)>,
 }
 
 /// A disk-backed store of intermediate AIGs keyed by token prefix.
@@ -110,7 +412,8 @@ struct Index {
 /// One store instance serves one base circuit (identified by
 /// [`Aig::content_hash`]); several evaluators — in this process or others —
 /// may point at the same directory concurrently, including for different
-/// circuits (the circuit hash is part of every entry's key).
+/// circuits. Pointer keys carry the circuit hash, while payloads are
+/// content-addressed and shared across circuits.
 #[derive(Debug)]
 pub struct PersistentPrefixStore {
     dir: PathBuf,
@@ -121,6 +424,11 @@ pub struct PersistentPrefixStore {
     disk_writes: AtomicUsize,
     corrupt_dropped: AtomicUsize,
     evictions: AtomicUsize,
+    /// Stores that found their payload already on disk and only wrote a
+    /// pointer (the content-addressed dedup tier at work).
+    dedup_hits: AtomicUsize,
+    /// Payload bytes not rewritten thanks to dedup.
+    payload_bytes_saved: AtomicU64,
     /// Deterministic fault injection for tests and resilience drills
     /// (`None` in production: one branch per instrumented operation).
     fault: Option<Arc<FaultInjector>>,
@@ -152,9 +460,12 @@ impl PersistentPrefixStore {
     /// the given content hash and the default byte budget.
     ///
     /// Loading is tolerant by construction: malformed index lines and
-    /// index entries whose file has meanwhile disappeared are dropped, and
-    /// entry files the index does not know about are adopted from a
-    /// directory scan.
+    /// index entries whose file has meanwhile disappeared are dropped,
+    /// files the index does not know about are adopted from a directory
+    /// scan, and entries in the pre-split format are *migrated* — their
+    /// payload moved into the content-addressed layer and the entry file
+    /// atomically replaced by a pointer, preserving every warm hit with
+    /// zero recomputation.
     ///
     /// # Errors
     ///
@@ -164,24 +475,43 @@ impl PersistentPrefixStore {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let mut index = Index::default();
-        // Advisory stamps from the index file (sizes are re-checked below).
-        let mut stamps: HashMap<String, u64> = HashMap::new();
+        // Advisory index lines: sizes are re-checked against the stat
+        // below; a pointer line whose size matches is trusted without a
+        // read (its 4th field carries the payload hash).
+        struct Line {
+            bytes: u64,
+            stamp: u64,
+            payload: Option<u64>,
+        }
+        let mut lines: HashMap<String, Line> = HashMap::new();
         if let Ok(text) = fs::read_to_string(dir.join(INDEX_FILE)) {
             for line in text.lines() {
                 let mut fields = line.split('\t');
-                let (Some(name), Some(_bytes), Some(stamp)) =
+                let (Some(name), Some(bytes), Some(stamp)) =
                     (fields.next(), fields.next(), fields.next())
                 else {
                     continue; // malformed line: ignore
                 };
-                if let Ok(stamp) = stamp.parse::<u64>() {
-                    stamps.insert(name.to_string(), stamp);
+                let payload = fields
+                    .next()
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok());
+                if let (Ok(bytes), Ok(stamp)) = (bytes.parse::<u64>(), stamp.parse::<u64>()) {
+                    lines.insert(
+                        name.to_string(),
+                        Line {
+                            bytes,
+                            stamp,
+                            payload,
+                        },
+                    );
                 }
             }
         }
-        // The directory is the source of truth: adopt every entry file,
-        // with its index stamp when known (stale index lines simply find
-        // no file and vanish; unknown files get stamp 0 = oldest).
+        // The directory is the source of truth. Payloads and index-known
+        // pointers adopt by stat alone; everything else (legacy entries,
+        // pointers the index has not seen) is read and classified.
+        let mut classify: Vec<(String, u64)> = Vec::new();
+        let mut pre_dropped = 0usize;
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
@@ -202,30 +532,69 @@ impl PersistentPrefixStore {
                 continue;
             }
             if !name.ends_with(".aig") {
-                continue;
+                continue; // index.tsv, transfer metadata, foreign files
             }
             let Ok(meta) = entry.metadata() else {
                 continue;
             };
             // saturating: a garbage index may carry stamp u64::MAX.
-            let stamp = stamps.get(&name).copied().unwrap_or(0);
+            let stamp = lines.get(&name).map_or(0, |line| line.stamp);
             index.clock = index.clock.max(stamp.saturating_add(1));
-            index.total_bytes += meta.len();
-            index.entries.insert(name, (meta.len(), stamp));
+            if parse_payload_name(&name).is_some() {
+                // A payload whose on-disk size disagrees with its index
+                // line was torn after it was indexed. It is content-
+                // addressed — rewritable from recomputation at any time —
+                // so drop it rather than let the dedup path point new
+                // entries at damaged bytes. (Unindexed payloads adopt by
+                // stat; loads still validate every byte.)
+                if lines
+                    .get(&name)
+                    .is_some_and(|line| line.bytes != meta.len())
+                {
+                    let _ = fs::remove_file(entry.path());
+                    pre_dropped += 1;
+                    continue;
+                }
+                index.payloads.insert(
+                    name,
+                    PayloadRec {
+                        bytes: meta.len(),
+                        stamp,
+                        refs: 0, // rebuilt from pointers below
+                    },
+                );
+                index.total_bytes += meta.len();
+                continue;
+            }
+            if let Some(line) = lines.get(&name) {
+                if let Some(payload) = line.payload {
+                    if line.bytes == meta.len() {
+                        index.pointers.insert(
+                            name,
+                            PointerRec {
+                                bytes: meta.len(),
+                                stamp,
+                                payload,
+                            },
+                        );
+                        index.total_bytes += meta.len();
+                        continue;
+                    }
+                }
+            }
+            classify.push((name, stamp));
         }
-        // Deliberately no budget enforcement here: a caller raising the
-        // cap via `with_byte_budget` must get a chance to do so before
-        // any pre-existing (possibly larger) contents are evicted. The
-        // budget is applied on the first write instead.
-        Ok(PersistentPrefixStore {
+        let store = PersistentPrefixStore {
             dir,
             circuit_hash,
             byte_budget: DEFAULT_PERSIST_BYTE_BUDGET,
             index: Mutex::new(index),
             disk_hits: AtomicUsize::new(0),
             disk_writes: AtomicUsize::new(0),
-            corrupt_dropped: AtomicUsize::new(0),
+            corrupt_dropped: AtomicUsize::new(pre_dropped),
             evictions: AtomicUsize::new(0),
+            dedup_hits: AtomicUsize::new(0),
+            payload_bytes_saved: AtomicU64::new(0),
             fault: None,
             write_failures: AtomicUsize::new(0),
             write_retries: AtomicUsize::new(0),
@@ -235,7 +604,129 @@ impl PersistentPrefixStore {
             reenables: AtomicUsize::new(0),
             persist_threshold: 1,
             touch_counts: Mutex::new(HashMap::new()),
-        })
+        };
+        for (name, stamp) in classify {
+            store.classify_entry(&name, stamp);
+        }
+        {
+            // Set payload refcounts from the adopted pointers (idempotent:
+            // overwrites anything the classification pass wired).
+            let mut index = store.lock_index();
+            let mut refs: HashMap<String, usize> = HashMap::new();
+            for rec in index.pointers.values() {
+                *refs.entry(payload_file_name(rec.payload)).or_insert(0) += 1;
+            }
+            for (name, rec) in &mut index.payloads {
+                rec.refs = refs.get(name).copied().unwrap_or(0);
+            }
+        }
+        // Deliberately no budget enforcement here: a caller raising the
+        // cap via `with_byte_budget` must get a chance to do so before
+        // any pre-existing (possibly larger) contents are evicted. The
+        // budget is applied on the first write instead.
+        Ok(store)
+    }
+
+    /// Reads and classifies one dash-named entry file the index could not
+    /// vouch for: a pointer adopts, a legacy entry migrates, anything
+    /// else — a file that parses as neither under the key its own name
+    /// spells — is deleted (it can never serve a hit, only waste budget).
+    fn classify_entry(&self, name: &str, stamp: u64) {
+        let path = self.dir.join(name);
+        let Some((circuit, prefix_hex)) = parse_pointer_name(name) else {
+            let _ = fs::remove_file(&path);
+            return;
+        };
+        let Ok(bytes) = fs::read(&path) else {
+            return; // transient read failure: leave it for a later probe
+        };
+        if let Some(payload) = decode_pointer(&bytes, circuit, prefix_hex) {
+            let mut index = self.lock_index();
+            index.pointers.insert(
+                name.to_string(),
+                PointerRec {
+                    bytes: bytes.len() as u64,
+                    stamp,
+                    payload,
+                },
+            );
+            index.total_bytes += bytes.len() as u64;
+            // Wire the payload edge when the payload is already indexed;
+            // open-time adoptions are recounted in one pass afterwards,
+            // later payload adoptions recount via `touch_payload`.
+            if let Some(rec) = index.payloads.get_mut(&payload_file_name(payload)) {
+                rec.refs += 1;
+            }
+            return;
+        }
+        if let Some(aig) = decode_legacy(&bytes, circuit, prefix_hex) {
+            self.migrate_legacy(name, circuit, prefix_hex, &aig);
+            return;
+        }
+        // The name spelled a valid key but the content validates as
+        // neither format: corrupt, dropped, never trusted.
+        self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(&path);
+    }
+
+    /// Re-points one validated legacy entry: its payload moves into the
+    /// content-addressed layer (unless already there — dedup applies to
+    /// migration too) and the entry file is atomically replaced by a
+    /// pointer. Best-effort: a failed write leaves the legacy file
+    /// untouched and readable — migration never costs a warm hit, and
+    /// its writes are maintenance, not load, so they skip the fault
+    /// injector and the circuit breaker alike.
+    fn migrate_legacy(&self, name: &str, circuit: u64, prefix_hex: &str, aig: &Aig) {
+        let payload_hash = aig.content_hash();
+        let payload_name = payload_file_name(payload_hash);
+        let payload_path = self.dir.join(&payload_name);
+        let payload_bytes = if payload_path.exists() {
+            fs::metadata(&payload_path).map(|m| m.len()).ok()
+        } else {
+            let bytes = encode_payload(payload_hash, aig);
+            self.plain_replace(&payload_name, &bytes)
+                .then_some(bytes.len() as u64)
+        };
+        let Some(payload_bytes) = payload_bytes else {
+            // Payload did not land: keep the legacy file as-is but index
+            // it as a (fat) pointer so the budget still sees its bytes;
+            // `load` reads legacy entries transparently.
+            let legacy_len = fs::metadata(self.dir.join(name))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            self.lock_index()
+                .touch_pointer(name, legacy_len, payload_hash);
+            return;
+        };
+        let pointer = encode_pointer(circuit, prefix_hex, payload_hash);
+        let pointer_bytes = if self.plain_replace(name, &pointer) {
+            pointer.len() as u64
+        } else {
+            fs::metadata(self.dir.join(name))
+                .map(|m| m.len())
+                .unwrap_or(0)
+        };
+        let mut index = self.lock_index();
+        index.touch_payload(&payload_name, payload_bytes);
+        index.touch_pointer(name, pointer_bytes, payload_hash);
+    }
+
+    /// An un-instrumented tempfile + atomic-rename write for maintenance
+    /// paths (migration, transfer metadata): best-effort, no fault
+    /// injection, no breaker accounting.
+    fn plain_replace(&self, name: &str, bytes: &[u8]) -> bool {
+        let stamp = {
+            let mut index = self.lock_index();
+            index.next_stamp()
+        };
+        let tmp = self
+            .dir
+            .join(format!(".{}.{}.{}.tmp", std::process::id(), stamp, name));
+        let ok = fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, self.dir.join(name)).is_ok();
+        if !ok {
+            let _ = fs::remove_file(&tmp);
+        }
+        ok
     }
 
     /// Opens a store keyed for `base` (see [`PersistentPrefixStore::open`]).
@@ -247,8 +738,8 @@ impl PersistentPrefixStore {
         PersistentPrefixStore::open(dir, base.content_hash())
     }
 
-    /// Caps the store at `bytes` of entry payload, evicting immediately if
-    /// the current contents exceed the new budget.
+    /// Caps the store at `bytes` of pointer + payload files, evicting
+    /// immediately if the current contents exceed the new budget.
     pub fn with_byte_budget(mut self, bytes: u64) -> PersistentPrefixStore {
         self.byte_budget = bytes;
         self.enforce_budget();
@@ -320,29 +811,41 @@ impl PersistentPrefixStore {
         self.byte_budget
     }
 
-    /// Number of entries this instance currently believes are on disk.
+    /// Number of pointer entries this instance currently believes are on
+    /// disk (across every circuit sharing the directory).
     pub fn len(&self) -> usize {
-        self.lock_index().entries.len()
+        self.lock_index().pointers.len()
     }
 
-    /// Whether the store holds no entries.
+    /// Whether the store holds no pointer entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total entry bytes this instance currently believes are on disk.
+    /// Total pointer + payload bytes this instance currently believes are
+    /// on disk.
     pub fn total_bytes(&self) -> u64 {
         self.lock_index().total_bytes
     }
 
+    /// Number of content-addressed payloads this instance tracks.
+    pub fn payload_count(&self) -> usize {
+        self.lock_index().payloads.len()
+    }
+
+    /// Total payload bytes this instance tracks (the dedup-shared layer;
+    /// excludes the tiny pointer files).
+    pub fn payload_bytes(&self) -> u64 {
+        self.lock_index()
+            .payloads
+            .values()
+            .map(|rec| rec.bytes)
+            .sum()
+    }
+
     /// Entry file name for a prefix under this store's circuit.
     fn entry_name(&self, prefix: &[u8]) -> String {
-        let mut name = format!("{:016x}-", self.circuit_hash);
-        for &token in prefix {
-            let _ = write!(name, "{token:02x}"); // writing to a String cannot fail
-        }
-        name.push_str(".aig");
-        name
+        format!("{:016x}-{}.aig", self.circuit_hash, prefix_hex(prefix))
     }
 
     /// The longest stored prefix of `tokens` strictly longer than `floor`,
@@ -402,7 +905,8 @@ impl PersistentPrefixStore {
     }
 
     /// Loads and validates one entry, without hit accounting. Returns
-    /// `None` — after dropping the entry — on any validation failure.
+    /// `None` — after dropping whatever failed validation — on any
+    /// pointer, payload or legacy-entry failure.
     pub fn load(&self, prefix: &[u8]) -> Option<Aig> {
         let name = self.entry_name(prefix);
         let path = self.dir.join(&name);
@@ -416,32 +920,87 @@ impl PersistentPrefixStore {
                 // read error is transient — the entry may be perfectly
                 // healthy, so it stays indexed and this is a plain miss.
                 if error.kind() == io::ErrorKind::NotFound {
-                    self.forget(&name);
+                    self.lock_index().forget_pointer(&name);
                 }
                 return None;
             }
         };
-        match self.decode(prefix, &bytes) {
+        let hex = prefix_hex(prefix);
+        if let Some(payload_hash) = decode_pointer(&bytes, self.circuit_hash, &hex) {
+            return self.load_payload(&name, bytes.len() as u64, payload_hash);
+        }
+        if let Some(aig) = decode_legacy(&bytes, self.circuit_hash, &hex) {
+            // A pre-split entry written by an older process after our
+            // open-time scan: serve the hit and re-point it in passing.
+            self.migrate_legacy(&name, self.circuit_hash, &hex, &aig);
+            return Some(aig);
+        }
+        // Truncated, bit-rotted, foreign, or stale-format: drop it so
+        // the next probe does not pay the read again.
+        self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(&path);
+        self.lock_index().forget_pointer(&name);
+        None
+    }
+
+    /// Resolves a validated pointer to its payload: reads, validates and
+    /// parses the content-addressed file. A dangling pointer (payload
+    /// evicted, possibly by another process) or a corrupt payload drops
+    /// everything that failed — never trusted, never served.
+    fn load_payload(
+        &self,
+        pointer_name: &str,
+        pointer_bytes: u64,
+        payload_hash: u64,
+    ) -> Option<Aig> {
+        let payload_name = payload_file_name(payload_hash);
+        let payload_path = self.dir.join(&payload_name);
+        let bytes = match self.faulted_read(&payload_path) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                if error.kind() == io::ErrorKind::NotFound {
+                    // Dangling pointer: its payload is gone for good.
+                    self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    let _ = fs::remove_file(self.dir.join(pointer_name));
+                    let mut index = self.lock_index();
+                    index.forget_pointer(pointer_name);
+                    index.forget_payload(&payload_name);
+                }
+                return None;
+            }
+        };
+        match decode_payload(&bytes, payload_hash) {
             Some(aig) => {
-                self.touch(&name, bytes.len() as u64);
+                let mut index = self.lock_index();
+                index.touch_payload(&payload_name, bytes.len() as u64);
+                index.touch_pointer(pointer_name, pointer_bytes, payload_hash);
                 Some(aig)
             }
             None => {
-                // Truncated, bit-rotted, foreign, or stale-format: drop it
-                // so the next probe does not pay the read again.
+                // One corruption event, even though two files fall: the
+                // payload is the broken artefact, the pointer merely
+                // referenced it.
                 self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
-                let _ = fs::remove_file(&path);
-                self.forget(&name);
+                let _ = fs::remove_file(&payload_path);
+                let _ = fs::remove_file(self.dir.join(pointer_name));
+                let mut index = self.lock_index();
+                index.forget_pointer(pointer_name);
+                index.forget_payload(&payload_name);
                 None
             }
         }
     }
 
-    /// Serialises the intermediate reached after `prefix`, unless an entry
-    /// for it already exists. Failures never fail evaluation — the store
-    /// is an accelerator — but they are *counted*, not swallowed: each
-    /// write gets bounded retries (`WRITE_ATTEMPTS`), a write that still
-    /// fails lands in `disk_write_failures`, and `BREAKER_THRESHOLD`
+    /// Serialises the intermediate reached after `prefix`, unless a
+    /// pointer for it already exists. The payload is content-addressed:
+    /// when the intermediate's bytes are already on disk — written for
+    /// another prefix, another circuit, or by another process — only the
+    /// tiny pointer is written and the call books a `dedup_hit`.
+    ///
+    /// Failures never fail evaluation — the store is an accelerator —
+    /// but they are *counted*, not swallowed: each file write gets
+    /// bounded retries (`WRITE_ATTEMPTS`), a store call that still fails
+    /// lands once in `disk_write_failures`, and `BREAKER_THRESHOLD`
     /// consecutive hard failures trip the circuit breaker, flipping the
     /// store to memory-only (a dead disk costs one failed syscall per
     /// write forever otherwise). The breaker is *half-open*: after
@@ -454,7 +1013,7 @@ impl PersistentPrefixStore {
         let name = self.entry_name(prefix);
         {
             let index = self.lock_index();
-            if index.entries.contains_key(&name) {
+            if index.pointers.contains_key(&name) {
                 return;
             }
         }
@@ -481,27 +1040,86 @@ impl PersistentPrefixStore {
         }
         let path = self.dir.join(&name);
         if path.exists() {
-            // Another process wrote it since our index was loaded; adopt.
-            if let Ok(meta) = fs::metadata(&path) {
-                self.touch(&name, meta.len());
-            }
+            // Another process wrote this pointer since our index was
+            // loaded; adopt it (and its payload edge) rather than race.
+            let stamp = self.lock_index().next_stamp();
+            self.classify_entry(&name, stamp);
             return;
         }
-        let bytes = self.encode(prefix, aig);
-        // Tempfile + rename: the process id and logical clock make the
-        // temporary name unique among concurrent writers, and the rename
-        // is atomic, so no reader ever sees a partial entry.
+        let payload_hash = aig.content_hash();
+        let payload_name = payload_file_name(payload_hash);
+        let payload_path = self.dir.join(&payload_name);
+        let mut known_payload_bytes = {
+            let index = self.lock_index();
+            index.payloads.get(&payload_name).map(|rec| rec.bytes)
+        };
+        if known_payload_bytes.is_none() && payload_path.exists() {
+            // Written for another circuit or by another process since our
+            // scan: adopt it by size, no read needed (loads validate).
+            if let Ok(meta) = fs::metadata(&payload_path) {
+                let mut index = self.lock_index();
+                index.touch_payload(&payload_name, meta.len());
+                known_payload_bytes = Some(meta.len());
+            }
+        }
+        if let Some(bytes) = known_payload_bytes {
+            // The content-addressed tier already holds this intermediate:
+            // the whole payload write is saved, only a pointer follows.
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            self.payload_bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+            self.lock_index().touch_payload(&payload_name, bytes);
+        } else {
+            let bytes = encode_payload(payload_hash, aig);
+            if !self.write_file(&payload_name, &bytes) {
+                self.record_write_failure();
+                return;
+            }
+            let mut index = self.lock_index();
+            index.touch_payload(&payload_name, bytes.len() as u64);
+        }
+        let pointer = encode_pointer(self.circuit_hash, &prefix_hex(prefix), payload_hash);
+        if !self.write_file(&name, &pointer) {
+            // The payload (if newly written) stays as an unreferenced
+            // orphan: harmless, reclaimed by the byte budget.
+            self.record_write_failure();
+            return;
+        }
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        // A successful write while the breaker was open is a landed
+        // half-open probe: the disk recovered, close the breaker.
+        if self.disabled_at.swap(ENABLED, Ordering::Relaxed) != ENABLED {
+            self.reenables.fetch_add(1, Ordering::Relaxed);
+            self.disabled_skips.store(0, Ordering::Relaxed);
+        }
+        let writes = self.disk_writes.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut index = self.lock_index();
+            index.touch_pointer(&name, pointer.len() as u64, payload_hash);
+        }
+        self.enforce_budget();
+        // The index file is advisory (the directory scan on open adopts
+        // unlisted entries), so amortise its rewrite across entry writes;
+        // `Drop` persists the final state.
+        if writes.is_multiple_of(32) {
+            self.persist_index();
+        }
+    }
+
+    /// Writes one file through the instrumented tempfile + atomic-rename
+    /// path with bounded retries; `false` when the write ultimately
+    /// failed (the caller books the failure — at most once per store
+    /// call).
+    fn write_file(&self, name: &str, bytes: &[u8]) -> bool {
         let stamp = {
             let mut index = self.lock_index();
-            index.clock += 1;
-            index.clock
+            index.next_stamp()
         };
         let tmp = self
             .dir
             .join(format!(".{}.{}.{}.tmp", std::process::id(), stamp, name));
         let mut wrote = false;
         for attempt in 1..=WRITE_ATTEMPTS {
-            match self.try_write(&tmp, &bytes) {
+            match self.try_write(&tmp, bytes) {
                 Ok(()) => {
                     wrote = true;
                     break;
@@ -515,30 +1133,13 @@ impl PersistentPrefixStore {
             }
         }
         if !wrote {
-            self.record_write_failure();
-            return;
+            return false;
         }
-        if self.faulted_rename(&tmp, &path).is_err() {
+        if self.faulted_rename(&tmp, &self.dir.join(name)).is_err() {
             let _ = fs::remove_file(&tmp);
-            self.record_write_failure();
-            return;
+            return false;
         }
-        self.consecutive_failures.store(0, Ordering::Relaxed);
-        // A successful write while the breaker was open is a landed
-        // half-open probe: the disk recovered, close the breaker.
-        if self.disabled_at.swap(ENABLED, Ordering::Relaxed) != ENABLED {
-            self.reenables.fetch_add(1, Ordering::Relaxed);
-            self.disabled_skips.store(0, Ordering::Relaxed);
-        }
-        let writes = self.disk_writes.fetch_add(1, Ordering::Relaxed) + 1;
-        self.touch(&name, bytes.len() as u64);
-        self.enforce_budget();
-        // The index file is advisory (the directory scan on open adopts
-        // unlisted entries), so amortise its rewrite across entry writes;
-        // `Drop` persists the final state.
-        if writes.is_multiple_of(32) {
-            self.persist_index();
-        }
+        true
     }
 
     /// One write attempt with post-write verification: a short write —
@@ -654,6 +1255,9 @@ impl PersistentPrefixStore {
         stats.disk_write_failures += self.write_failures.load(Ordering::Relaxed);
         stats.disk_retries += self.write_retries.load(Ordering::Relaxed);
         stats.store_reenables += self.reenables.load(Ordering::Relaxed);
+        stats.dedup_hits += self.dedup_hits.load(Ordering::Relaxed);
+        stats.payload_bytes_saved += self.payload_bytes_saved.load(Ordering::Relaxed);
+        stats.pointer_entries += self.len();
         if let Some(at) = self.disabled_at() {
             stats.store_disabled_at = Some(stats.store_disabled_at.map_or(at, |prev| prev.min(at)));
         }
@@ -666,87 +1270,11 @@ impl PersistentPrefixStore {
         stats
     }
 
-    /// Entry payload: a one-line self-describing header followed by the
-    /// binary AIGER serialisation of the intermediate AIG.
-    fn encode(&self, prefix: &[u8], aig: &Aig) -> Vec<u8> {
-        let mut payload = Vec::new();
-        // Writing to a Vec cannot fail; were it somehow cut short, the
-        // checksum below covers exactly the bytes present, and the AIGER
-        // parse on read drops the entry — corrupt, never wrong.
-        let _ = aig.write_aig_binary(&mut payload);
-        let mut out = Vec::with_capacity(payload.len() + 96);
-        let mut header = format!("{ENTRY_MAGIC} {:016x} ", self.circuit_hash);
-        for &token in prefix {
-            let _ = write!(header, "{token:02x}");
-        }
-        let _ = write!(
-            header,
-            " {} {:016x}",
-            payload.len(),
-            boils_aig::fnv1a64(&payload)
-        );
-        header.push('\n');
-        out.extend_from_slice(header.as_bytes());
-        out.extend_from_slice(&payload);
-        out
-    }
-
-    /// Validates and parses one entry's bytes. `None` means "do not trust
-    /// this entry" — the caller drops it.
-    fn decode(&self, prefix: &[u8], bytes: &[u8]) -> Option<Aig> {
-        let newline = bytes.iter().position(|&b| b == b'\n')?;
-        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
-        let mut fields = header.split(' ');
-        if fields.next()? != ENTRY_MAGIC {
-            return None;
-        }
-        let circuit = u64::from_str_radix(fields.next()?, 16).ok()?;
-        if circuit != self.circuit_hash {
-            return None;
-        }
-        let prefix_hex = fields.next()?;
-        if prefix_hex.len() != 2 * prefix.len() {
-            return None;
-        }
-        for (chunk, &token) in prefix_hex.as_bytes().chunks(2).zip(prefix) {
-            let hex = std::str::from_utf8(chunk).ok()?;
-            if u8::from_str_radix(hex, 16).ok()? != token {
-                return None;
-            }
-        }
-        let payload_len: usize = fields.next()?.parse().ok()?;
-        let checksum = u64::from_str_radix(fields.next()?, 16).ok()?;
-        if fields.next().is_some() {
-            return None;
-        }
-        let payload = bytes.get(newline + 1..)?;
-        if payload.len() != payload_len || boils_aig::fnv1a64(payload) != checksum {
-            return None;
-        }
-        Aig::read_aig_binary(payload).ok()
-    }
-
-    /// Records (or refreshes) an entry in the in-memory index.
-    fn touch(&self, name: &str, bytes: u64) {
-        let mut index = self.lock_index();
-        index.clock += 1;
-        let stamp = index.clock;
-        let previous = index.entries.insert(name.to_string(), (bytes, stamp));
-        index.total_bytes += bytes;
-        if let Some((old_bytes, _)) = previous {
-            index.total_bytes -= old_bytes;
-        }
-    }
-
-    /// Drops an entry from the in-memory index (the file is already gone).
-    fn forget(&self, name: &str) {
-        let mut index = self.lock_index();
-        if let Some((bytes, _)) = index.entries.remove(name) {
-            index.total_bytes -= bytes;
-        }
-    }
-
-    /// Deletes least-recently-stamped entries until the byte budget holds.
+    /// Deletes files until the byte budget holds, refcount-weighted:
+    /// unreferenced payloads go first (nothing can resolve to them),
+    /// then the least-recently-stamped pointers — each released payload
+    /// reference cascades the payload itself once nothing points at it.
+    /// A payload with a live pointer is **never** deleted.
     fn enforce_budget(&self) {
         let mut victims: Vec<String> = Vec::new();
         {
@@ -754,19 +1282,48 @@ impl PersistentPrefixStore {
             if index.total_bytes <= self.byte_budget {
                 return;
             }
-            let mut by_age: Vec<(u64, String, u64)> = index
-                .entries
+            let mut orphans: Vec<(u64, String, u64)> = index
+                .payloads
                 .iter()
-                .map(|(name, &(bytes, stamp))| (stamp, name.clone(), bytes))
+                .filter(|(_, rec)| rec.refs == 0)
+                .map(|(name, rec)| (rec.stamp, name.clone(), rec.bytes))
                 .collect();
-            by_age.sort(); // oldest stamp first; name breaks ties stably
-            for (_, name, bytes) in by_age {
+            orphans.sort(); // oldest stamp first; name breaks ties stably
+            for (_, name, bytes) in orphans {
                 if index.total_bytes <= self.byte_budget {
                     break;
                 }
+                index.payloads.remove(&name);
                 index.total_bytes -= bytes;
-                index.entries.remove(&name);
                 victims.push(name);
+            }
+            if index.total_bytes > self.byte_budget {
+                let mut by_age: Vec<(u64, String)> = index
+                    .pointers
+                    .iter()
+                    .map(|(name, rec)| (rec.stamp, name.clone()))
+                    .collect();
+                by_age.sort();
+                for (_, name) in by_age {
+                    if index.total_bytes <= self.byte_budget {
+                        break;
+                    }
+                    let Some(rec) = index.pointers.remove(&name) else {
+                        continue;
+                    };
+                    index.total_bytes -= rec.bytes;
+                    victims.push(name);
+                    let payload_name = payload_file_name(rec.payload);
+                    if let Some(payload) = index.payloads.get_mut(&payload_name) {
+                        payload.refs = payload.refs.saturating_sub(1);
+                        if payload.refs == 0 {
+                            let bytes = payload.bytes;
+                            index.payloads.remove(&payload_name);
+                            index.total_bytes -= bytes;
+                            victims.push(payload_name);
+                        }
+                    }
+                }
             }
         }
         if self.persist_threshold > 1 {
@@ -790,21 +1347,36 @@ impl PersistentPrefixStore {
         // index merely lists files the next open's scan will not find.
     }
 
-    /// Writes the advisory index file (tempfile + atomic rename). A
-    /// failure is counted in `disk_write_failures` but does not feed the
-    /// circuit breaker: the index is advisory (the directory scan on the
-    /// next open recovers), so losing it must not cost entry writes.
+    /// Writes the advisory index file (tempfile + atomic rename): pointer
+    /// lines carry a fourth field — the payload hash — so the next open
+    /// can adopt them without a read; payload lines keep the original
+    /// three-field shape. A failure is counted in `disk_write_failures`
+    /// but does not feed the circuit breaker: the index is advisory (the
+    /// directory scan on the next open recovers), so losing it must not
+    /// cost entry writes.
     fn persist_index(&self) {
         if self.is_disabled() {
             return;
         }
         let (text, stamp) = {
             let index = self.lock_index();
-            let mut lines: Vec<(&String, &(u64, u64))> = index.entries.iter().collect();
+            let mut lines: Vec<String> = index
+                .pointers
+                .iter()
+                .map(|(name, rec)| {
+                    format!("{name}\t{}\t{}\t{:016x}", rec.bytes, rec.stamp, rec.payload)
+                })
+                .chain(
+                    index
+                        .payloads
+                        .iter()
+                        .map(|(name, rec)| format!("{name}\t{}\t{}", rec.bytes, rec.stamp)),
+                )
+                .collect();
             lines.sort();
             let mut text = String::new();
-            for (name, (bytes, stamp)) in lines {
-                let _ = writeln!(text, "{name}\t{bytes}\t{stamp}");
+            for line in lines {
+                let _ = writeln!(text, "{line}");
             }
             (text, index.clock)
         };
@@ -822,6 +1394,135 @@ impl PersistentPrefixStore {
             self.write_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// File name of this circuit's transfer metadata.
+    fn meta_name(&self) -> String {
+        format!("t{:016x}.meta", self.circuit_hash)
+    }
+
+    /// Records (merging with any prior record) this circuit's feature
+    /// vector and its best `(sequence, qor)` observations, capped at
+    /// `TRANSFER_OBSERVATION_CAP` best-QoR rows. Advisory and
+    /// best-effort: metadata rides the maintenance write path — no fault
+    /// injection, no breaker accounting, no byte-budget participation —
+    /// and a failed write costs a future warm-start, never correctness.
+    pub fn record_transfer(&self, features: &CircuitFeatures, observations: &[(Vec<u8>, f64)]) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut best: HashMap<Vec<u8>, f64> = HashMap::new();
+        if let Ok(bytes) = fs::read(self.dir.join(self.meta_name())) {
+            if let Some((_, _, existing)) = parse_meta(&bytes) {
+                for (tokens, qor) in existing {
+                    best.insert(tokens, qor);
+                }
+            }
+        }
+        for (tokens, &qor) in observations.iter().map(|(t, q)| (t, q)) {
+            if tokens.is_empty() || !qor.is_finite() {
+                continue;
+            }
+            best.entry(tokens.clone())
+                .and_modify(|prev| *prev = prev.min(qor))
+                .or_insert(qor);
+        }
+        let mut rows: Vec<(Vec<u8>, f64)> = best.into_iter().collect();
+        // Sort by QoR then tokens: deterministic files, best rows survive
+        // the cap.
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(TRANSFER_OBSERVATION_CAP);
+        let mut text = format!("{META_MAGIC} {:016x}\n", self.circuit_hash);
+        let feature_row: Vec<String> = features.to_array().iter().map(f64::to_string).collect();
+        let _ = writeln!(text, "{}", feature_row.join(" "));
+        for (tokens, qor) in rows {
+            let _ = writeln!(text, "{qor} {}", prefix_hex(&tokens));
+        }
+        let _ = self.plain_replace(&self.meta_name(), text.as_bytes());
+    }
+
+    /// The most feature-similar *other* circuit with recorded transfer
+    /// metadata in this directory, or `None` when the store is flying
+    /// solo (no donors, unreadable directory, breaker open).
+    pub fn transfer_donor(&self, features: &CircuitFeatures) -> Option<TransferDonor> {
+        if self.is_disabled() {
+            return None;
+        }
+        let mut donor: Option<TransferDonor> = None;
+        for entry in fs::read_dir(&self.dir).ok()? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with('t') || !name.ends_with(".meta") {
+                continue;
+            }
+            let Ok(bytes) = fs::read(entry.path()) else {
+                continue;
+            };
+            let Some((circuit, donor_features, observations)) = parse_meta(&bytes) else {
+                continue;
+            };
+            if circuit == self.circuit_hash || observations.is_empty() {
+                continue;
+            }
+            let similarity = features.similarity(&donor_features);
+            let better = donor.as_ref().is_none_or(|best| {
+                similarity > best.similarity
+                    || (similarity == best.similarity && circuit < best.circuit_hash)
+            });
+            if better {
+                donor = Some(TransferDonor {
+                    circuit_hash: circuit,
+                    similarity,
+                    observations,
+                });
+            }
+        }
+        donor
+    }
+}
+
+/// Parses one transfer-metadata file:
+/// `(circuit_hash, features, observations)` with observations sorted
+/// best-QoR first. `None` on any malformation — metadata is advisory
+/// and never trusted further than it parses.
+type ParsedMeta = (u64, CircuitFeatures, Vec<(Vec<u8>, f64)>);
+
+fn parse_meta(bytes: &[u8]) -> Option<ParsedMeta> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    let mut header = lines.next()?.split(' ');
+    if header.next()? != META_MAGIC {
+        return None;
+    }
+    let circuit = u64::from_str_radix(header.next()?, 16).ok()?;
+    if header.next().is_some() {
+        return None;
+    }
+    let features: Vec<f64> = lines
+        .next()?
+        .split(' ')
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if features.len() != CIRCUIT_FEATURE_DIM {
+        return None;
+    }
+    let features = CircuitFeatures::from_slice(&features)?;
+    let mut observations = Vec::new();
+    for line in lines {
+        let (qor, hex) = line.split_once(' ')?;
+        let qor: f64 = qor.parse().ok()?;
+        if hex.len() % 2 != 0 {
+            return None;
+        }
+        let mut tokens = Vec::with_capacity(hex.len() / 2);
+        for chunk in hex.as_bytes().chunks(2) {
+            let pair = std::str::from_utf8(chunk).ok()?;
+            tokens.push(u8::from_str_radix(pair, 16).ok()?);
+        }
+        observations.push((tokens, qor));
+    }
+    observations.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    Some((circuit, features, observations))
 }
 
 impl Drop for PersistentPrefixStore {
@@ -840,6 +1541,22 @@ mod tests {
             std::env::temp_dir().join(format!("boils-store-unit-{}-{label}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Serialises an entry in the pre-split (`bps1`) format, byte-for-byte
+    /// what the old store would have written — the migration fixture.
+    fn legacy_entry_bytes(circuit_hash: u64, prefix: &[u8], aig: &Aig) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let _ = aig.write_aig_binary(&mut payload);
+        let mut out = format!(
+            "{LEGACY_MAGIC} {circuit_hash:016x} {} {} {:016x}\n",
+            prefix_hex(prefix),
+            payload.len(),
+            boils_aig::fnv1a64(&payload)
+        )
+        .into_bytes();
+        out.extend_from_slice(&payload);
+        out
     }
 
     #[test]
@@ -883,6 +1600,7 @@ mod tests {
         }
         let reopened = PersistentPrefixStore::open_for(&dir, &base).expect("reopen");
         assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.payload_count(), 1);
         let back = reopened.load(&[7, 7]).expect("restored after reopen");
         assert_eq!(back.content_hash(), intermediate.content_hash());
         let _ = fs::remove_dir_all(&dir);
@@ -977,9 +1695,10 @@ mod tests {
         }
         assert_eq!(store.len(), 0);
         let stats = store.stats();
-        // Each failed store burns WRITE_ATTEMPTS attempts (2 retries) and
-        // books one hard failure; the third consecutive failure trips the
-        // breaker, so stores 4 and 5 never touch the disk at all.
+        // Each failed store burns WRITE_ATTEMPTS attempts (2 retries) on
+        // its payload and books one hard failure; the third consecutive
+        // failure trips the breaker, so stores 4 and 5 never touch the
+        // disk at all.
         assert_eq!(stats.disk_write_failures, 3);
         assert_eq!(stats.disk_retries, 6);
         assert_eq!(stats.store_disabled_at, Some(3));
@@ -1016,7 +1735,8 @@ mod tests {
         }
         assert_eq!(store.len(), 0);
         // The BREAKER_PROBE_AFTER-th request is the probe; the recovered
-        // disk accepts it and the breaker closes.
+        // disk accepts it (payload and pointer both) and the breaker
+        // closes.
         store.store(&[99], &random_aig(150, 6, 50, 2));
         assert!(!store.is_disabled());
         let stats = store.stats();
@@ -1076,12 +1796,16 @@ mod tests {
         let pending_before = store.pending_touch_counts();
         // Budget-churned writes: entries earn their disk slot (second
         // touch), the byte budget evicts older ones, and neither the
-        // written nor the evicted prefixes leave a count behind.
+        // written nor the evicted prefixes leave a count behind. Each
+        // prefix carries a *distinct* intermediate so every write pays
+        // full payload freight (dedup would otherwise keep the footprint
+        // under the budget).
         let store = store.with_byte_budget(1024);
         for i in 0..10u8 {
             let prefix = [255, i];
-            store.store(&prefix, &aig);
-            store.store(&prefix, &aig);
+            let distinct = random_aig(180 + u64::from(i), 6, 50, 2);
+            store.store(&prefix, &distinct);
+            store.store(&prefix, &distinct);
         }
         let stats = store.stats();
         assert_eq!(stats.disk_writes, 10);
@@ -1200,6 +1924,263 @@ mod tests {
         // The newest entries survive; the oldest are gone from disk too.
         assert!(store.load(&[7]).is_some());
         assert!(store.load(&[0]).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_intermediates_share_one_payload() {
+        let dir = temp_store_dir("dedup");
+        let base = random_aig(300, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        let intermediate = random_aig(301, 6, 70, 2);
+        store.store(&[1, 2], &intermediate);
+        store.store(&[3, 4, 5], &intermediate);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.payload_count(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.dedup_hits, 1);
+        assert!(stats.payload_bytes_saved > 0);
+        assert_eq!(stats.pointer_entries, 2);
+        // Both prefixes restore the same structure.
+        let a = store.load(&[1, 2]).expect("first");
+        let b = store.load(&[3, 4, 5]).expect("second");
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Exactly one payload file on disk.
+        let payloads = fs::read_dir(&dir)
+            .expect("list")
+            .filter_map(|e| e.ok())
+            .filter(|e| parse_payload_name(&e.file_name().to_string_lossy()).is_some())
+            .count();
+        assert_eq!(payloads, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_circuit_writers_dedup_to_one_payload() {
+        let dir = temp_store_dir("crossdedup");
+        let a = random_aig(310, 6, 100, 2);
+        let b = random_aig(311, 6, 100, 2);
+        assert_ne!(a.content_hash(), b.content_hash());
+        let shared = random_aig(312, 6, 70, 2);
+        // Sequential first: the second circuit's store must see the first
+        // one's payload and count the dedup.
+        let store_a = PersistentPrefixStore::open_for(&dir, &a).expect("open a");
+        let store_b = PersistentPrefixStore::open_for(&dir, &b).expect("open b");
+        store_a.store(&[1], &shared);
+        store_b.store(&[2, 2], &shared);
+        assert_eq!(store_b.stats().dedup_hits, 1);
+        assert!(store_b.stats().payload_bytes_saved > 0);
+        assert!(store_a.load(&[1]).is_some());
+        assert!(store_b.load(&[2, 2]).is_some());
+        // Concurrent writers from both circuits converge on one payload
+        // per intermediate (racing payload writes produce identical
+        // bytes, so either rename winning is correct).
+        let dir_c = temp_store_dir("crossdedup-conc");
+        let sa = Arc::new(PersistentPrefixStore::open_for(&dir_c, &a).expect("open"));
+        let sb = Arc::new(PersistentPrefixStore::open_for(&dir_c, &b).expect("open"));
+        let threads: Vec<_> = [Arc::clone(&sa), Arc::clone(&sb)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, store)| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    for t in 0..8u8 {
+                        store.store(&[i as u8, t], &shared);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer");
+        }
+        let payloads = fs::read_dir(&dir_c)
+            .expect("list")
+            .filter_map(|e| e.ok())
+            .filter(|e| parse_payload_name(&e.file_name().to_string_lossy()).is_some())
+            .count();
+        assert_eq!(payloads, 1, "all writers share one payload file");
+        for t in 0..8u8 {
+            assert!(sa.load(&[0, t]).is_some());
+            assert!(sb.load(&[1, t]).is_some());
+        }
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir_c);
+    }
+
+    #[test]
+    fn legacy_entries_are_adopted_and_repointed_on_open() {
+        let dir = temp_store_dir("legacy");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let base = random_aig(320, 6, 100, 2);
+        let circuit = base.content_hash();
+        let one = random_aig(321, 6, 70, 2);
+        let two = random_aig(322, 6, 60, 2);
+        // Two pre-split entries, written the way the old store would
+        // have; the second prefix shares the first one's intermediate,
+        // so migration itself must dedup.
+        for (prefix, aig) in [
+            (&[1u8, 2][..], &one),
+            (&[7u8][..], &two),
+            (&[9u8, 9][..], &one),
+        ] {
+            let name = format!("{circuit:016x}-{}.aig", prefix_hex(prefix));
+            fs::write(dir.join(name), legacy_entry_bytes(circuit, prefix, aig)).expect("write");
+        }
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        // Every legacy entry was adopted; the shared intermediate keeps
+        // one payload.
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.payload_count(), 2);
+        // Warm hits preserved — restored with zero recomputation and
+        // structurally identical to what the old format held.
+        assert_eq!(
+            store.load(&[1, 2]).expect("migrated").content_hash(),
+            one.content_hash()
+        );
+        assert_eq!(
+            store.load(&[9, 9]).expect("migrated").content_hash(),
+            one.content_hash()
+        );
+        assert_eq!(
+            store.load(&[7]).expect("migrated").content_hash(),
+            two.content_hash()
+        );
+        // The entry files were re-pointed, never rewritten in place: each
+        // now opens with the pointer magic and the payload lives once in
+        // the content-addressed layer.
+        for prefix in [&[1u8, 2][..], &[7u8][..], &[9u8, 9][..]] {
+            let bytes = fs::read(dir.join(store.entry_name(prefix))).expect("read");
+            assert!(bytes.starts_with(POINTER_MAGIC.as_bytes()));
+        }
+        // Migration is maintenance, not store traffic.
+        assert_eq!(store.stats().disk_writes, 0);
+        assert_eq!(store.stats().disk_corrupt_dropped, 0);
+        // A reopen sees the migrated layout and stays warm.
+        drop(store);
+        let reopened = PersistentPrefixStore::open_for(&dir, &base).expect("reopen");
+        assert_eq!(reopened.len(), 3);
+        assert!(reopened.load(&[1, 2]).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_pointers_and_payloads_are_dropped_never_trusted() {
+        let dir = temp_store_dir("corruptptr");
+        let base = random_aig(330, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        store.store(&[1], &random_aig(331, 6, 60, 2));
+        store.store(&[2], &random_aig(332, 6, 60, 2));
+        store.store(&[3], &random_aig(333, 6, 60, 2));
+        // A flipped byte anywhere in a pointer file — including its
+        // trailing newline — makes it untrusted.
+        let p1 = dir.join(store.entry_name(&[1]));
+        let mut bytes = fs::read(&p1).expect("pointer");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&p1, &bytes).expect("rewrite");
+        assert!(store.load(&[1]).is_none());
+        assert_eq!(store.stats().disk_corrupt_dropped, 1);
+        assert!(!p1.exists(), "corrupt pointer deleted");
+        // A dangling pointer (payload gone) is dropped the same way.
+        let rec = {
+            let index = store.lock_index();
+            *index.pointers.get(&store.entry_name(&[2])).expect("rec")
+        };
+        fs::remove_file(dir.join(payload_file_name(rec.payload))).expect("unlink payload");
+        assert!(store.load(&[2]).is_none());
+        assert_eq!(store.stats().disk_corrupt_dropped, 2);
+        assert!(!dir.join(store.entry_name(&[2])).exists());
+        // A corrupt payload takes its pointer down with it, but books one
+        // corruption event.
+        let rec = {
+            let index = store.lock_index();
+            *index.pointers.get(&store.entry_name(&[3])).expect("rec")
+        };
+        let payload_path = dir.join(payload_file_name(rec.payload));
+        let mut bytes = fs::read(&payload_path).expect("payload");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&payload_path, &bytes).expect("rewrite");
+        assert!(store.load(&[3]).is_none());
+        assert_eq!(store.stats().disk_corrupt_dropped, 3);
+        assert!(!payload_path.exists());
+        assert!(!dir.join(store.entry_name(&[3])).exists());
+        assert_eq!(store.len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refcounted_eviction_never_strands_a_live_pointer() {
+        let dir = temp_store_dir("refevict");
+        let base = random_aig(340, 6, 100, 2);
+        let store = PersistentPrefixStore::open_for(&dir, &base).expect("open");
+        let shared = random_aig(341, 6, 70, 2);
+        // Two pointers share one payload; a third, newer entry has its
+        // own.
+        store.store(&[1], &shared);
+        store.store(&[2], &shared);
+        store.store(&[3], &random_aig(342, 6, 70, 2));
+        assert_eq!(store.payload_count(), 2);
+        // Budget just under the total: the oldest pointer ([1]) is
+        // evicted, but the shared payload still has a live reference
+        // through [2] and MUST survive.
+        let squeeze = store.total_bytes() - 1;
+        let store = store.with_byte_budget(squeeze);
+        assert!(store.load(&[1]).is_none(), "oldest pointer evicted");
+        assert!(
+            store.load(&[2]).is_some(),
+            "payload survives while referenced"
+        );
+        assert!(store.load(&[3]).is_some());
+        assert_eq!(store.payload_count(), 2);
+        // Squeezing further evicts [2] and only then cascades the shared
+        // payload — nothing references it any more.
+        let shared_payload = dir.join(payload_file_name(shared.content_hash()));
+        assert!(shared_payload.exists());
+        let squeeze = store.total_bytes() - 1;
+        let store = store.with_byte_budget(squeeze);
+        assert!(store.load(&[2]).is_none());
+        assert!(!shared_payload.exists(), "unreferenced payload cascaded");
+        assert!(store.load(&[3]).is_some(), "newest entry intact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transfer_metadata_round_trips_and_picks_the_most_similar_donor() {
+        let dir = temp_store_dir("transfer");
+        let a = random_aig(350, 8, 200, 4);
+        let b = random_aig(351, 8, 210, 4);
+        let c = random_aig(352, 24, 1500, 12);
+        let store_a = PersistentPrefixStore::open_for(&dir, &a).expect("open");
+        let store_b = PersistentPrefixStore::open_for(&dir, &b).expect("open");
+        let store_c = PersistentPrefixStore::open_for(&dir, &c).expect("open");
+        // No donors yet.
+        assert!(store_b.transfer_donor(&CircuitFeatures::of(&b)).is_none());
+        store_a.record_transfer(
+            &CircuitFeatures::of(&a),
+            &[(vec![1, 2, 3], 1.5), (vec![4, 5], 1.2)],
+        );
+        store_c.record_transfer(&CircuitFeatures::of(&c), &[(vec![9, 9], 1.9)]);
+        // b is structurally close to a, far from c.
+        let donor = store_b
+            .transfer_donor(&CircuitFeatures::of(&b))
+            .expect("donor");
+        assert_eq!(donor.circuit_hash, a.content_hash());
+        assert!(donor.similarity > 0.5);
+        // Observations come back best-QoR first.
+        assert_eq!(donor.observations[0], (vec![4, 5], 1.2));
+        assert_eq!(donor.observations[1], (vec![1, 2, 3], 1.5));
+        // Re-recording merges, keeps the best QoR per sequence, and a
+        // store never donates to itself.
+        store_a.record_transfer(&CircuitFeatures::of(&a), &[(vec![1, 2, 3], 1.1)]);
+        let donor = store_b
+            .transfer_donor(&CircuitFeatures::of(&b))
+            .expect("donor");
+        assert_eq!(donor.observations[0], (vec![1, 2, 3], 1.1));
+        assert!(store_a
+            .transfer_donor(&CircuitFeatures::of(&a))
+            .map(|d| d.circuit_hash != a.content_hash())
+            .unwrap_or(true));
         let _ = fs::remove_dir_all(&dir);
     }
 }

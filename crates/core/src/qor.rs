@@ -374,6 +374,35 @@ impl QorEvaluator {
         self.prefix.as_deref().map_or(0, PrefixCache::len)
     }
 
+    /// The most similar *other* circuit with recorded history in the
+    /// attached store's transfer metadata — the donor for an opt-in
+    /// surrogate warm start. `None` without a store, without any donor,
+    /// or when the store is in its breaker-tripped memory-only mode.
+    pub fn transfer_donor(&self) -> Option<crate::TransferDonor> {
+        let store = self.store.as_ref()?;
+        store.transfer_donor(&boils_aig::CircuitFeatures::of(&self.base))
+    }
+
+    /// Records this run's `(tokens, qor)` history into the attached
+    /// store's transfer metadata so *future* jobs on similar circuits can
+    /// warm-start from it. Best-effort and a no-op without a store;
+    /// existing records for this circuit are merged, keeping the best QoR
+    /// per sequence.
+    pub fn record_transfer_history(&self, history: &[crate::EvalRecord]) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let observations: Vec<(Vec<u8>, f64)> = history
+            .iter()
+            .filter(|r| !r.point.is_quarantined())
+            .map(|r| (r.tokens.clone(), r.point.qor))
+            .collect();
+        if observations.is_empty() {
+            return;
+        }
+        store.record_transfer(&boils_aig::CircuitFeatures::of(&self.base), &observations);
+    }
+
     /// Switches the optimised quantity.
     ///
     /// The cache is *kept*: it memoises cost-independent [`SynthStats`],

@@ -304,6 +304,71 @@ fn warmed_store_reproduces_the_cold_greedy_run_bit_identically() {
     assert!(warm_eval.prefix_stats().disk_hits > 0);
 }
 
+/// Cross-circuit payload dedup through the shared (CI) directory: a base
+/// circuit and a derived one — the base after one restructuring pass —
+/// evaluate corresponding sequences against one store. The derived
+/// circuit's intermediates are byte-identical to states the base already
+/// persisted, so its writes must land as dedup hits on existing payloads,
+/// and what it restores must still match a from-scratch synthesis.
+///
+/// The evaluated sequence is salted per process so the counter fires on
+/// the warm CI pass too: a repeated sequence would be served by the
+/// derived circuit's own pointers and never reach the dedup path.
+#[test]
+fn two_circuits_dedup_payloads_through_one_store_directory() {
+    let dir = shared_store_dir("cross-circuit");
+    let base = CircuitSpec::new(Benchmark::Adder).bits(8).build();
+    // The first alphabet pass that actually restructures the base (a
+    // fixpoint pass would collapse the two circuit identities into one).
+    let (lead, derived) = (0..11u8)
+        .map(|t| (t, Transform::from_index(t as usize).apply(&base)))
+        .find(|(_, d)| d.content_hash() != base.content_hash())
+        .expect("some pass must change the base circuit");
+    let salt = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("epoch")
+        .as_nanos() as u64
+        ^ u64::from(std::process::id());
+    let tokens: Vec<u8> = (0..6).map(|i| ((salt >> (8 * i)) % 11) as u8).collect();
+    let mut with_lead = vec![lead];
+    with_lead.extend_from_slice(&tokens);
+
+    // The base walks [lead] + s, persisting every intermediate...
+    let eval_base = QorEvaluator::new(&base)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    eval_base.evaluate_tokens(&with_lead);
+    drop(eval_base);
+
+    // ...so the derived circuit walking s re-reaches those exact states
+    // under its own identity and only ever adds pointers.
+    let eval_derived = QorEvaluator::new(&derived)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    eval_derived.evaluate_tokens(&tokens);
+    let stats = eval_derived.prefix_stats();
+    assert!(
+        stats.dedup_hits > 0,
+        "the derived circuit never hit a payload the base wrote: {stats:?}"
+    );
+    assert!(stats.payload_bytes_saved > 0, "{stats:?}");
+    drop(eval_derived);
+
+    // Restoration through the deduped payload is still exact.
+    let store = PersistentPrefixStore::open_for(&dir, &derived).expect("reopen");
+    let restored = store.load(&tokens).expect("full prefix present");
+    let mut fresh = derived.clone();
+    for &t in &tokens {
+        fresh = Transform::from_index(t as usize).apply(&fresh);
+    }
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    restored.write_aig_binary(&mut a).expect("write");
+    fresh.write_aig_binary(&mut b).expect("write");
+    assert_eq!(a, b, "deduped payload restored differently from scratch");
+}
+
 #[test]
 fn two_batch_evaluators_share_one_store_directory_concurrently() {
     let aig = boils_aig::random_aig(81, 8, 300, 3);

@@ -1,0 +1,199 @@
+//! Cross-circuit surrogate warm-start transfer, proved end to end:
+//!
+//! * **Frozen trajectory** — `warm_start: None` reproduces the exact
+//!   pre-transfer run bit for bit: the sequences visited and every QoR
+//!   value are pinned below as `f64` bit patterns captured before the
+//!   feature existed. Any RNG draw, design row or surrogate observation
+//!   the transfer path adds to the unseeded code path breaks this test.
+//! * **Exactness** — transferred seeds are re-evaluated on the target
+//!   circuit: their recorded donor costs never appear in the history.
+//! * **End to end** — a run on one circuit records its history into the
+//!   store's transfer metadata; a run on a structurally similar circuit
+//!   finds it, seeds its design with the donor's best sequences, and
+//!   still yields values identical to evaluating those sequences cold.
+
+use boils_core::{Boils, BoilsConfig, QorEvaluator, SequenceSpace, WarmStart};
+use boils_gp::TrainConfig;
+use std::path::PathBuf;
+
+fn fresh_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boils-transfer-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn frozen_config() -> BoilsConfig {
+    BoilsConfig {
+        max_evaluations: 16,
+        initial_samples: 10,
+        space: SequenceSpace::new(6, 11),
+        acq_restarts: 2,
+        acq_steps: 4,
+        acq_neighbors: 10,
+        retrain_every: 5,
+        train: TrainConfig {
+            steps: 5,
+            ..TrainConfig::default()
+        },
+        seed: 7,
+        ..BoilsConfig::default()
+    }
+}
+
+/// The exact trajectory of `frozen_config()` on `random_aig(71, 8, 300, 3)`,
+/// captured from the build immediately before warm-start transfer was
+/// added: `(tokens, qor.to_bits())` in evaluation order.
+const FROZEN: [(&[u8], u64); 16] = [
+    (&[3, 7, 9, 6, 9, 3], 0x4000000000000000),
+    (&[8, 4, 8, 4, 4, 1], 0x4000000000000000),
+    (&[9, 3, 0, 9, 1, 4], 0x3ff999999999999a),
+    (&[4, 6, 3, 8, 0, 6], 0x4000000000000000),
+    (&[6, 2, 6, 7, 3, 7], 0x4000000000000000),
+    (&[7, 9, 4, 0, 7, 9], 0x4000000000000000),
+    (&[2, 5, 2, 5, 8, 8], 0x4000000000000000),
+    (&[5, 8, 5, 2, 6, 0], 0x4000000000000000),
+    (&[1, 1, 7, 3, 5, 2], 0x4000000000000000),
+    (&[0, 0, 1, 1, 2, 5], 0x4000000000000000),
+    (&[0, 9, 9, 3, 1, 4], 0x4000000000000000),
+    (&[9, 3, 0, 9, 1, 2], 0x3ff999999999999a),
+    (&[3, 3, 9, 0, 1, 9], 0x3ffccccccccccccd),
+    (&[3, 0, 9, 2, 1, 4], 0x3ff999999999999a),
+    (&[9, 2, 9, 1, 1, 4], 0x4000000000000000),
+    (&[9, 3, 0, 9, 10, 4], 0x3ff999999999999a),
+];
+
+#[test]
+fn transfer_off_is_bit_identical_to_the_frozen_pre_transfer_trajectory() {
+    let aig = boils_aig::random_aig(71, 8, 300, 3);
+    let evaluator = QorEvaluator::new(&aig).expect("ok");
+    let config = BoilsConfig {
+        warm_start: None, // explicit: the frozen path
+        ..frozen_config()
+    };
+    let result = Boils::new(config).run(&evaluator).expect("run");
+    assert_eq!(result.history.len(), FROZEN.len());
+    for (record, (tokens, bits)) in result.history.iter().zip(FROZEN) {
+        assert_eq!(record.tokens.as_slice(), tokens);
+        assert_eq!(
+            record.point.qor.to_bits(),
+            bits,
+            "qor of {tokens:?} drifted from the frozen value"
+        );
+    }
+    assert_eq!(result.best_tokens, vec![9, 3, 0, 9, 1, 4]);
+    assert_eq!(result.best_qor.to_bits(), 0x3ff999999999999a);
+}
+
+#[test]
+fn warm_start_seeds_are_reevaluated_exactly_and_replace_design_rows() {
+    let aig = boils_aig::random_aig(71, 8, 300, 3);
+    let evaluator = QorEvaluator::new(&aig).expect("ok");
+    // Donor "history": two good sequences the frozen run only found in
+    // its BO phase (so they are NOT rows of the frozen design), with
+    // deliberately wrong recorded costs — if either cost ever shows up
+    // in the history, a donor value was trusted instead of re-derived.
+    let seeds: Vec<Vec<u8>> = vec![vec![9, 3, 0, 9, 1, 2], vec![3, 0, 9, 2, 1, 4]];
+    let config = BoilsConfig {
+        warm_start: Some(WarmStart {
+            seeds: seeds.clone(),
+            observations: vec![
+                (vec![9, 3, 0, 9, 1, 2], 123.0),
+                (vec![3, 0, 9, 2, 1, 4], 456.0),
+                (vec![2, 2, 2, 2, 2, 2], 0.5),
+            ],
+        }),
+        ..frozen_config()
+    };
+    let result = Boils::new(config).run(&evaluator).expect("run");
+    // The seeds landed as the leading design rows...
+    assert_eq!(result.history[0].tokens, seeds[0]);
+    assert_eq!(result.history[1].tokens, seeds[1]);
+    // ...with exact target-circuit values (known from the frozen table),
+    // not the bogus donor costs.
+    assert_eq!(result.history[0].point.qor.to_bits(), 0x3ff999999999999a);
+    assert_eq!(result.history[1].point.qor.to_bits(), 0x3ff999999999999a);
+    // The unreplaced rows are the frozen design's rows, in order: the
+    // warm start touched no RNG draw.
+    assert_eq!(result.history[2].tokens.as_slice(), FROZEN[2].0);
+    assert_eq!(result.history[3].tokens.as_slice(), FROZEN[3].0);
+    // The incumbent is at least as good as the unseeded run's (it starts
+    // from the donor's best, which the frozen run only found later).
+    assert!(result.best_qor <= f64::from_bits(0x3ff999999999999a));
+}
+
+#[test]
+fn invalid_and_duplicate_seeds_are_skipped() {
+    let aig = boils_aig::random_aig(71, 8, 300, 3);
+    let evaluator = QorEvaluator::new(&aig).expect("ok");
+    let config = BoilsConfig {
+        warm_start: Some(WarmStart {
+            seeds: vec![
+                vec![1, 2, 3],           // wrong length
+                vec![11, 0, 0, 0, 0, 0], // token out of alphabet
+                FROZEN[4].0.to_vec(),    // duplicates a design row
+                vec![9, 3, 0, 9, 1, 2],  // valid
+                vec![9, 3, 0, 9, 1, 2],  // duplicate of a seed
+            ],
+            observations: vec![],
+        }),
+        ..frozen_config()
+    };
+    let result = Boils::new(config).run(&evaluator).expect("run");
+    // Exactly one row was replaced; everything after it is the frozen
+    // design shifted by nothing (rows 1.. match the frozen rows 1..).
+    assert_eq!(result.history[0].tokens, vec![9, 3, 0, 9, 1, 2]);
+    for (record, frozen) in result.history[1..10].iter().zip(&FROZEN[1..10]) {
+        assert_eq!(record.tokens.as_slice(), frozen.0);
+    }
+}
+
+#[test]
+fn a_recorded_run_warm_starts_a_similar_circuit_through_the_store() {
+    let dir = fresh_dir("e2e");
+    // Two structurally similar circuits (same interface, near-identical
+    // size) and one dissimilar decoy.
+    let donor_aig = boils_aig::random_aig(71, 8, 300, 3);
+    let target_aig = boils_aig::random_aig(72, 8, 310, 3);
+    let decoy_aig = boils_aig::random_aig(73, 24, 2000, 12);
+
+    // The donor run records its history into the shared store.
+    let donor_eval = QorEvaluator::new(&donor_aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let donor_run = Boils::new(frozen_config()).run(&donor_eval).expect("run");
+    donor_eval.record_transfer_history(&donor_run.history);
+    let decoy_eval = QorEvaluator::new(&decoy_aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    decoy_eval.record_transfer_history(&[donor_run.history[0].clone()]);
+
+    // The target finds the similar donor, not the decoy.
+    let target_eval = QorEvaluator::new(&target_aig)
+        .expect("ok")
+        .with_persistent_store(&dir)
+        .expect("store dir");
+    let donor = target_eval.transfer_donor().expect("donor found");
+    assert_eq!(donor.circuit_hash, donor_aig.content_hash());
+    assert!(!donor.observations.is_empty());
+
+    // Its best sequences seed the target's design and are evaluated
+    // exactly (the value matches a cold evaluation of the same tokens).
+    let warm = WarmStart::from_donor(&donor, 3);
+    assert!(!warm.is_empty());
+    let best_donor_tokens = warm.seeds[0].clone();
+    let config = BoilsConfig {
+        warm_start: Some(warm),
+        ..frozen_config()
+    };
+    let result = Boils::new(config).run(&target_eval).expect("run");
+    assert_eq!(result.history[0].tokens, best_donor_tokens);
+    let cold = QorEvaluator::new(&target_aig).expect("ok");
+    assert_eq!(
+        result.history[0].point.qor.to_bits(),
+        cold.evaluate_tokens(&best_donor_tokens).qor.to_bits(),
+        "a transferred seed's value must equal cold evaluation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -85,6 +85,18 @@ impl Client {
         self.send(&obj)
     }
 
+    /// Asks for the daemon's per-circuit persistent-store statistics
+    /// (answered with a `store_stats` event on this connection).
+    ///
+    /// # Errors
+    ///
+    /// IO failures writing to the daemon.
+    pub fn store_stats(&mut self) -> Result<(), String> {
+        let mut obj = Value::object();
+        obj.set("op", Value::from("store-stats"));
+        self.send(&obj)
+    }
+
     /// Asks the daemon to shut down (it drains running jobs first).
     ///
     /// # Errors

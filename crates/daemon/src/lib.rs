@@ -57,5 +57,5 @@ pub mod server;
 
 pub use crate::client::Client;
 pub use crate::json::Value;
-pub use crate::protocol::{Event, JobOutcome, JobRequest, Request};
+pub use crate::protocol::{Event, JobOutcome, JobRequest, Request, StoreStatsRow};
 pub use crate::server::{Daemon, DaemonConfig, Server};

@@ -50,6 +50,11 @@ pub struct JobRequest {
     pub deadline_secs: Option<f64>,
     /// Multi-objective (ParEGO) mode for the BO methods.
     pub multi_objective: bool,
+    /// Opt-in cross-circuit surrogate warm start: seed the run from the
+    /// most similar circuit's recorded history in the shared store (see
+    /// [`boils_core::WarmStart`]). Off by default — `false` keeps the
+    /// trajectory bit-identical to a transfer-free daemon.
+    pub transfer: bool,
 }
 
 impl JobRequest {
@@ -96,6 +101,10 @@ impl JobRequest {
             None | Some(Value::Null) => false,
             Some(v) => v.as_bool().ok_or("mo takes a boolean")?,
         };
+        let transfer = match value.get("transfer") {
+            None | Some(Value::Null) => false,
+            Some(v) => v.as_bool().ok_or("transfer takes a boolean")?,
+        };
         Ok(JobRequest {
             circuit,
             bits,
@@ -107,6 +116,7 @@ impl JobRequest {
             priority,
             deadline_secs,
             multi_objective,
+            transfer,
         })
     }
 
@@ -130,6 +140,9 @@ impl JobRequest {
         if self.multi_objective {
             obj.set("mo", Value::from(true));
         }
+        if self.transfer {
+            obj.set("transfer", Value::from(true));
+        }
         obj
     }
 }
@@ -141,6 +154,10 @@ pub enum Request {
     Submit(JobRequest),
     /// Cancel a running or queued job.
     Cancel(JobId),
+    /// Admin: report the shared semantic store's counters per circuit
+    /// (pointer entries, payload bytes, dedup savings) without attaching
+    /// a debugger.
+    StoreStats,
     /// Stop the server (drains running jobs).
     Shutdown,
 }
@@ -157,9 +174,10 @@ impl Request {
         match require_str(&value, "op")? {
             "submit" => Ok(Request::Submit(JobRequest::from_json(&value)?)),
             "cancel" => Ok(Request::Cancel(JobId(require_u64(&value, "job")?))),
+            "store-stats" => Ok(Request::StoreStats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (expected submit|cancel|shutdown)"
+                "unknown op {other:?} (expected submit|cancel|store-stats|shutdown)"
             )),
         }
     }
@@ -188,6 +206,15 @@ pub struct JobOutcome {
     pub quarantined: usize,
     /// Snapshot of the circuit's shared tier counters after the job.
     pub tier_stats: PrefixStats,
+}
+
+/// One circuit's row in a `store_stats` reply.
+#[derive(Clone, Debug)]
+pub struct StoreStatsRow {
+    /// The circuit's content hash (the store's per-circuit key space).
+    pub circuit: u64,
+    /// Shared-tier counters as the circuit's template sees them.
+    pub stats: PrefixStats,
 }
 
 /// Server → client lifecycle events.
@@ -223,6 +250,12 @@ pub enum Event {
         job: JobId,
         /// One-line reason.
         reason: String,
+    },
+    /// Reply to a `store-stats` admin request: one row per circuit the
+    /// daemon has served, with the semantic store's dedup counters.
+    StoreStats {
+        /// Per-circuit counters, sorted by circuit hash.
+        rows: Vec<StoreStatsRow>,
     },
 }
 
@@ -271,11 +304,43 @@ impl Event {
                 obj.set("disk_hits", Value::from(tiers.disk_hits));
                 obj.set("disk_writes", Value::from(tiers.disk_writes));
                 obj.set("store_reenables", Value::from(tiers.store_reenables));
+                obj.set("dedup_hits", Value::from(tiers.dedup_hits));
+                obj.set(
+                    "payload_bytes_saved",
+                    Value::from(tiers.payload_bytes_saved as usize),
+                );
+                obj.set("pointer_entries", Value::from(tiers.pointer_entries));
             }
             Event::Failed { job, reason } => {
                 obj.set("event", Value::from("failed"));
                 obj.set("job", Value::from(job.0));
                 obj.set("reason", Value::from(reason.as_str()));
+            }
+            Event::StoreStats { rows } => {
+                obj.set("event", Value::from("store_stats"));
+                obj.set("circuits", Value::from(rows.len()));
+                let rows = rows
+                    .iter()
+                    .map(|row| {
+                        let mut r = Value::object();
+                        r.set("circuit", Value::from(format!("{:016x}", row.circuit)));
+                        r.set("pointer_entries", Value::from(row.stats.pointer_entries));
+                        r.set("dedup_hits", Value::from(row.stats.dedup_hits));
+                        r.set(
+                            "payload_bytes_saved",
+                            Value::from(row.stats.payload_bytes_saved as usize),
+                        );
+                        r.set("disk_hits", Value::from(row.stats.disk_hits));
+                        r.set("disk_writes", Value::from(row.stats.disk_writes));
+                        r.set(
+                            "disk_corrupt_dropped",
+                            Value::from(row.stats.disk_corrupt_dropped),
+                        );
+                        r.set("disk_evictions", Value::from(row.stats.disk_evictions));
+                        r
+                    })
+                    .collect();
+                obj.set("rows", Value::Array(rows));
             }
         }
         obj
@@ -328,6 +393,7 @@ mod tests {
         assert_eq!(req.priority, Priority::High);
         assert_eq!(req.deadline_secs, Some(1.5));
         assert!(req.multi_objective);
+        assert!(!req.transfer);
         let reparsed = Request::parse_line(&req.to_json().to_json()).expect("round trip");
         let Request::Submit(back) = reparsed else {
             panic!("wrong variant");
@@ -349,6 +415,59 @@ mod tests {
         assert_eq!(req.priority, Priority::Normal);
         assert_eq!(req.deadline_secs, None);
         assert!(!req.multi_objective);
+        assert!(!req.transfer);
+    }
+
+    #[test]
+    fn transfer_flag_round_trips() {
+        let line =
+            r#"{"op":"submit","circuit":"adder","method":"boils","budget":8,"transfer":true}"#;
+        let Request::Submit(req) = Request::parse_line(line).expect("parses") else {
+            panic!("wrong variant");
+        };
+        assert!(req.transfer);
+        let reparsed = Request::parse_line(&req.to_json().to_json()).expect("round trip");
+        let Request::Submit(back) = reparsed else {
+            panic!("wrong variant");
+        };
+        assert!(back.transfer);
+    }
+
+    #[test]
+    fn store_stats_op_parses_and_the_reply_serialises_rows() {
+        assert!(matches!(
+            Request::parse_line(r#"{"op":"store-stats"}"#),
+            Ok(Request::StoreStats)
+        ));
+        let event = Event::StoreStats {
+            rows: vec![StoreStatsRow {
+                circuit: 0xabcd,
+                stats: PrefixStats {
+                    pointer_entries: 5,
+                    dedup_hits: 2,
+                    payload_bytes_saved: 640,
+                    disk_writes: 3,
+                    ..PrefixStats::default()
+                },
+            }],
+        };
+        let value = Value::parse(&event.to_json().to_json()).expect("valid JSON");
+        assert_eq!(
+            value.get("event").and_then(Value::as_str),
+            Some("store_stats")
+        );
+        assert_eq!(value.get("circuits").and_then(Value::as_u64), Some(1));
+        let rows = value.get("rows").and_then(Value::as_array).expect("rows");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("circuit").and_then(Value::as_str),
+            Some("000000000000abcd")
+        );
+        assert_eq!(rows[0].get("dedup_hits").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            rows[0].get("payload_bytes_saved").and_then(Value::as_u64),
+            Some(640)
+        );
     }
 
     #[test]
@@ -416,6 +535,9 @@ mod tests {
                 tier_stats: PrefixStats {
                     prefix_hits: 4,
                     disk_hits: 2,
+                    dedup_hits: 6,
+                    payload_bytes_saved: 123,
+                    pointer_entries: 9,
                     ..PrefixStats::default()
                 },
             }),
@@ -430,5 +552,14 @@ mod tests {
         );
         assert_eq!(value.get("shared_hits").and_then(Value::as_u64), Some(3));
         assert_eq!(value.get("disk_hits").and_then(Value::as_u64), Some(2));
+        assert_eq!(value.get("dedup_hits").and_then(Value::as_u64), Some(6));
+        assert_eq!(
+            value.get("payload_bytes_saved").and_then(Value::as_u64),
+            Some(123)
+        );
+        assert_eq!(
+            value.get("pointer_entries").and_then(Value::as_u64),
+            Some(9)
+        );
     }
 }

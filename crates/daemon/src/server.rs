@@ -32,7 +32,7 @@ use std::time::Duration;
 use boils_circuits::CircuitSpec;
 use boils_core::{EvaluatorPool, JobId, OptimizationResult, RunControl, SequenceSpace, WorkerPool};
 
-use crate::protocol::{Event, JobOutcome, JobRequest, Request};
+use crate::protocol::{Event, JobOutcome, JobRequest, Request, StoreStatsRow};
 
 /// Daemon sizing knobs.
 #[derive(Clone, Debug)]
@@ -151,6 +151,18 @@ impl Daemon {
         }
     }
 
+    /// Per-circuit persistent-store statistics for every circuit this
+    /// daemon has built an evaluator template for, sorted by circuit
+    /// hash. The dedup counters (`dedup_hits`, `payload_bytes_saved`)
+    /// are where cross-tenant payload sharing becomes visible.
+    pub fn store_stats(&self) -> Vec<StoreStatsRow> {
+        self.evaluators
+            .store_stats()
+            .into_iter()
+            .map(|(circuit, stats)| StoreStatsRow { circuit, stats })
+            .collect()
+    }
+
     /// Takes the full [`OptimizationResult`] of a finished job
     /// (histories are retained in memory until taken; the wire protocol
     /// only carries the [`JobOutcome`] summary).
@@ -226,10 +238,21 @@ fn execute(
     let aig = spec.build();
     let evaluator = evaluators.checkout(&aig, request.objective)?;
     let space = SequenceSpace::new(request.sequence_length, 11);
+    // Transfer is opt-in per job: a donor only changes the run when one
+    // exists in the store, and never contributes a cost — every seed is
+    // re-evaluated on this circuit.
+    let warm_start = if request.transfer {
+        evaluator
+            .transfer_donor()
+            .map(|donor| boils_core::WarmStart::from_donor(&donor, 3))
+            .filter(|warm| !warm.is_empty())
+    } else {
+        None
+    };
     // Jobs are single-threaded internally: concurrency comes from the
     // pool, and a sequential run keeps each job's trajectory
     // bit-identical to the same run performed solo.
-    let result = request.method.run_mo_controlled(
+    let result = request.method.run_warm_mo_controlled(
         &evaluator,
         space,
         request.budget,
@@ -238,11 +261,15 @@ fn execute(
         1,
         None,
         request.multi_objective,
+        warm_start,
         control,
     );
     let Some(result) = result else {
         return Ok(None);
     };
+    if request.transfer {
+        evaluator.record_transfer_history(&result.history);
+    }
     // Unique = synthesis work this job's cache inserts won; the rest of
     // its history entries were served by tiers warmed by other tenants
     // (or by earlier entries of its own run).
@@ -443,6 +470,11 @@ fn serve_connection(stream: Stream, daemon: &Daemon, shutdown: &AtomicBool, addr
                         reason: format!("{id} is not queued or running"),
                     });
                 }
+            }
+            Ok(Request::StoreStats) => {
+                let _ = sender.send(Event::StoreStats {
+                    rows: daemon.store_stats(),
+                });
             }
             Ok(Request::Shutdown) => {
                 shutdown.store(true, Ordering::Release);

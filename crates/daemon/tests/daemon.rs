@@ -36,6 +36,7 @@ fn request(method: Method, objective: &str, seed: u64, budget: usize) -> JobRequ
         priority: Priority::Normal,
         deadline_secs: None,
         multi_objective: false,
+        transfer: false,
     }
 }
 

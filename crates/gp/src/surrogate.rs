@@ -62,6 +62,9 @@ pub struct SurrogateDiagnostics {
     /// Incremental updates (extends *or* downdates) whose factor update
     /// failed numerically and fell back to an `O(n³)` full refit.
     pub fallback_refits: usize,
+    /// Observations injected by [`Surrogate::seed`] (warm-start transfer
+    /// from another circuit's history) rather than evaluated in this run.
+    pub seeded: usize,
 }
 
 /// A Gaussian-process surrogate that owns its full lifecycle: data,
@@ -143,6 +146,17 @@ where
         self.xs.push(x);
         self.ys.push(y);
         self.evals_since_retrain += 1;
+    }
+
+    /// Records a *transferred* observation — e.g. a (sequence, cost) pair
+    /// from a similar circuit's recorded history — without advancing the
+    /// retrain cadence: seeds bias where the model starts, they are not
+    /// fresh evidence about this run's objective, so they must not move
+    /// *when* hyperparameters retrain relative to an unseeded run.
+    pub fn seed(&mut self, x: X, y: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+        self.diagnostics.seeded += 1;
     }
 
     /// Total observations recorded (evicted ones included).
@@ -481,6 +495,30 @@ mod tests {
         // observations: every pair of the original training set is warm.
         let unique_pairs = |n: usize| n * (n + 1) / 2;
         assert_eq!(after_second.misses, unique_pairs(8));
+    }
+
+    #[test]
+    fn seeds_enter_the_model_without_advancing_the_retrain_cadence() {
+        let mut s: Surrogate<SskKernel, Vec<u8>> =
+            Surrogate::new(SskKernel::new(3), config(None, 4, true));
+        for i in 0..3 {
+            s.seed(seq(i + 20), -1.0 - i as f64 * 0.1);
+        }
+        for i in 0..4 {
+            s.observe(seq(i), i as f64 * 0.1);
+        }
+        s.maybe_retrain().expect("fit");
+        // All seven points are in the training set...
+        assert_eq!(s.gp().expect("fitted").train_inputs().len(), 7);
+        assert_eq!(s.diagnostics().seeded, 3);
+        // ...but the cadence counts real observations only: the second
+        // retrain fires after 4 more `observe` calls, exactly as it would
+        // have without any seeds.
+        for i in 4..8 {
+            s.observe(seq(i), i as f64 * 0.1);
+            s.maybe_retrain().expect("fit");
+        }
+        assert_eq!(s.diagnostics().retrains_at, vec![7, 11]);
     }
 
     #[test]

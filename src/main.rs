@@ -24,7 +24,7 @@ use boils::baselines::{
 use boils::circuits::{Benchmark, CircuitSpec};
 use boils::core::{
     Boils, BoilsConfig, FaultInjector, FaultPlan, Objective, QorEvaluator, RunControl, Sbo,
-    SboConfig, SequenceSpace, Termination,
+    SboConfig, SequenceSpace, Termination, WarmStart,
 };
 use boils::mapper::{map_stats, MapperConfig};
 use boils::sat::{check_equivalence, EquivResult};
@@ -130,7 +130,7 @@ fn print_help() {
          \x20 optimize  --input <file> | --circuit <name> [--bits N]\n\
          \x20           [--method boils|sbo|ga|rs|greedy|rl] [--budget N] [--k N] [--seed N]\n\
          \x20           [--threads N] [--batch-size Q] [--surrogate-window W] [--cache-dir DIR]\n\
-         \x20           [--deadline-secs S] [--fault-plan PLAN]\n\
+         \x20           [--deadline-secs S] [--fault-plan PLAN] [--transfer]\n\
          \x20           [--objective qor|area|delay|levels|lut|weighted:W] [--mo]\n\n\
          \x20           --objective swaps the cost function scored over the synthesised\n\
          \x20           netlist (cached synthesis results are reused across objectives);\n\
@@ -140,15 +140,20 @@ fn print_help() {
          \x20           wall-clock budget elapses (best-so-far is kept); --fault-plan injects\n\
          \x20           deterministic storage/eval faults, e.g. \"seed=1;write:enospc@3+\"\n\
          \x20           (also read from BOILS_FAULT_PLAN).\n\n\
+         \x20           --transfer (boils, needs --cache-dir) warm-starts the run from the\n\
+         \x20           most similar circuit with recorded history in the store; every\n\
+         \x20           transferred seed is re-evaluated exactly on this circuit.\n\n\
          \x20 serve     [--addr 127.0.0.1:7171|unix:/path.sock] [--workers N]\n\
          \x20           [--queue-cap N] [--cache-dir DIR]\n\
          \x20           multi-tenant daemon: jobs share each circuit's synthesis caches\n\
          \x20 submit    --addr ADDR (--circuit <name> --method <id> --budget N\n\
          \x20           [--objective NAME] [--seed N] [--k N] [--bits N]\n\
-         \x20           [--priority low|normal|high] [--deadline-secs S] [--mo]\n\
-         \x20           | --jobs <file with one submit JSON per line>)\n\
+         \x20           [--priority low|normal|high] [--deadline-secs S] [--mo] [--transfer]\n\
+         \x20           | --jobs <file with one submit JSON per line>\n\
+         \x20           | --store-stats)\n\
          \x20           [--shutdown]  streams event JSON lines; nonzero exit on\n\
-         \x20           rejected/failed jobs\n\n\
+         \x20           rejected/failed jobs. --store-stats asks the daemon for its\n\
+         \x20           per-circuit store statistics (dedup hits, bytes saved)\n\n\
          Circuits: adder bar div hyp log2 max multiplier sin sqrt square"
     );
 }
@@ -297,9 +302,12 @@ fn serve(args: &Args) -> Result<(), String> {
 fn submit(args: &Args) -> Result<(), String> {
     use boils::daemon::{Client, JobRequest, Value};
     let addr = args.required("addr")?;
+    let store_stats = args.parse_or("store-stats", false)?;
     let mut client = Client::connect(addr)?;
     let mut outstanding = 0usize;
-    if let Some(path) = args.get("jobs") {
+    if store_stats && args.get("jobs").is_none() && args.get("circuit").is_none() {
+        // Pure admin query: no job rides along.
+    } else if let Some(path) = args.get("jobs") {
         let batch = std::fs::read_to_string(path).map_err(|e| format!("--jobs {path}: {e}"))?;
         for line in batch.lines().filter(|l| !l.trim().is_empty()) {
             // Sent verbatim: the daemon validates and answers a malformed
@@ -334,6 +342,9 @@ fn submit(args: &Args) -> Result<(), String> {
         if args.parse_or("mo", false)? {
             job.set("mo", Value::from(true));
         }
+        if args.parse_or("transfer", false)? {
+            job.set("transfer", Value::from(true));
+        }
         // Validate locally first — same code path the daemon runs — so a
         // typo fails with the daemon's diagnostic before anything queues.
         let request = JobRequest::from_json(&job)?;
@@ -357,6 +368,22 @@ fn submit(args: &Args) -> Result<(), String> {
             }
             Some("finished") => outstanding -= 1,
             _ => {}
+        }
+    }
+    // The stats snapshot is taken after every submitted job resolved, so
+    // it reflects the work this invocation just caused.
+    if store_stats {
+        client.store_stats()?;
+        loop {
+            let Some(event) = client.next_event()? else {
+                return Err(String::from(
+                    "daemon disconnected before answering store-stats",
+                ));
+            };
+            println!("{}", event.to_json());
+            if event.get("event").and_then(Value::as_str) == Some("store_stats") {
+                break;
+            }
         }
     }
     if args.parse_or("shutdown", false)? {
@@ -414,6 +441,12 @@ fn optimize(args: &Args) -> Result<(), String> {
     };
     let method = args.get("method").unwrap_or("boils");
     let multi_objective: bool = args.parse_or("mo", false)?;
+    let transfer: bool = args.parse_or("transfer", false)?;
+    if transfer && args.get("cache-dir").is_none() {
+        return Err(String::from(
+            "--transfer needs --cache-dir: donor histories live in the persistent store",
+        ));
+    }
     let objective = match args.get("objective") {
         Some(name) => Some(Objective::parse(name).map_err(|e| format!("--objective: {e}"))?),
         None => None,
@@ -444,6 +477,19 @@ fn optimize(args: &Args) -> Result<(), String> {
         Some(secs) => RunControl::with_deadline(std::time::Duration::from_secs_f64(secs)),
         None => RunControl::new(),
     };
+    // Warm start: seed the design with the best sequences a structurally
+    // similar circuit already explored. Donor costs are never trusted —
+    // every seed is re-evaluated here — so transfer changes *which*
+    // sequences are tried first, never what any sequence scores.
+    let warm_start = if transfer {
+        evaluator
+            .transfer_donor()
+            .map(|donor| WarmStart::from_donor(&donor, 3))
+            .filter(|warm| !warm.is_empty())
+    } else {
+        None
+    };
+    let transfer_seeds = warm_start.as_ref().map(|warm| warm.seeds.len());
     println!("{aig}");
     println!("reference (resyn2 + if -K 6): {}", evaluator.reference());
     let init = (budget / 5).clamp(4, budget.saturating_sub(1).max(1));
@@ -463,6 +509,7 @@ fn optimize(args: &Args) -> Result<(), String> {
                 batch_size,
                 surrogate_window,
                 multi_objective,
+                warm_start,
                 seed,
                 ..BoilsConfig::default()
             });
@@ -524,6 +571,14 @@ fn optimize(args: &Args) -> Result<(), String> {
     if multi_objective && !matches!(method, "boils" | "sbo") {
         eprintln!("note: --mo only steers the BO methods; {method} ran unchanged");
     }
+    if transfer {
+        if method != "boils" {
+            eprintln!("note: --transfer only steers the boils method; {method} ran unchanged");
+        }
+        // Record unconditionally so even a cold first run becomes a donor
+        // for the next similar circuit.
+        evaluator.record_transfer_history(&result.history);
+    }
     println!("method        : {method}");
     println!(
         "objective     : {}{}",
@@ -549,6 +604,15 @@ fn optimize(args: &Args) -> Result<(), String> {
     if let Some(line) = surrogate_line {
         println!("surrogate     : {line}");
     }
+    if transfer && method == "boils" {
+        match transfer_seeds {
+            Some(n) => println!(
+                "transfer      : warm-started with {n} seed(s) from the most similar \
+                 recorded circuit (re-evaluated exactly here)"
+            ),
+            None => println!("transfer      : no donor history in the store yet (cold start)"),
+        }
+    }
     println!(
         "unique/cached : {} unique, {} cache hits",
         evaluator.num_evaluations(),
@@ -570,6 +634,13 @@ fn optimize(args: &Args) -> Result<(), String> {
             store.total_bytes() / 1024,
             stats.disk_write_failures,
             stats.disk_retries,
+        );
+        println!(
+            "dedup         : {} payload hits across circuits, {} KiB not rewritten \
+             ({} pointer entries)",
+            stats.dedup_hits,
+            stats.payload_bytes_saved / 1024,
+            stats.pointer_entries,
         );
     }
     println!("best sequence : {}", result.best_sequence);
